@@ -1,0 +1,305 @@
+// Package aru is the public surface of this reproduction of "Adaptive
+// Resource Utilization via Feedback Control for Streaming Applications"
+// (Mandviwala, Harel, Ramachandran, Knobe — IPDPS 2005).
+//
+// It re-exports the building blocks an application author needs:
+//
+//   - The Stampede-style runtime: timestamped channels and queues, a
+//     declared task graph, one goroutine per thread, dead-timestamp
+//     garbage collection, and a simulated cluster substrate
+//     (buses + links) for resource accounting.
+//
+//   - The ARU mechanism itself: per-thread sustainable-thread-period
+//     (STP) measurement via Ctx.Sync (the paper's periodicity_sync()),
+//     backward propagation of summary-STPs piggybacked on every put/get,
+//     min/max/user-defined compression operators, and automatic source
+//     throttling.
+//
+//   - The evaluation workload (the color-based people tracker) and the
+//     experiment harness that regenerates every table and figure of the
+//     paper (see EXPERIMENTS.md).
+//
+// A minimal application:
+//
+//	clk := aru.NewVirtualClock()
+//	rt := aru.New(aru.Options{Clock: clk, ARU: aru.PolicyMin()})
+//	ch := rt.MustAddChannel("frames", 0)
+//	src := rt.MustAddThread("camera", 0, func(ctx *aru.Ctx) error {
+//	    for ts := aru.Timestamp(1); !ctx.Stopped(); ts++ {
+//	        ctx.Compute(5 * time.Millisecond)
+//	        if err := ctx.Put(ctx.Outs()[0], ts, nil, 1<<20); err != nil {
+//	            return err
+//	        }
+//	        ctx.Sync() // measures STP; throttles to downstream feedback
+//	    }
+//	    return nil
+//	})
+//	src.MustOutput(ch)
+//	// ... consumers via rt.MustAddThread + thread.MustInput(ch) ...
+//	err := rt.RunFor(10 * time.Second)
+package aru
+
+import (
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/gc"
+	"repro/internal/graph"
+	"repro/internal/kiosk"
+	"repro/internal/remote"
+	"repro/internal/runtime"
+	"repro/internal/trace"
+	"repro/internal/tracker"
+	"repro/internal/transport"
+	"repro/internal/vt"
+)
+
+// Core runtime types.
+type (
+	// Runtime is one streaming application instance.
+	Runtime = runtime.Runtime
+	// Options configures a Runtime.
+	Options = runtime.Options
+	// Ctx is the per-thread execution context.
+	Ctx = runtime.Ctx
+	// Msg is a consumed item as seen by a thread body.
+	Msg = runtime.Msg
+	// Body is a thread's task loop.
+	Body = runtime.Body
+	// Thread is a declared computation thread.
+	Thread = runtime.Thread
+	// ChannelRef names a declared channel.
+	ChannelRef = runtime.ChannelRef
+	// QueueRef names a declared queue.
+	QueueRef = runtime.QueueRef
+	// InPort is a thread input connection.
+	InPort = runtime.InPort
+	// OutPort is a thread output connection.
+	OutPort = runtime.OutPort
+)
+
+// Virtual time.
+type (
+	// Timestamp indexes the application's virtual time.
+	Timestamp = vt.Timestamp
+)
+
+// Virtual-time bounds.
+const (
+	// TimestampNone sorts before every valid timestamp.
+	TimestampNone = vt.None
+	// TimestampInfinity sorts after every valid timestamp.
+	TimestampInfinity = vt.Infinity
+)
+
+// ARU mechanism types.
+type (
+	// Policy selects the feedback behaviour of a run.
+	Policy = core.Policy
+	// STP is a sustainable thread period.
+	STP = core.STP
+	// Compressor folds a backwardSTP vector.
+	Compressor = core.Compressor
+	// CompressorFunc adapts a user-defined compression function.
+	CompressorFunc = core.Func
+	// Filter smooths incoming summary-STP streams (extension).
+	Filter = core.Filter
+)
+
+// Clock abstraction.
+type (
+	// Clock supplies runtime time.
+	Clock = clock.Clock
+)
+
+// Cluster simulation.
+type (
+	// Cluster bundles per-host buses and the interconnect.
+	Cluster = transport.Cluster
+	// ClusterSpec configures a simulated cluster.
+	ClusterSpec = transport.ClusterSpec
+	// LinkSpec describes a network link.
+	LinkSpec = transport.LinkSpec
+)
+
+// Garbage collection.
+type (
+	// Collector decides which items of a channel are dead.
+	Collector = gc.Collector
+)
+
+// Measurement.
+type (
+	// Recorder collects trace events.
+	Recorder = trace.Recorder
+	// Analysis is the postmortem result.
+	Analysis = trace.Analysis
+)
+
+// Graph identities.
+type (
+	// NodeID identifies a task-graph node.
+	NodeID = graph.NodeID
+	// ConnID identifies a task-graph connection.
+	ConnID = graph.ConnID
+)
+
+// ErrShutdown reports that an operation was interrupted by Stop; thread
+// bodies return it (or the error wrapping it) for a clean exit.
+var ErrShutdown = runtime.ErrShutdown
+
+// New creates a runtime.
+func New(opts Options) *Runtime { return runtime.New(opts) }
+
+// PolicyOff returns the No-ARU baseline policy.
+func PolicyOff() Policy { return core.PolicyOff() }
+
+// PolicyMin returns ARU with the conservative min compression operator,
+// the paper's safe default: producers sustain their fastest consumer.
+func PolicyMin() Policy { return core.PolicyMin() }
+
+// PolicyMax returns ARU with the aggressive max operator: producers slow
+// to their slowest consumer, correct when downstream data dependencies
+// make faster production pure waste.
+func PolicyMax() Policy { return core.PolicyMax() }
+
+// MinCompressor and MaxCompressor are the built-in operators, exposed for
+// per-node overrides via Policy.PerNode.
+var (
+	MinCompressor = core.Min
+	MaxCompressor = core.Max
+)
+
+// NewEWMAFilter returns an exponentially-weighted-moving-average
+// summary-STP filter (the paper's future-work extension).
+func NewEWMAFilter(alpha float64) Filter { return core.NewEWMAFilter(alpha) }
+
+// NewMedianFilter returns a sliding-window median summary-STP filter.
+func NewMedianFilter(window int) Filter { return core.NewMedianFilter(window) }
+
+// NewVirtualClock returns the discrete-event clock: simulated time jumps
+// to the next deadline whenever all threads are blocked, so experiments
+// run as fast as the host executes them with exact virtual timing.
+func NewVirtualClock() Clock { return clock.NewVirtual() }
+
+// NewRealClock returns a wall clock.
+func NewRealClock() Clock { return clock.NewReal() }
+
+// NewScaledClock returns a wall clock running scale× faster than real
+// time.
+func NewScaledClock(scale float64) Clock {
+	return clock.NewScaled(clock.NewReal(), scale)
+}
+
+// NewCluster builds a simulated cluster on the given clock.
+func NewCluster(clk Clock, spec ClusterSpec) *Cluster {
+	return transport.NewCluster(clk, spec)
+}
+
+// GigabitEthernet approximates the paper's interconnect.
+var GigabitEthernet = transport.GigabitEthernet
+
+// NewRecorder returns an empty trace recorder.
+func NewRecorder() *Recorder { return trace.NewRecorder() }
+
+// Analyze runs the postmortem analysis over [from, to) of a recorder's
+// events (to=0 means the last event).
+func Analyze(r *Recorder, from, to time.Duration) (*Analysis, error) {
+	return trace.Analyze(r, trace.AnalyzeOptions{From: from, To: to})
+}
+
+// Garbage collectors.
+var (
+	// NewDGC returns the dead-timestamp collector (the paper's setup).
+	NewDGC = gc.NewDeadTimestamp
+	// NewTGC returns the transparent global-virtual-time collector.
+	NewTGC = gc.NewTransparent
+	// NewNoGC returns the collector that never frees.
+	NewNoGC = gc.NewNone
+)
+
+// Tracker workload.
+type (
+	// TrackerConfig assembles one tracker run.
+	TrackerConfig = tracker.Config
+	// TrackerApp is a built tracker application.
+	TrackerApp = tracker.App
+	// TrackerTiming holds the stage periods.
+	TrackerTiming = tracker.Timing
+	// TrackerSizes holds the per-item sizes.
+	TrackerSizes = tracker.Sizes
+)
+
+// NewTracker builds the color-based people tracker workload.
+func NewTracker(cfg TrackerConfig) (*TrackerApp, error) { return tracker.New(cfg) }
+
+// DefaultTrackerTiming returns the calibrated tracker stage periods.
+func DefaultTrackerTiming() TrackerTiming { return tracker.DefaultTiming() }
+
+// Kiosk workload (the paper's Figure 1 two-fidelity pipeline).
+type (
+	// KioskConfig assembles one smart-kiosk run.
+	KioskConfig = kiosk.Config
+	// KioskApp is a built kiosk application.
+	KioskApp = kiosk.App
+)
+
+// NewKiosk builds the Figure 1 smart-kiosk pipeline: digitizer → low-fi
+// tracker → decision (queue) → high-fi tracker → GUI.
+func NewKiosk(cfg KioskConfig) (*KioskApp, error) { return kiosk.New(cfg) }
+
+// PaperTrackerSizes returns the paper's per-item sizes (738 kB frames,
+// 246 kB masks, 981 kB histogram models, 68 B locations).
+func PaperTrackerSizes() TrackerSizes { return tracker.PaperSizes() }
+
+// Experiment harness.
+type (
+	// Scenario describes one experiment cell.
+	Scenario = bench.Scenario
+	// Suite holds the full evaluation grid.
+	Suite = bench.Suite
+	// ShapeCheck is one qualitative expectation from the paper.
+	ShapeCheck = bench.ShapeCheck
+)
+
+// Distributed operation over real sockets.
+type (
+	// RemoteServer hosts channels for remote producers and consumers
+	// over TCP, with summary-STP feedback piggybacked on the protocol.
+	RemoteServer = remote.Server
+	// RemoteServerConfig configures a RemoteServer.
+	RemoteServerConfig = remote.ServerConfig
+	// RemoteProducer is a remote producer connection.
+	RemoteProducer = remote.Producer
+	// RemoteConsumer is a remote consumer connection.
+	RemoteConsumer = remote.Consumer
+	// RemoteItem is one item consumed over the wire.
+	RemoteItem = remote.Item
+)
+
+// NewRemoteServer starts a TCP channel server.
+func NewRemoteServer(cfg RemoteServerConfig, channels ...string) (*RemoteServer, error) {
+	return remote.NewServer(cfg, channels...)
+}
+
+// DialRemoteProducer attaches a producer connection to a remote channel.
+func DialRemoteProducer(addr, channel string) (*RemoteProducer, error) {
+	return remote.DialProducer(addr, channel)
+}
+
+// DialRemoteConsumer attaches a consumer connection to a remote channel.
+func DialRemoteConsumer(addr, channel string) (*RemoteConsumer, error) {
+	return remote.DialConsumer(addr, channel)
+}
+
+// STPUnknown is the "no feedback yet" summary-STP value.
+const STPUnknown = core.Unknown
+
+// RunScenario executes one experiment cell.
+func RunScenario(sc Scenario) (*bench.Result, error) { return bench.Run(sc) }
+
+// RunSuite executes the full evaluation grid (both configurations, all
+// three policies).
+func RunSuite(envelope Scenario) (*Suite, error) { return bench.RunSuite(envelope) }

@@ -1,0 +1,347 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (see DESIGN.md for the experiment index and EXPERIMENTS.md
+// for paper-versus-measured results):
+//
+//	BenchmarkFig3MinPropagation       Figure 3 (min operator example)
+//	BenchmarkFig4MaxPropagation       Figure 4 (max operator example)
+//	BenchmarkFig6MemoryFootprint      Figure 6 (footprint table)
+//	BenchmarkFig7WastedResources      Figure 7 (waste table)
+//	BenchmarkFig8FootprintSeriesConfig1  Figure 8 (footprint vs time, 1 host)
+//	BenchmarkFig9FootprintSeriesConfig2  Figure 9 (footprint vs time, 5 hosts)
+//	BenchmarkFig10Performance         Figure 10 (latency/throughput/jitter)
+//	BenchmarkAblationSTPFilters       ABL1: summary-STP filters (paper future work)
+//	BenchmarkAblationNoiseSensitivity ABL2: scheduling-noise sensitivity of ARU-max
+//	BenchmarkAblationGCPolicy         ABL3: GC strategy × ARU interaction
+//
+// Reported metrics carry the table values (MB, fps, ms, %); ns/op is the
+// cost of regenerating the experiment itself.
+package aru_test
+
+import (
+	"testing"
+	"time"
+
+	aru "repro"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// benchEnvelope is the reduced experiment envelope used per benchmark
+// iteration: one seed, 60 virtual seconds. cmd/experiments runs the full
+// envelope.
+func benchEnvelope() aru.Scenario {
+	return aru.Scenario{
+		Duration: 60 * time.Second,
+		Warmup:   10 * time.Second,
+		Seeds:    []int64{42},
+	}
+}
+
+func runSuite(b *testing.B) *aru.Suite {
+	b.Helper()
+	s, err := aru.RunSuite(benchEnvelope())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+const mb = 1 << 20
+
+// BenchmarkFig3MinPropagation measures the ARU propagation path with the
+// min operator on the paper's Figure 3 topology (node A fanning out to
+// B–F) and verifies the published compressed value of 139 ms.
+func BenchmarkFig3MinPropagation(b *testing.B) {
+	benchPropagation(b, aru.PolicyMin(), 139*time.Millisecond)
+}
+
+// BenchmarkFig4MaxPropagation is the Figure 4 variant: the max operator
+// must compress the same vector to 544 ms.
+func BenchmarkFig4MaxPropagation(b *testing.B) {
+	benchPropagation(b, aru.PolicyMax(), 544*time.Millisecond)
+}
+
+func benchPropagation(b *testing.B, policy aru.Policy, want time.Duration) {
+	g := graph.New()
+	a := g.MustAddNode(graph.KindThread, "A", 0)
+	reports := map[string]aru.STP{
+		"B": aru.STP(337 * time.Millisecond), "C": aru.STP(139 * time.Millisecond),
+		"D": aru.STP(273 * time.Millisecond), "E": aru.STP(544 * time.Millisecond),
+		"F": aru.STP(420 * time.Millisecond),
+	}
+	type edge struct {
+		put, get graph.ConnID
+		consumer graph.NodeID
+		stp      aru.STP
+	}
+	var edges []edge
+	for _, name := range []string{"B", "C", "D", "E", "F"} {
+		ch := g.MustAddNode(graph.KindChannel, name, 0)
+		cons := g.MustAddNode(graph.KindThread, name+"-consumer", 0)
+		edges = append(edges, edge{
+			put: g.MustConnect(a, ch), get: g.MustConnect(ch, cons),
+			consumer: cons, stp: reports[name],
+		})
+	}
+	ctrl := core.NewController(g, policy)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, e := range edges {
+			ctrl.SetCurrentSTP(e.consumer, e.stp)
+			ctrl.NoteGet(e.get)
+			ctrl.NotePut(e.put)
+		}
+	}
+	b.StopTimer()
+	if got := ctrl.State(a).Summary(); got != aru.STP(want) {
+		b.Fatalf("summary = %v, want %v", got, want)
+	}
+	b.ReportMetric(float64(want.Milliseconds()), "summarySTP_ms")
+}
+
+// BenchmarkFig6MemoryFootprint regenerates the Figure 6 table.
+func BenchmarkFig6MemoryFootprint(b *testing.B) {
+	var s *aru.Suite
+	for i := 0; i < b.N; i++ {
+		s = runSuite(b)
+	}
+	for _, hosts := range []int{1, 5} {
+		cfg := map[int]string{1: "c1", 5: "c2"}[hosts]
+		igc := s.IGCReference(hosts)
+		b.ReportMetric(igc/mb, "igc_MB_"+cfg)
+		b.ReportMetric(s.Results[hosts][bench.NoARU].MeanFootprint/mb, "noaru_MB_"+cfg)
+		b.ReportMetric(s.Results[hosts][bench.ARUMin].MeanFootprint/mb, "arumin_MB_"+cfg)
+		b.ReportMetric(s.Results[hosts][bench.ARUMax].MeanFootprint/mb, "arumax_MB_"+cfg)
+	}
+}
+
+// BenchmarkFig7WastedResources regenerates the Figure 7 table.
+func BenchmarkFig7WastedResources(b *testing.B) {
+	var s *aru.Suite
+	for i := 0; i < b.N; i++ {
+		s = runSuite(b)
+	}
+	for _, hosts := range []int{1, 5} {
+		cfg := map[int]string{1: "c1", 5: "c2"}[hosts]
+		for _, p := range bench.Policies {
+			r := s.Results[hosts][p]
+			tag := map[bench.PolicyName]string{bench.NoARU: "noaru", bench.ARUMin: "arumin", bench.ARUMax: "arumax"}[p]
+			b.ReportMetric(r.WastedMemPct, tag+"_wastedmem_pct_"+cfg)
+			b.ReportMetric(r.WastedCompPct, tag+"_wastedcomp_pct_"+cfg)
+		}
+	}
+}
+
+// BenchmarkFig8FootprintSeriesConfig1 regenerates the Figure 8 series
+// (footprint versus time, one host) and reports each panel's peak.
+func BenchmarkFig8FootprintSeriesConfig1(b *testing.B) {
+	benchFootprintSeries(b, 1)
+}
+
+// BenchmarkFig9FootprintSeriesConfig2 is the Figure 9 (five hosts)
+// variant.
+func BenchmarkFig9FootprintSeriesConfig2(b *testing.B) {
+	benchFootprintSeries(b, 5)
+}
+
+func benchFootprintSeries(b *testing.B, hosts int) {
+	var s *aru.Suite
+	for i := 0; i < b.N; i++ {
+		s = runSuite(b)
+	}
+	panels := s.FootprintSeries(hosts, 500)
+	if len(panels) != 4 {
+		b.Fatalf("panels = %d", len(panels))
+	}
+	for _, p := range panels {
+		var peak float64
+		for _, v := range p.Bytes {
+			if v > peak {
+				peak = v
+			}
+		}
+		b.ReportMetric(peak/mb, p.Name+"_peak_MB")
+	}
+}
+
+// BenchmarkFig10Performance regenerates the Figure 10 table.
+func BenchmarkFig10Performance(b *testing.B) {
+	var s *aru.Suite
+	for i := 0; i < b.N; i++ {
+		s = runSuite(b)
+	}
+	for _, hosts := range []int{1, 5} {
+		cfg := map[int]string{1: "c1", 5: "c2"}[hosts]
+		for _, p := range bench.Policies {
+			r := s.Results[hosts][p]
+			tag := map[bench.PolicyName]string{bench.NoARU: "noaru", bench.ARUMin: "arumin", bench.ARUMax: "arumax"}[p]
+			b.ReportMetric(r.ThroughputMean, tag+"_fps_"+cfg)
+			b.ReportMetric(float64(r.LatencyMean.Milliseconds()), tag+"_lat_ms_"+cfg)
+			b.ReportMetric(float64(r.Jitter.Milliseconds()), tag+"_jitter_ms_"+cfg)
+		}
+	}
+}
+
+// BenchmarkAblationSTPFilters measures the paper's future-work extension
+// (§3.3.2): smoothing the noisy summary-STP stream with feedback filters
+// under the aggressive max operator, where noise hurts most.
+func BenchmarkAblationSTPFilters(b *testing.B) {
+	filters := []struct {
+		name string
+		mk   func() aru.Filter
+	}{
+		{"none", nil},
+		{"ewma", func() aru.Filter { return aru.NewEWMAFilter(0.3) }},
+		{"median", func() aru.Filter { return aru.NewMedianFilter(5) }},
+	}
+	for _, f := range filters {
+		f := f
+		b.Run(f.name, func(b *testing.B) {
+			var r *bench.Result
+			for i := 0; i < b.N; i++ {
+				sc := benchEnvelope()
+				sc.Policy = bench.ARUMax
+				sc.Hosts = 1
+				sc.Mutate = func(cfg *aru.TrackerConfig) {
+					if f.mk != nil {
+						cfg.Policy.NewFilter = func() aru.Filter { return f.mk() }
+					}
+				}
+				var err error
+				r, err = aru.RunScenario(sc)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(r.Jitter.Milliseconds()), "jitter_ms")
+			b.ReportMetric(r.ThroughputMean, "fps")
+			b.ReportMetric(r.MeanFootprint/mb, "mem_MB")
+		})
+	}
+}
+
+// BenchmarkAblationNoiseSensitivity sweeps the injected
+// scheduling-variance σ and reports ARU-max throughput — quantifying the
+// paper's §5.2 explanation that STP noise plus aggressive slowing starves
+// consumers.
+func BenchmarkAblationNoiseSensitivity(b *testing.B) {
+	for _, sigma := range []float64{0.02, 0.12, 0.30} {
+		sigma := sigma
+		b.Run(sigmaName(sigma), func(b *testing.B) {
+			var r *bench.Result
+			for i := 0; i < b.N; i++ {
+				sc := benchEnvelope()
+				sc.Policy = bench.ARUMax
+				sc.Hosts = 5
+				sc.Mutate = func(cfg *aru.TrackerConfig) {
+					t := cfg.Timing
+					if t == (aru.TrackerTiming{}) {
+						t = aru.DefaultTrackerTiming()
+					}
+					t.NoiseSigma = sigma
+					cfg.Timing = t
+				}
+				var err error
+				r, err = aru.RunScenario(sc)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.ThroughputMean, "fps")
+			b.ReportMetric(float64(r.Jitter.Milliseconds()), "jitter_ms")
+		})
+	}
+}
+
+func sigmaName(s float64) string {
+	switch {
+	case s < 0.05:
+		return "sigma_low"
+	case s < 0.2:
+		return "sigma_paper"
+	default:
+		return "sigma_high"
+	}
+}
+
+// BenchmarkAblationGCPolicy crosses the GC strategies with ARU-min: DGC
+// and ARU compose (the paper's configuration), TGC retains more, and
+// no-GC shows ARU alone cannot bound memory.
+func BenchmarkAblationGCPolicy(b *testing.B) {
+	for _, coll := range []string{"dgc", "tgc", "none"} {
+		coll := coll
+		b.Run(coll, func(b *testing.B) {
+			var r *bench.Result
+			for i := 0; i < b.N; i++ {
+				sc := benchEnvelope()
+				sc.Policy = bench.ARUMin
+				sc.Hosts = 1
+				sc.Collector = coll
+				var err error
+				r, err = aru.RunScenario(sc)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.MeanFootprint/mb, "mem_MB")
+			b.ReportMetric(r.ThroughputMean, "fps")
+		})
+	}
+}
+
+// BenchmarkAblationDeadElimination is ABL4: §3.2's dead-timestamp
+// computation elimination without ARU — the paper's "limited success"
+// baseline that motivates rate feedback in the first place.
+func BenchmarkAblationDeadElimination(b *testing.B) {
+	for _, v := range []struct {
+		name      string
+		policy    bench.PolicyName
+		eliminate bool
+	}{
+		{"noaru", bench.NoARU, false},
+		{"noaru_elim", bench.NoARU, true},
+		{"arumin", bench.ARUMin, false},
+	} {
+		v := v
+		b.Run(v.name, func(b *testing.B) {
+			var r *bench.Result
+			for i := 0; i < b.N; i++ {
+				sc := benchEnvelope()
+				sc.Policy = v.policy
+				sc.Hosts = 1
+				elim := v.eliminate
+				sc.Mutate = func(cfg *aru.TrackerConfig) { cfg.EliminateDeadComputations = elim }
+				var err error
+				r, err = aru.RunScenario(sc)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.MeanFootprint/mb, "mem_MB")
+			b.ReportMetric(r.WastedCompPct, "wastedcomp_pct")
+		})
+	}
+}
+
+// --- micro-benchmarks on the core primitives --------------------------
+
+// BenchmarkCompressMin measures the min operator on the paper's vector.
+func BenchmarkCompressMin(b *testing.B) {
+	vec := []aru.STP{337e6, 139e6, 273e6, 544e6, 420e6}
+	for i := 0; i < b.N; i++ {
+		if aru.MinCompressor.Compress(vec) != 139e6 {
+			b.Fatal("wrong compression")
+		}
+	}
+}
+
+// BenchmarkCompressMax measures the max operator on the paper's vector.
+func BenchmarkCompressMax(b *testing.B) {
+	vec := []aru.STP{337e6, 139e6, 273e6, 544e6, 420e6}
+	for i := 0; i < b.N; i++ {
+		if aru.MaxCompressor.Compress(vec) != 544e6 {
+			b.Fatal("wrong compression")
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (§5) and checks the qualitative shape claims.
+//
+// Usage:
+//
+//	go run ./cmd/experiments                 # full envelope (~10–20 s)
+//	go run ./cmd/experiments -quick          # reduced envelope (~2 s)
+//	go run ./cmd/experiments -out results/   # also write Fig 8/9 CSVs
+//	go run ./cmd/experiments -ascii          # terminal charts of Fig 8/9
+//
+// Output tables interleave measured and published values as
+// "measured|paper" so the reproduction can be judged at a glance.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		duration  = flag.Duration("duration", 180*time.Second, "virtual run length per trial")
+		warmup    = flag.Duration("warmup", 20*time.Second, "virtual warmup discarded before analysis")
+		seeds     = flag.String("seeds", "11,23,42", "comma-separated trial seeds")
+		quick     = flag.Bool("quick", false, "reduced envelope (60s, one seed)")
+		out       = flag.String("out", "", "directory to write Figure 8/9 CSV series into")
+		ascii     = flag.Bool("ascii", false, "render Figure 8/9 as terminal charts")
+		points    = flag.Int("points", 500, "series points per curve")
+		ablations = flag.Bool("ablations", false, "also run the ABL1–ABL4 ablation studies")
+	)
+	flag.Parse()
+
+	envelope := bench.Scenario{Duration: *duration, Warmup: *warmup}
+	for _, s := range strings.Split(*seeds, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: bad seed %q: %v\n", s, err)
+			os.Exit(2)
+		}
+		envelope.Seeds = append(envelope.Seeds, v)
+	}
+	if *quick {
+		envelope.Duration = 60 * time.Second
+		envelope.Warmup = 10 * time.Second
+		envelope.Seeds = envelope.Seeds[:1]
+	}
+
+	fmt.Printf("Reproducing the IPDPS'05 ARU evaluation: %v per trial, %d seed(s), warmup %v\n\n",
+		envelope.Duration, len(envelope.Seeds), envelope.Warmup)
+	start := time.Now()
+	suite, err := bench.RunSuite(envelope)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("(12 tracker executions simulated in %v wall time)\n\n", time.Since(start).Round(time.Millisecond))
+
+	suite.WriteAll(os.Stdout)
+
+	if *ascii {
+		for _, hosts := range []int{1, 5} {
+			fig := map[int]string{1: "Figure 8 (config 1)", 5: "Figure 9 (config 2)"}[hosts]
+			fmt.Printf("%s — memory footprint vs time\n\n", fig)
+			bench.RenderASCII(os.Stdout, suite.FootprintSeries(hosts, 120), 72, 10)
+		}
+	}
+
+	if *out != "" {
+		paths, err := suite.SaveFigures(*out, *points)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: saving figures: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("Figure series written:")
+		for _, p := range paths {
+			fmt.Println("  " + p)
+		}
+		fmt.Println()
+	}
+
+	if *ablations {
+		abls, err := bench.RunAllAblations(envelope)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: ablations: %v\n", err)
+			os.Exit(1)
+		}
+		for _, ab := range abls {
+			ab.Write(os.Stdout)
+		}
+	}
+
+	checks := suite.CheckShapes()
+	failed := bench.FailedShapes(checks)
+	fmt.Printf("Shape checks (qualitative claims of §5): %d/%d hold\n", len(checks)-len(failed), len(checks))
+	for _, c := range checks {
+		status := "PASS"
+		if !c.OK {
+			status = "FAIL"
+		}
+		fmt.Printf("  [%s] %-32s %s (%s)\n", status, c.ID, c.Description, c.Detail)
+	}
+	if len(failed) > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,195 @@
+// Command pipesim builds and runs an arbitrary linear streaming pipeline
+// from a compact spec, making it easy to explore how the ARU policies
+// behave on pipelines other than the paper's tracker.
+//
+// The spec is a '|'-separated list of stages, each "name:compute[:sizeKB]":
+// the first stage is the source (producing items of sizeKB, default 64),
+// the last is the sink (emitting pipeline outputs), and interior stages
+// consume the freshest item, compute, and produce.
+//
+//	go run ./cmd/pipesim -spec "camera:5ms:512 | filter:20ms:128 | display:60ms"
+//	go run ./cmd/pipesim -policy off    # compare against the baseline
+//	go run ./cmd/pipesim -all           # run off/min/max side by side
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	aru "repro"
+)
+
+type stageSpec struct {
+	name    string
+	compute time.Duration
+	sizeKB  int64
+}
+
+func parseSpec(spec string) ([]stageSpec, error) {
+	var stages []stageSpec
+	for _, part := range strings.Split(spec, "|") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("stage %q: want name:compute[:sizeKB]", part)
+		}
+		name := strings.TrimSpace(fields[0])
+		if name == "" {
+			return nil, fmt.Errorf("stage %q: empty name", part)
+		}
+		compute, err := time.ParseDuration(strings.TrimSpace(fields[1]))
+		if err != nil || compute <= 0 {
+			return nil, fmt.Errorf("stage %q: bad compute %q", part, fields[1])
+		}
+		size := int64(64)
+		if len(fields) == 3 {
+			size, err = strconv.ParseInt(strings.TrimSpace(fields[2]), 10, 64)
+			if err != nil || size <= 0 {
+				return nil, fmt.Errorf("stage %q: bad sizeKB %q", part, fields[2])
+			}
+		}
+		stages = append(stages, stageSpec{name: name, compute: compute, sizeKB: size})
+	}
+	if len(stages) < 2 {
+		return nil, errors.New("need at least a source and a sink stage")
+	}
+	seen := map[string]bool{}
+	for _, s := range stages {
+		if seen[s.name] {
+			return nil, fmt.Errorf("duplicate stage name %q", s.name)
+		}
+		seen[s.name] = true
+	}
+	return stages, nil
+}
+
+func main() {
+	var (
+		spec     = flag.String("spec", "camera:5ms:512 | filter:20ms:128 | display:60ms", "pipeline spec")
+		policy   = flag.String("policy", "min", "ARU policy: off, min, max")
+		all      = flag.Bool("all", false, "run all three policies and compare")
+		duration = flag.Duration("duration", 30*time.Second, "virtual run length")
+	)
+	flag.Parse()
+
+	stages, err := parseSpec(*spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pipesim: %v\n", err)
+		os.Exit(2)
+	}
+
+	var policies []aru.Policy
+	if *all {
+		policies = []aru.Policy{aru.PolicyOff(), aru.PolicyMin(), aru.PolicyMax()}
+	} else {
+		switch *policy {
+		case "off", "no", "none":
+			policies = []aru.Policy{aru.PolicyOff()}
+		case "min":
+			policies = []aru.Policy{aru.PolicyMin()}
+		case "max":
+			policies = []aru.Policy{aru.PolicyMax()}
+		default:
+			fmt.Fprintf(os.Stderr, "pipesim: unknown policy %q\n", *policy)
+			os.Exit(2)
+		}
+	}
+
+	fmt.Printf("pipeline: %s, %v virtual run\n\n", *spec, *duration)
+	fmt.Printf("%-8s %10s %10s %12s %12s %12s %10s\n",
+		"policy", "produced", "outputs", "mem mean", "wasted mem", "latency", "fps")
+	for _, p := range policies {
+		a, produced, err := run(stages, p, *duration)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pipesim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-8s %10d %10d %9.0f kB %11.1f%% %12v %10.2f\n",
+			p.Name(), produced, a.Outputs, a.All.MeanBytes/1024, a.WastedMemPct,
+			a.LatencyMean.Round(time.Millisecond), a.ThroughputFPS)
+	}
+}
+
+func run(stages []stageSpec, policy aru.Policy, duration time.Duration) (*aru.Analysis, int64, error) {
+	rec := aru.NewRecorder()
+	rt := aru.New(aru.Options{Clock: aru.NewVirtualClock(), ARU: policy, Recorder: rec})
+
+	// One channel between each adjacent stage pair.
+	channels := make([]*aru.ChannelRef, len(stages)-1)
+	for i := 0; i+1 < len(stages); i++ {
+		ref, err := rt.AddChannel(fmt.Sprintf("c%d-%s", i, stages[i].name), 0)
+		if err != nil {
+			return nil, 0, err
+		}
+		channels[i] = ref
+	}
+
+	var produced int64
+	threads := make([]*aru.Thread, len(stages))
+	for i, s := range stages {
+		i, s := i, s
+		var body aru.Body
+		switch {
+		case i == 0: // source
+			body = func(ctx *aru.Ctx) error {
+				for ts := aru.Timestamp(1); !ctx.Stopped(); ts++ {
+					ctx.Compute(s.compute)
+					if err := ctx.Put(ctx.Outs()[0], ts, nil, s.sizeKB<<10); err != nil {
+						return err
+					}
+					produced++
+					ctx.Sync()
+				}
+				return nil
+			}
+		case i == len(stages)-1: // sink
+			body = func(ctx *aru.Ctx) error {
+				for {
+					if _, err := ctx.GetLatest(ctx.Ins()[0]); err != nil {
+						return err
+					}
+					ctx.Compute(s.compute)
+					ctx.Emit()
+					ctx.Sync()
+				}
+			}
+		default: // interior
+			body = func(ctx *aru.Ctx) error {
+				for {
+					msg, err := ctx.GetLatest(ctx.Ins()[0])
+					if err != nil {
+						return err
+					}
+					ctx.Compute(s.compute)
+					if err := ctx.Put(ctx.Outs()[0], msg.TS, nil, s.sizeKB<<10); err != nil {
+						return err
+					}
+					ctx.Sync()
+				}
+			}
+		}
+		th, err := rt.AddThread(s.name, 0, body)
+		if err != nil {
+			return nil, 0, err
+		}
+		threads[i] = th
+	}
+	for i := range channels {
+		if _, err := threads[i].Output(channels[i]); err != nil {
+			return nil, 0, err
+		}
+		if _, err := threads[i+1].Input(channels[i]); err != nil {
+			return nil, 0, err
+		}
+	}
+
+	if err := rt.RunFor(duration); err != nil {
+		return nil, 0, err
+	}
+	a, err := aru.Analyze(rec, duration/10, duration)
+	return a, produced, err
+}

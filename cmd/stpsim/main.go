@@ -1,0 +1,80 @@
+// Command stpsim explores the summary-STP propagation algorithm on the
+// paper's Figure 3/4 topology: a producer thread A fanning out to buffers
+// B–F, each with one consumer. It prints what each compression operator
+// yields for a given backwardSTP vector and how node A's summary evolves
+// as its own current-STP changes.
+//
+// Usage:
+//
+//	go run ./cmd/stpsim                              # the paper's vector
+//	go run ./cmd/stpsim -vec 100,200,300 -current 250
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func main() {
+	var (
+		vecFlag = flag.String("vec", "337,139,273,544,420", "summary-STPs (ms) reported by the downstream nodes")
+		current = flag.Int("current", 0, "node A's own current-STP in ms (0 = none)")
+	)
+	flag.Parse()
+
+	var stps []core.STP
+	for _, s := range strings.Split(*vecFlag, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || v <= 0 {
+			fmt.Fprintf(os.Stderr, "stpsim: bad STP %q\n", s)
+			os.Exit(2)
+		}
+		stps = append(stps, core.STP(time.Duration(v)*time.Millisecond))
+	}
+
+	fmt.Printf("backwardSTP vector of node A: %v\n\n", stps)
+	fmt.Printf("compressed-backwardSTP (min, the safe default): %v\n", core.Min.Compress(stps))
+	fmt.Printf("compressed-backwardSTP (max, aggressive):       %v\n\n", core.Max.Compress(stps))
+
+	for _, comp := range []core.Compressor{core.Min, core.Max} {
+		fmt.Printf("--- full propagation with the %s operator ---\n", comp.Name())
+		g := graph.New()
+		a := g.MustAddNode(graph.KindThread, "A", 0)
+		policy := core.Policy{Enabled: true, Compressor: comp}
+		type wire struct {
+			put, get graph.ConnID
+			consumer graph.NodeID
+		}
+		var wires []wire
+		for i := range stps {
+			name := fmt.Sprintf("N%d", i)
+			ch := g.MustAddNode(graph.KindChannel, name, 0)
+			cons := g.MustAddNode(graph.KindThread, name+"-consumer", 0)
+			wires = append(wires, wire{
+				put: g.MustConnect(a, ch), get: g.MustConnect(ch, cons), consumer: cons,
+			})
+		}
+		ctrl := core.NewController(g, policy)
+		for i, w := range wires {
+			ctrl.SetCurrentSTP(w.consumer, stps[i])
+			ctrl.NoteGet(w.get) // consumer → channel on get
+			ctrl.NotePut(w.put) // channel → A on put
+			fmt.Printf("after feedback from N%d (%v): A summary = %v\n",
+				i, stps[i], ctrl.State(a).Summary())
+		}
+		if *current > 0 {
+			cur := core.STP(time.Duration(*current) * time.Millisecond)
+			ctrl.SetCurrentSTP(a, cur)
+			fmt.Printf("A reports its own current-STP %v → summary = %v (threads take max(compressed, current))\n",
+				cur, ctrl.State(a).Summary())
+		}
+		fmt.Println()
+	}
+}

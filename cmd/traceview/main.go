@@ -1,0 +1,97 @@
+// Command traceview analyzes a persisted execution trace (written by
+// cmd/tracker -trace or trace.SaveFile) offline: the paper's "postmortem
+// analysis program [that] uses these statistics to derive the metrics of
+// interest" (§4), as a standalone tool.
+//
+// Usage:
+//
+//	go run ./cmd/tracker -trace run.trace
+//	go run ./cmd/traceview run.trace
+//	go run ./cmd/traceview -from 15s -series footprint.csv run.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		from    = flag.Duration("from", 0, "analysis window start")
+		to      = flag.Duration("to", 0, "analysis window end (0 = last event)")
+		series  = flag.String("series", "", "write the footprint series to this CSV file")
+		points  = flag.Int("points", 1000, "series points")
+		jsonOut = flag.Bool("json", false, "emit the summary as JSON")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: traceview [flags] <trace-file>")
+		os.Exit(2)
+	}
+
+	events, names, err := trace.LoadFileNamed(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	a, err := trace.AnalyzeEvents(events, trace.AnalyzeOptions{From: *from, To: *to})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *jsonOut {
+		if err := a.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	const mb = 1 << 20
+	fmt.Printf("trace: %d events, window [%v, %v)\n\n", len(events), a.From, a.To)
+	fmt.Printf("memory footprint:  mean %.2f MB, STD %.2f MB, peak %.2f MB\n",
+		a.All.MeanBytes/mb, a.All.StdBytes/mb, a.All.PeakBytes/mb)
+	fmt.Printf("IGC lower bound:   mean %.2f MB\n", a.IGC.MeanBytes/mb)
+	fmt.Printf("wasted memory:     %.1f%%   wasted computation: %.1f%%\n", a.WastedMemPct, a.WastedCompPct)
+	fmt.Printf("throughput:        %.2f fps (%d outputs)\n", a.ThroughputFPS, a.Outputs)
+	fmt.Printf("latency:           mean %v, STD %v   jitter: %v\n",
+		a.LatencyMean.Round(time.Millisecond), a.LatencyStd.Round(time.Millisecond),
+		a.Jitter.Round(time.Millisecond))
+	fmt.Printf("items:             %d total, %d successful, %d wasted; %d gets, %d skips\n\n",
+		a.ItemsTotal, a.ItemsSuccessful, a.ItemsWasted, a.Gets, a.Skips)
+
+	rep := trace.BuildReport(events, a)
+	rep.WriteThreadsNamed(os.Stdout, names)
+	fmt.Println()
+	rep.WriteChannelsNamed(os.Stdout, names)
+
+	if len(a.Latencies) > 2 {
+		fmt.Println()
+		fmt.Printf("latency distribution (%d outputs, p50 %v / p95 %v / p99 %v):\n",
+			len(a.Latencies),
+			a.LatencyP50.Round(time.Millisecond),
+			a.LatencyP95.Round(time.Millisecond),
+			a.LatencyP99.Round(time.Millisecond))
+		stats.AutoHistogram(a.Latencies, 10).Write(os.Stdout, 40)
+	}
+
+	if *series != "" {
+		f, err := os.Create(*series)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := a.All.Series.WriteCSV(f, "footprint_bytes", a.From, a.To, *points); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nfootprint series written to %s\n", *series)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "traceview: %v\n", err)
+	os.Exit(1)
+}

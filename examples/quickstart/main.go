@@ -1,0 +1,94 @@
+// Quickstart: a three-stage pipeline (camera → filter → display) where
+// the camera runs an order of magnitude faster than the display. Without
+// ARU most frames are produced only to be skipped; with ARU the
+// summary-STP feedback cascades back to the camera and it slows to what
+// downstream can actually use.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	aru "repro"
+)
+
+func main() {
+	fmt.Println("quickstart: camera(5ms) → filter(20ms) → display(60ms), 10 virtual seconds")
+	fmt.Println()
+	for _, policy := range []aru.Policy{aru.PolicyOff(), aru.PolicyMin()} {
+		a, produced, err := run(policy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-7s produced %4d frames, displayed %3d, wasted %5.1f%% of memory, mean footprint %6.1f kB\n",
+			policy.Name(), produced, a.Outputs, a.WastedMemPct, a.All.MeanBytes/1024)
+	}
+	fmt.Println()
+	fmt.Println("With ARU the camera throttles to the display's sustainable period,")
+	fmt.Println("so frames that would be skipped are simply never produced.")
+}
+
+func run(policy aru.Policy) (*aru.Analysis, int64, error) {
+	rec := aru.NewRecorder()
+	rt := aru.New(aru.Options{
+		Clock:    aru.NewVirtualClock(),
+		ARU:      policy,
+		Recorder: rec,
+	})
+
+	raw := rt.MustAddChannel("raw-frames", 0)
+	filtered := rt.MustAddChannel("filtered-frames", 0)
+
+	var produced int64
+	camera := rt.MustAddThread("camera", 0, func(ctx *aru.Ctx) error {
+		for ts := aru.Timestamp(1); !ctx.Stopped(); ts++ {
+			ctx.Compute(5 * time.Millisecond) // capture + digitize
+			if err := ctx.Put(ctx.Outs()[0], ts, nil, 64<<10); err != nil {
+				return err
+			}
+			produced++
+			ctx.Sync() // periodicity_sync(): measures STP, throttles to feedback
+		}
+		return nil
+	})
+
+	filter := rt.MustAddThread("filter", 0, func(ctx *aru.Ctx) error {
+		for {
+			msg, err := ctx.GetLatest(ctx.Ins()[0]) // freshest frame, skip stale
+			if err != nil {
+				return err
+			}
+			ctx.Compute(20 * time.Millisecond) // denoise
+			if err := ctx.Put(ctx.Outs()[0], msg.TS, nil, 32<<10); err != nil {
+				return err
+			}
+			ctx.Sync()
+		}
+	})
+
+	display := rt.MustAddThread("display", 0, func(ctx *aru.Ctx) error {
+		for {
+			if _, err := ctx.GetLatest(ctx.Ins()[0]); err != nil {
+				return err
+			}
+			ctx.Compute(60 * time.Millisecond) // render
+			ctx.Emit()                         // one pipeline output
+			ctx.Sync()
+		}
+	})
+
+	camera.MustOutput(raw)
+	filter.MustInput(raw)
+	filter.MustOutput(filtered)
+	display.MustInput(filtered)
+
+	if err := rt.RunFor(10 * time.Second); err != nil && !errors.Is(err, aru.ErrShutdown) {
+		return nil, 0, err
+	}
+	a, err := aru.Analyze(rec, time.Second, 10*time.Second)
+	return a, produced, err
+}

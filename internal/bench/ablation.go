@@ -1,0 +1,196 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/tracker"
+)
+
+// AblationRow is one variant's aggregated result.
+type AblationRow struct {
+	Variant string
+	Result  *Result
+}
+
+// Ablation is one ablation study: a named sweep of variants over a base
+// scenario.
+type Ablation struct {
+	ID          string
+	Title       string
+	Description string
+	Rows        []AblationRow
+}
+
+// RunFilterAblation is ABL1: the paper's stated future work (§3.3.2) —
+// smoothing the noisy summary-STP stream before it enters the
+// backwardSTP vector, under the aggressive max operator where noise
+// hurts most.
+func RunFilterAblation(envelope Scenario) (*Ablation, error) {
+	ab := &Ablation{
+		ID:    "ABL1",
+		Title: "Summary-STP feedback filters (ARU-max, config 1)",
+		Description: "The paper observes that OS-scheduling variance makes consumers " +
+			"intermittently emit large or small summary-STP values and names feedback " +
+			"filters as the fix, leaving them to future work. Implemented here.",
+	}
+	variants := []struct {
+		name string
+		mk   core.FilterFactory
+	}{
+		{"none (paper)", nil},
+		{"ewma a=0.3", func() core.Filter { return core.NewEWMAFilter(0.3) }},
+		{"median w=5", func() core.Filter { return core.NewMedianFilter(5) }},
+	}
+	for _, v := range variants {
+		sc := envelope
+		sc.Policy = ARUMax
+		sc.Hosts = 1
+		mk := v.mk
+		sc.Mutate = func(cfg *tracker.Config) {
+			if mk != nil {
+				cfg.Policy.NewFilter = mk
+			}
+		}
+		r, err := Run(sc)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s/%s: %w", ab.ID, v.name, err)
+		}
+		ab.Rows = append(ab.Rows, AblationRow{Variant: v.name, Result: r})
+	}
+	return ab, nil
+}
+
+// RunNoiseAblation is ABL2: sweeping the injected scheduling-variance σ
+// to quantify the paper's §5.2 explanation of the ARU-max throughput dip
+// (STP noise plus aggressive slowing starves consumers).
+func RunNoiseAblation(envelope Scenario) (*Ablation, error) {
+	ab := &Ablation{
+		ID:    "ABL2",
+		Title: "Scheduling-noise sensitivity (ARU-max, config 2)",
+		Description: "§5.2 attributes ARU-max's throughput loss to jitter in the " +
+			"summary-STP values; with the noise dialed down the dip should vanish.",
+	}
+	for _, sigma := range []float64{0.02, 0.12, 0.30} {
+		sc := envelope
+		sc.Policy = ARUMax
+		sc.Hosts = 5
+		sigma := sigma
+		sc.Mutate = func(cfg *tracker.Config) {
+			t := cfg.Timing
+			if t == (tracker.Timing{}) {
+				t = tracker.DefaultTiming()
+			}
+			t.NoiseSigma = sigma
+			cfg.Timing = t
+		}
+		r, err := Run(sc)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s/σ=%.2f: %w", ab.ID, sigma, err)
+		}
+		ab.Rows = append(ab.Rows, AblationRow{Variant: fmt.Sprintf("sigma=%.2f", sigma), Result: r})
+	}
+	return ab, nil
+}
+
+// RunGCAblation is ABL3: crossing the GC strategies with ARU-min. ARU and
+// GC are complementary (§2): ARU cannot bound memory alone, and the
+// conservative TGC retains far more than DGC.
+func RunGCAblation(envelope Scenario) (*Ablation, error) {
+	ab := &Ablation{
+		ID:    "ABL3",
+		Title: "Garbage-collection strategy × ARU-min (config 1)",
+		Description: "DGC is the paper's collector. TGC's global low-water mark lets " +
+			"one slow consumer pin garbage everywhere; with no GC at all, ARU alone " +
+			"cannot bound the footprint and memory pressure collapses throughput.",
+	}
+	for _, coll := range []string{"dgc", "tgc", "none"} {
+		sc := envelope
+		sc.Policy = ARUMin
+		sc.Hosts = 1
+		sc.Collector = coll
+		r, err := Run(sc)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s/%s: %w", ab.ID, coll, err)
+		}
+		ab.Rows = append(ab.Rows, AblationRow{Variant: coll, Result: r})
+	}
+	return ab, nil
+}
+
+// RunEliminationAblation is ABL4: the paper's §3.2 observation that
+// dead-timestamp-based *computation elimination* alone (without ARU) has
+// "limited success", because upstream threads run ahead of their
+// consumers' guarantees so their work is rarely provably dead at the
+// moment it starts — which is precisely the argument for rate feedback.
+func RunEliminationAblation(envelope Scenario) (*Ablation, error) {
+	ab := &Ablation{
+		ID:    "ABL4",
+		Title: "Dead-timestamp computation elimination without ARU (config 1)",
+		Description: "§3.2: eliminating upstream computations from consumer virtual-time " +
+			"guarantees alone has shown limited success — it generally becomes too late. " +
+			"Compare No-ARU, No-ARU + elimination, and ARU-min.",
+	}
+	variants := []struct {
+		name      string
+		policy    PolicyName
+		eliminate bool
+	}{
+		{"no-aru", NoARU, false},
+		{"no-aru+elim", NoARU, true},
+		{"aru-min", ARUMin, false},
+	}
+	for _, v := range variants {
+		sc := envelope
+		sc.Policy = v.policy
+		sc.Hosts = 1
+		elim := v.eliminate
+		base := sc.Mutate
+		sc.Mutate = func(cfg *tracker.Config) {
+			if base != nil {
+				base(cfg)
+			}
+			cfg.EliminateDeadComputations = elim
+		}
+		r, err := Run(sc)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s/%s: %w", ab.ID, v.name, err)
+		}
+		ab.Rows = append(ab.Rows, AblationRow{Variant: v.name, Result: r})
+	}
+	return ab, nil
+}
+
+// RunAllAblations executes ABL1–ABL4.
+func RunAllAblations(envelope Scenario) ([]*Ablation, error) {
+	var out []*Ablation
+	for _, run := range []func(Scenario) (*Ablation, error){
+		RunFilterAblation, RunNoiseAblation, RunGCAblation, RunEliminationAblation,
+	} {
+		ab, err := run(envelope)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ab)
+	}
+	return out, nil
+}
+
+// Write renders an ablation as a table.
+func (ab *Ablation) Write(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", ab.ID, ab.Title)
+	fmt.Fprintf(w, "    %s\n\n", ab.Description)
+	fmt.Fprintf(w, "%-14s %10s %10s %12s %12s %12s\n",
+		"variant", "fps", "jitter", "latency", "mem mean", "wasted mem")
+	for _, row := range ab.Rows {
+		r := row.Result
+		fmt.Fprintf(w, "%-14s %10.2f %10v %12v %9.2f MB %11.1f%%\n",
+			row.Variant, r.ThroughputMean,
+			r.Jitter.Round(time.Millisecond),
+			r.LatencyMean.Round(time.Millisecond),
+			r.MeanFootprint/mb, r.WastedMemPct)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func ablationEnvelope() Scenario {
+	return Scenario{Duration: 60 * time.Second, Warmup: 10 * time.Second, Seeds: []int64{42}}
+}
+
+func TestFilterAblationHelps(t *testing.T) {
+	ab, err := RunFilterAblation(ablationEnvelope())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(ab.Rows))
+	}
+	none := ab.Rows[0].Result
+	ewma := ab.Rows[1].Result
+	// The paper's conjecture: filters smooth the noisy feedback. EWMA
+	// must cut output jitter versus unfiltered ARU-max.
+	if ewma.Jitter >= none.Jitter {
+		t.Errorf("EWMA jitter %v must beat unfiltered %v", ewma.Jitter, none.Jitter)
+	}
+	if ewma.ThroughputMean < none.ThroughputMean {
+		t.Errorf("EWMA fps %.2f must not fall below unfiltered %.2f", ewma.ThroughputMean, none.ThroughputMean)
+	}
+}
+
+func TestNoiseAblationMonotone(t *testing.T) {
+	ab, err := RunNoiseAblation(ablationEnvelope())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(ab.Rows))
+	}
+	low, mid, high := ab.Rows[0].Result, ab.Rows[1].Result, ab.Rows[2].Result
+	_ = mid
+	// §5.2: more scheduling noise → more over-throttling → lower fps and
+	// higher jitter for ARU-max. Require the extremes to order.
+	if !(low.ThroughputMean > high.ThroughputMean) {
+		t.Errorf("fps must fall with noise: %.2f (low σ) vs %.2f (high σ)",
+			low.ThroughputMean, high.ThroughputMean)
+	}
+	if !(low.Jitter < high.Jitter) {
+		t.Errorf("jitter must rise with noise: %v vs %v", low.Jitter, high.Jitter)
+	}
+}
+
+func TestGCAblationOrdering(t *testing.T) {
+	ab, err := RunGCAblation(ablationEnvelope())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]*Result{}
+	for _, row := range ab.Rows {
+		byName[row.Variant] = row.Result
+	}
+	dgc, tgc, none := byName["dgc"], byName["tgc"], byName["none"]
+	if dgc == nil || tgc == nil || none == nil {
+		t.Fatal("missing variants")
+	}
+	// DGC frees most aggressively; TGC is conservative; no GC only
+	// reclaims at shutdown.
+	if !(dgc.MeanFootprint < tgc.MeanFootprint && tgc.MeanFootprint < none.MeanFootprint) {
+		t.Errorf("footprint ordering dgc<tgc<none violated: %.2f / %.2f / %.2f MB",
+			dgc.MeanFootprint/mb, tgc.MeanFootprint/mb, none.MeanFootprint/mb)
+	}
+	// ARU alone cannot bound memory: without GC the footprint must be an
+	// order of magnitude above DGC's.
+	if none.MeanFootprint < 10*dgc.MeanFootprint {
+		t.Errorf("no-GC footprint %.2f MB should dwarf DGC %.2f MB",
+			none.MeanFootprint/mb, dgc.MeanFootprint/mb)
+	}
+}
+
+func TestAblationWrite(t *testing.T) {
+	ab, err := RunGCAblation(ablationEnvelope())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	ab.Write(&buf)
+	out := buf.String()
+	for _, want := range []string{"ABL3", "dgc", "tgc", "none", "fps", "wasted mem"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestEliminationAblationLimitedSuccess reproduces the paper's §3.2
+// finding: dead-timestamp computation elimination alone saves far less
+// than ARU, because upstream work is rarely provably dead when it starts.
+func TestEliminationAblationLimitedSuccess(t *testing.T) {
+	ab, err := RunEliminationAblation(ablationEnvelope())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]*Result{}
+	for _, row := range ab.Rows {
+		byName[row.Variant] = row.Result
+	}
+	noARU := byName["no-aru"]
+	elim := byName["no-aru+elim"]
+	min := byName["aru-min"]
+	if noARU == nil || elim == nil || min == nil {
+		t.Fatal("missing variants")
+	}
+	// Elimination must not make things worse...
+	if elim.MeanFootprint > noARU.MeanFootprint*1.15 {
+		t.Errorf("elimination raised footprint: %.2f vs %.2f MB",
+			elim.MeanFootprint/mb, noARU.MeanFootprint/mb)
+	}
+	// ...but its savings are limited compared to ARU's (the paper's
+	// point): ARU-min must stay far below the elimination variant.
+	if min.MeanFootprint > elim.MeanFootprint*0.7 {
+		t.Errorf("ARU-min (%.2f MB) should far undercut elimination alone (%.2f MB)",
+			min.MeanFootprint/mb, elim.MeanFootprint/mb)
+	}
+}

@@ -1,0 +1,199 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// shortSuite runs the full grid with a reduced envelope; package-level so
+// multiple tests share one execution.
+var sharedSuite *Suite
+
+func suite(t *testing.T) *Suite {
+	t.Helper()
+	if sharedSuite != nil {
+		return sharedSuite
+	}
+	s, err := RunSuite(Scenario{
+		Duration: 90 * time.Second,
+		Warmup:   10 * time.Second,
+		Seeds:    []int64{42, 43},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharedSuite = s
+	return s
+}
+
+func TestRunSingleScenario(t *testing.T) {
+	r, err := Run(Scenario{Policy: ARUMin, Hosts: 1, Duration: 30 * time.Second, Warmup: 5 * time.Second, Seeds: []int64{7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Trials) != 1 {
+		t.Fatalf("trials = %d", len(r.Trials))
+	}
+	if r.MeanFootprint <= 0 || r.ThroughputMean <= 0 || r.LatencyMean <= 0 {
+		t.Fatalf("degenerate result: %+v", r)
+	}
+	if r.IGCMeanFootprint > r.MeanFootprint {
+		t.Error("IGC must not exceed the actual footprint")
+	}
+}
+
+func TestScenarioDefaults(t *testing.T) {
+	sc := Scenario{}.withDefaults()
+	if sc.Hosts != 1 || sc.Duration != 120*time.Second || sc.Warmup != 15*time.Second {
+		t.Errorf("defaults = %+v", sc)
+	}
+	if len(sc.Seeds) == 0 || sc.Collector != "dgc" {
+		t.Errorf("defaults = %+v", sc)
+	}
+}
+
+func TestSuiteGridComplete(t *testing.T) {
+	s := suite(t)
+	for _, hosts := range []int{1, 5} {
+		for _, p := range Policies {
+			if s.Results[hosts][p] == nil {
+				t.Fatalf("missing cell %d/%s", hosts, p)
+			}
+		}
+		if s.IGCReference(hosts) <= 0 {
+			t.Fatalf("IGC reference missing for hosts=%d", hosts)
+		}
+	}
+	if s.IGCReference(3) != 0 {
+		t.Error("unknown config must have zero IGC reference")
+	}
+}
+
+func TestShapeChecksPass(t *testing.T) {
+	s := suite(t)
+	checks := s.CheckShapes()
+	if len(checks) < 15 {
+		t.Fatalf("only %d checks evaluated", len(checks))
+	}
+	for _, c := range FailedShapes(checks) {
+		t.Errorf("shape %s failed: %s (%s)", c.ID, c.Description, c.Detail)
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	s := suite(t)
+	var buf bytes.Buffer
+	s.WriteAll(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"Figure 6", "Figure 7", "Figure 10",
+		"No ARU", "ARU-min", "ARU-max", "IGC",
+		"% wrt IGC", "Jitter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q", want)
+		}
+	}
+	// Paper reference values must appear.
+	for _, want := range []string{"33.62", "66.0", "4.68"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("paper value %q missing from tables", want)
+		}
+	}
+	t.Logf("\n%s", out)
+}
+
+func TestFootprintSeriesAndCSV(t *testing.T) {
+	s := suite(t)
+	panels := s.FootprintSeries(1, 200)
+	if len(panels) != 4 {
+		t.Fatalf("panels = %d, want 4 (igc, aru-max, aru-min, no-aru)", len(panels))
+	}
+	if panels[0].Name != "igc" || panels[3].Name != "no-aru" {
+		t.Errorf("panel order = %v, %v", panels[0].Name, panels[3].Name)
+	}
+	for _, p := range panels {
+		if len(p.Times) == 0 || len(p.Times) != len(p.Bytes) {
+			t.Fatalf("panel %s malformed: %d/%d", p.Name, len(p.Times), len(p.Bytes))
+		}
+	}
+	// The no-aru curve must visibly dominate the aru-max curve.
+	if peak(panels[3].Bytes) < 2*peak(panels[1].Bytes) {
+		t.Errorf("no-aru peak %.0f must dwarf aru-max peak %.0f",
+			peak(panels[3].Bytes), peak(panels[1].Bytes))
+	}
+
+	var buf bytes.Buffer
+	if err := WriteSeriesCSV(&buf, panels); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 201 {
+		t.Fatalf("csv rows = %d, want header + 200", len(lines))
+	}
+	if lines[0] != "time_us,igc_bytes,aru-max_bytes,aru-min_bytes,no-aru_bytes" {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	if err := WriteSeriesCSV(&buf, nil); err == nil {
+		t.Error("empty panels must error")
+	}
+}
+
+func TestSaveFigures(t *testing.T) {
+	s := suite(t)
+	dir := t.TempDir()
+	paths, err := s.SaveFigures(dir, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("paths = %v", paths)
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+	if filepath.Base(paths[0]) != "fig8_footprint_config1.csv" {
+		t.Errorf("unexpected file %s", paths[0])
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	s := suite(t)
+	panels := s.FootprintSeries(1, 100)
+	var buf bytes.Buffer
+	RenderASCII(&buf, panels, 60, 8)
+	out := buf.String()
+	if !strings.Contains(out, "no-aru") || !strings.Contains(out, "#") {
+		t.Errorf("ascii chart degenerate:\n%s", out)
+	}
+	// Degenerate inputs must not panic.
+	RenderASCII(&buf, nil, 60, 8)
+	RenderASCII(&buf, panels, 2, 1)
+}
+
+func TestPaperTablesConsistency(t *testing.T) {
+	// The embedded paper values must satisfy the paper's own shape
+	// claims — a guard against transcription errors.
+	if !(PaperFig6[NoARU].Mean1 > PaperFig6[ARUMin].Mean1 && PaperFig6[ARUMin].Mean1 > PaperFig6[ARUMax].Mean1) {
+		t.Error("Figure 6 transcription broken (config 1 ordering)")
+	}
+	if !(PaperFig7[NoARU].Mem1 > PaperFig7[ARUMin].Mem1 && PaperFig7[ARUMin].Mem1 > PaperFig7[ARUMax].Mem1) {
+		t.Error("Figure 7 transcription broken")
+	}
+	if !(PaperFig10[ARUMin].FPS1 > PaperFig10[ARUMax].FPS1 && PaperFig10[ARUMax].FPS1 > PaperFig10[NoARU].FPS1) {
+		t.Error("Figure 10 fps transcription broken")
+	}
+	if !(PaperFig10[NoARU].Lat1 > PaperFig10[ARUMin].Lat1 && PaperFig10[ARUMin].Lat1 > PaperFig10[ARUMax].Lat1) {
+		t.Error("Figure 10 latency transcription broken")
+	}
+}

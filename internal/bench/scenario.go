@@ -1,0 +1,194 @@
+// Package bench is the experiment harness that regenerates every table
+// and figure of the paper's evaluation (§5): the memory-footprint table
+// (Figure 6), the wasted-resources table (Figure 7), the
+// footprint-versus-time graphs (Figures 8 and 9), and the performance
+// table (Figure 10). It runs the tracker workload under each ARU policy
+// in both cluster configurations, averages over seeds ("average statistics
+// over successive execution runs"), and prints paper-versus-measured
+// tables plus machine-readable series.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gc"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/tracker"
+)
+
+// PolicyName identifies one row of the paper's tables.
+type PolicyName string
+
+// The three policies of the evaluation.
+const (
+	NoARU  PolicyName = "No ARU"
+	ARUMin PolicyName = "ARU-min"
+	ARUMax PolicyName = "ARU-max"
+)
+
+// Policies lists the table rows in paper order.
+var Policies = []PolicyName{NoARU, ARUMin, ARUMax}
+
+// corePolicy maps a row to its ARU policy.
+func corePolicy(p PolicyName) core.Policy {
+	switch p {
+	case ARUMin:
+		return core.PolicyMin()
+	case ARUMax:
+		return core.PolicyMax()
+	default:
+		return core.PolicyOff()
+	}
+}
+
+// Scenario describes one experiment cell: a policy in a cluster
+// configuration, run for Duration per seed.
+type Scenario struct {
+	// Policy selects the table row.
+	Policy PolicyName
+	// Hosts is 1 (configuration 1) or 5 (configuration 2).
+	Hosts int
+	// Duration is the virtual run length; Warmup is discarded before
+	// analysis.
+	Duration, Warmup time.Duration
+	// Seeds are the trial seeds; results are averaged across them.
+	Seeds []int64
+	// Collector names the GC strategy ("dgc" default, "tgc", "none").
+	Collector string
+	// Mutate, if non-nil, adjusts the tracker config before each trial
+	// (used by ablations).
+	Mutate func(*tracker.Config)
+}
+
+// withDefaults fills unset fields with the standard experiment envelope.
+func (s Scenario) withDefaults() Scenario {
+	if s.Hosts == 0 {
+		s.Hosts = 1
+	}
+	if s.Duration == 0 {
+		s.Duration = 120 * time.Second
+	}
+	if s.Warmup == 0 {
+		s.Warmup = 15 * time.Second
+	}
+	if len(s.Seeds) == 0 {
+		s.Seeds = []int64{11, 23, 42}
+	}
+	if s.Collector == "" {
+		s.Collector = "dgc"
+	}
+	return s
+}
+
+// Result aggregates a scenario's trials.
+type Result struct {
+	Scenario Scenario
+	// Trials holds the per-seed postmortem analyses.
+	Trials []*trace.Analysis
+
+	// Figure 6 metrics (bytes).
+	MeanFootprint, StdFootprint float64
+	IGCMeanFootprint            float64
+	// Figure 7 metrics (percent).
+	WastedMemPct, WastedCompPct float64
+	// Figure 10 metrics.
+	ThroughputMean, ThroughputStd float64 // fps across trials
+	LatencyMean, LatencyStd       time.Duration
+	Jitter                        time.Duration
+}
+
+// Run executes all trials of a scenario and aggregates.
+func Run(sc Scenario) (*Result, error) {
+	sc = sc.withDefaults()
+	res := &Result{Scenario: sc}
+
+	var footMean, footStd, igcMean stats.Welford
+	var wastedMem, wastedComp stats.Welford
+	var fps stats.Welford
+	var latMean stats.Welford
+	var jitter stats.Welford
+
+	for _, seed := range sc.Seeds {
+		cfg := tracker.Config{
+			Hosts:     sc.Hosts,
+			Seed:      seed,
+			Policy:    corePolicy(sc.Policy),
+			Collector: gc.ByName(sc.Collector),
+		}
+		if sc.Mutate != nil {
+			sc.Mutate(&cfg)
+		}
+		app, err := tracker.New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: building %s/%d hosts: %w", sc.Policy, sc.Hosts, err)
+		}
+		a, err := app.Run(sc.Duration, sc.Warmup)
+		if err != nil {
+			return nil, fmt.Errorf("bench: running %s/%d hosts: %w", sc.Policy, sc.Hosts, err)
+		}
+		res.Trials = append(res.Trials, a)
+
+		footMean.Add(a.All.MeanBytes)
+		footStd.Add(a.All.StdBytes)
+		igcMean.Add(a.IGC.MeanBytes)
+		wastedMem.Add(a.WastedMemPct)
+		wastedComp.Add(a.WastedCompPct)
+		fps.Add(a.ThroughputFPS)
+		latMean.Add(float64(a.LatencyMean))
+		jitter.Add(float64(a.Jitter))
+	}
+
+	res.MeanFootprint = footMean.Mean()
+	res.StdFootprint = footStd.Mean()
+	res.IGCMeanFootprint = igcMean.Mean()
+	res.WastedMemPct = wastedMem.Mean()
+	res.WastedCompPct = wastedComp.Mean()
+	res.ThroughputMean = fps.Mean()
+	res.ThroughputStd = fps.SampleStd()
+	res.LatencyMean = time.Duration(latMean.Mean())
+	res.LatencyStd = time.Duration(latMean.SampleStd())
+	res.Jitter = time.Duration(jitter.Mean())
+	return res, nil
+}
+
+// Suite is the full evaluation: every policy in both configurations.
+type Suite struct {
+	// Results is keyed by [hosts][policy].
+	Results map[int]map[PolicyName]*Result
+	// Envelope carries the common scenario parameters used.
+	Envelope Scenario
+}
+
+// RunSuite executes the full evaluation grid. The envelope's Policy and
+// Hosts fields are ignored; its duration/seed fields apply to every cell.
+func RunSuite(envelope Scenario) (*Suite, error) {
+	envelope = envelope.withDefaults()
+	suite := &Suite{Results: make(map[int]map[PolicyName]*Result), Envelope: envelope}
+	for _, hosts := range []int{1, 5} {
+		suite.Results[hosts] = make(map[PolicyName]*Result)
+		for _, p := range Policies {
+			sc := envelope
+			sc.Hosts = hosts
+			sc.Policy = p
+			r, err := Run(sc)
+			if err != nil {
+				return nil, err
+			}
+			suite.Results[hosts][p] = r
+		}
+	}
+	return suite, nil
+}
+
+// IGCReference returns the IGC footprint reference for a configuration:
+// the ideal-collector bound computed from the No-ARU execution trace, the
+// baseline every "% wrt IGC" column is normalized against.
+func (s *Suite) IGCReference(hosts int) float64 {
+	if r, ok := s.Results[hosts][NoARU]; ok {
+		return r.IGCMeanFootprint
+	}
+	return 0
+}

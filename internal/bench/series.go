@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// SeriesPanel is one panel of Figure 8/9: a named footprint-versus-time
+// curve.
+type SeriesPanel struct {
+	// Name labels the panel: "igc", "aru-max", "aru-min", "no-aru" (the
+	// paper's left-to-right panel order).
+	Name string
+	// Times and Bytes are the downsampled curve.
+	Times []time.Duration
+	Bytes []float64
+}
+
+// FootprintSeries extracts the four panels of Figure 8 (hosts=1) or
+// Figure 9 (hosts=5) from a suite, downsampled to n points each. The IGC
+// panel comes from the No-ARU execution's trace, matching the paper's
+// methodology; all panels share the same time axis so they can be plotted
+// side by side on identical scales.
+func (s *Suite) FootprintSeries(hosts, n int) []SeriesPanel {
+	from := s.Envelope.Warmup
+	to := s.Envelope.Duration
+
+	var panels []SeriesPanel
+	appendPanel := func(name string, times []time.Duration, values []float64) {
+		panels = append(panels, SeriesPanel{Name: name, Times: times, Bytes: values})
+	}
+
+	if no := s.Results[hosts][NoARU]; no != nil && len(no.Trials) > 0 {
+		t0 := no.Trials[0]
+		times, values := t0.IGC.Series.Downsample(from, to, n)
+		appendPanel("igc", times, values)
+	}
+	for _, pn := range []PolicyName{ARUMax, ARUMin, NoARU} {
+		if r := s.Results[hosts][pn]; r != nil && len(r.Trials) > 0 {
+			t0 := r.Trials[0]
+			times, values := t0.All.Series.Downsample(from, to, n)
+			name := map[PolicyName]string{ARUMax: "aru-max", ARUMin: "aru-min", NoARU: "no-aru"}[pn]
+			appendPanel(name, times, values)
+		}
+	}
+	return panels
+}
+
+// WriteSeriesCSV writes one Figure 8/9 panel set as CSV: a time column in
+// microseconds followed by one column per panel.
+func WriteSeriesCSV(w io.Writer, panels []SeriesPanel) error {
+	if len(panels) == 0 {
+		return fmt.Errorf("bench: no panels to write")
+	}
+	fmt.Fprint(w, "time_us")
+	for _, p := range panels {
+		fmt.Fprintf(w, ",%s_bytes", p.Name)
+	}
+	fmt.Fprintln(w)
+	rows := len(panels[0].Times)
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(w, "%d", panels[0].Times[i].Microseconds())
+		for _, p := range panels {
+			v := 0.0
+			if i < len(p.Bytes) {
+				v = p.Bytes[i]
+			}
+			fmt.Fprintf(w, ",%.0f", v)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// SaveFigures writes fig8_footprint_config1.csv and
+// fig9_footprint_config2.csv (n points per curve) into dir, creating it
+// if needed, and returns the written paths.
+func (s *Suite) SaveFigures(dir string, n int) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, fig := range []struct {
+		hosts int
+		file  string
+	}{
+		{1, "fig8_footprint_config1.csv"},
+		{5, "fig9_footprint_config2.csv"},
+	} {
+		panels := s.FootprintSeries(fig.hosts, n)
+		path := filepath.Join(dir, fig.file)
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		err = WriteSeriesCSV(f, panels)
+		cerr := f.Close()
+		if err != nil {
+			return nil, err
+		}
+		if cerr != nil {
+			return nil, cerr
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}
+
+// RenderASCII draws a crude fixed-width chart of the panels for terminal
+// inspection — the qualitative view of Figures 8/9 (all panels share the
+// same y scale, like the paper's side-by-side graphs).
+func RenderASCII(w io.Writer, panels []SeriesPanel, width, height int) {
+	if len(panels) == 0 || width < 8 || height < 2 {
+		return
+	}
+	var max float64
+	for _, p := range panels {
+		for _, v := range p.Bytes {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if max <= 0 {
+		max = 1
+	}
+	for _, p := range panels {
+		fmt.Fprintf(w, "%s (peak %.2f MB, shared y-scale %.2f MB)\n", p.Name, peak(p.Bytes)/mb, max/mb)
+		grid := make([][]byte, height)
+		for r := range grid {
+			grid[r] = make([]byte, width)
+			for cidx := range grid[r] {
+				grid[r][cidx] = ' '
+			}
+		}
+		for x := 0; x < width; x++ {
+			idx := x * len(p.Bytes) / width
+			if idx >= len(p.Bytes) {
+				idx = len(p.Bytes) - 1
+			}
+			level := int(p.Bytes[idx] / max * float64(height-1))
+			for y := 0; y <= level; y++ {
+				grid[height-1-y][x] = '#'
+			}
+		}
+		for _, row := range grid {
+			fmt.Fprintf(w, "  |%s|\n", string(row))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func peak(vs []float64) float64 {
+	var m float64
+	for _, v := range vs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

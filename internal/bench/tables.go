@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// PaperFig6 holds the published Figure 6 values: memory footprint STD and
+// mean in MB, and percent with respect to IGC, per configuration.
+type PaperFig6Row struct {
+	Std1, Mean1 float64
+	Pct1        int
+	Std5, Mean5 float64
+	Pct5        int
+}
+
+// PaperFig6 is Figure 6 as published.
+var PaperFig6 = map[PolicyName]PaperFig6Row{
+	NoARU:  {4.31, 33.62, 387, 6.41, 36.81, 341},
+	ARUMin: {2.58, 16.23, 187, 2.94, 15.72, 145},
+	ARUMax: {0.49, 12.45, 143, 0.37, 13.09, 121},
+}
+
+// PaperFig6IGC holds the published IGC row (STD, mean per config).
+var PaperFig6IGC = PaperFig6Row{0.33, 8.69, 100, 0.33, 10.81, 100}
+
+// PaperFig7Row holds published Figure 7 values: percent wasted memory and
+// computation per configuration.
+type PaperFig7Row struct {
+	Mem1, Comp1 float64
+	Mem5, Comp5 float64
+}
+
+// PaperFig7 is Figure 7 as published.
+var PaperFig7 = map[PolicyName]PaperFig7Row{
+	NoARU:  {66.0, 25.2, 60.7, 24.4},
+	ARUMin: {4.1, 2.8, 7.2, 4.0},
+	ARUMax: {0.3, 0.2, 4.8, 2.1},
+}
+
+// PaperFig10Row holds published Figure 10 values.
+type PaperFig10Row struct {
+	FPS1, FPSStd1 float64
+	Lat1, LatStd1 int // ms
+	Jit1          int // ms
+	FPS5, FPSStd5 float64
+	Lat5, LatStd5 int
+	Jit5          int
+}
+
+// PaperFig10 is Figure 10 as published.
+var PaperFig10 = map[PolicyName]PaperFig10Row{
+	NoARU:  {3.30, 0.02, 661, 23, 77, 4.27, 0.06, 648, 23, 96},
+	ARUMin: {4.68, 0.09, 594, 9, 34, 4.47, 0.10, 605, 24, 89},
+	ARUMax: {4.18, 0.10, 350, 7, 46, 3.53, 0.15, 480, 13, 162},
+}
+
+const mb = 1 << 20
+
+// WriteFig6 renders the Figure 6 reproduction: measured memory footprint
+// against the published table.
+func (s *Suite) WriteFig6(w io.Writer) {
+	fmt.Fprintln(w, "Figure 6 — Memory footprint of the tracker vs the Ideal Garbage Collector (IGC)")
+	fmt.Fprintln(w, "            (measured | paper)   mean and STD in MB; % is w.r.t. the IGC bound")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-9s │ %33s │ %33s\n", "", "Config 1: 1 host", "Config 2: 5 hosts")
+	fmt.Fprintf(w, "%-9s │ %10s %10s %11s │ %10s %10s %11s\n",
+		"", "STD", "mean", "% wrt IGC", "STD", "mean", "% wrt IGC")
+	for _, p := range Policies {
+		r1 := s.Results[1][p]
+		r5 := s.Results[5][p]
+		paper := PaperFig6[p]
+		pct1 := pctOf(r1.MeanFootprint, s.IGCReference(1))
+		pct5 := pctOf(r5.MeanFootprint, s.IGCReference(5))
+		fmt.Fprintf(w, "%-9s │ %4.2f|%-5.2f %5.2f|%-5.2f %4.0f%%|%3d%% │ %4.2f|%-5.2f %5.2f|%-5.2f %4.0f%%|%3d%%\n",
+			p,
+			r1.StdFootprint/mb, paper.Std1, r1.MeanFootprint/mb, paper.Mean1, pct1, paper.Pct1,
+			r5.StdFootprint/mb, paper.Std5, r5.MeanFootprint/mb, paper.Mean5, pct5, paper.Pct5)
+	}
+	ig1 := s.IGCReference(1) / mb
+	ig5 := s.IGCReference(5) / mb
+	fmt.Fprintf(w, "%-9s │ %4s|%-5.2f %5.2f|%-5.2f %4d%%|%3d%% │ %4s|%-5.2f %5.2f|%-5.2f %4d%%|%3d%%\n",
+		"IGC", "-", PaperFig6IGC.Std1, ig1, PaperFig6IGC.Mean1, 100, 100,
+		"-", PaperFig6IGC.Std5, ig5, PaperFig6IGC.Mean5, 100, 100)
+	fmt.Fprintln(w)
+}
+
+// WriteFig7 renders the Figure 7 reproduction: percent wasted memory and
+// computation.
+func (s *Suite) WriteFig7(w io.Writer) {
+	fmt.Fprintln(w, "Figure 7 — Wasted memory footprint and wasted computation (measured | paper)")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-9s │ %25s │ %25s\n", "", "Config 1: 1 host", "Config 2: 5 hosts")
+	fmt.Fprintf(w, "%-9s │ %12s %12s │ %12s %12s\n", "", "% mem", "% comp", "% mem", "% comp")
+	for _, p := range Policies {
+		r1 := s.Results[1][p]
+		r5 := s.Results[5][p]
+		paper := PaperFig7[p]
+		fmt.Fprintf(w, "%-9s │ %5.1f|%-5.1f  %5.1f|%-5.1f │ %5.1f|%-5.1f  %5.1f|%-5.1f\n",
+			p,
+			r1.WastedMemPct, paper.Mem1, r1.WastedCompPct, paper.Comp1,
+			r5.WastedMemPct, paper.Mem5, r5.WastedCompPct, paper.Comp5)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteFig10 renders the Figure 10 reproduction: throughput, latency,
+// jitter.
+func (s *Suite) WriteFig10(w io.Writer) {
+	fmt.Fprintln(w, "Figure 10 — Latency, throughput and jitter of the tracker (measured | paper)")
+	fmt.Fprintln(w)
+	for _, hosts := range []int{1, 5} {
+		fmt.Fprintf(w, "Config %d: %d host(s)\n", map[int]int{1: 1, 5: 2}[hosts], hosts)
+		fmt.Fprintf(w, "%-9s │ %23s │ %23s │ %13s\n", "", "Throughput (fps)", "Latency (ms)", "Jitter (ms)")
+		fmt.Fprintf(w, "%-9s │ %11s %11s │ %11s %11s │ %13s\n", "", "mean", "STD", "mean", "STD", "")
+		for _, p := range Policies {
+			r := s.Results[hosts][p]
+			var paper PaperFig10Row = PaperFig10[p]
+			fps, fpsStd := paper.FPS1, paper.FPSStd1
+			lat, latStd, jit := paper.Lat1, paper.LatStd1, paper.Jit1
+			if hosts == 5 {
+				fps, fpsStd = paper.FPS5, paper.FPSStd5
+				lat, latStd, jit = paper.Lat5, paper.LatStd5, paper.Jit5
+			}
+			fmt.Fprintf(w, "%-9s │ %5.2f|%-5.2f %5.2f|%-5.2f │ %5d|%-5d %5d|%-5d │ %5d|%-5d\n",
+				p,
+				r.ThroughputMean, fps, r.ThroughputStd, fpsStd,
+				r.LatencyMean.Milliseconds(), int64(lat),
+				r.LatencyStd.Milliseconds(), int64(latStd),
+				r.Jitter.Milliseconds(), int64(jit))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteAll renders every table.
+func (s *Suite) WriteAll(w io.Writer) {
+	s.WriteFig6(w)
+	s.WriteFig7(w)
+	s.WriteFig10(w)
+}
+
+func pctOf(v, ref float64) float64 {
+	if ref <= 0 {
+		return 0
+	}
+	return 100 * v / ref
+}
+
+// durationMS formats a duration in whole milliseconds for tables.
+func durationMS(d time.Duration) int64 { return d.Milliseconds() }

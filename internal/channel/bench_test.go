@@ -1,0 +1,70 @@
+package channel
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/gc"
+	"repro/internal/vt"
+)
+
+// BenchmarkPutGetLatest measures one put + one consume on a DGC channel —
+// the runtime's hot path. The paper argues ARU's overhead is "minuscule";
+// this quantifies the whole buffer operation it piggybacks on.
+func BenchmarkPutGetLatest(b *testing.B) {
+	c := New(Config{Name: "b", Clock: clock.NewReal(), Collector: gc.NewDeadTimestamp()})
+	c.AttachProducer(prodConn)
+	c.AttachConsumer(consConn)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Put(prodConn, &Item{TS: vt.Timestamp(i + 1), Size: 1024}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.GetLatest(consConn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPutSkip10 measures the skip-heavy pattern: ten puts per
+// consume, nine items skipped and collected.
+func BenchmarkPutSkip10(b *testing.B) {
+	c := New(Config{Name: "b", Clock: clock.NewReal(), Collector: gc.NewDeadTimestamp()})
+	c.AttachProducer(prodConn)
+	c.AttachConsumer(consConn)
+	ts := vt.Timestamp(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 10; j++ {
+			ts++
+			if _, err := c.Put(prodConn, &Item{TS: ts, Size: 1024}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		res, err := c.GetLatest(consConn)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Skipped) != 9 {
+			b.Fatalf("skipped %d", len(res.Skipped))
+		}
+	}
+}
+
+// BenchmarkWindowGet measures sliding-window delivery (width 8).
+func BenchmarkWindowGet(b *testing.B) {
+	c := New(Config{Name: "b", Clock: clock.NewReal(), Collector: gc.NewDeadTimestamp()})
+	c.AttachProducer(prodConn)
+	c.AttachConsumerWindow(consConn, 8)
+	ts := vt.Timestamp(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts++
+		if _, err := c.Put(prodConn, &Item{TS: ts, Size: 1024}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.GetLatest(consConn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

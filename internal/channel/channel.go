@@ -1,0 +1,505 @@
+// Package channel implements the Stampede channel abstraction: a
+// system-wide named container of timestamped items supporting non-FIFO,
+// out-of-order access (§1 of the paper). Channels buffer the production
+// differential between pipeline stages; consumers typically request the
+// *latest* item, skipping over stale data — the behaviour that creates the
+// wasted items ARU exists to prevent.
+//
+// Each consumer of a channel holds a private connection with a
+// monotonically advancing consumption guarantee: after consuming the item
+// at timestamp T it will never request an item at or before T again. The
+// guarantees feed the garbage collector (package gc), which reclaims items
+// no consumer can name anymore.
+package channel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/gc"
+	"repro/internal/graph"
+	"repro/internal/trace"
+	"repro/internal/vt"
+)
+
+// Errors returned by channel operations.
+var (
+	// ErrClosed reports an operation on a closed channel.
+	ErrClosed = errors.New("channel: closed")
+	// ErrDuplicate reports a put of a timestamp already present.
+	ErrDuplicate = errors.New("channel: duplicate timestamp")
+	// ErrPassed reports a get of a timestamp the connection's guarantee
+	// has already moved past.
+	ErrPassed = errors.New("channel: timestamp already passed")
+	// ErrGone reports a get of an item the collector freed.
+	ErrGone = errors.New("channel: item was garbage collected")
+	// ErrNotAttached reports use of a connection id that was never
+	// attached.
+	ErrNotAttached = errors.New("channel: connection not attached")
+)
+
+// Item is one timestamped data element stored in a channel.
+type Item struct {
+	// TS is the item's virtual timestamp.
+	TS vt.Timestamp
+	// Payload is the application data.
+	Payload any
+	// Size is the logical size in bytes used for footprint and transfer
+	// accounting (the paper's item sizes: a digitizer frame is 738 kB).
+	Size int64
+	// ID is the trace identity of this item instance.
+	ID trace.ItemID
+
+	freed    bool
+	consumed bool
+}
+
+// consumerState tracks one attached consumer connection.
+type consumerState struct {
+	conn graph.ConnID
+	// guarantee is the timestamp bound the consumer will never request
+	// at or below again; the collector relies on it.
+	guarantee vt.Timestamp
+	// lastSeen is the newest timestamp delivered as a window head.
+	lastSeen vt.Timestamp
+	// window is the sliding-window width: how many trailing items
+	// (including the head) the consumer may still re-read. 1 is the
+	// ordinary get-latest consumer.
+	window vt.Timestamp
+}
+
+// Config configures a channel.
+type Config struct {
+	// Name is the channel's system-wide unique name.
+	Name string
+	// Node is the channel's task-graph identity.
+	Node graph.NodeID
+	// Clock supplies event times for frees.
+	Clock clock.Clock
+	// Collector reclaims dead items; nil means gc.NewNone().
+	Collector gc.Collector
+	// OnFree, if non-nil, observes every reclaimed item (the runtime
+	// records EvFree trace events here).
+	OnFree func(it *Item, at time.Duration)
+	// Capacity bounds the number of live items; Put blocks while full.
+	// Zero means unbounded (the Stampede default; the tracker relies on
+	// it, which is exactly how the memory footprint balloons without
+	// ARU).
+	Capacity int
+}
+
+// Channel is a timestamped buffer. All methods are safe for concurrent
+// use.
+type Channel struct {
+	cfg  Config
+	coll gc.Collector
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	items     map[vt.Timestamp]*Item
+	live      *vt.Set
+	consumers map[graph.ConnID]*consumerState
+	producers map[graph.ConnID]bool
+	maxPut    vt.Timestamp
+	closed    bool
+	puts      int64
+	frees     int64
+	liveBytes int64
+}
+
+// New creates a channel.
+func New(cfg Config) *Channel {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.NewReal()
+	}
+	coll := cfg.Collector
+	if coll == nil {
+		coll = gc.NewNone()
+	}
+	c := &Channel{
+		cfg:       cfg,
+		coll:      coll,
+		items:     make(map[vt.Timestamp]*Item),
+		live:      vt.NewSet(),
+		consumers: make(map[graph.ConnID]*consumerState),
+		producers: make(map[graph.ConnID]bool),
+		maxPut:    vt.None,
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// wait parks the caller on the channel's condition variable, telling a
+// discrete-event clock (if one is in use) that the goroutine is blocked
+// so virtual time may advance.
+func (c *Channel) wait() {
+	if b, ok := c.cfg.Clock.(clock.Blocker); ok {
+		b.BlockEnter()
+		c.cond.Wait()
+		b.BlockExit()
+		return
+	}
+	c.cond.Wait()
+}
+
+// Name returns the channel's name.
+func (c *Channel) Name() string { return c.cfg.Name }
+
+// Node returns the channel's task-graph id.
+func (c *Channel) Node() graph.NodeID { return c.cfg.Node }
+
+// AttachConsumer registers an input connection for a consumer thread. It
+// must happen before the consumer's first get; attaching after items were
+// already collected is fine — the new consumer simply starts at the
+// present.
+func (c *Channel) AttachConsumer(conn graph.ConnID) {
+	c.AttachConsumerWindow(conn, 1)
+}
+
+// AttachConsumerWindow registers a consumer that analyzes a sliding
+// window of width n ≥ 1 (the paper's gesture-recognition motif: "a
+// sliding window over a video stream"). After consuming the item at
+// timestamp T the consumer may still re-read items in (T-n, T], so its
+// collection guarantee trails the head by n-1 timestamps. n < 1 panics.
+func (c *Channel) AttachConsumerWindow(conn graph.ConnID, n int) {
+	if n < 1 {
+		panic(fmt.Sprintf("channel: window width %d < 1 on %q", n, c.cfg.Name))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.consumers[conn]; !dup {
+		c.consumers[conn] = &consumerState{
+			conn: conn, guarantee: vt.None, lastSeen: vt.None, window: vt.Timestamp(n),
+		}
+	}
+}
+
+// DetachConsumer removes a consumer connection. Its guarantee becomes
+// Infinity for collection purposes: it will never request anything again.
+func (c *Channel) DetachConsumer(conn graph.ConnID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.consumers[conn]; !ok {
+		return
+	}
+	delete(c.consumers, conn)
+	c.coll.Forget(c.cfg.Node, conn)
+	c.collectLocked()
+	c.cond.Broadcast()
+}
+
+// AttachProducer registers an output connection for a producer thread.
+func (c *Channel) AttachProducer(conn graph.ConnID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.producers[conn] = true
+}
+
+// Put inserts an item. It blocks while a bounded channel is full and
+// returns ErrClosed/ErrDuplicate on those conditions. The returned
+// duration is the time spent blocked on capacity.
+func (c *Channel) Put(conn graph.ConnID, it *Item) (time.Duration, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.producers[conn] {
+		return 0, fmt.Errorf("%w: producer %d on %q", ErrNotAttached, conn, c.cfg.Name)
+	}
+	var blocked time.Duration
+	if c.cfg.Capacity > 0 {
+		start := c.cfg.Clock.Now()
+		for !c.closed && c.live.Len() >= c.cfg.Capacity {
+			c.wait()
+		}
+		blocked = c.cfg.Clock.Now() - start
+	}
+	if c.closed {
+		return blocked, ErrClosed
+	}
+	if _, dup := c.items[it.TS]; dup {
+		return blocked, fmt.Errorf("%w: %v on %q", ErrDuplicate, it.TS, c.cfg.Name)
+	}
+	c.items[it.TS] = it
+	c.live.Add(it.TS)
+	c.liveBytes += it.Size
+	c.puts++
+	if it.TS > c.maxPut {
+		c.maxPut = it.TS
+	}
+	// A put may itself complete a collection condition (e.g. the global
+	// virtual time advanced elsewhere), so sweep opportunistically.
+	c.collectLocked()
+	c.cond.Broadcast()
+	return blocked, nil
+}
+
+// GetResult is the outcome of a successful get. Item and Skipped are
+// snapshots taken under the channel lock: the garbage collector may
+// reclaim the stored items at any moment after the call returns, so
+// callers never share memory with the channel.
+type GetResult struct {
+	// Item is the consumed item (snapshot).
+	Item Item
+	// Skipped lists the live items the connection passed over to reach
+	// Item (stale data dropped by get-latest semantics), oldest first.
+	Skipped []Item
+	// Window lists the retained trailing items preceding Item (oldest
+	// first) for sliding-window consumers; empty for window width 1.
+	Window []Item
+	// Blocked is the time spent waiting for a fresh item.
+	Blocked time.Duration
+}
+
+// snapshot copies the externally visible fields of an item.
+func snapshot(it *Item) Item {
+	return Item{TS: it.TS, Payload: it.Payload, Size: it.Size, ID: it.ID}
+}
+
+// GetLatest blocks until an item newer than the connection's guarantee is
+// available and consumes the newest such item, advancing the guarantee and
+// recording everything in between as skipped. This is the "threads always
+// request the latest item" discipline the ARU algorithm is predicated on
+// (§3.3.3).
+func (c *Channel) GetLatest(conn graph.ConnID) (GetResult, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cs, ok := c.consumers[conn]
+	if !ok {
+		return GetResult{}, fmt.Errorf("%w: consumer %d on %q", ErrNotAttached, conn, c.cfg.Name)
+	}
+	start := c.cfg.Clock.Now()
+	for {
+		if newest := c.live.Max(); newest > cs.lastSeen {
+			res := c.deliverLocked(cs, newest)
+			res.Blocked = c.cfg.Clock.Now() - start
+			return res, nil
+		}
+		if c.closed {
+			return GetResult{Blocked: c.cfg.Clock.Now() - start}, ErrClosed
+		}
+		c.wait()
+	}
+}
+
+// deliverLocked hands the item at newest to the consumer as a window
+// head: trailing live items within the window are re-delivered, older
+// unseen items are marked skipped, and the consumer's guarantee advances
+// to newest-(window-1).
+func (c *Channel) deliverLocked(cs *consumerState, newest vt.Timestamp) GetResult {
+	var res GetResult
+	windowStart := newest - cs.window + 1
+	for _, ts := range c.live.Slice() {
+		if ts <= cs.lastSeen || ts >= newest {
+			continue
+		}
+		if ts >= windowStart {
+			continue // delivered below as a window member
+		}
+		res.Skipped = append(res.Skipped, snapshot(c.items[ts]))
+	}
+	for _, ts := range c.live.Slice() {
+		if ts < windowStart || ts >= newest {
+			continue
+		}
+		it := c.items[ts]
+		it.consumed = true
+		res.Window = append(res.Window, snapshot(it))
+	}
+	it := c.items[newest]
+	it.consumed = true
+	res.Item = snapshot(it)
+	cs.lastSeen = newest
+	// The consumer will never request ≤ windowStart again: the next
+	// head is at least newest+1, so the next window starts at least at
+	// windowStart+1.
+	c.advanceLocked(cs, windowStart)
+	return res
+}
+
+// TryGetLatest is the non-blocking variant of GetLatest: if an item newer
+// than the connection's guarantee is available it is consumed exactly as
+// GetLatest would, otherwise ok is false and nothing changes. Stages that
+// reuse their previous input when no fresh one exists (the tracker's
+// detectors reusing the current histogram model) are built on it.
+func (c *Channel) TryGetLatest(conn graph.ConnID) (res GetResult, ok bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cs, present := c.consumers[conn]
+	if !present {
+		return GetResult{}, false, fmt.Errorf("%w: consumer %d on %q", ErrNotAttached, conn, c.cfg.Name)
+	}
+	if c.closed {
+		return GetResult{}, false, ErrClosed
+	}
+	newest := c.live.Max()
+	if newest <= cs.lastSeen {
+		return GetResult{}, false, nil
+	}
+	return c.deliverLocked(cs, newest), true, nil
+}
+
+// Get blocks until the item at exactly ts is available and consumes it.
+// It fails with ErrPassed if the connection's guarantee has moved past ts,
+// and with ErrGone if the item existed but was collected (possible when
+// another consumer's skip pattern let the collector reclaim it first).
+// Unlike GetLatest, Get does not mark intermediate items skipped; it is
+// the primitive for stages that need corresponding timestamps rather than
+// freshest data.
+func (c *Channel) Get(conn graph.ConnID, ts vt.Timestamp) (GetResult, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cs, ok := c.consumers[conn]
+	if !ok {
+		return GetResult{}, fmt.Errorf("%w: consumer %d on %q", ErrNotAttached, conn, c.cfg.Name)
+	}
+	start := c.cfg.Clock.Now()
+	for {
+		if ts <= cs.guarantee {
+			return GetResult{Blocked: c.cfg.Clock.Now() - start}, fmt.Errorf("%w: %v ≤ guarantee on %q", ErrPassed, ts, c.cfg.Name)
+		}
+		if it, present := c.items[ts]; present {
+			if it.freed {
+				return GetResult{Blocked: c.cfg.Clock.Now() - start}, fmt.Errorf("%w: %v on %q", ErrGone, ts, c.cfg.Name)
+			}
+			it.consumed = true
+			res := GetResult{Item: snapshot(it), Blocked: c.cfg.Clock.Now() - start}
+			if ts > cs.lastSeen {
+				cs.lastSeen = ts
+			}
+			c.advanceLocked(cs, ts-cs.window+1)
+			return res, nil
+		}
+		// The item may never have existed but already be unreachable: a
+		// producer has moved past it.
+		if c.maxPut > ts {
+			return GetResult{Blocked: c.cfg.Clock.Now() - start}, fmt.Errorf("%w: %v on %q", ErrGone, ts, c.cfg.Name)
+		}
+		if c.closed {
+			return GetResult{Blocked: c.cfg.Clock.Now() - start}, ErrClosed
+		}
+		c.wait()
+	}
+}
+
+// advanceLocked moves a consumer's guarantee to ts and lets the collector
+// reclaim whatever died.
+func (c *Channel) advanceLocked(cs *consumerState, ts vt.Timestamp) {
+	if ts <= cs.guarantee {
+		return
+	}
+	cs.guarantee = ts
+	c.coll.Observe(c.cfg.Node, cs.conn, ts)
+	c.collectLocked()
+	// Capacity waiters may be unblocked by frees.
+	c.cond.Broadcast()
+}
+
+// collectLocked asks the collector for dead timestamps and frees them.
+func (c *Channel) collectLocked() {
+	if c.live.Empty() {
+		return
+	}
+	guarantees := make([]vt.Timestamp, 0, len(c.consumers))
+	for _, cs := range c.consumers {
+		guarantees = append(guarantees, cs.guarantee)
+	}
+	dead := c.coll.Dead(c.cfg.Node, c.live, guarantees)
+	for _, ts := range dead {
+		c.freeLocked(ts)
+	}
+}
+
+// freeLocked reclaims one item.
+func (c *Channel) freeLocked(ts vt.Timestamp) {
+	it, ok := c.items[ts]
+	if !ok || it.freed {
+		return
+	}
+	it.freed = true
+	c.live.Remove(ts)
+	c.liveBytes -= it.Size
+	c.frees++
+	if c.cfg.OnFree != nil {
+		c.cfg.OnFree(it, c.cfg.Clock.Now())
+	}
+	// Retain a tombstone so Get(ts) can distinguish ErrGone from "not
+	// yet produced"; drop the payload to release real memory.
+	it.Payload = nil
+}
+
+// Close marks the channel closed, frees every remaining live item, and
+// wakes all blocked operations.
+func (c *Channel) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, ts := range c.live.Slice() {
+		c.freeLocked(ts)
+	}
+	for conn := range c.consumers {
+		c.coll.Forget(c.cfg.Node, conn)
+	}
+	c.cond.Broadcast()
+}
+
+// Closed reports whether Close has been called.
+func (c *Channel) Closed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// Occupancy returns the current number of live items and their total
+// bytes.
+func (c *Channel) Occupancy() (items int, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.live.Len(), c.liveBytes
+}
+
+// Stats returns cumulative puts and frees.
+func (c *Channel) Stats() (puts, frees int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.puts, c.frees
+}
+
+// WouldBeDead reports whether an item put at ts right now would be
+// immediately unreachable: every attached consumer's guarantee has
+// already moved past it. It backs the dead-timestamp computation
+// elimination of §3.2 — a producer about to do work for ts can skip it.
+// (The paper reports this technique had "limited success" because
+// upstream threads run ahead of consumer guarantees; the ABL4 ablation
+// reproduces that finding.)
+func (c *Channel) WouldBeDead(ts vt.Timestamp) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return true
+	}
+	if len(c.consumers) == 0 {
+		return false
+	}
+	for _, cs := range c.consumers {
+		if cs.guarantee < ts {
+			return false
+		}
+	}
+	return true
+}
+
+// Guarantee returns a consumer connection's current guarantee, or vt.None
+// if the connection is unknown.
+func (c *Channel) Guarantee(conn graph.ConnID) vt.Timestamp {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cs, ok := c.consumers[conn]; ok {
+		return cs.guarantee
+	}
+	return vt.None
+}

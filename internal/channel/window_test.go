@@ -1,0 +1,153 @@
+package channel
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/gc"
+	"repro/internal/graph"
+	"repro/internal/vt"
+)
+
+func newWindowChannel(t *testing.T, width int) *Channel {
+	t.Helper()
+	c := New(Config{Name: "w", Clock: clock.NewReal(), Collector: gc.NewDeadTimestamp()})
+	c.AttachProducer(prodConn)
+	c.AttachConsumerWindow(consConn, width)
+	return c
+}
+
+func TestWindowDeliversTrailingItems(t *testing.T) {
+	c := newWindowChannel(t, 3)
+	for ts := vt.Timestamp(1); ts <= 5; ts++ {
+		put(t, c, ts, 10)
+	}
+	res, err := c.GetLatest(consConn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Item.TS != 5 {
+		t.Fatalf("head = %v", res.Item.TS)
+	}
+	// Window of 3: head 5 plus trailing 3, 4.
+	if len(res.Window) != 2 || res.Window[0].TS != 3 || res.Window[1].TS != 4 {
+		t.Fatalf("window = %v", res.Window)
+	}
+	// Items 1, 2 are skipped (outside the window).
+	if len(res.Skipped) != 2 || res.Skipped[0].TS != 1 || res.Skipped[1].TS != 2 {
+		t.Fatalf("skipped = %v", res.Skipped)
+	}
+	// DGC frees ts ≤ guarantee = 3: items 1, 2, 3 gone; 4, 5 retained
+	// for the next window.
+	if n, _ := c.Occupancy(); n != 2 {
+		t.Fatalf("occupancy = %d, want 2 retained", n)
+	}
+}
+
+func TestWindowSlidesAcrossCalls(t *testing.T) {
+	c := newWindowChannel(t, 3)
+	put(t, c, 1, 10)
+	put(t, c, 2, 10)
+	if res, err := c.GetLatest(consConn); err != nil || res.Item.TS != 2 {
+		t.Fatalf("first head: %v %v", res.Item.TS, err)
+	}
+	put(t, c, 3, 10)
+	res, err := c.GetLatest(consConn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Item.TS != 3 {
+		t.Fatalf("second head = %v", res.Item.TS)
+	}
+	// Window covers 1, 2 (both still live: guarantee after first call
+	// was 0).
+	if len(res.Window) != 2 || res.Window[0].TS != 1 || res.Window[1].TS != 2 {
+		t.Fatalf("window = %v", res.Window)
+	}
+	if len(res.Skipped) != 0 {
+		t.Fatalf("skipped = %v", res.Skipped)
+	}
+}
+
+func TestWindowWidthOnePreservesOldSemantics(t *testing.T) {
+	c := newWindowChannel(t, 1)
+	put(t, c, 1, 10)
+	put(t, c, 2, 10)
+	res, err := c.GetLatest(consConn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Window) != 0 {
+		t.Fatalf("width-1 window must be empty, got %v", res.Window)
+	}
+	if n, _ := c.Occupancy(); n != 0 {
+		t.Fatalf("occupancy = %d, want full collection", n)
+	}
+}
+
+func TestWindowPartiallyFilled(t *testing.T) {
+	c := newWindowChannel(t, 4)
+	put(t, c, 1, 10)
+	res, err := c.GetLatest(consConn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Item.TS != 1 || len(res.Window) != 0 || len(res.Skipped) != 0 {
+		t.Fatalf("sparse window: %+v", res)
+	}
+}
+
+func TestWindowTryGetLatest(t *testing.T) {
+	c := newWindowChannel(t, 2)
+	if _, ok, err := c.TryGetLatest(consConn); err != nil || ok {
+		t.Fatal("empty try must miss")
+	}
+	put(t, c, 1, 10)
+	put(t, c, 2, 10)
+	res, ok, err := c.TryGetLatest(consConn)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if res.Item.TS != 2 || len(res.Window) != 1 || res.Window[0].TS != 1 {
+		t.Fatalf("try window: %+v", res)
+	}
+	// Same head is not re-delivered.
+	if _, ok, _ := c.TryGetLatest(consConn); ok {
+		t.Fatal("stale head re-delivered")
+	}
+}
+
+func TestWindowMixedConsumers(t *testing.T) {
+	// A width-1 consumer and a width-3 consumer share the channel; the
+	// window consumer's retention governs collection.
+	c := New(Config{Name: "w", Clock: clock.NewReal(), Collector: gc.NewDeadTimestamp()})
+	c.AttachProducer(prodConn)
+	c.AttachConsumer(consConn)
+	c.AttachConsumerWindow(consConn2, 3)
+	for ts := vt.Timestamp(1); ts <= 5; ts++ {
+		put(t, c, ts, 10)
+	}
+	if _, err := c.GetLatest(consConn); err != nil { // plain: guarantee 5
+		t.Fatal(err)
+	}
+	if n, _ := c.Occupancy(); n != 5 {
+		t.Fatalf("window consumer must retain everything, occupancy %d", n)
+	}
+	if _, err := c.GetLatest(consConn2); err != nil { // window: guarantee 3
+		t.Fatal(err)
+	}
+	// min(5, 3) = 3 → items 1..3 freed, 4, 5 retained.
+	if n, _ := c.Occupancy(); n != 2 {
+		t.Fatalf("occupancy = %d, want 2", n)
+	}
+}
+
+func TestAttachConsumerWindowValidation(t *testing.T) {
+	c := New(Config{Name: "w", Clock: clock.NewReal()})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("width 0 must panic")
+		}
+	}()
+	c.AttachConsumerWindow(graph.ConnID(1), 0)
+}

@@ -1,0 +1,180 @@
+package clock
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Virtual is a discrete-event clock: virtual time stands still while any
+// registered goroutine is runnable and jumps to the next sleeper's
+// deadline once every participant is blocked (sleeping on the clock or
+// parked in a buffer wait). Simulated workloads run as fast as the host
+// can execute them, with microsecond-exact virtual durations — essential
+// on small hosts where real time.Sleep granularity would distort
+// millisecond-scale stage periods.
+//
+// Protocol:
+//
+//   - Every goroutine that calls Sleep must be registered: Add(1) before
+//     its first clock use, Add(-1) when it exits.
+//   - Code that blocks a registered goroutine on anything other than
+//     Sleep (condition variables in buffers) must bracket the wait with
+//     BlockEnter/BlockExit so the clock knows the goroutine is parked.
+//
+// Advancement is guarded by a quiescence check: when the active count
+// hits zero, a one-shot advancer re-verifies quiescence across several
+// scheduler yields before jumping, so goroutines that were just woken by
+// a broadcast get to run (and re-register as active) first.
+type Virtual struct {
+	mu       sync.Mutex
+	now      time.Duration
+	active   int
+	gen      uint64
+	sleepers map[*vSleeper]struct{}
+}
+
+type vSleeper struct {
+	deadline time.Duration
+	ch       chan struct{}
+}
+
+// Blocker is implemented by clocks that need to know when a registered
+// goroutine parks outside of Sleep. Buffers test for it.
+type Blocker interface {
+	BlockEnter()
+	BlockExit()
+}
+
+// Registrar is implemented by clocks that track participant goroutines.
+type Registrar interface {
+	Add(delta int)
+}
+
+var (
+	_ Clock     = (*Virtual)(nil)
+	_ Blocker   = (*Virtual)(nil)
+	_ Registrar = (*Virtual)(nil)
+)
+
+// NewVirtual returns a virtual clock at time zero with no participants.
+func NewVirtual() *Virtual {
+	return &Virtual{sleepers: make(map[*vSleeper]struct{})}
+}
+
+// Now implements Clock.
+func (v *Virtual) Now() time.Duration {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Add adjusts the registered-participant count. A participant is counted
+// active while runnable; Sleep and BlockEnter mark it inactive.
+func (v *Virtual) Add(delta int) {
+	v.mu.Lock()
+	v.active += delta
+	v.gen++
+	kick := v.active == 0
+	gen := v.gen
+	v.mu.Unlock()
+	if kick {
+		go v.tryAdvance(gen)
+	}
+}
+
+// Active returns the current active participant count (for tests).
+func (v *Virtual) Active() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.active
+}
+
+// Sleep implements Clock: the calling participant becomes inactive until
+// virtual time reaches now+d.
+func (v *Virtual) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	v.mu.Lock()
+	s := &vSleeper{deadline: v.now + d, ch: make(chan struct{})}
+	v.sleepers[s] = struct{}{}
+	v.active--
+	v.gen++
+	kick := v.active == 0
+	gen := v.gen
+	v.mu.Unlock()
+	if kick {
+		go v.tryAdvance(gen)
+	}
+	<-s.ch
+}
+
+// BlockEnter implements Blocker: the participant is about to park on an
+// external wait (condition variable).
+func (v *Virtual) BlockEnter() {
+	v.mu.Lock()
+	v.active--
+	v.gen++
+	kick := v.active == 0
+	gen := v.gen
+	v.mu.Unlock()
+	if kick {
+		go v.tryAdvance(gen)
+	}
+}
+
+// BlockExit implements Blocker: the participant resumed from an external
+// wait.
+func (v *Virtual) BlockExit() {
+	v.mu.Lock()
+	v.active++
+	v.gen++
+	v.mu.Unlock()
+}
+
+// tryAdvance verifies quiescence (no activity since gen across several
+// scheduler yields) and then jumps virtual time to the earliest sleeper
+// deadline, waking everything due. Woken sleepers become active before
+// their channels are closed, so the clock can never double-advance past
+// them.
+func (v *Virtual) tryAdvance(gen uint64) {
+	for i := 0; i < 16; i++ {
+		runtime.Gosched()
+		v.mu.Lock()
+		stale := v.gen != gen || v.active != 0
+		v.mu.Unlock()
+		if stale {
+			return
+		}
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.gen != gen || v.active != 0 || len(v.sleepers) == 0 {
+		return
+	}
+	// Jump to the earliest deadline.
+	var next time.Duration = -1
+	for s := range v.sleepers {
+		if next < 0 || s.deadline < next {
+			next = s.deadline
+		}
+	}
+	if next > v.now {
+		v.now = next
+	}
+	var wake []*vSleeper
+	for s := range v.sleepers {
+		if s.deadline <= v.now {
+			wake = append(wake, s)
+		}
+	}
+	for _, s := range wake {
+		delete(v.sleepers, s)
+		v.active++
+	}
+	v.gen++
+	for _, s := range wake {
+		close(s.ch)
+	}
+}

@@ -1,0 +1,193 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestVirtualSingleSleeperAdvances(t *testing.T) {
+	v := NewVirtual()
+	v.Add(1)
+	defer v.Add(-1)
+	start := time.Now()
+	v.Sleep(5 * time.Hour) // virtual hours cost ~nothing
+	if wall := time.Since(start); wall > 5*time.Second {
+		t.Fatalf("virtual sleep took %v wall time", wall)
+	}
+	if got := v.Now(); got != 5*time.Hour {
+		t.Fatalf("Now = %v, want 5h", got)
+	}
+}
+
+func TestVirtualSleepNonPositive(t *testing.T) {
+	v := NewVirtual()
+	v.Add(1)
+	defer v.Add(-1)
+	v.Sleep(0)
+	v.Sleep(-time.Second)
+	if v.Now() != 0 {
+		t.Fatal("non-positive sleeps must not advance time")
+	}
+}
+
+func TestVirtualSleepersWakeInDeadlineOrder(t *testing.T) {
+	v := NewVirtual()
+	v.Add(1) // main participates
+
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	for i, d := range []time.Duration{30 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond} {
+		wg.Add(1)
+		v.Add(1)
+		go func(id int, d time.Duration) {
+			defer wg.Done()
+			defer v.Add(-1)
+			v.Sleep(d)
+			mu.Lock()
+			order = append(order, id)
+			mu.Unlock()
+		}(i, d)
+	}
+	// Main sleeps past everyone; all three wake strictly before it.
+	v.Sleep(time.Second)
+	v.Add(-1)
+	wg.Wait()
+	if len(order) != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if order[0] != 1 || order[1] != 2 || order[2] != 0 {
+		t.Fatalf("wake order = %v, want [1 2 0]", order)
+	}
+	if v.Now() != time.Second {
+		t.Fatalf("Now = %v", v.Now())
+	}
+}
+
+func TestVirtualBlockEnterAllowsAdvance(t *testing.T) {
+	v := NewVirtual()
+
+	var mu sync.Mutex
+	cond := sync.NewCond(&mu)
+	ready := false
+
+	var wg sync.WaitGroup
+	// Consumer parks on a condition variable, bracketed by
+	// BlockEnter/BlockExit.
+	wg.Add(1)
+	v.Add(1)
+	go func() {
+		defer wg.Done()
+		defer v.Add(-1)
+		mu.Lock()
+		for !ready {
+			v.BlockEnter()
+			cond.Wait()
+			v.BlockExit()
+		}
+		mu.Unlock()
+	}()
+
+	// Producer sleeps 10ms of virtual time, then signals.
+	wg.Add(1)
+	v.Add(1)
+	go func() {
+		defer wg.Done()
+		defer v.Add(-1)
+		v.Sleep(10 * time.Millisecond) // must advance despite the parked consumer
+		mu.Lock()
+		ready = true
+		mu.Unlock()
+		cond.Broadcast()
+	}()
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("deadlock: clock did not advance past a parked participant")
+	}
+	if v.Now() != 10*time.Millisecond {
+		t.Fatalf("Now = %v", v.Now())
+	}
+}
+
+func TestVirtualManyConcurrentSleepCycles(t *testing.T) {
+	v := NewVirtual()
+	const workers = 8
+	const rounds = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		v.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer v.Add(-1)
+			for r := 0; r < rounds; r++ {
+				v.Sleep(time.Duration(w+1) * time.Millisecond)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("virtual clock stalled")
+	}
+	// The slowest worker slept 8ms × 200 = 1.6s of virtual time; the
+	// clock must have reached at least that.
+	if got := v.Now(); got < 1600*time.Millisecond {
+		t.Fatalf("Now = %v, want ≥ 1.6s", got)
+	}
+}
+
+func TestVirtualActiveAccounting(t *testing.T) {
+	v := NewVirtual()
+	if v.Active() != 0 {
+		t.Fatal("fresh clock must be idle")
+	}
+	v.Add(2)
+	if v.Active() != 2 {
+		t.Fatalf("Active = %d", v.Active())
+	}
+	v.BlockEnter()
+	if v.Active() != 1 {
+		t.Fatalf("Active after BlockEnter = %d", v.Active())
+	}
+	v.BlockExit()
+	v.Add(-2)
+	if v.Active() != 0 {
+		t.Fatalf("Active = %d", v.Active())
+	}
+}
+
+func TestVirtualTimeIsMonotone(t *testing.T) {
+	v := NewVirtual()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var last time.Duration
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		v.Add(1)
+		go func() {
+			defer wg.Done()
+			defer v.Add(-1)
+			for r := 0; r < 100; r++ {
+				v.Sleep(time.Millisecond)
+				now := v.Now()
+				mu.Lock()
+				if now < last {
+					t.Errorf("time went backwards: %v after %v", now, last)
+				}
+				if now > last {
+					last = now
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,387 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/graph"
+)
+
+// BackwardVec is the backwardSTP vector of one task-graph node: one slot
+// per output connection, holding the (optionally filtered) summary-STP
+// most recently received from that downstream node. It is safe for
+// concurrent use.
+type BackwardVec struct {
+	mu      sync.Mutex
+	order   []graph.ConnID
+	slots   map[graph.ConnID]STP
+	filters map[graph.ConnID]Filter
+}
+
+// NewBackwardVec creates a vector with one Unknown slot per connection.
+// newFilter may be nil for unfiltered feedback.
+func NewBackwardVec(conns []graph.ConnID, newFilter FilterFactory) *BackwardVec {
+	v := &BackwardVec{
+		order:   append([]graph.ConnID(nil), conns...),
+		slots:   make(map[graph.ConnID]STP, len(conns)),
+		filters: make(map[graph.ConnID]Filter, len(conns)),
+	}
+	for _, c := range conns {
+		v.slots[c] = Unknown
+		if newFilter != nil {
+			v.filters[c] = newFilter()
+		}
+	}
+	return v
+}
+
+// AddSlot registers an additional output connection after construction,
+// with its own filter instance. It is used where connections attach
+// dynamically (remote consumers joining a channel server). Adding an
+// existing slot is a no-op.
+func (v *BackwardVec) AddSlot(conn graph.ConnID, newFilter FilterFactory) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, ok := v.slots[conn]; ok {
+		return
+	}
+	v.order = append(v.order, conn)
+	v.slots[conn] = Unknown
+	if newFilter != nil {
+		v.filters[conn] = newFilter()
+	}
+}
+
+// RemoveSlot drops a connection from the vector (consumer detach), so its
+// stale feedback no longer influences compression.
+func (v *BackwardVec) RemoveSlot(conn graph.ConnID) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, ok := v.slots[conn]; !ok {
+		return
+	}
+	delete(v.slots, conn)
+	delete(v.filters, conn)
+	for i, c := range v.order {
+		if c == conn {
+			v.order = append(v.order[:i], v.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Update stores the summary-STP received on conn, passing it through the
+// slot's filter. Updates for connections not in the vector are ignored
+// (a detached consumer may still have a feedback message in flight).
+func (v *BackwardVec) Update(conn graph.ConnID, s STP) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if _, ok := v.slots[conn]; !ok {
+		return
+	}
+	if f, ok := v.filters[conn]; ok {
+		s = f.Apply(s)
+	}
+	v.slots[conn] = s
+}
+
+// Snapshot returns the slot values in connection order.
+func (v *BackwardVec) Snapshot() []STP {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]STP, len(v.order))
+	for i, c := range v.order {
+		out[i] = v.slots[c]
+	}
+	return out
+}
+
+// Compressed folds the vector with the compressor.
+func (v *BackwardVec) Compressed(c Compressor) STP {
+	return c.Compress(v.Snapshot())
+}
+
+// Policy selects the ARU behaviour for a run.
+type Policy struct {
+	// Enabled turns the mechanism on. When false, no feedback is
+	// propagated and no thread throttles (the paper's "No ARU"
+	// baseline).
+	Enabled bool
+	// Compressor is the default compression operator (Min unless set).
+	Compressor Compressor
+	// PerNode overrides the compressor for named nodes, the paper's
+	// "parameter added to all channel/queue and thread creation APIs"
+	// for encoding known data dependencies.
+	PerNode map[string]Compressor
+	// NewFilter optionally smooths incoming summary-STP values
+	// (reproduction extension; nil reproduces the paper).
+	NewFilter FilterFactory
+}
+
+// PolicyOff returns the No-ARU baseline policy.
+func PolicyOff() Policy { return Policy{} }
+
+// PolicyMin returns ARU with the default conservative min operator.
+func PolicyMin() Policy { return Policy{Enabled: true, Compressor: Min} }
+
+// PolicyMax returns ARU with the aggressive max operator everywhere,
+// appropriate for pipelines whose sink dictates overall throughput (the
+// tracker's GUI).
+func PolicyMax() Policy { return Policy{Enabled: true, Compressor: Max} }
+
+// Name describes the policy for reports.
+func (p Policy) Name() string {
+	if !p.Enabled {
+		return "no-aru"
+	}
+	c := p.Compressor
+	if c == nil {
+		c = Min
+	}
+	return "aru-" + c.Name()
+}
+
+// NodeState holds the ARU state of one task-graph node.
+type NodeState struct {
+	node *graph.Node
+	comp Compressor
+	vec  *BackwardVec
+
+	mu      sync.Mutex
+	current STP // threads only: most recent current-STP
+	summary STP
+}
+
+// Node returns the underlying graph node.
+func (n *NodeState) Node() *graph.Node { return n.node }
+
+// Vec returns the node's backwardSTP vector.
+func (n *NodeState) Vec() *BackwardVec { return n.vec }
+
+// Compressor returns the operator the node folds its vector with.
+func (n *NodeState) Compressor() Compressor { return n.comp }
+
+// recompute derives the node's summary-STP per the paper's algorithm:
+// threads take max(compressed-backwardSTP, current-STP); buffers take the
+// compressed value alone (they generate no current-STP).
+func (n *NodeState) recompute() {
+	compressed := n.vec.Compressed(n.comp)
+	n.mu.Lock()
+	if n.node.Kind == graph.KindThread {
+		n.summary = MaxSTP(compressed, n.current)
+	} else {
+		n.summary = compressed
+	}
+	n.mu.Unlock()
+}
+
+// ReceiveSummary folds a summary-STP received on an output connection and
+// refreshes the node's own summary.
+func (n *NodeState) ReceiveSummary(conn graph.ConnID, s STP) {
+	n.vec.Update(conn, s)
+	n.recompute()
+}
+
+// SetCurrentSTP records a thread's newly measured current-STP and
+// refreshes the summary.
+func (n *NodeState) SetCurrentSTP(s STP) {
+	n.mu.Lock()
+	n.current = s
+	n.mu.Unlock()
+	n.recompute()
+}
+
+// CurrentSTP returns the thread's last measured current-STP.
+func (n *NodeState) CurrentSTP() STP {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.current
+}
+
+// Summary returns the node's current summary-STP.
+func (n *NodeState) Summary() STP {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.summary
+}
+
+// Controller owns the ARU state for every node of a task graph and
+// implements the piggyback propagation rules. All methods are safe for
+// concurrent use by the runtime's thread goroutines.
+type Controller struct {
+	g      *graph.Graph
+	policy Policy
+	states []*NodeState
+}
+
+// NewController builds per-node state for the whole graph under the given
+// policy. It is valid (and cheap) to build a controller for a disabled
+// policy; its methods become no-ops that report Unknown.
+func NewController(g *graph.Graph, p Policy) *Controller {
+	if p.Compressor == nil {
+		p.Compressor = Min
+	}
+	c := &Controller{g: g, policy: p, states: make([]*NodeState, g.NumNodes())}
+	g.Nodes(func(n *graph.Node) {
+		comp := p.Compressor
+		if over, ok := p.PerNode[n.Name]; ok && over != nil {
+			comp = over
+		}
+		c.states[n.ID] = &NodeState{
+			node: n,
+			comp: comp,
+			vec:  NewBackwardVec(n.Out, p.NewFilter),
+		}
+	})
+	return c
+}
+
+// Policy returns the controller's policy.
+func (c *Controller) Policy() Policy { return c.policy }
+
+// Enabled reports whether feedback propagation is active.
+func (c *Controller) Enabled() bool { return c.policy.Enabled }
+
+// State returns the ARU state for a node.
+func (c *Controller) State(id graph.NodeID) *NodeState { return c.states[id] }
+
+// NoteGet implements the consumer-side piggyback: when a consumer thread
+// performs a get over conn (a buffer→thread edge), its summary-STP is
+// delivered to the buffer's backwardSTP slot for that connection.
+func (c *Controller) NoteGet(conn graph.ConnID) {
+	if !c.policy.Enabled {
+		return
+	}
+	edge := c.g.Conn(conn)
+	consumer := c.states[edge.To]
+	buffer := c.states[edge.From]
+	buffer.ReceiveSummary(conn, consumer.Summary())
+}
+
+// NotePut implements the producer-side piggyback: when a producer thread
+// performs a put over conn (a thread→buffer edge), the buffer's
+// summary-STP is returned to the producer's backwardSTP slot for that
+// connection.
+func (c *Controller) NotePut(conn graph.ConnID) {
+	if !c.policy.Enabled {
+		return
+	}
+	edge := c.g.Conn(conn)
+	producer := c.states[edge.From]
+	buffer := c.states[edge.To]
+	producer.ReceiveSummary(conn, buffer.Summary())
+}
+
+// SetCurrentSTP records a thread's measured current-STP (the
+// periodicity_sync() entry point).
+func (c *Controller) SetCurrentSTP(id graph.NodeID, s STP) {
+	if !c.policy.Enabled {
+		return
+	}
+	c.states[id].SetCurrentSTP(s)
+}
+
+// TargetPeriod returns the period a thread should pace itself to: its own
+// summary-STP. Unknown (or a disabled policy) means "run free".
+func (c *Controller) TargetPeriod(id graph.NodeID) STP {
+	if !c.policy.Enabled {
+		return Unknown
+	}
+	return c.states[id].Summary()
+}
+
+// Meter measures a thread's current-STP across loop iterations: the
+// iteration wall time minus time blocked on inputs and minus deliberate
+// throttle sleep, i.e. "the minimum time required to produce an item given
+// present load conditions" (§3.3.1). One Meter belongs to one thread
+// goroutine; it is not safe for concurrent use.
+type Meter struct {
+	clk       clock.Clock
+	iterStart time.Duration
+	blocked   time.Duration
+	throttled time.Duration
+	started   bool
+}
+
+// NewMeter returns a meter reading the given clock.
+func NewMeter(clk clock.Clock) *Meter {
+	return &Meter{clk: clk}
+}
+
+// BeginIteration marks the start of a thread loop iteration.
+func (m *Meter) BeginIteration() {
+	m.iterStart = m.clk.Now()
+	m.blocked = 0
+	m.throttled = 0
+	m.started = true
+}
+
+// AddBlocked accounts time spent waiting for an upstream stage to produce
+// data; it is excluded from the current-STP.
+func (m *Meter) AddBlocked(d time.Duration) {
+	if d > 0 {
+		m.blocked += d
+	}
+}
+
+// AddThrottled accounts deliberate pacing sleep; also excluded.
+func (m *Meter) AddThrottled(d time.Duration) {
+	if d > 0 {
+		m.throttled += d
+	}
+}
+
+// Elapsed returns the full wall time of the current iteration so far
+// (compute + blocked + throttled), or 0 if no iteration is open.
+func (m *Meter) Elapsed() time.Duration {
+	if !m.started {
+		return 0
+	}
+	return m.clk.Now() - m.iterStart
+}
+
+// EndIteration closes the iteration and returns its current-STP along
+// with the busy (compute) time and the time spent blocked on inputs.
+// Calling it before BeginIteration returns zeros.
+func (m *Meter) EndIteration() (current STP, busy, blocked time.Duration) {
+	if !m.started {
+		return Unknown, 0, 0
+	}
+	elapsed := m.clk.Now() - m.iterStart
+	busy = elapsed - m.blocked - m.throttled
+	if busy < 0 {
+		busy = 0
+	}
+	blocked = m.blocked
+	m.started = false
+	if busy == 0 {
+		return Unknown, 0, blocked
+	}
+	return STP(busy), busy, blocked
+}
+
+// Throttle paces a source thread to a target period.
+type Throttle struct {
+	clk clock.Clock
+}
+
+// NewThrottle returns a throttle on the given clock.
+func NewThrottle(clk clock.Clock) *Throttle {
+	return &Throttle{clk: clk}
+}
+
+// Pace sleeps long enough that an iteration which has already consumed
+// spent reaches the target period, returning the time slept. Unknown
+// targets and already-slow iterations sleep nothing.
+func (t *Throttle) Pace(target STP, spent time.Duration) time.Duration {
+	if !target.Known() {
+		return 0
+	}
+	gap := target.Duration() - spent
+	if gap <= 0 {
+		return 0
+	}
+	t.clk.Sleep(gap)
+	return gap
+}

@@ -1,0 +1,106 @@
+package core
+
+import "sort"
+
+// Filter smooths the stream of summary-STP values received on one
+// connection before it enters the backwardSTP vector. The paper observes
+// that OS-scheduling variance makes consumers "intermittently emit large
+// or small summary-STP values", producing non-smooth production rates, and
+// names feedback filters (as in the Swift toolbox) as the natural
+// extension; it leaves them to future work (§3.3.2). The reproduction
+// implements them and measures their effect in an ablation (EXPERIMENTS.md
+// ABL1).
+//
+// A Filter instance is owned by a single connection slot and is not safe
+// for concurrent use; the BackwardVec serializes access.
+type Filter interface {
+	// Apply folds one raw observation and returns the smoothed value.
+	Apply(raw STP) STP
+	// Reset clears filter state.
+	Reset()
+}
+
+// FilterFactory builds a fresh filter per connection slot. A nil factory
+// means no filtering.
+type FilterFactory func() Filter
+
+// nopFilter passes values through unchanged.
+type nopFilter struct{}
+
+func (nopFilter) Apply(raw STP) STP { return raw }
+func (nopFilter) Reset()            {}
+
+// NewNopFilter returns the identity filter.
+func NewNopFilter() Filter { return nopFilter{} }
+
+// ewmaFilter applies an exponentially weighted moving average.
+type ewmaFilter struct {
+	alpha float64
+	value STP
+}
+
+// NewEWMAFilter returns an EWMA filter with smoothing factor alpha in
+// (0, 1]: out = alpha*raw + (1-alpha)*prev. alpha=1 passes through.
+// Out-of-range alphas panic: a zero alpha would freeze feedback forever.
+func NewEWMAFilter(alpha float64) Filter {
+	if alpha <= 0 || alpha > 1 {
+		panic("core: EWMA alpha must be in (0, 1]")
+	}
+	return &ewmaFilter{alpha: alpha}
+}
+
+func (f *ewmaFilter) Apply(raw STP) STP {
+	if !raw.Known() {
+		return f.value
+	}
+	if !f.value.Known() {
+		f.value = raw
+		return raw
+	}
+	f.value = STP(f.alpha*float64(raw) + (1-f.alpha)*float64(f.value))
+	return f.value
+}
+
+func (f *ewmaFilter) Reset() { f.value = Unknown }
+
+// medianFilter emits the median of the last w observations, discarding
+// transient spikes entirely rather than averaging them in.
+type medianFilter struct {
+	window []STP
+	size   int
+}
+
+// NewMedianFilter returns a sliding-window median filter of width w ≥ 1.
+func NewMedianFilter(w int) Filter {
+	if w < 1 {
+		panic("core: median window must be ≥ 1")
+	}
+	return &medianFilter{size: w}
+}
+
+func (f *medianFilter) Apply(raw STP) STP {
+	if !raw.Known() {
+		return f.median()
+	}
+	f.window = append(f.window, raw)
+	if len(f.window) > f.size {
+		f.window = f.window[1:]
+	}
+	return f.median()
+}
+
+func (f *medianFilter) median() STP {
+	n := len(f.window)
+	if n == 0 {
+		return Unknown
+	}
+	s := make([]STP, n)
+	copy(s, f.window)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func (f *medianFilter) Reset() { f.window = f.window[:0] }

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNopFilter(t *testing.T) {
+	f := NewNopFilter()
+	if f.Apply(stpMs(5)) != stpMs(5) {
+		t.Error("nop must pass through")
+	}
+	if f.Apply(Unknown) != Unknown {
+		t.Error("nop must pass Unknown through")
+	}
+	f.Reset() // must not panic
+}
+
+func TestEWMAFilterSmoothing(t *testing.T) {
+	f := NewEWMAFilter(0.5)
+	if got := f.Apply(stpMs(100)); got != stpMs(100) {
+		t.Fatalf("first sample = %v, want pass-through", got)
+	}
+	if got := f.Apply(stpMs(200)); got != stpMs(150) {
+		t.Fatalf("second sample = %v, want 150ms", got)
+	}
+	if got := f.Apply(stpMs(150)); got != stpMs(150) {
+		t.Fatalf("third sample = %v, want 150ms", got)
+	}
+}
+
+func TestEWMAFilterUnknownKeepsState(t *testing.T) {
+	f := NewEWMAFilter(0.5)
+	f.Apply(stpMs(100))
+	if got := f.Apply(Unknown); got != stpMs(100) {
+		t.Fatalf("Unknown must return previous value, got %v", got)
+	}
+}
+
+func TestEWMAFilterReset(t *testing.T) {
+	f := NewEWMAFilter(0.5)
+	f.Apply(stpMs(100))
+	f.Reset()
+	if got := f.Apply(stpMs(300)); got != stpMs(300) {
+		t.Fatalf("after Reset first sample = %v, want pass-through", got)
+	}
+}
+
+func TestEWMAFilterAlphaOnePassesThrough(t *testing.T) {
+	f := NewEWMAFilter(1)
+	f.Apply(stpMs(100))
+	if got := f.Apply(stpMs(700)); got != stpMs(700) {
+		t.Fatalf("alpha=1 must track raw, got %v", got)
+	}
+}
+
+func TestEWMAFilterRejectsBadAlpha(t *testing.T) {
+	for _, alpha := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("alpha=%v must panic", alpha)
+				}
+			}()
+			NewEWMAFilter(alpha)
+		}()
+	}
+}
+
+func TestMedianFilterSuppressesSpike(t *testing.T) {
+	f := NewMedianFilter(3)
+	f.Apply(stpMs(100))
+	f.Apply(stpMs(110))
+	// A 10x spike should not surface through a width-3 median.
+	if got := f.Apply(stpMs(1000)); got != stpMs(110) {
+		t.Fatalf("spike surfaced: %v, want 110ms", got)
+	}
+	// But a sustained shift should.
+	f.Apply(stpMs(1000))
+	if got := f.Apply(stpMs(1000)); got != stpMs(1000) {
+		t.Fatalf("sustained shift suppressed: %v", got)
+	}
+}
+
+func TestMedianFilterEvenWindow(t *testing.T) {
+	f := NewMedianFilter(2)
+	f.Apply(stpMs(100))
+	if got := f.Apply(stpMs(200)); got != stpMs(150) {
+		t.Fatalf("even-window median = %v, want 150ms", got)
+	}
+}
+
+func TestMedianFilterUnknownAndReset(t *testing.T) {
+	f := NewMedianFilter(3)
+	if got := f.Apply(Unknown); got != Unknown {
+		t.Fatalf("empty filter on Unknown = %v", got)
+	}
+	f.Apply(stpMs(50))
+	if got := f.Apply(Unknown); got != stpMs(50) {
+		t.Fatalf("Unknown must return current median, got %v", got)
+	}
+	f.Reset()
+	if got := f.Apply(Unknown); got != Unknown {
+		t.Fatalf("after Reset = %v", got)
+	}
+}
+
+func TestMedianFilterRejectsBadWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("window 0 must panic")
+		}
+	}()
+	NewMedianFilter(0)
+}
+
+func TestMedianFilterSlidesWindow(t *testing.T) {
+	f := NewMedianFilter(3)
+	for _, v := range []int{10, 20, 30, 40, 50} {
+		f.Apply(STP(time.Duration(v) * time.Millisecond))
+	}
+	// Window is now {30,40,50} → median 40.
+	if got := f.Apply(Unknown); got != stpMs(40) {
+		t.Fatalf("sliding median = %v, want 40ms", got)
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// NodeSnapshot captures one node's ARU state at an instant.
+type NodeSnapshot struct {
+	Node       graph.NodeID
+	Name       string
+	Kind       graph.Kind
+	Compressor string
+	// Current is the thread's last measured current-STP (Unknown for
+	// buffers).
+	Current STP
+	// Compressed is the folded backwardSTP vector.
+	Compressed STP
+	// Summary is the propagated summary-STP.
+	Summary STP
+	// Vector lists the backwardSTP slots in connection order.
+	Vector []STP
+}
+
+// Snapshot captures the whole controller's state, ordered by node id. It
+// is the observability hook behind cmd/stpsim and debugging sessions:
+// "why is this producer running at this period?" is answered by walking
+// the snapshot upstream.
+func (c *Controller) Snapshot() []NodeSnapshot {
+	out := make([]NodeSnapshot, 0, len(c.states))
+	for _, st := range c.states {
+		if st == nil {
+			continue
+		}
+		out = append(out, NodeSnapshot{
+			Node:       st.node.ID,
+			Name:       st.node.Name,
+			Kind:       st.node.Kind,
+			Compressor: st.comp.Name(),
+			Current:    st.CurrentSTP(),
+			Compressed: st.vec.Compressed(st.comp),
+			Summary:    st.Summary(),
+			Vector:     st.vec.Snapshot(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// WriteSnapshot renders the controller state as a table.
+func (c *Controller) WriteSnapshot(w io.Writer) {
+	fmt.Fprintf(w, "%-18s %-8s %-5s %12s %12s %12s  %s\n",
+		"node", "kind", "op", "current", "compressed", "summary", "backwardSTP")
+	for _, s := range c.Snapshot() {
+		fmt.Fprintf(w, "%-18s %-8s %-5s %12s %12s %12s  %s\n",
+			s.Name, s.Kind, s.Compressor,
+			stpCell(s.Current), stpCell(s.Compressed), stpCell(s.Summary),
+			vecCell(s.Vector))
+	}
+}
+
+func stpCell(s STP) string {
+	if !s.Known() {
+		return "-"
+	}
+	return s.Duration().Round(time.Millisecond).String()
+}
+
+func vecCell(vec []STP) string {
+	if len(vec) == 0 {
+		return "[]"
+	}
+	out := "["
+	for i, s := range vec {
+		if i > 0 {
+			out += " "
+		}
+		out += stpCell(s)
+	}
+	return out + "]"
+}
+
+// KthSmallest returns a compressor selecting the k-th smallest known
+// period (k counts from 1; k=1 is Min). It lets an application sustain
+// its k fastest consumers while shedding the demand of outliers — a
+// middle ground between the paper's min and max.
+func KthSmallest(k int) Compressor {
+	if k < 1 {
+		panic("core: KthSmallest needs k ≥ 1")
+	}
+	return Func{
+		FuncName: fmt.Sprintf("kth-smallest(%d)", k),
+		Fn: func(vec []STP) STP {
+			known := make([]STP, 0, len(vec))
+			for _, s := range vec {
+				if s.Known() {
+					known = append(known, s)
+				}
+			}
+			if len(known) == 0 {
+				return Unknown
+			}
+			sort.Slice(known, func(i, j int) bool { return known[i] < known[j] })
+			if k > len(known) {
+				return known[len(known)-1]
+			}
+			return known[k-1]
+		},
+	}
+}
+
+// Mean returns a compressor averaging the known periods: a smooth
+// compromise operator an application writer might supply when consumers
+// are loosely coupled.
+func Mean() Compressor {
+	return Func{
+		FuncName: "mean",
+		Fn: func(vec []STP) STP {
+			var sum time.Duration
+			n := 0
+			for _, s := range vec {
+				if s.Known() {
+					sum += s.Duration()
+					n++
+				}
+			}
+			if n == 0 {
+				return Unknown
+			}
+			return STP(sum / time.Duration(n))
+		},
+	}
+}

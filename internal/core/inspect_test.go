@@ -1,0 +1,120 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSnapshotReflectsPropagation(t *testing.T) {
+	g, a, putConns, getConns := fanoutGraph(t)
+	c := NewController(g, PolicyMin())
+	feedFanout(c, g, putConns, getConns, figureReports)
+	c.SetCurrentSTP(a, stpMs(50))
+
+	snap := c.Snapshot()
+	if len(snap) != g.NumNodes() {
+		t.Fatalf("snapshot has %d nodes, want %d", len(snap), g.NumNodes())
+	}
+	// Node A is id 0.
+	sa := snap[0]
+	if sa.Name != "A" || sa.Kind.String() != "thread" {
+		t.Fatalf("snapshot[0] = %+v", sa)
+	}
+	if sa.Current != stpMs(50) {
+		t.Errorf("A current = %v", sa.Current)
+	}
+	if sa.Compressed != stpMs(139) {
+		t.Errorf("A compressed = %v, want 139ms", sa.Compressed)
+	}
+	if sa.Summary != stpMs(139) {
+		t.Errorf("A summary = %v, want 139ms", sa.Summary)
+	}
+	if len(sa.Vector) != 5 {
+		t.Errorf("A vector size = %d", len(sa.Vector))
+	}
+	if sa.Compressor != "min" {
+		t.Errorf("A compressor = %q", sa.Compressor)
+	}
+}
+
+func TestWriteSnapshot(t *testing.T) {
+	g, _, putConns, getConns := fanoutGraph(t)
+	c := NewController(g, PolicyMax())
+	feedFanout(c, g, putConns, getConns, figureReports)
+	var buf bytes.Buffer
+	c.WriteSnapshot(&buf)
+	out := buf.String()
+	for _, want := range []string{"A", "B-consumer", "channel", "thread", "max", "544ms", "backwardSTP"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("snapshot output missing %q:\n%s", want, out)
+		}
+	}
+	// Unknown cells render as "-".
+	if !strings.Contains(out, "-") {
+		t.Error("unknown STPs must render as -")
+	}
+}
+
+func TestKthSmallest(t *testing.T) {
+	vec := paperVec // 337, 139, 273, 544, 420
+	cases := []struct {
+		k    int
+		want STP
+	}{
+		{1, stpMs(139)}, {2, stpMs(273)}, {3, stpMs(337)},
+		{4, stpMs(420)}, {5, stpMs(544)}, {9, stpMs(544)},
+	}
+	for _, c := range cases {
+		comp := KthSmallest(c.k)
+		if got := comp.Compress(vec); got != c.want {
+			t.Errorf("KthSmallest(%d) = %v, want %v", c.k, got, c.want)
+		}
+	}
+	if KthSmallest(1).Compress(nil) != Unknown {
+		t.Error("empty vector must be Unknown")
+	}
+	if got := KthSmallest(2).Compress([]STP{Unknown, stpMs(7), Unknown}); got != stpMs(7) {
+		t.Errorf("k beyond known entries = %v, want the largest known", got)
+	}
+	if !strings.Contains(KthSmallest(3).Name(), "3") {
+		t.Error("name must carry k")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("k<1 must panic")
+		}
+	}()
+	KthSmallest(0)
+}
+
+func TestKthSmallestEqualsMinAndMaxAtExtremes(t *testing.T) {
+	vec := paperVec
+	if KthSmallest(1).Compress(vec) != Min.Compress(vec) {
+		t.Error("k=1 must equal Min")
+	}
+	if KthSmallest(len(vec)).Compress(vec) != Max.Compress(vec) {
+		t.Error("k=len must equal Max")
+	}
+}
+
+func TestMeanCompressor(t *testing.T) {
+	m := Mean()
+	if got := m.Compress([]STP{stpMs(100), stpMs(300)}); got != stpMs(200) {
+		t.Errorf("mean = %v", got)
+	}
+	if got := m.Compress([]STP{Unknown, stpMs(100), Unknown}); got != stpMs(100) {
+		t.Errorf("mean with unknowns = %v", got)
+	}
+	if m.Compress(nil) != Unknown {
+		t.Error("empty mean must be Unknown")
+	}
+	if m.Name() != "mean" {
+		t.Error("name")
+	}
+	// Mean lies between min and max on the paper vector.
+	got := m.Compress(paperVec)
+	if got < Min.Compress(paperVec) || got > Max.Compress(paperVec) {
+		t.Errorf("mean %v outside [min,max]", got)
+	}
+}

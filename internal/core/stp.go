@@ -1,0 +1,128 @@
+// Package core implements the paper's primary contribution: the Adaptive
+// Resource Utilization (ARU) mechanism (§3).
+//
+// Every thread measures its sustainable thread period (STP) — the time one
+// loop iteration takes excluding time blocked on inputs. Every task-graph
+// node (thread, channel, or queue) keeps a backwardSTP vector with one slot
+// per output connection, holding the last summary-STP reported by that
+// downstream node. Each node folds its vector with a compression operator
+// (min by default, max when downstream data dependencies justify it),
+// combines the result with its own current-STP if it is a thread, and
+// propagates the resulting summary-STP upstream, piggybacked on put/get
+// operations. Source threads pace their production to the summary-STP they
+// receive; the cascade adjusts every upstream stage.
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// STP is a sustainable thread period: the minimum time a node currently
+// needs per item. The zero value means "unknown" — no feedback has been
+// received yet — and is ignored by compression.
+type STP time.Duration
+
+// Unknown is the STP of a node that has not yet reported.
+const Unknown STP = 0
+
+// Known reports whether the value carries real feedback.
+func (s STP) Known() bool { return s > 0 }
+
+// Duration converts the period to a time.Duration.
+func (s STP) Duration() time.Duration { return time.Duration(s) }
+
+// String renders the period like a duration, or "unknown".
+func (s STP) String() string {
+	if !s.Known() {
+		return "stp(unknown)"
+	}
+	return fmt.Sprintf("stp(%v)", time.Duration(s))
+}
+
+// MaxSTP returns the larger of two periods, treating Unknown as absent.
+func MaxSTP(a, b STP) STP {
+	if !a.Known() {
+		return b
+	}
+	if !b.Known() {
+		return a
+	}
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MinSTP returns the smaller of two periods, treating Unknown as absent.
+func MinSTP(a, b STP) STP {
+	if !a.Known() {
+		return b
+	}
+	if !b.Known() {
+		return a
+	}
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Compressor folds a backwardSTP vector into the compressed-backwardSTP
+// value (§3.3.2). Implementations must ignore Unknown entries and return
+// Unknown for an all-unknown vector.
+type Compressor interface {
+	// Name identifies the operator ("min", "max", ...).
+	Name() string
+	// Compress folds the vector.
+	Compress(vec []STP) STP
+}
+
+type minCompressor struct{}
+
+func (minCompressor) Name() string { return "min" }
+func (minCompressor) Compress(vec []STP) STP {
+	out := Unknown
+	for _, s := range vec {
+		out = MinSTP(out, s)
+	}
+	return out
+}
+
+type maxCompressor struct{}
+
+func (maxCompressor) Name() string { return "max" }
+func (maxCompressor) Compress(vec []STP) STP {
+	out := Unknown
+	for _, s := range vec {
+		out = MaxSTP(out, s)
+	}
+	return out
+}
+
+// Min is the default compression operator: sustain the fastest consumer.
+// It never hurts throughput and is safe under any data-dependency pattern,
+// which is why the paper makes it the default.
+var Min Compressor = minCompressor{}
+
+// Max matches the slowest consumer. It is the aggressive operator, correct
+// when complete data dependencies exist between all consumers (e.g. a
+// downstream join consumes corresponding items from every output), so
+// producing faster than the slowest consumer is pure waste.
+var Max Compressor = maxCompressor{}
+
+// Func adapts a user-defined compression function, the paper's escape
+// hatch for application writers who understand their consumers' data
+// dependencies.
+type Func struct {
+	// FuncName is reported by Name.
+	FuncName string
+	// Fn folds the vector; it must honor the Unknown conventions.
+	Fn func(vec []STP) STP
+}
+
+// Name implements Compressor.
+func (f Func) Name() string { return f.FuncName }
+
+// Compress implements Compressor.
+func (f Func) Compress(vec []STP) STP { return f.Fn(vec) }

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func stpMs(n int) STP { return STP(time.Duration(n) * time.Millisecond) }
+
+// paperVec is the backwardSTP vector of node A in Figures 3 and 4: the
+// downstream nodes B–F report summary-STPs 337, 139, 273, 544, 420.
+var paperVec = []STP{stpMs(337), stpMs(139), stpMs(273), stpMs(544), stpMs(420)}
+
+// TestCompressMinPaperExample reproduces Figure 3: with nodes B–F as
+// endpoints, A sustains the fastest consumer (C) via the min operator.
+func TestCompressMinPaperExample(t *testing.T) {
+	if got := Min.Compress(paperVec); got != stpMs(139) {
+		t.Fatalf("min compress = %v, want 139ms", got)
+	}
+}
+
+// TestCompressMaxPaperExample reproduces Figure 4: with full data
+// dependency through consumer G, A may slow to the slowest consumer via
+// the max operator.
+func TestCompressMaxPaperExample(t *testing.T) {
+	if got := Max.Compress(paperVec); got != stpMs(544) {
+		t.Fatalf("max compress = %v, want 544ms", got)
+	}
+}
+
+func TestSTPBasics(t *testing.T) {
+	if Unknown.Known() {
+		t.Error("Unknown must not be Known")
+	}
+	if !stpMs(5).Known() {
+		t.Error("positive STP must be Known")
+	}
+	if stpMs(5).Duration() != 5*time.Millisecond {
+		t.Error("Duration conversion broken")
+	}
+	if !strings.Contains(stpMs(5).String(), "5ms") {
+		t.Errorf("String = %q", stpMs(5).String())
+	}
+	if Unknown.String() != "stp(unknown)" {
+		t.Errorf("Unknown String = %q", Unknown.String())
+	}
+}
+
+func TestMinMaxSTPIgnoreUnknown(t *testing.T) {
+	if MinSTP(Unknown, stpMs(7)) != stpMs(7) || MinSTP(stpMs(7), Unknown) != stpMs(7) {
+		t.Error("MinSTP must ignore Unknown")
+	}
+	if MaxSTP(Unknown, stpMs(7)) != stpMs(7) || MaxSTP(stpMs(7), Unknown) != stpMs(7) {
+		t.Error("MaxSTP must ignore Unknown")
+	}
+	if MinSTP(Unknown, Unknown) != Unknown || MaxSTP(Unknown, Unknown) != Unknown {
+		t.Error("all-Unknown folds must be Unknown")
+	}
+	if MinSTP(stpMs(3), stpMs(9)) != stpMs(3) || MaxSTP(stpMs(3), stpMs(9)) != stpMs(9) {
+		t.Error("ordinary Min/Max broken")
+	}
+}
+
+func TestCompressEmptyAndUnknown(t *testing.T) {
+	if Min.Compress(nil) != Unknown || Max.Compress(nil) != Unknown {
+		t.Error("empty vector must compress to Unknown")
+	}
+	vec := []STP{Unknown, Unknown}
+	if Min.Compress(vec) != Unknown || Max.Compress(vec) != Unknown {
+		t.Error("all-Unknown vector must compress to Unknown")
+	}
+	mixed := []STP{Unknown, stpMs(10), Unknown, stpMs(20)}
+	if Min.Compress(mixed) != stpMs(10) {
+		t.Error("min must skip Unknown entries")
+	}
+	if Max.Compress(mixed) != stpMs(20) {
+		t.Error("max must skip Unknown entries")
+	}
+}
+
+func TestCompressorNames(t *testing.T) {
+	if Min.Name() != "min" || Max.Name() != "max" {
+		t.Error("compressor names broken")
+	}
+	f := Func{FuncName: "mean", Fn: func(vec []STP) STP { return Unknown }}
+	if f.Name() != "mean" {
+		t.Error("Func name broken")
+	}
+}
+
+func TestFuncCompressor(t *testing.T) {
+	// A user-defined operator: second smallest (sustain the two fastest
+	// consumers).
+	second := Func{FuncName: "second-min", Fn: func(vec []STP) STP {
+		best, next := Unknown, Unknown
+		for _, s := range vec {
+			if !s.Known() {
+				continue
+			}
+			switch {
+			case !best.Known() || s < best:
+				next = best
+				best = s
+			case !next.Known() || s < next:
+				next = s
+			}
+		}
+		if next.Known() {
+			return next
+		}
+		return best
+	}}
+	if got := second.Compress(paperVec); got != stpMs(273) {
+		t.Fatalf("second-min = %v, want 273ms", got)
+	}
+}
+
+// Property: min ≤ every known element ≤ max; both results are elements of
+// the vector; permutation invariance.
+func TestCompressQuickBounds(t *testing.T) {
+	f := func(raw []uint32, seed int64) bool {
+		vec := make([]STP, len(raw))
+		anyKnown := false
+		for i, v := range raw {
+			vec[i] = STP(v) // includes Unknown when v==0
+			if vec[i].Known() {
+				anyKnown = true
+			}
+		}
+		mn, mx := Min.Compress(vec), Max.Compress(vec)
+		if !anyKnown {
+			return mn == Unknown && mx == Unknown
+		}
+		foundMin, foundMax := false, false
+		for _, s := range vec {
+			if !s.Known() {
+				continue
+			}
+			if s < mn || s > mx {
+				return false
+			}
+			if s == mn {
+				foundMin = true
+			}
+			if s == mx {
+				foundMax = true
+			}
+		}
+		if !foundMin || !foundMax {
+			return false
+		}
+		// Permutation invariance.
+		perm := make([]STP, len(vec))
+		copy(perm, vec)
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		return Min.Compress(perm) == mn && Max.Compress(perm) == mx
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

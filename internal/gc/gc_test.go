@@ -1,0 +1,201 @@
+package gc
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/vt"
+)
+
+func TestNoneNeverFrees(t *testing.T) {
+	c := NewNone()
+	if c.Name() != "none" {
+		t.Error("name")
+	}
+	live := vt.NewSet(1, 2, 3)
+	c.Observe(0, 0, 100)
+	if got := c.Dead(0, live, []vt.Timestamp{100, 100}); got != nil {
+		t.Fatalf("none collector freed %v", got)
+	}
+	c.Forget(0, 0) // must not panic
+}
+
+func TestDGCFreesBelowMinGuarantee(t *testing.T) {
+	c := NewDeadTimestamp()
+	if c.Name() != "dgc" {
+		t.Error("name")
+	}
+	live := vt.NewSet(1, 2, 3, 4, 5)
+	// Consumers at 3 and 4: min is 3 → items 1,2,3 dead.
+	got := c.Dead(0, live, []vt.Timestamp{3, 4})
+	want := []vt.Timestamp{1, 2, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Dead = %v, want %v", got, want)
+	}
+}
+
+func TestDGCNoConsumersOrUnstarted(t *testing.T) {
+	c := NewDeadTimestamp()
+	live := vt.NewSet(1, 2)
+	if got := c.Dead(0, live, nil); got != nil {
+		t.Fatalf("no consumers: Dead = %v", got)
+	}
+	if got := c.Dead(0, live, []vt.Timestamp{vt.None, 5}); got != nil {
+		t.Fatalf("unstarted consumer must block collection, got %v", got)
+	}
+}
+
+func TestDGCDetachedConsumerInfinity(t *testing.T) {
+	c := NewDeadTimestamp()
+	live := vt.NewSet(7, 9)
+	got := c.Dead(0, live, []vt.Timestamp{vt.Infinity})
+	if !reflect.DeepEqual(got, []vt.Timestamp{7, 9}) {
+		t.Fatalf("detached-only consumers must free everything, got %v", got)
+	}
+}
+
+// Property (DGC safety): an item a consumer could still request — its
+// timestamp above that consumer's guarantee — is never declared dead.
+func TestDGCQuickSafety(t *testing.T) {
+	c := NewDeadTimestamp()
+	f := func(liveRaw []int8, guarRaw []int8) bool {
+		live := vt.NewSet()
+		for _, v := range liveRaw {
+			live.Add(vt.Timestamp(v))
+		}
+		guarantees := make([]vt.Timestamp, len(guarRaw))
+		for i, v := range guarRaw {
+			guarantees[i] = vt.Timestamp(v)
+		}
+		dead := c.Dead(0, live, guarantees)
+		for _, d := range dead {
+			for _, g := range guarantees {
+				if d > g { // some consumer may still request d
+					return false
+				}
+			}
+			if !live.Contains(d) {
+				return false // must only name live items
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTGCUsesGlobalMinimum(t *testing.T) {
+	c := NewTransparent()
+	if c.Name() != "tgc" {
+		t.Error("name")
+	}
+	chA, chB := graph.NodeID(1), graph.NodeID(2)
+	// Channel A's consumer is at 10, channel B's lags at 2.
+	c.Observe(chA, graph.ConnID(0), 10)
+	c.Observe(chB, graph.ConnID(1), 2)
+
+	live := vt.NewSet(1, 2, 3, 9)
+	// Even on channel A, only items < 2 (the global min) die.
+	got := c.Dead(chA, live, []vt.Timestamp{10})
+	if !reflect.DeepEqual(got, []vt.Timestamp{1}) {
+		t.Fatalf("TGC Dead = %v, want [1]", got)
+	}
+
+	// DGC on the same channel would free 1,2,3,9.
+	dgc := NewDeadTimestamp()
+	if got := dgc.Dead(chA, live, []vt.Timestamp{10}); len(got) != 4 {
+		t.Fatalf("DGC comparison = %v", got)
+	}
+}
+
+func TestTGCObserveKeepsMax(t *testing.T) {
+	c := NewTransparent().(*transparent)
+	c.Observe(0, 0, 5)
+	c.Observe(0, 0, 3) // stale observation must not regress
+	if got := c.globalMin(); got != 5 {
+		t.Fatalf("globalMin = %v, want 5", got)
+	}
+}
+
+func TestTGCForgetReleases(t *testing.T) {
+	c := NewTransparent()
+	c.Observe(0, graph.ConnID(0), 100)
+	c.Observe(0, graph.ConnID(1), 1)
+	live := vt.NewSet(50)
+	if got := c.Dead(0, live, []vt.Timestamp{100}); got != nil {
+		t.Fatalf("lagging consumer must retain, got %v", got)
+	}
+	c.Forget(0, graph.ConnID(1))
+	if got := c.Dead(0, live, []vt.Timestamp{100}); !reflect.DeepEqual(got, []vt.Timestamp{50}) {
+		t.Fatalf("after Forget, Dead = %v, want [50]", got)
+	}
+}
+
+func TestTGCEmptyStates(t *testing.T) {
+	c := NewTransparent()
+	live := vt.NewSet(1)
+	if got := c.Dead(0, live, nil); got != nil {
+		t.Fatalf("no local consumers: %v", got)
+	}
+	// Local consumers exist but nothing observed globally yet.
+	if got := c.Dead(0, live, []vt.Timestamp{5}); got != nil {
+		t.Fatalf("no global observations yet: %v", got)
+	}
+}
+
+// Property: TGC is at least as conservative as DGC — everything TGC frees,
+// DGC would also free given the same local guarantees (with the global
+// view seeded from the same channel).
+func TestTGCQuickMoreConservativeThanDGC(t *testing.T) {
+	f := func(liveRaw []int8, guarRaw []int8) bool {
+		if len(guarRaw) == 0 {
+			return true
+		}
+		tgc := NewTransparent()
+		dgc := NewDeadTimestamp()
+		live := vt.NewSet()
+		for _, v := range liveRaw {
+			live.Add(vt.Timestamp(v))
+		}
+		guarantees := make([]vt.Timestamp, len(guarRaw))
+		for i, v := range guarRaw {
+			guarantees[i] = vt.Timestamp(v)
+			tgc.Observe(0, graph.ConnID(i), guarantees[i])
+		}
+		tgcDead := map[vt.Timestamp]bool{}
+		for _, ts := range tgc.Dead(0, live, guarantees) {
+			tgcDead[ts] = true
+		}
+		dgcDead := map[vt.Timestamp]bool{}
+		for _, ts := range dgc.Dead(0, live, guarantees) {
+			dgcDead[ts] = true
+		}
+		for ts := range tgcDead {
+			if !dgcDead[ts] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("none").Name() != "none" {
+		t.Error("none")
+	}
+	if ByName("tgc").Name() != "tgc" {
+		t.Error("tgc")
+	}
+	if ByName("dgc").Name() != "dgc" {
+		t.Error("dgc")
+	}
+	if ByName("bogus").Name() != "dgc" {
+		t.Error("unknown must fall back to dgc")
+	}
+}

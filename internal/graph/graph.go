@@ -1,0 +1,345 @@
+// Package graph models the application task graph of a Stampede-style
+// streaming application: threads connected through channels and queues.
+//
+// The graph is the structural knowledge the ARU mechanism exploits (§3.2 of
+// the paper): data dependencies are "implicitly derived by the input/output
+// connections made between threads", and summary-STP feedback flows
+// backwards along exactly these connections.
+//
+// Terminology follows the paper: a *node* is a thread, channel, or queue; a
+// *connection* is a directed data-flow edge between a thread and a buffer
+// (threads never connect directly to threads, nor buffers to buffers).
+// Machines of the cluster are called *hosts* here to avoid overloading
+// "node".
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind discriminates the three node flavours of the task graph.
+type Kind uint8
+
+const (
+	// KindThread is a computation task executed by a thread.
+	KindThread Kind = iota
+	// KindChannel is a timestamped random-access buffer.
+	KindChannel
+	// KindQueue is a timestamped FIFO buffer.
+	KindQueue
+)
+
+// String returns the lowercase kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindThread:
+		return "thread"
+	case KindChannel:
+		return "channel"
+	case KindQueue:
+		return "queue"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// IsBuffer reports whether the kind is a data container (channel or queue).
+func (k Kind) IsBuffer() bool { return k == KindChannel || k == KindQueue }
+
+// NodeID identifies a node within one Graph.
+type NodeID int
+
+// ConnID identifies a connection within one Graph.
+type ConnID int
+
+// NoNode is the invalid node id.
+const NoNode NodeID = -1
+
+// Node is a vertex of the task graph.
+type Node struct {
+	ID   NodeID
+	Kind Kind
+	Name string
+	// Host is the index of the cluster host this node is placed on.
+	// Channels are conventionally placed on the host of their producer
+	// thread (paper §5, configuration 2).
+	Host int
+	// In holds connections whose To is this node (upstream edges).
+	In []ConnID
+	// Out holds connections whose From is this node (downstream edges).
+	// The ARU backwardSTP vector of the node has one slot per Out edge.
+	Out []ConnID
+}
+
+// Conn is a directed data-flow edge: items (and, in the opposite
+// direction, summary-STP feedback) travel From → To.
+type Conn struct {
+	ID       ConnID
+	From, To NodeID
+}
+
+// Graph is a mutable task graph. It is not safe for concurrent mutation;
+// build it fully before starting the runtime. Read accessors are safe once
+// mutation has stopped.
+type Graph struct {
+	nodes  []*Node
+	conns  []*Conn
+	byName map[string]NodeID
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{byName: make(map[string]NodeID)}
+}
+
+// AddNode adds a node of the given kind, unique name, and host placement,
+// returning its id. Duplicate names are rejected because channels and
+// queues are "system-wide unique names" in Stampede.
+func (g *Graph) AddNode(kind Kind, name string, host int) (NodeID, error) {
+	if name == "" {
+		return NoNode, errors.New("graph: node name must be non-empty")
+	}
+	if _, dup := g.byName[name]; dup {
+		return NoNode, fmt.Errorf("graph: duplicate node name %q", name)
+	}
+	if host < 0 {
+		return NoNode, fmt.Errorf("graph: node %q has negative host %d", name, host)
+	}
+	id := NodeID(len(g.nodes))
+	g.nodes = append(g.nodes, &Node{ID: id, Kind: kind, Name: name, Host: host})
+	g.byName[name] = id
+	return id, nil
+}
+
+// MustAddNode is AddNode that panics on error, for static graph literals.
+func (g *Graph) MustAddNode(kind Kind, name string, host int) NodeID {
+	id, err := g.AddNode(kind, name, host)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Connect adds a data-flow edge from one node to another. Exactly one
+// endpoint must be a thread and the other a buffer; this mirrors the
+// Stampede rule that threads communicate only through channels and queues.
+func (g *Graph) Connect(from, to NodeID) (ConnID, error) {
+	fn, err := g.checkID(from)
+	if err != nil {
+		return -1, err
+	}
+	tn, err := g.checkID(to)
+	if err != nil {
+		return -1, err
+	}
+	if fn.Kind == KindThread && !tn.Kind.IsBuffer() {
+		return -1, fmt.Errorf("graph: thread %q may only connect to a buffer, not %s %q", fn.Name, tn.Kind, tn.Name)
+	}
+	if fn.Kind.IsBuffer() && tn.Kind != KindThread {
+		return -1, fmt.Errorf("graph: buffer %q may only connect to a thread, not %s %q", fn.Name, tn.Kind, tn.Name)
+	}
+	for _, cid := range fn.Out {
+		if g.conns[cid].To == to {
+			return -1, fmt.Errorf("graph: duplicate connection %q -> %q", fn.Name, tn.Name)
+		}
+	}
+	id := ConnID(len(g.conns))
+	g.conns = append(g.conns, &Conn{ID: id, From: from, To: to})
+	fn.Out = append(fn.Out, id)
+	tn.In = append(tn.In, id)
+	return id, nil
+}
+
+// MustConnect is Connect that panics on error.
+func (g *Graph) MustConnect(from, to NodeID) ConnID {
+	id, err := g.Connect(from, to)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+func (g *Graph) checkID(id NodeID) (*Node, error) {
+	if id < 0 || int(id) >= len(g.nodes) {
+		return nil, fmt.Errorf("graph: invalid node id %d", id)
+	}
+	return g.nodes[id], nil
+}
+
+// Node returns the node with the given id; it panics on an invalid id
+// since ids only come from this graph.
+func (g *Graph) Node(id NodeID) *Node {
+	n, err := g.checkID(id)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Conn returns the connection with the given id.
+func (g *Graph) Conn(id ConnID) *Conn {
+	if id < 0 || int(id) >= len(g.conns) {
+		panic(fmt.Sprintf("graph: invalid conn id %d", id))
+	}
+	return g.conns[id]
+}
+
+// Lookup returns the node id for a name.
+func (g *Graph) Lookup(name string) (NodeID, bool) {
+	id, ok := g.byName[name]
+	return id, ok
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumConns returns the number of connections.
+func (g *Graph) NumConns() int { return len(g.conns) }
+
+// Nodes iterates all nodes in id order.
+func (g *Graph) Nodes(fn func(*Node)) {
+	for _, n := range g.nodes {
+		fn(n)
+	}
+}
+
+// Conns iterates all connections in id order.
+func (g *Graph) Conns(fn func(*Conn)) {
+	for _, c := range g.conns {
+		fn(c)
+	}
+}
+
+// SourceThreads returns the threads with no incoming connections — the
+// "threads on the left of the pipeline" that ARU throttles directly.
+func (g *Graph) SourceThreads() []NodeID {
+	var out []NodeID
+	for _, n := range g.nodes {
+		if n.Kind == KindThread && len(n.In) == 0 {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// SinkThreads returns the threads with no outgoing connections — the
+// pipeline endpoints whose consumption defines a "successful" item.
+func (g *Graph) SinkThreads() []NodeID {
+	var out []NodeID
+	for _, n := range g.nodes {
+		if n.Kind == KindThread && len(n.Out) == 0 {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// Hosts returns the number of distinct hosts referenced (max host index
+// plus one); an empty graph uses one host.
+func (g *Graph) Hosts() int {
+	max := 0
+	for _, n := range g.nodes {
+		if n.Host > max {
+			max = n.Host
+		}
+	}
+	return max + 1
+}
+
+// Downstream returns the ids of nodes directly downstream of id.
+func (g *Graph) Downstream(id NodeID) []NodeID {
+	n := g.Node(id)
+	out := make([]NodeID, 0, len(n.Out))
+	for _, cid := range n.Out {
+		out = append(out, g.conns[cid].To)
+	}
+	return out
+}
+
+// Upstream returns the ids of nodes directly upstream of id.
+func (g *Graph) Upstream(id NodeID) []NodeID {
+	n := g.Node(id)
+	out := make([]NodeID, 0, len(n.In))
+	for _, cid := range n.In {
+		out = append(out, g.conns[cid].From)
+	}
+	return out
+}
+
+// Reachable returns the set of nodes reachable from id by following
+// data-flow edges forward, including id itself.
+func (g *Graph) Reachable(id NodeID) map[NodeID]bool {
+	seen := map[NodeID]bool{id: true}
+	stack := []NodeID{id}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, next := range g.Downstream(cur) {
+			if !seen[next] {
+				seen[next] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+	return seen
+}
+
+// TopoSort returns the nodes in a topological order of the data flow, or
+// an error naming a node on a cycle. Streaming pipelines are DAGs; a cycle
+// would deadlock the get-latest discipline.
+func (g *Graph) TopoSort() ([]NodeID, error) {
+	indeg := make([]int, len(g.nodes))
+	for _, c := range g.conns {
+		indeg[c.To]++
+	}
+	var order []NodeID
+	var queue []NodeID
+	for _, n := range g.nodes {
+		if indeg[n.ID] == 0 {
+			queue = append(queue, n.ID)
+		}
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		order = append(order, cur)
+		for _, next := range g.Downstream(cur) {
+			indeg[next]--
+			if indeg[next] == 0 {
+				queue = append(queue, next)
+			}
+		}
+	}
+	if len(order) != len(g.nodes) {
+		for _, n := range g.nodes {
+			if indeg[n.ID] > 0 {
+				return nil, fmt.Errorf("graph: cycle involving node %q", n.Name)
+			}
+		}
+	}
+	return order, nil
+}
+
+// Validate checks structural well-formedness: every buffer has at least
+// one producer and one consumer, every thread touches at least one buffer,
+// and the graph is acyclic.
+func (g *Graph) Validate() error {
+	if len(g.nodes) == 0 {
+		return errors.New("graph: empty graph")
+	}
+	for _, n := range g.nodes {
+		switch {
+		case n.Kind.IsBuffer() && len(n.In) == 0:
+			return fmt.Errorf("graph: %s %q has no producer", n.Kind, n.Name)
+		case n.Kind.IsBuffer() && len(n.Out) == 0:
+			return fmt.Errorf("graph: %s %q has no consumer", n.Kind, n.Name)
+		case n.Kind == KindThread && len(n.In) == 0 && len(n.Out) == 0:
+			return fmt.Errorf("graph: thread %q is disconnected", n.Name)
+		}
+	}
+	if _, err := g.TopoSort(); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,278 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildDiamond constructs digitizer -> C1 -> worker -> C2 -> gui.
+func buildDiamond(t *testing.T) (*Graph, map[string]NodeID) {
+	t.Helper()
+	g := New()
+	ids := map[string]NodeID{}
+	add := func(kind Kind, name string, host int) {
+		id, err := g.AddNode(kind, name, host)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[name] = id
+	}
+	add(KindThread, "digitizer", 0)
+	add(KindChannel, "C1", 0)
+	add(KindThread, "worker", 1)
+	add(KindChannel, "C2", 1)
+	add(KindThread, "gui", 2)
+	for _, e := range [][2]string{{"digitizer", "C1"}, {"C1", "worker"}, {"worker", "C2"}, {"C2", "gui"}} {
+		if _, err := g.Connect(ids[e[0]], ids[e[1]]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g, ids
+}
+
+func TestKindString(t *testing.T) {
+	if KindThread.String() != "thread" || KindChannel.String() != "channel" || KindQueue.String() != "queue" {
+		t.Error("Kind.String broken")
+	}
+	if !KindChannel.IsBuffer() || !KindQueue.IsBuffer() || KindThread.IsBuffer() {
+		t.Error("IsBuffer broken")
+	}
+	if got := Kind(9).String(); !strings.Contains(got, "9") {
+		t.Errorf("unknown kind String = %q", got)
+	}
+}
+
+func TestAddNodeValidation(t *testing.T) {
+	g := New()
+	if _, err := g.AddNode(KindThread, "", 0); err == nil {
+		t.Error("empty name must fail")
+	}
+	if _, err := g.AddNode(KindThread, "a", -1); err == nil {
+		t.Error("negative host must fail")
+	}
+	if _, err := g.AddNode(KindThread, "a", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddNode(KindChannel, "a", 0); err == nil {
+		t.Error("duplicate name must fail")
+	}
+}
+
+func TestConnectRules(t *testing.T) {
+	g := New()
+	t1 := g.MustAddNode(KindThread, "t1", 0)
+	t2 := g.MustAddNode(KindThread, "t2", 0)
+	c1 := g.MustAddNode(KindChannel, "c1", 0)
+	q1 := g.MustAddNode(KindQueue, "q1", 0)
+
+	if _, err := g.Connect(t1, t2); err == nil {
+		t.Error("thread->thread must be rejected")
+	}
+	if _, err := g.Connect(c1, q1); err == nil {
+		t.Error("buffer->buffer must be rejected")
+	}
+	if _, err := g.Connect(t1, c1); err != nil {
+		t.Errorf("thread->channel: %v", err)
+	}
+	if _, err := g.Connect(t1, c1); err == nil {
+		t.Error("duplicate connection must be rejected")
+	}
+	if _, err := g.Connect(c1, t2); err != nil {
+		t.Errorf("channel->thread: %v", err)
+	}
+	if _, err := g.Connect(t2, q1); err != nil {
+		t.Errorf("thread->queue: %v", err)
+	}
+	if _, err := g.Connect(NodeID(99), t1); err == nil {
+		t.Error("invalid id must be rejected")
+	}
+	if _, err := g.Connect(t1, NodeID(-5)); err == nil {
+		t.Error("invalid id must be rejected")
+	}
+}
+
+func TestInOutWiring(t *testing.T) {
+	g, ids := buildDiamond(t)
+	dig := g.Node(ids["digitizer"])
+	if len(dig.In) != 0 || len(dig.Out) != 1 {
+		t.Errorf("digitizer in/out = %d/%d", len(dig.In), len(dig.Out))
+	}
+	c1 := g.Node(ids["C1"])
+	if len(c1.In) != 1 || len(c1.Out) != 1 {
+		t.Errorf("C1 in/out = %d/%d", len(c1.In), len(c1.Out))
+	}
+	conn := g.Conn(c1.Out[0])
+	if conn.From != ids["C1"] || conn.To != ids["worker"] {
+		t.Errorf("conn endpoints = %d -> %d", conn.From, conn.To)
+	}
+}
+
+func TestSourcesAndSinks(t *testing.T) {
+	g, ids := buildDiamond(t)
+	srcs := g.SourceThreads()
+	if len(srcs) != 1 || srcs[0] != ids["digitizer"] {
+		t.Errorf("SourceThreads = %v", srcs)
+	}
+	sinks := g.SinkThreads()
+	if len(sinks) != 1 || sinks[0] != ids["gui"] {
+		t.Errorf("SinkThreads = %v", sinks)
+	}
+}
+
+func TestLookupAndCounts(t *testing.T) {
+	g, ids := buildDiamond(t)
+	if id, ok := g.Lookup("worker"); !ok || id != ids["worker"] {
+		t.Error("Lookup failed")
+	}
+	if _, ok := g.Lookup("nope"); ok {
+		t.Error("Lookup of absent name must fail")
+	}
+	if g.NumNodes() != 5 || g.NumConns() != 4 {
+		t.Errorf("counts = %d nodes, %d conns", g.NumNodes(), g.NumConns())
+	}
+	count := 0
+	g.Nodes(func(*Node) { count++ })
+	if count != 5 {
+		t.Errorf("Nodes iterated %d", count)
+	}
+	count = 0
+	g.Conns(func(*Conn) { count++ })
+	if count != 4 {
+		t.Errorf("Conns iterated %d", count)
+	}
+}
+
+func TestHosts(t *testing.T) {
+	g, _ := buildDiamond(t)
+	if got := g.Hosts(); got != 3 {
+		t.Errorf("Hosts = %d, want 3", got)
+	}
+	if got := New().Hosts(); got != 1 {
+		t.Errorf("empty graph Hosts = %d, want 1", got)
+	}
+}
+
+func TestUpDownstreamAndReachable(t *testing.T) {
+	g, ids := buildDiamond(t)
+	down := g.Downstream(ids["C1"])
+	if len(down) != 1 || down[0] != ids["worker"] {
+		t.Errorf("Downstream = %v", down)
+	}
+	up := g.Upstream(ids["worker"])
+	if len(up) != 1 || up[0] != ids["C1"] {
+		t.Errorf("Upstream = %v", up)
+	}
+	reach := g.Reachable(ids["worker"])
+	for _, name := range []string{"worker", "C2", "gui"} {
+		if !reach[ids[name]] {
+			t.Errorf("%s must be reachable from worker", name)
+		}
+	}
+	if reach[ids["digitizer"]] || reach[ids["C1"]] {
+		t.Error("upstream nodes must not be forward-reachable")
+	}
+}
+
+func TestTopoSort(t *testing.T) {
+	g, ids := buildDiamond(t)
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[NodeID]int{}
+	for i, id := range order {
+		pos[id] = i
+	}
+	g.Conns(func(c *Conn) {
+		if pos[c.From] >= pos[c.To] {
+			t.Errorf("edge %d->%d violates topo order", c.From, c.To)
+		}
+	})
+	_ = ids
+}
+
+func TestTopoSortCycle(t *testing.T) {
+	g := New()
+	t1 := g.MustAddNode(KindThread, "t1", 0)
+	c1 := g.MustAddNode(KindChannel, "c1", 0)
+	t2 := g.MustAddNode(KindThread, "t2", 0)
+	c2 := g.MustAddNode(KindChannel, "c2", 0)
+	g.MustConnect(t1, c1)
+	g.MustConnect(c1, t2)
+	g.MustConnect(t2, c2)
+	g.MustConnect(c2, t1) // closes the cycle
+	if _, err := g.TopoSort(); err == nil {
+		t.Fatal("cycle must be detected")
+	}
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate must reject cyclic graphs")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g, _ := buildDiamond(t)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("diamond must validate: %v", err)
+	}
+
+	if err := New().Validate(); err == nil {
+		t.Error("empty graph must not validate")
+	}
+
+	g2 := New()
+	g2.MustAddNode(KindChannel, "orphan", 0)
+	if err := g2.Validate(); err == nil || !strings.Contains(err.Error(), "producer") {
+		t.Errorf("producerless channel: %v", err)
+	}
+
+	g3 := New()
+	tid := g3.MustAddNode(KindThread, "t", 0)
+	cid := g3.MustAddNode(KindChannel, "c", 0)
+	g3.MustConnect(tid, cid)
+	if err := g3.Validate(); err == nil || !strings.Contains(err.Error(), "consumer") {
+		t.Errorf("consumerless channel: %v", err)
+	}
+
+	g4 := New()
+	g4.MustAddNode(KindThread, "lonely", 0)
+	if err := g4.Validate(); err == nil || !strings.Contains(err.Error(), "disconnected") {
+		t.Errorf("disconnected thread: %v", err)
+	}
+}
+
+func TestMustHelpersPanic(t *testing.T) {
+	g := New()
+	g.MustAddNode(KindThread, "a", 0)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustAddNode must panic on duplicate")
+			}
+		}()
+		g.MustAddNode(KindThread, "a", 0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("MustConnect must panic on invalid edge")
+			}
+		}()
+		g.MustConnect(0, 0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Node must panic on bad id")
+			}
+		}()
+		g.Node(NodeID(42))
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Conn must panic on bad id")
+			}
+		}()
+		g.Conn(ConnID(42))
+	}()
+}

@@ -1,0 +1,132 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randomDAG builds a random layered thread/buffer DAG: threads in even
+// layers, buffers in odd layers, edges only forward, so the result is
+// always acyclic and obeys the alternation rule. Returns the graph and
+// the adjacency for reference computations.
+func randomDAG(rng *rand.Rand) (*Graph, map[NodeID][]NodeID) {
+	g := New()
+	layers := 2 + rng.Intn(4)*2 // even count: thread/buffer alternation
+	var layerNodes [][]NodeID
+	for l := 0; l < layers; l++ {
+		kind := KindThread
+		if l%2 == 1 {
+			if rng.Intn(2) == 0 {
+				kind = KindChannel
+			} else {
+				kind = KindQueue
+			}
+		}
+		n := 1 + rng.Intn(3)
+		var ids []NodeID
+		for i := 0; i < n; i++ {
+			ids = append(ids, g.MustAddNode(kind, fmt.Sprintf("n%d_%d", l, i), 0))
+		}
+		layerNodes = append(layerNodes, ids)
+	}
+	adj := map[NodeID][]NodeID{}
+	for l := 0; l+1 < layers; l++ {
+		for _, from := range layerNodes[l] {
+			for _, to := range layerNodes[l+1] {
+				if rng.Intn(2) == 0 {
+					continue
+				}
+				if _, err := g.Connect(from, to); err == nil {
+					adj[from] = append(adj[from], to)
+				}
+			}
+		}
+	}
+	return g, adj
+}
+
+// TestQuickTopoSortRespectsEdges: for random DAGs, every node appears
+// exactly once in the topological order and every edge goes forward.
+func TestQuickTopoSortRespectsEdges(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g, _ := randomDAG(rng)
+		order, err := g.TopoSort()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(order) != g.NumNodes() {
+			t.Fatalf("seed %d: order has %d of %d nodes", seed, len(order), g.NumNodes())
+		}
+		pos := map[NodeID]int{}
+		for i, id := range order {
+			if _, dup := pos[id]; dup {
+				t.Fatalf("seed %d: node %d appears twice", seed, id)
+			}
+			pos[id] = i
+		}
+		violated := false
+		g.Conns(func(c *Conn) {
+			if pos[c.From] >= pos[c.To] {
+				violated = true
+			}
+		})
+		if violated {
+			t.Fatalf("seed %d: topo order violates an edge", seed)
+		}
+	}
+}
+
+// TestQuickReachableMatchesBFS: Reachable equals a reference BFS closure.
+func TestQuickReachableMatchesBFS(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g, adj := randomDAG(rng)
+		for id := NodeID(0); int(id) < g.NumNodes(); id++ {
+			got := g.Reachable(id)
+			// Reference BFS.
+			want := map[NodeID]bool{id: true}
+			frontier := []NodeID{id}
+			for len(frontier) > 0 {
+				cur := frontier[0]
+				frontier = frontier[1:]
+				for _, next := range adj[cur] {
+					if !want[next] {
+						want[next] = true
+						frontier = append(frontier, next)
+					}
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("seed %d node %d: reachable %d vs reference %d", seed, id, len(got), len(want))
+			}
+			for n := range want {
+				if !got[n] {
+					t.Fatalf("seed %d node %d: missing %d", seed, id, n)
+				}
+			}
+		}
+	}
+}
+
+// TestQuickSourcesSinksConsistent: every source thread has indegree 0,
+// every sink thread outdegree 0, and both sets contain only threads.
+func TestQuickSourcesSinksConsistent(t *testing.T) {
+	for seed := int64(1); seed <= 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g, _ := randomDAG(rng)
+		for _, id := range g.SourceThreads() {
+			n := g.Node(id)
+			if n.Kind != KindThread || len(n.In) != 0 {
+				t.Fatalf("seed %d: bad source %+v", seed, n)
+			}
+		}
+		for _, id := range g.SinkThreads() {
+			n := g.Node(id)
+			if n.Kind != KindThread || len(n.Out) != 0 {
+				t.Fatalf("seed %d: bad sink %+v", seed, n)
+			}
+		}
+	}
+}

@@ -1,0 +1,336 @@
+// Package kiosk implements the paper's *other* pipeline: the Figure 1
+// vision application, drawn from the Smart Kiosk system (Rehg et al.,
+// CVPR 1997 — the paper's reference [25]) that motivated Stampede:
+//
+//	Camera → Digitizer ──frames──▶ Low-fi tracker ──low-fi records──▶ Decision
+//	              │                                                      │
+//	              │                                          decision records (queue)
+//	              │                                                      ▼
+//	              └────────frames──────────────────────────▶ High-fi tracker ──▶ GUI
+//
+// The cheap low-fidelity tracker scans every frame; a Decision task
+// forwards only the interesting detections as *decision records* into a
+// Stampede queue (records must not be lost, unlike frames); the expensive
+// high-fidelity tracker dequeues each record, grabs the freshest frame,
+// and runs a detailed analysis whose result the GUI displays.
+//
+// The topology stresses a different ARU property than the Figure 5
+// tracker: the feedback has to travel through a *queue* and a
+// data-dependent filter (the Decision stage forwards only a fraction of
+// its inputs). Without ARU the decision queue grows without bound
+// whenever interesting activity outpaces the high-fidelity tracker; with
+// ARU the demand signal propagates through the queue and the whole front
+// of the pipeline slows to what the back can absorb.
+package kiosk
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/gc"
+	"repro/internal/runtime"
+	"repro/internal/trace"
+	"repro/internal/transport"
+	"repro/internal/vt"
+)
+
+// Timing holds the stage periods.
+type Timing struct {
+	// CameraPeriod is the digitizer's frame interval.
+	CameraPeriod time.Duration
+	// DigitizeCost is the digitizer's busy time per frame.
+	DigitizeCost time.Duration
+	// LowFiCost is the cheap tracker's per-frame compute.
+	LowFiCost time.Duration
+	// DecisionCost is the decision task's per-record compute.
+	DecisionCost time.Duration
+	// HighFiCost is the expensive tracker's per-record compute.
+	HighFiCost time.Duration
+	// GUICost is the display compute per result.
+	GUICost time.Duration
+	// NoiseSigma is the log-normal execution-noise σ.
+	NoiseSigma float64
+}
+
+// DefaultTiming makes the high-fidelity tracker the bottleneck, ~4× the
+// low-fidelity rate.
+func DefaultTiming() Timing {
+	return Timing{
+		CameraPeriod: 33 * time.Millisecond,
+		DigitizeCost: 6 * time.Millisecond,
+		LowFiCost:    45 * time.Millisecond,
+		DecisionCost: 8 * time.Millisecond,
+		HighFiCost:   170 * time.Millisecond,
+		GUICost:      15 * time.Millisecond,
+		NoiseSigma:   0.10,
+	}
+}
+
+// Sizes holds the per-item logical sizes.
+type Sizes struct {
+	Frame, LowFiRecord, DecisionRecord, HighFiRecord int64
+}
+
+// DefaultSizes mirrors the tracker's frame size with small records.
+func DefaultSizes() Sizes {
+	return Sizes{Frame: 738 << 10, LowFiRecord: 4 << 10, DecisionRecord: 256, HighFiRecord: 2 << 10}
+}
+
+// Config assembles one kiosk run.
+type Config struct {
+	// Seed drives the synthetic randomness.
+	Seed int64
+	// Policy is the ARU policy under test.
+	Policy core.Policy
+	// InterestRate is the fraction of low-fi records the Decision task
+	// forwards as decision records (default 0.5).
+	InterestRate float64
+	// Timing and Sizes default via DefaultTiming/DefaultSizes.
+	Timing Timing
+	Sizes  Sizes
+	// Collector defaults to DGC.
+	Collector gc.Collector
+	// QueueCapacity optionally bounds the decision queue (0 = unbounded,
+	// exposing the growth pathology ARU fixes).
+	QueueCapacity int
+	// BusBytesPerSec defaults to the tracker's calibrated bus.
+	BusBytesPerSec float64
+	// DecisionAwareCompressor installs a user-defined compression
+	// operator on the Decision node (§3.3.2's application-supplied
+	// functions): because Decision forwards only InterestRate of its
+	// inputs, it can sustain a period of InterestRate × its consumer's
+	// period without flooding the queue. Plain min over-throttles the
+	// front of the pipeline by 1/InterestRate; the custom operator
+	// recovers that throughput while keeping the queue bounded.
+	DecisionAwareCompressor bool
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.InterestRate <= 0 || cfg.InterestRate > 1 {
+		cfg.InterestRate = 0.5
+	}
+	if cfg.Timing == (Timing{}) {
+		cfg.Timing = DefaultTiming()
+	}
+	if cfg.Sizes == (Sizes{}) {
+		cfg.Sizes = DefaultSizes()
+	}
+	if cfg.Collector == nil {
+		cfg.Collector = gc.NewDeadTimestamp()
+	}
+	if cfg.BusBytesPerSec == 0 {
+		cfg.BusBytesPerSec = 120e6
+	}
+	return cfg
+}
+
+// App is a built kiosk application.
+type App struct {
+	cfg      Config
+	Runtime  *runtime.Runtime
+	Recorder *trace.Recorder
+	// DecisionQueue exposes the queue for occupancy assertions.
+	DecisionQueue *runtime.QueueRef
+}
+
+// LowFiRecord is the cheap tracker's output payload.
+type LowFiRecord struct {
+	FrameTS  vt.Timestamp
+	Activity float64
+}
+
+// DecisionRecord is the decision task's output payload.
+type DecisionRecord struct {
+	FrameTS  vt.Timestamp
+	Priority float64
+}
+
+// HighFiRecord is the expensive tracker's output payload.
+type HighFiRecord struct {
+	FrameTS vt.Timestamp
+	Detail  float64
+}
+
+// New builds the Figure 1 pipeline on a discrete-event clock.
+func New(cfg Config) (*App, error) {
+	cfg = cfg.withDefaults()
+	if cfg.DecisionAwareCompressor && cfg.Policy.Enabled {
+		rate := cfg.InterestRate
+		inner := cfg.Policy.Compressor
+		if inner == nil {
+			inner = core.Min
+		}
+		if cfg.Policy.PerNode == nil {
+			cfg.Policy.PerNode = map[string]core.Compressor{}
+		}
+		cfg.Policy.PerNode["decision"] = core.Func{
+			FuncName: fmt.Sprintf("rate-scaled(%s,%.2f)", inner.Name(), rate),
+			Fn: func(vec []core.STP) core.STP {
+				v := inner.Compress(vec)
+				if !v.Known() {
+					return v
+				}
+				return core.STP(float64(v) * rate)
+			},
+		}
+	}
+	clk := clock.NewVirtual()
+	cluster := transport.NewCluster(clk, transport.ClusterSpec{
+		Hosts: 1, BusBytesPerSec: cfg.BusBytesPerSec,
+	})
+	rec := trace.NewRecorder()
+	rt := runtime.New(runtime.Options{
+		Clock: clk, Cluster: cluster, Collector: cfg.Collector,
+		ARU: cfg.Policy, Recorder: rec,
+	})
+	app := &App{cfg: cfg, Runtime: rt, Recorder: rec}
+	if err := app.build(); err != nil {
+		return nil, err
+	}
+	return app, nil
+}
+
+func (a *App) build() error {
+	cfg := a.cfg
+	rt := a.Runtime
+	tm := cfg.Timing
+	sz := cfg.Sizes
+
+	framesLow, err := rt.AddChannel("frames-lowfi", 0)
+	if err != nil {
+		return err
+	}
+	framesHigh := rt.MustAddChannel("frames-highfi", 0)
+	lowRecords := rt.MustAddChannel("lowfi-records", 0)
+	decisions := rt.MustAddQueue("decision-records", 0, runtime.WithQueueCapacity(cfg.QueueCapacity))
+	highRecords := rt.MustAddChannel("highfi-records", 0)
+	a.DecisionQueue = decisions
+
+	noise := func(rng *rand.Rand) float64 {
+		if tm.NoiseSigma <= 0 {
+			return 1
+		}
+		return math.Exp(rng.NormFloat64() * tm.NoiseSigma)
+	}
+	scale := func(d time.Duration, f float64) time.Duration {
+		return time.Duration(float64(d) * f)
+	}
+
+	digitizer := rt.MustAddThread("digitizer", 0, func(ctx *runtime.Ctx) error {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		outs := ctx.Outs()
+		for ts := vt.Timestamp(1); !ctx.Stopped(); ts++ {
+			ctx.Compute(scale(tm.DigitizeCost, noise(rng)))
+			for _, out := range outs {
+				if err := ctx.Put(out, ts, nil, sz.Frame); err != nil {
+					return err
+				}
+			}
+			ctx.Idle(tm.CameraPeriod - ctx.Elapsed())
+			ctx.Sync()
+		}
+		return nil
+	})
+
+	lowfi := rt.MustAddThread("lowfi-tracker", 0, func(ctx *runtime.Ctx) error {
+		rng := rand.New(rand.NewSource(cfg.Seed + 1))
+		in := ctx.Ins()[0]
+		out := ctx.Outs()[0]
+		for {
+			msg, err := ctx.GetLatest(in)
+			if err != nil {
+				return err
+			}
+			ctx.Compute(scale(tm.LowFiCost, noise(rng)))
+			rec := LowFiRecord{FrameTS: msg.TS, Activity: rng.Float64()}
+			if err := ctx.Put(out, msg.TS, rec, sz.LowFiRecord); err != nil {
+				return err
+			}
+			ctx.Sync()
+		}
+	})
+
+	decision := rt.MustAddThread("decision", 0, func(ctx *runtime.Ctx) error {
+		rng := rand.New(rand.NewSource(cfg.Seed + 2))
+		in := ctx.Ins()[0]
+		out := ctx.Outs()[0]
+		for {
+			msg, err := ctx.GetLatest(in)
+			if err != nil {
+				return err
+			}
+			ctx.Compute(scale(tm.DecisionCost, noise(rng)))
+			low := msg.Payload.(LowFiRecord)
+			if low.Activity < cfg.InterestRate { // interesting: escalate
+				rec := DecisionRecord{FrameTS: low.FrameTS, Priority: 1 - low.Activity}
+				if err := ctx.Put(out, msg.TS, rec, sz.DecisionRecord); err != nil {
+					return err
+				}
+			}
+			ctx.Sync()
+		}
+	})
+
+	highfi := rt.MustAddThread("highfi-tracker", 0, func(ctx *runtime.Ctx) error {
+		rng := rand.New(rand.NewSource(cfg.Seed + 3))
+		ins := ctx.Ins() // [decision queue, frames]
+		out := ctx.Outs()[0]
+		for {
+			rec, err := ctx.GetQueue(ins[0]) // every decision is honored
+			if err != nil {
+				return err
+			}
+			if _, err := ctx.GetLatest(ins[1]); err != nil { // freshest frame
+				return err
+			}
+			ctx.Compute(scale(tm.HighFiCost, noise(rng)))
+			hi := HighFiRecord{FrameTS: rec.Payload.(DecisionRecord).FrameTS, Detail: rng.Float64()}
+			if err := ctx.Put(out, rec.TS, hi, sz.HighFiRecord); err != nil {
+				return err
+			}
+			ctx.Sync()
+		}
+	})
+
+	gui := rt.MustAddThread("gui", 0, func(ctx *runtime.Ctx) error {
+		rng := rand.New(rand.NewSource(cfg.Seed + 4))
+		in := ctx.Ins()[0]
+		for {
+			if _, err := ctx.GetLatest(in); err != nil {
+				return err
+			}
+			ctx.Compute(scale(tm.GUICost, noise(rng)))
+			ctx.Emit()
+			ctx.Sync()
+		}
+	})
+
+	digitizer.MustOutput(framesLow)
+	digitizer.MustOutput(framesHigh)
+	lowfi.MustInput(framesLow)
+	lowfi.MustOutput(lowRecords)
+	decision.MustInput(lowRecords)
+	decision.MustOutput(decisions)
+	highfi.MustInput(decisions)
+	highfi.MustInput(framesHigh)
+	highfi.MustOutput(highRecords)
+	gui.MustInput(highRecords)
+
+	return nil
+}
+
+// Run executes the kiosk for d of virtual time and analyzes the window
+// after warmup.
+func (a *App) Run(d, warmup time.Duration) (*trace.Analysis, error) {
+	if warmup >= d {
+		return nil, fmt.Errorf("kiosk: warmup %v must be shorter than run %v", warmup, d)
+	}
+	if err := a.Runtime.RunFor(d); err != nil {
+		return nil, err
+	}
+	return trace.Analyze(a.Recorder, trace.AnalyzeOptions{From: warmup, To: d})
+}

@@ -1,0 +1,244 @@
+// Package queue implements the Stampede queue abstraction: a timestamped
+// FIFO buffer. Unlike channels — where every consumer connection sees
+// every item and may skip stale ones — a queue hands each item to exactly
+// one consumer, in put order: the work-queue pattern used for records that
+// must not be lost (the tracker pipeline's decision records in Figure 1).
+//
+// Queues participate in ARU exactly like channels: they are graph nodes
+// with a backwardSTP vector and relay summary-STP feedback between their
+// consumers and producers; they merely have trivial garbage-collection
+// behaviour (an item is reclaimed the moment it is dequeued).
+package queue
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/graph"
+	"repro/internal/trace"
+	"repro/internal/vt"
+)
+
+// Errors returned by queue operations.
+var (
+	// ErrClosed reports an operation on a closed queue.
+	ErrClosed = errors.New("queue: closed")
+	// ErrNotAttached reports use of an unattached connection.
+	ErrNotAttached = errors.New("queue: connection not attached")
+)
+
+// Item is one queued element.
+type Item struct {
+	// TS is the producer-assigned virtual timestamp.
+	TS vt.Timestamp
+	// Payload is the application data.
+	Payload any
+	// Size is the logical size in bytes.
+	Size int64
+	// ID is the trace identity.
+	ID trace.ItemID
+}
+
+// Config configures a queue.
+type Config struct {
+	// Name is the queue's system-wide unique name.
+	Name string
+	// Node is the queue's task-graph identity.
+	Node graph.NodeID
+	// Clock supplies time for blocking measurement and free events.
+	Clock clock.Clock
+	// Capacity bounds queued items; Put blocks while full. Zero means
+	// unbounded.
+	Capacity int
+	// OnFree, if non-nil, observes each item as it is dequeued (its
+	// storage leaves the queue).
+	OnFree func(it *Item, at time.Duration)
+}
+
+// Queue is a FIFO of timestamped items, safe for concurrent use.
+type Queue struct {
+	cfg Config
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	items     []*Item
+	consumers map[graph.ConnID]bool
+	producers map[graph.ConnID]bool
+	closed    bool
+	puts      int64
+	liveBytes int64
+	lastDeq   vt.Timestamp
+}
+
+// New creates a queue.
+func New(cfg Config) *Queue {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.NewReal()
+	}
+	q := &Queue{
+		cfg:       cfg,
+		consumers: make(map[graph.ConnID]bool),
+		producers: make(map[graph.ConnID]bool),
+		lastDeq:   vt.None,
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// wait parks the caller on the queue's condition variable, telling a
+// discrete-event clock (if one is in use) that the goroutine is blocked
+// so virtual time may advance.
+func (q *Queue) wait() {
+	if b, ok := q.cfg.Clock.(clock.Blocker); ok {
+		b.BlockEnter()
+		q.cond.Wait()
+		b.BlockExit()
+		return
+	}
+	q.cond.Wait()
+}
+
+// Name returns the queue's name.
+func (q *Queue) Name() string { return q.cfg.Name }
+
+// Node returns the queue's task-graph id.
+func (q *Queue) Node() graph.NodeID { return q.cfg.Node }
+
+// AttachProducer registers an output connection.
+func (q *Queue) AttachProducer(conn graph.ConnID) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.producers[conn] = true
+}
+
+// AttachConsumer registers an input connection.
+func (q *Queue) AttachConsumer(conn graph.ConnID) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.consumers[conn] = true
+}
+
+// Put enqueues an item, blocking while a bounded queue is full. The
+// returned duration is time spent blocked.
+func (q *Queue) Put(conn graph.ConnID, it *Item) (time.Duration, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.producers[conn] {
+		return 0, fmt.Errorf("%w: producer %d on %q", ErrNotAttached, conn, q.cfg.Name)
+	}
+	var blocked time.Duration
+	if q.cfg.Capacity > 0 {
+		start := q.cfg.Clock.Now()
+		for !q.closed && len(q.items) >= q.cfg.Capacity {
+			q.wait()
+		}
+		blocked = q.cfg.Clock.Now() - start
+	}
+	if q.closed {
+		return blocked, ErrClosed
+	}
+	q.items = append(q.items, it)
+	q.liveBytes += it.Size
+	q.puts++
+	q.cond.Broadcast()
+	return blocked, nil
+}
+
+// GetResult is the outcome of a dequeue.
+type GetResult struct {
+	// Item is the dequeued element.
+	Item *Item
+	// Blocked is the time spent waiting for work.
+	Blocked time.Duration
+}
+
+// Get dequeues the oldest item, blocking until one is available. A closed
+// queue drains remaining items before reporting ErrClosed.
+func (q *Queue) Get(conn graph.ConnID) (GetResult, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.consumers[conn] {
+		return GetResult{}, fmt.Errorf("%w: consumer %d on %q", ErrNotAttached, conn, q.cfg.Name)
+	}
+	start := q.cfg.Clock.Now()
+	for {
+		if len(q.items) > 0 {
+			it := q.items[0]
+			q.items = q.items[1:]
+			q.liveBytes -= it.Size
+			if it.TS > q.lastDeq {
+				q.lastDeq = it.TS
+			}
+			if q.cfg.OnFree != nil {
+				q.cfg.OnFree(it, q.cfg.Clock.Now())
+			}
+			q.cond.Broadcast() // capacity waiters
+			return GetResult{Item: it, Blocked: q.cfg.Clock.Now() - start}, nil
+		}
+		if q.closed {
+			return GetResult{Blocked: q.cfg.Clock.Now() - start}, ErrClosed
+		}
+		q.wait()
+	}
+}
+
+// Close marks the queue closed; consumers drain remaining items, then see
+// ErrClosed. Undequeued items at close are reported to OnFree as
+// reclaimed.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// Drain discards all queued items, reporting each to OnFree. It is used
+// at shutdown to account remaining storage.
+func (q *Queue) Drain() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := len(q.items)
+	for _, it := range q.items {
+		q.liveBytes -= it.Size
+		if q.cfg.OnFree != nil {
+			q.cfg.OnFree(it, q.cfg.Clock.Now())
+		}
+	}
+	q.items = nil
+	q.cond.Broadcast()
+	return n
+}
+
+// Closed reports whether Close has been called.
+func (q *Queue) Closed() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed
+}
+
+// Occupancy returns the current queued item count and bytes.
+func (q *Queue) Occupancy() (items int, bytes int64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items), q.liveBytes
+}
+
+// Puts returns the cumulative number of enqueued items.
+func (q *Queue) Puts() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.puts
+}
+
+// LastDequeued returns the highest timestamp dequeued so far, or vt.None.
+func (q *Queue) LastDequeued() vt.Timestamp {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.lastDeq
+}

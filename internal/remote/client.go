@@ -1,0 +1,170 @@
+package remote
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/vt"
+)
+
+// ErrClosed reports that the remote channel or server shut down.
+var ErrClosed = errors.New("remote: closed")
+
+// conn is one attached TCP connection speaking the request/response
+// protocol. It is safe for concurrent use, serializing requests.
+type conn struct {
+	mu  sync.Mutex
+	nc  net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+func dial(addr string) (*conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("remote: dial %s: %w", addr, err)
+	}
+	return &conn{nc: nc, enc: gob.NewEncoder(nc), dec: gob.NewDecoder(nc)}, nil
+}
+
+// call performs one request/response round trip.
+func (c *conn) call(req *Request) (Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return Response{}, fmt.Errorf("remote: send: %w", err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return Response{}, fmt.Errorf("remote: receive: %w", err)
+	}
+	if resp.Err == ErrClosedText {
+		return resp, ErrClosed
+	}
+	if resp.Err != "" {
+		return resp, errors.New(resp.Err)
+	}
+	return resp, nil
+}
+
+func (c *conn) close() error { return c.nc.Close() }
+
+// Producer is a remote producer connection to one channel.
+type Producer struct {
+	c *conn
+	// Summary holds the channel's latest summary-STP, refreshed by each
+	// Put's piggybacked reply — the feedback a producing thread folds
+	// into its own backwardSTP vector.
+	mu      sync.Mutex
+	summary core.STP
+}
+
+// DialProducer attaches a new producer connection to the named channel on
+// the server at addr.
+func DialProducer(addr, channel string) (*Producer, error) {
+	c, err := dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.call(&Request{Op: OpAttachProducer, Channel: channel}); err != nil {
+		c.close()
+		return nil, err
+	}
+	return &Producer{c: c}, nil
+}
+
+// Put inserts an item and returns the channel's summary-STP piggybacked
+// on the reply.
+func (p *Producer) Put(ts vt.Timestamp, payload []byte, size int64) (core.STP, error) {
+	resp, err := p.c.call(&Request{Op: OpPut, TS: ts, Payload: payload, Size: size})
+	if err != nil {
+		return core.Unknown, err
+	}
+	p.mu.Lock()
+	p.summary = resp.SummarySTP
+	p.mu.Unlock()
+	return resp.SummarySTP, nil
+}
+
+// Summary returns the channel's last piggybacked summary-STP.
+func (p *Producer) Summary() core.STP {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.summary
+}
+
+// Close releases the connection.
+func (p *Producer) Close() error { return p.c.close() }
+
+// Consumer is a remote consumer connection to one channel.
+type Consumer struct {
+	c *conn
+}
+
+// DialConsumer attaches a new consumer connection to the named channel on
+// the server at addr.
+func DialConsumer(addr, channel string) (*Consumer, error) {
+	c, err := dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.call(&Request{Op: OpAttachConsumer, Channel: channel}); err != nil {
+		c.close()
+		return nil, err
+	}
+	return &Consumer{c: c}, nil
+}
+
+// Item is one consumed remote item.
+type Item struct {
+	TS      vt.Timestamp
+	Payload []byte
+	Size    int64
+	// SkippedTS lists the stale timestamps this consumer passed over.
+	SkippedTS []vt.Timestamp
+}
+
+// GetLatest blocks until an unseen item is available and consumes the
+// freshest one. summary piggybacks the consumer's summary-STP to the
+// channel (pass core.Unknown if the consumer has none yet).
+func (c *Consumer) GetLatest(summary core.STP) (Item, error) {
+	resp, err := c.c.call(&Request{Op: OpGetLatest, SummarySTP: summary})
+	if err != nil {
+		return Item{}, err
+	}
+	return Item{TS: resp.TS, Payload: resp.Payload, Size: resp.Size, SkippedTS: resp.SkippedTS}, nil
+}
+
+// TryGetLatest is the non-blocking variant; ok is false when nothing
+// fresh exists.
+func (c *Consumer) TryGetLatest(summary core.STP) (Item, bool, error) {
+	resp, err := c.c.call(&Request{Op: OpTryGetLatest, SummarySTP: summary})
+	if err != nil {
+		return Item{}, false, err
+	}
+	if !resp.OK {
+		return Item{}, false, nil
+	}
+	return Item{TS: resp.TS, Payload: resp.Payload, Size: resp.Size, SkippedTS: resp.SkippedTS}, true, nil
+}
+
+// Close releases the connection.
+func (c *Consumer) Close() error { return c.c.close() }
+
+// Stats queries a channel's occupancy over a fresh connection.
+func Stats(addr, channel string) (items int, bytes int64, err error) {
+	c, err := dial(addr)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer c.close()
+	resp, err := c.call(&Request{Op: OpStats, Channel: channel})
+	if err != nil {
+		return 0, 0, err
+	}
+	return resp.Items, resp.Bytes, nil
+}

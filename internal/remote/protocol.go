@@ -1,0 +1,89 @@
+// Package remote makes Stampede channels reachable over real TCP sockets,
+// so a pipeline can genuinely span processes and machines (the paper's
+// Stampede is a cluster programming library; §5's configuration 2 runs
+// each task on its own node).
+//
+// A Server hosts named channels. Remote threads attach producer or
+// consumer connections and then put/get items over the wire; summary-STP
+// feedback is piggybacked on exactly those messages, as in the paper: a
+// consumer's get carries its summary-STP to the channel, and a producer's
+// put returns the channel's compressed summary-STP with the reply.
+//
+// The wire protocol is length-free gob streams: each attached connection
+// owns one TCP connection carrying a strict request/response alternation,
+// so a blocking GetLatest simply leaves the reply pending. Payloads are
+// opaque byte slices; callers serialize their own data.
+package remote
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/vt"
+)
+
+// Op is a protocol request kind.
+type Op uint8
+
+// Protocol operations.
+const (
+	// OpAttachProducer binds this TCP connection as a producer of the
+	// named channel.
+	OpAttachProducer Op = iota + 1
+	// OpAttachConsumer binds this TCP connection as a consumer.
+	OpAttachConsumer
+	// OpPut inserts an item (producer connections only).
+	OpPut
+	// OpGetLatest blocks for the freshest unseen item (consumers only).
+	OpGetLatest
+	// OpTryGetLatest is the non-blocking variant.
+	OpTryGetLatest
+	// OpStats reports channel occupancy.
+	OpStats
+	// OpDetach releases the connection's attachment.
+	OpDetach
+)
+
+// Request is one client→server message.
+type Request struct {
+	Op      Op
+	Channel string
+	// TS is the item timestamp (OpPut).
+	TS vt.Timestamp
+	// Payload carries opaque item bytes (OpPut).
+	Payload []byte
+	// Size is the item's logical size for accounting; if zero on put,
+	// len(Payload) is used.
+	Size int64
+	// SummarySTP piggybacks the sender's summary-STP (OpGetLatest /
+	// OpTryGetLatest: consumer → channel feedback).
+	SummarySTP core.STP
+}
+
+// Response is one server→client message.
+type Response struct {
+	// Err is a non-empty error string on failure. ErrClosed maps to
+	// "closed" so clients can detect shutdown.
+	Err string
+	// OK distinguishes "no fresh item" on OpTryGetLatest.
+	OK bool
+	// TS, Payload, Size describe the returned item.
+	TS      vt.Timestamp
+	Payload []byte
+	Size    int64
+	// SkippedTS lists timestamps this consumer passed over.
+	SkippedTS []vt.Timestamp
+	// SummarySTP piggybacks the channel's summary-STP (OpPut reply:
+	// channel → producer feedback).
+	SummarySTP core.STP
+	// Items/Bytes report occupancy (OpStats).
+	Items int
+	Bytes int64
+}
+
+// ErrClosedText is the canonical Err value for a closed channel or
+// server.
+const ErrClosedText = "closed"
+
+// dialTimeout bounds connection establishment.
+const dialTimeout = 5 * time.Second

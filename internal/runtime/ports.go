@@ -1,0 +1,111 @@
+package runtime
+
+import (
+	"repro/internal/graph"
+)
+
+// endpoint is a buffer node a thread can connect to (channel or queue).
+type endpoint interface {
+	nodeID() graph.NodeID
+	nodeHost() int
+	nodeName() string
+}
+
+// ChannelRef names a declared channel during graph construction.
+type ChannelRef struct {
+	rt       *Runtime
+	id       graph.NodeID
+	name     string
+	host     int
+	capacity int
+}
+
+func (c *ChannelRef) nodeID() graph.NodeID { return c.id }
+func (c *ChannelRef) nodeHost() int        { return c.host }
+func (c *ChannelRef) nodeName() string     { return c.name }
+
+// ID returns the channel's task-graph id.
+func (c *ChannelRef) ID() graph.NodeID { return c.id }
+
+// Name returns the channel's name.
+func (c *ChannelRef) Name() string { return c.name }
+
+// Host returns the channel's placement.
+func (c *ChannelRef) Host() int { return c.host }
+
+// ChannelOption customizes a channel declaration.
+type ChannelOption func(*ChannelRef)
+
+// WithCapacity bounds the channel's live items; producers block while it
+// is full. Zero (the default) is unbounded, Stampede's behaviour and the
+// precondition for the paper's footprint measurements.
+func WithCapacity(n int) ChannelOption {
+	return func(c *ChannelRef) { c.capacity = n }
+}
+
+// QueueRef names a declared queue during graph construction.
+type QueueRef struct {
+	rt       *Runtime
+	id       graph.NodeID
+	name     string
+	host     int
+	capacity int
+}
+
+func (q *QueueRef) nodeID() graph.NodeID { return q.id }
+func (q *QueueRef) nodeHost() int        { return q.host }
+func (q *QueueRef) nodeName() string     { return q.name }
+
+// ID returns the queue's task-graph id.
+func (q *QueueRef) ID() graph.NodeID { return q.id }
+
+// Name returns the queue's name.
+func (q *QueueRef) Name() string { return q.name }
+
+// Host returns the queue's placement.
+func (q *QueueRef) Host() int { return q.host }
+
+// QueueOption customizes a queue declaration.
+type QueueOption func(*QueueRef)
+
+// WithQueueCapacity bounds the queue's occupancy.
+func WithQueueCapacity(n int) QueueOption {
+	return func(q *QueueRef) { q.capacity = n }
+}
+
+// OutPort is a thread's output connection to a buffer.
+type OutPort struct {
+	thread *Thread
+	target endpoint
+	conn   graph.ConnID
+}
+
+// Conn returns the port's connection id.
+func (p *OutPort) Conn() graph.ConnID { return p.conn }
+
+// Target returns the connected buffer's node id.
+func (p *OutPort) Target() graph.NodeID { return p.target.nodeID() }
+
+// InPort is a thread's input connection from a buffer.
+type InPort struct {
+	thread *Thread
+	source endpoint
+	conn   graph.ConnID
+	// window is the sliding-window width for channel inputs (≥1).
+	window int
+}
+
+// Window returns the port's sliding-window width (1 for ordinary
+// consumers).
+func (p *InPort) Window() int {
+	if p.window < 1 {
+		return 1
+	}
+	return p.window
+}
+
+// Conn returns the port's connection id.
+func (p *InPort) Conn() graph.ConnID { return p.conn }
+
+// Source returns the connected buffer's node id.
+func (p *InPort) Source() graph.NodeID { return p.source.nodeID() }

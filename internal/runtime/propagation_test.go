@@ -1,0 +1,125 @@
+package runtime
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/vt"
+)
+
+// TestFeedbackPropagationDelay validates the paper's §3.3.2 claim about
+// reaction time: "The worst case propagation time for a summary-STP value
+// to reach the producer from the last consumer in the pipeline is equal
+// to the time it takes for an item to be processed and be emitted by the
+// application (i.e., latency)" — because summaries hop one stage backwards
+// per put/get.
+//
+// Setup: src → C1 → mid → C2 → sink, everything fast (~10 ms latency).
+// Mid-run the sink slows from 10 ms to 80 ms. The source's summary-STP
+// must reflect ~80 ms within a few pipeline latencies, not within some
+// global epoch.
+func TestFeedbackPropagationDelay(t *testing.T) {
+	rec := trace.NewRecorder()
+	rt := New(Options{Clock: fastClock(), ARU: core.PolicyMin(), Recorder: rec})
+	c1 := rt.MustAddChannel("C1", 0)
+	c2 := rt.MustAddChannel("C2", 0)
+
+	var slow atomic.Bool
+	var adaptedAt atomic.Int64 // runtime ns when the source first saw ≥60ms
+	adaptedAt.Store(-1)
+
+	src := rt.MustAddThread("src", 0, func(ctx *Ctx) error {
+		for ts := vt.Timestamp(1); !ctx.Stopped(); ts++ {
+			ctx.Compute(2 * time.Millisecond)
+			if err := ctx.Put(ctx.Outs()[0], ts, nil, 10); err != nil {
+				return err
+			}
+			ctx.Sync()
+			if adaptedAt.Load() < 0 {
+				if target := rt.Controller().TargetPeriod(ctx.thread.id); target.Known() && target.Duration() >= 60*time.Millisecond {
+					adaptedAt.Store(int64(rt.Clock().Now()))
+				}
+			}
+		}
+		return nil
+	})
+	mid := rt.MustAddThread("mid", 0, func(ctx *Ctx) error {
+		for {
+			msg, err := ctx.GetLatest(ctx.Ins()[0])
+			if err != nil {
+				return err
+			}
+			ctx.Compute(3 * time.Millisecond)
+			if err := ctx.Put(ctx.Outs()[0], msg.TS, nil, 10); err != nil {
+				return err
+			}
+			ctx.Sync()
+		}
+	})
+	sink := rt.MustAddThread("sink", 0, func(ctx *Ctx) error {
+		for {
+			if _, err := ctx.GetLatest(ctx.Ins()[0]); err != nil {
+				return err
+			}
+			if slow.Load() {
+				ctx.Compute(80 * time.Millisecond)
+			} else {
+				ctx.Compute(10 * time.Millisecond)
+			}
+			ctx.Emit()
+			ctx.Sync()
+		}
+	})
+	src.MustOutput(c1)
+	mid.MustInput(c1)
+	mid.MustOutput(c2)
+	sink.MustInput(c2)
+
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Let the pipeline reach steady state, then flip the sink slow.
+	waitVirtual(t, rt, 300*time.Millisecond)
+	slowAt := rt.Clock().Now()
+	slow.Store(true)
+	waitVirtual(t, rt, 1200*time.Millisecond)
+	rt.Stop()
+	if err := rt.Wait(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := adaptedAt.Load()
+	if got < 0 {
+		t.Fatal("source never adapted to the slowed sink")
+	}
+	delay := time.Duration(got) - slowAt
+	// Pipeline latency here is a few tens of ms at steady state; after
+	// the slowdown, one full item traversal costs ≲ 100 ms. The paper's
+	// bound says the feedback needs roughly one traversal (plus the
+	// stage periods for the next put/get to happen). Allow 5×, reject
+	// an order of magnitude.
+	if delay > 500*time.Millisecond {
+		t.Fatalf("feedback took %v to reach the source; §3.3.2 bounds it by ~pipeline latency", delay)
+	}
+	if delay <= 0 {
+		t.Fatalf("nonsensical adaptation delay %v", delay)
+	}
+	t.Logf("source adapted %v after the sink slowed", delay)
+}
+
+// waitVirtual sleeps d of runtime (virtual) time from a non-thread
+// goroutine, registering with a discrete-event clock if present.
+func waitVirtual(t *testing.T, rt *Runtime, d time.Duration) {
+	t.Helper()
+	type registrar interface{ Add(int) }
+	if reg, ok := rt.Clock().(registrar); ok {
+		reg.Add(1)
+		rt.Clock().Sleep(d)
+		reg.Add(-1)
+		return
+	}
+	rt.Clock().Sleep(d)
+}

@@ -1,0 +1,215 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/vt"
+)
+
+// TestARUFeedbackThroughQueue verifies that queues relay summary-STP
+// feedback exactly like channels (§3.3.2: "a node may either be a thread,
+// channel, or a queue"): a fast producer feeding a slow consumer through
+// a queue must throttle to the consumer's period.
+func TestARUFeedbackThroughQueue(t *testing.T) {
+	run := func(policy core.Policy) (produced int64, consumed int64) {
+		rec := trace.NewRecorder()
+		rt := New(Options{Clock: fastClock(), ARU: policy, Recorder: rec})
+		q := rt.MustAddQueue("Q", 0)
+		src := rt.MustAddThread("src", 0, func(ctx *Ctx) error {
+			for ts := vt.Timestamp(1); !ctx.Stopped(); ts++ {
+				ctx.Compute(2 * time.Millisecond)
+				if err := ctx.Put(ctx.Outs()[0], ts, nil, 100); err != nil {
+					return err
+				}
+				produced++
+				ctx.Sync()
+			}
+			return nil
+		})
+		sink := rt.MustAddThread("sink", 0, func(ctx *Ctx) error {
+			for {
+				if _, err := ctx.GetQueue(ctx.Ins()[0]); err != nil {
+					return err
+				}
+				consumed++
+				ctx.Compute(20 * time.Millisecond)
+				ctx.Emit()
+				ctx.Sync()
+			}
+		})
+		src.MustOutput(q)
+		sink.MustInput(q)
+		if err := rt.RunFor(time.Second); err != nil {
+			t.Fatal(err)
+		}
+		return produced, consumed
+	}
+
+	prodOff, _ := run(core.PolicyOff())
+	prodMin, consMin := run(core.PolicyMin())
+
+	// Without ARU the 2ms producer runs ~10x the 20ms consumer.
+	if prodOff < 300 {
+		t.Fatalf("unthrottled producer made only %d items", prodOff)
+	}
+	// With ARU the queue relays the sink's ~20ms summary back: the
+	// producer must land near the consumer rate (within 2x).
+	if prodMin > 2*consMin+5 {
+		t.Fatalf("queue did not relay feedback: produced %d vs consumed %d", prodMin, consMin)
+	}
+	if prodMin >= prodOff/3 {
+		t.Fatalf("ARU-min through a queue barely throttled: %d vs %d unthrottled", prodMin, prodOff)
+	}
+}
+
+// TestQueueBackpressureWithCapacity: a bounded queue throttles the
+// producer by blocking puts whether or not ARU is on. (Pacing does not
+// displace blocking once the queue is full: the throttle sleeps only for
+// whatever part of the target period blocking did not already consume,
+// so a full queue stays the equilibrium. ARU's job is preventing the
+// *unbounded* buffering of the paper's channels, not replacing
+// backpressure.)
+func TestQueueBackpressureWithCapacity(t *testing.T) {
+	run := func(policy core.Policy) time.Duration {
+		rec := trace.NewRecorder()
+		rt := New(Options{Clock: fastClock(), ARU: policy, Recorder: rec})
+		q := rt.MustAddQueue("Q", 0, WithQueueCapacity(3))
+		src := rt.MustAddThread("src", 0, func(ctx *Ctx) error {
+			for ts := vt.Timestamp(1); !ctx.Stopped(); ts++ {
+				ctx.Compute(time.Millisecond)
+				if err := ctx.Put(ctx.Outs()[0], ts, nil, 10); err != nil {
+					return err
+				}
+				ctx.Sync()
+			}
+			return nil
+		})
+		sink := rt.MustAddThread("sink", 0, func(ctx *Ctx) error {
+			for {
+				if _, err := ctx.GetQueue(ctx.Ins()[0]); err != nil {
+					return err
+				}
+				ctx.Compute(15 * time.Millisecond)
+				ctx.Sync()
+			}
+		})
+		src.MustOutput(q)
+		sink.MustInput(q)
+		if err := rt.RunFor(time.Second); err != nil {
+			t.Fatal(err)
+		}
+		var blocked time.Duration
+		for _, ev := range rec.Events() {
+			if ev.Kind == trace.EvIter && ev.Thread == src.ID() {
+				blocked += ev.Blocked
+			}
+		}
+		return blocked
+	}
+
+	blockedOff := run(core.PolicyOff())
+	blockedMin := run(core.PolicyMin())
+	if blockedOff < 400*time.Millisecond {
+		t.Fatalf("bounded queue must backpressure the producer; blocked only %v", blockedOff)
+	}
+	// ARU must coexist with backpressure: same steady-state rate, and no
+	// pathological extra blocking.
+	if blockedMin > blockedOff*3/2 {
+		t.Fatalf("ARU increased blocking: %v vs %v", blockedMin, blockedOff)
+	}
+}
+
+// TestGetWindowRuntime drives a sliding-window input end to end: the
+// recognizer sees consecutive trailing frames and provenance marks
+// window members successful.
+func TestGetWindowRuntime(t *testing.T) {
+	rec := trace.NewRecorder()
+	rt := New(Options{Clock: fastClock(), Recorder: rec})
+	frames := rt.MustAddChannel("frames", 0)
+	src := rt.MustAddThread("cam", 0, func(ctx *Ctx) error {
+		for ts := vt.Timestamp(1); !ctx.Stopped(); ts++ {
+			ctx.Compute(5 * time.Millisecond)
+			if err := ctx.Put(ctx.Outs()[0], ts, int(ts), 100); err != nil {
+				return err
+			}
+			ctx.Sync()
+		}
+		return nil
+	})
+	var spans []int
+	sink := rt.MustAddThread("recog", 0, func(ctx *Ctx) error {
+		in := ctx.Ins()[0]
+		for {
+			head, window, err := ctx.GetWindow(in)
+			if err != nil {
+				return err
+			}
+			spans = append(spans, len(window)+1)
+			// Window members strictly precede the head, in order.
+			last := vt.None
+			for _, m := range window {
+				if m.TS <= last || m.TS >= head.TS {
+					t.Errorf("window member %v out of order (head %v)", m.TS, head.TS)
+				}
+				last = m.TS
+			}
+			ctx.Compute(25 * time.Millisecond)
+			ctx.Emit()
+			ctx.Sync()
+		}
+	})
+	src.MustOutput(frames)
+	sink.MustInputWindow(frames, 4)
+
+	if err := rt.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) < 10 {
+		t.Fatalf("only %d iterations", len(spans))
+	}
+	grew := 0
+	for _, s := range spans {
+		if s > 1 {
+			grew++
+		}
+		if s > 4 {
+			t.Fatalf("span %d exceeds window width 4", s)
+		}
+	}
+	if grew == 0 {
+		t.Fatal("window never contained trailing items")
+	}
+	a, err := trace.Analyze(rec, trace.AnalyzeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The 5ms producer outruns a 25ms consumer: without a window most
+	// items would be wasted; width 4 means up to 4 of every ~5 are used.
+	if a.WastedMemPct > 40 {
+		t.Errorf("wasted %.1f%%; window members must count as used", a.WastedMemPct)
+	}
+}
+
+// TestInputWindowValidation rejects bad widths and non-channel sources.
+func TestInputWindowValidation(t *testing.T) {
+	rt := New(Options{Clock: fastClock()})
+	ch := rt.MustAddChannel("c", 0)
+	q := rt.MustAddQueue("q", 0)
+	th := rt.MustAddThread("t", 0, func(ctx *Ctx) error { return nil })
+	if _, err := th.InputWindow(ch, 0); err == nil {
+		t.Error("width 0 must fail")
+	}
+	if _, err := th.InputWindow(q, 3); err == nil {
+		t.Error("queue window must fail")
+	}
+	p, err := th.InputWindow(ch, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Window() != 3 {
+		t.Errorf("Window() = %d", p.Window())
+	}
+}

@@ -1,0 +1,548 @@
+// Package runtime is the Stampede-style streaming runtime the paper's
+// experiments run on: it binds the task graph (package graph), timestamped
+// buffers (packages channel and queue), garbage collection (package gc),
+// the ARU feedback controller (package core), the simulated cluster
+// substrate (package transport), and the measurement infrastructure
+// (package trace) behind one programming surface.
+//
+// An application is built in two phases. First the task graph is declared:
+// AddThread / AddChannel / AddQueue create nodes, and Thread.Input /
+// Thread.Output wire connections (mirroring Stampede's spd_chan_alloc and
+// attach calls, where the ARU dependency parameter also lives). Then Start
+// spawns one goroutine per thread and the declared body runs a loop of
+// get → compute → put → Sync, where Sync is the paper's
+// periodicity_sync(): it closes the iteration, measures the current-STP,
+// feeds the ARU controller, and paces source threads to their summary-STP.
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/channel"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/gc"
+	"repro/internal/graph"
+	"repro/internal/queue"
+	"repro/internal/trace"
+	"repro/internal/transport"
+)
+
+// Options configures a Runtime.
+type Options struct {
+	// Clock drives all timing; nil means a real clock.
+	Clock clock.Clock
+	// Cluster is the simulated machine room; nil means a single host
+	// with no bus accounting.
+	Cluster *transport.Cluster
+	// Collector is the GC strategy shared by all channels; nil means
+	// DGC, the paper's configuration.
+	Collector gc.Collector
+	// ARU selects the feedback policy (off / min / max / custom).
+	ARU core.Policy
+	// Recorder receives trace events; nil disables tracing.
+	Recorder *trace.Recorder
+	// PressureBytes, when positive, enables the memory-pressure model:
+	// every bus charge on a host is scaled by
+	// 1 + liveBytes(host)/PressureBytes, so hosts drowning in buffered
+	// items pay more per byte moved. Zero disables the model.
+	PressureBytes int64
+}
+
+// Runtime is one Stampede application instance.
+type Runtime struct {
+	opts Options
+	clk  clock.Clock
+	g    *graph.Graph
+
+	mu       sync.Mutex
+	started  bool
+	stopped  bool
+	threads  []*Thread
+	channels map[graph.NodeID]*channel.Channel
+	queues   map[graph.NodeID]*queue.Queue
+
+	ctrl *core.Controller
+
+	// hostLive tracks live buffered bytes per host for the
+	// memory-pressure model.
+	hostLive []atomic.Int64
+
+	wg   sync.WaitGroup
+	errs chan error
+}
+
+// New creates an empty runtime.
+func New(opts Options) *Runtime {
+	if opts.Clock == nil {
+		opts.Clock = clock.NewReal()
+	}
+	if opts.Collector == nil {
+		opts.Collector = gc.NewDeadTimestamp()
+	}
+	rt := &Runtime{
+		opts:     opts,
+		clk:      opts.Clock,
+		g:        graph.New(),
+		channels: make(map[graph.NodeID]*channel.Channel),
+		queues:   make(map[graph.NodeID]*queue.Queue),
+		errs:     make(chan error, 64),
+	}
+	hosts := 1
+	if opts.Cluster != nil {
+		hosts = opts.Cluster.Hosts()
+	}
+	rt.hostLive = make([]atomic.Int64, hosts)
+	return rt
+}
+
+// addLive adjusts a host's live buffered byte count.
+func (rt *Runtime) addLive(host int, delta int64) {
+	if host >= 0 && host < len(rt.hostLive) {
+		rt.hostLive[host].Add(delta)
+	}
+}
+
+// pressureFactor returns the memory-pressure cost multiplier for a host.
+func (rt *Runtime) pressureFactor(host int) float64 {
+	if rt.opts.PressureBytes <= 0 || host < 0 || host >= len(rt.hostLive) {
+		return 1
+	}
+	return 1 + float64(rt.hostLive[host].Load())/float64(rt.opts.PressureBytes)
+}
+
+// Clock returns the runtime's clock.
+func (rt *Runtime) Clock() clock.Clock { return rt.clk }
+
+// Graph returns the application task graph.
+func (rt *Runtime) Graph() *graph.Graph { return rt.g }
+
+// Controller returns the ARU controller; nil before Start.
+func (rt *Runtime) Controller() *core.Controller { return rt.ctrl }
+
+// Recorder returns the trace recorder (possibly nil).
+func (rt *Runtime) Recorder() *trace.Recorder { return rt.opts.Recorder }
+
+// hostCount returns the number of hosts available for placement.
+func (rt *Runtime) hostCount() int {
+	if rt.opts.Cluster == nil {
+		return 1
+	}
+	return rt.opts.Cluster.Hosts()
+}
+
+// bus returns host h's bus (nil without a cluster).
+func (rt *Runtime) bus(h int) *transport.Bus {
+	if rt.opts.Cluster == nil {
+		return nil
+	}
+	return rt.opts.Cluster.Bus(transport.HostID(h))
+}
+
+// transfer charges the network for moving size bytes between hosts.
+func (rt *Runtime) transfer(from, to int, size int64) {
+	if rt.opts.Cluster == nil || from == to {
+		return
+	}
+	rt.opts.Cluster.Network().Transfer(transport.HostID(from), transport.HostID(to), size)
+}
+
+func (rt *Runtime) checkBuilding(what string) error {
+	if rt.started {
+		return fmt.Errorf("runtime: cannot %s after Start", what)
+	}
+	return nil
+}
+
+func (rt *Runtime) checkHost(host int) error {
+	if host < 0 || host >= rt.hostCount() {
+		return fmt.Errorf("runtime: host %d out of range [0,%d)", host, rt.hostCount())
+	}
+	return nil
+}
+
+// AddChannel declares a channel placed on the given host. Stampede places
+// channels on the host of their producer (§5); the caller is responsible
+// for following that convention (helpers in package bench do).
+func (rt *Runtime) AddChannel(name string, host int, copts ...ChannelOption) (*ChannelRef, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if err := rt.checkBuilding("add channel"); err != nil {
+		return nil, err
+	}
+	if err := rt.checkHost(host); err != nil {
+		return nil, err
+	}
+	id, err := rt.g.AddNode(graph.KindChannel, name, host)
+	if err != nil {
+		return nil, err
+	}
+	ref := &ChannelRef{rt: rt, id: id, name: name, host: host}
+	for _, o := range copts {
+		o(ref)
+	}
+	return ref, nil
+}
+
+// MustAddChannel is AddChannel that panics on error.
+func (rt *Runtime) MustAddChannel(name string, host int, copts ...ChannelOption) *ChannelRef {
+	ref, err := rt.AddChannel(name, host, copts...)
+	if err != nil {
+		panic(err)
+	}
+	return ref
+}
+
+// AddQueue declares a queue placed on the given host.
+func (rt *Runtime) AddQueue(name string, host int, qopts ...QueueOption) (*QueueRef, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if err := rt.checkBuilding("add queue"); err != nil {
+		return nil, err
+	}
+	if err := rt.checkHost(host); err != nil {
+		return nil, err
+	}
+	id, err := rt.g.AddNode(graph.KindQueue, name, host)
+	if err != nil {
+		return nil, err
+	}
+	ref := &QueueRef{rt: rt, id: id, name: name, host: host}
+	for _, o := range qopts {
+		o(ref)
+	}
+	return ref, nil
+}
+
+// MustAddQueue is AddQueue that panics on error.
+func (rt *Runtime) MustAddQueue(name string, host int, qopts ...QueueOption) *QueueRef {
+	ref, err := rt.AddQueue(name, host, qopts...)
+	if err != nil {
+		panic(err)
+	}
+	return ref
+}
+
+// Body is a thread's task loop. It runs on its own goroutine after Start
+// and should return nil when ctx.Stopped() becomes true or a get/put
+// reports shutdown (errors.Is(err, ErrShutdown)).
+type Body func(ctx *Ctx) error
+
+// AddThread declares a computation thread on the given host.
+func (rt *Runtime) AddThread(name string, host int, body Body) (*Thread, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if err := rt.checkBuilding("add thread"); err != nil {
+		return nil, err
+	}
+	if err := rt.checkHost(host); err != nil {
+		return nil, err
+	}
+	if body == nil {
+		return nil, fmt.Errorf("runtime: thread %q has nil body", name)
+	}
+	id, err := rt.g.AddNode(graph.KindThread, name, host)
+	if err != nil {
+		return nil, err
+	}
+	th := &Thread{rt: rt, id: id, name: name, host: host, body: body}
+	rt.threads = append(rt.threads, th)
+	return th, nil
+}
+
+// MustAddThread is AddThread that panics on error.
+func (rt *Runtime) MustAddThread(name string, host int, body Body) *Thread {
+	th, err := rt.AddThread(name, host, body)
+	if err != nil {
+		panic(err)
+	}
+	return th
+}
+
+// Start validates the graph, materializes channels and queues, builds the
+// ARU controller, and spawns every thread goroutine.
+func (rt *Runtime) Start() error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.started {
+		return errors.New("runtime: already started")
+	}
+	if err := rt.g.Validate(); err != nil {
+		return err
+	}
+
+	rt.ctrl = core.NewController(rt.g, rt.opts.ARU)
+
+	// Sliding-window widths per consumer connection.
+	windows := map[graph.ConnID]int{}
+	for _, th := range rt.threads {
+		for _, p := range th.ins {
+			if p.window > 1 {
+				windows[p.conn] = p.window
+			}
+		}
+	}
+
+	// Materialize buffers.
+	rt.g.Nodes(func(n *graph.Node) {
+		switch n.Kind {
+		case graph.KindChannel:
+			capacity := 0
+			if ref := rt.findChannelRef(n.ID); ref != nil {
+				capacity = ref.capacity
+			}
+			ch := channel.New(channel.Config{
+				Name:      n.Name,
+				Node:      n.ID,
+				Clock:     rt.clk,
+				Collector: rt.opts.Collector,
+				Capacity:  capacity,
+				OnFree: func(it *channel.Item, at time.Duration) {
+					rt.addLive(n.Host, -it.Size)
+					rt.opts.Recorder.Append(trace.Event{Kind: trace.EvFree, At: at, Item: it.ID, Node: n.ID})
+				},
+			})
+			for _, cid := range n.In {
+				ch.AttachProducer(cid)
+			}
+			for _, cid := range n.Out {
+				if w := windows[cid]; w > 1 {
+					ch.AttachConsumerWindow(cid, w)
+				} else {
+					ch.AttachConsumer(cid)
+				}
+			}
+			rt.channels[n.ID] = ch
+		case graph.KindQueue:
+			capacity := 0
+			if ref := rt.findQueueRef(n.ID); ref != nil {
+				capacity = ref.capacity
+			}
+			q := queue.New(queue.Config{
+				Name:     n.Name,
+				Node:     n.ID,
+				Clock:    rt.clk,
+				Capacity: capacity,
+				OnFree: func(it *queue.Item, at time.Duration) {
+					rt.addLive(n.Host, -it.Size)
+					rt.opts.Recorder.Append(trace.Event{Kind: trace.EvFree, At: at, Item: it.ID, Node: n.ID})
+				},
+			})
+			for _, cid := range n.In {
+				q.AttachProducer(cid)
+			}
+			for _, cid := range n.Out {
+				q.AttachConsumer(cid)
+			}
+			rt.queues[n.ID] = q
+		}
+	})
+
+	rt.started = true
+	reg, hasReg := rt.clk.(clock.Registrar)
+	for _, th := range rt.threads {
+		th.prepare()
+		rt.wg.Add(1)
+		if hasReg {
+			reg.Add(1) // registered before spawn so the clock never sees a false quiescence
+		}
+		go func(th *Thread) {
+			defer rt.wg.Done()
+			if hasReg {
+				defer reg.Add(-1)
+			}
+			if err := th.run(); err != nil && !errors.Is(err, ErrShutdown) {
+				select {
+				case rt.errs <- fmt.Errorf("thread %q: %w", th.name, err):
+				default:
+				}
+			}
+		}(th)
+	}
+	return nil
+}
+
+// findChannelRef locates the builder ref for a node id (builder refs are
+// few; linear scan is fine).
+func (rt *Runtime) findChannelRef(id graph.NodeID) *ChannelRef {
+	for _, th := range rt.threads {
+		for _, p := range th.outs {
+			if cr, ok := p.target.(*ChannelRef); ok && cr.id == id {
+				return cr
+			}
+		}
+		for _, p := range th.ins {
+			if cr, ok := p.source.(*ChannelRef); ok && cr.id == id {
+				return cr
+			}
+		}
+	}
+	return nil
+}
+
+func (rt *Runtime) findQueueRef(id graph.NodeID) *QueueRef {
+	for _, th := range rt.threads {
+		for _, p := range th.outs {
+			if qr, ok := p.target.(*QueueRef); ok && qr.id == id {
+				return qr
+			}
+		}
+		for _, p := range th.ins {
+			if qr, ok := p.source.(*QueueRef); ok && qr.id == id {
+				return qr
+			}
+		}
+	}
+	return nil
+}
+
+// Stop closes every buffer, which unblocks all waiting threads; their
+// bodies observe ErrShutdown and return. Stop is idempotent.
+func (rt *Runtime) Stop() {
+	rt.mu.Lock()
+	if !rt.started || rt.stopped {
+		rt.mu.Unlock()
+		return
+	}
+	rt.stopped = true
+	channels := make([]*channel.Channel, 0, len(rt.channels))
+	for _, ch := range rt.channels {
+		channels = append(channels, ch)
+	}
+	queues := make([]*queue.Queue, 0, len(rt.queues))
+	for _, q := range rt.queues {
+		queues = append(queues, q)
+	}
+	threads := append([]*Thread(nil), rt.threads...)
+	rt.mu.Unlock()
+
+	for _, th := range threads {
+		th.requestStop()
+	}
+	for _, ch := range channels {
+		ch.Close()
+	}
+	for _, q := range queues {
+		q.Close()
+		q.Drain()
+	}
+}
+
+// Stopped reports whether Stop has been called.
+func (rt *Runtime) Stopped() bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.stopped
+}
+
+// Wait blocks until every thread goroutine has returned and reports the
+// first few non-shutdown errors.
+func (rt *Runtime) Wait() error {
+	rt.wg.Wait()
+	close(rt.errs)
+	var errs []error
+	for err := range rt.errs {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}
+
+// RunFor starts the runtime (if not yet started), lets it execute for d of
+// runtime-clock time, stops it, and waits for quiescence.
+func (rt *Runtime) RunFor(d time.Duration) error {
+	rt.mu.Lock()
+	started := rt.started
+	rt.mu.Unlock()
+	if !started {
+		if err := rt.Start(); err != nil {
+			return err
+		}
+	}
+	// The calling goroutine participates in the clock for the duration of
+	// its sleep, so a discrete-event clock can account for it.
+	if reg, ok := rt.clk.(clock.Registrar); ok {
+		reg.Add(1)
+		rt.clk.Sleep(d)
+		reg.Add(-1)
+	} else {
+		rt.clk.Sleep(d)
+	}
+	rt.Stop()
+	return rt.Wait()
+}
+
+// Channel returns the materialized channel for a ref (post-Start).
+func (rt *Runtime) Channel(ref *ChannelRef) *channel.Channel {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.channels[ref.id]
+}
+
+// Queue returns the materialized queue for a ref (post-Start).
+func (rt *Runtime) Queue(ref *QueueRef) *queue.Queue {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.queues[ref.id]
+}
+
+// WriteStatus renders a point-in-time view of the running application:
+// the ARU controller's per-node state (current-STP, compressed
+// backwardSTP, summary) followed by per-buffer occupancy. It answers the
+// operational question "why is this stage running at this period?".
+func (rt *Runtime) WriteStatus(w io.Writer) {
+	rt.mu.Lock()
+	ctrl := rt.ctrl
+	type row struct {
+		name        string
+		items       int
+		bytes       int64
+		puts, frees int64
+	}
+	var rows []row
+	rt.g.Nodes(func(n *graph.Node) {
+		switch n.Kind {
+		case graph.KindChannel:
+			ch := rt.channels[n.ID]
+			items, bytes := ch.Occupancy()
+			puts, frees := ch.Stats()
+			rows = append(rows, row{n.Name, items, bytes, puts, frees})
+		case graph.KindQueue:
+			q := rt.queues[n.ID]
+			items, bytes := q.Occupancy()
+			rows = append(rows, row{n.Name, items, bytes, q.Puts(), 0})
+		}
+	})
+	rt.mu.Unlock()
+
+	if ctrl != nil && ctrl.Enabled() {
+		fmt.Fprintln(w, "ARU controller state:")
+		ctrl.WriteSnapshot(w)
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-18s %8s %12s %8s %8s\n", "buffer", "items", "bytes", "puts", "frees")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-18s %8d %12d %8d %8d\n", r.name, r.items, r.bytes, r.puts, r.frees)
+	}
+}
+
+// TotalOccupancy sums live items and bytes over every channel and queue.
+func (rt *Runtime) TotalOccupancy() (items int, bytes int64) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for _, ch := range rt.channels {
+		n, b := ch.Occupancy()
+		items += n
+		bytes += b
+	}
+	for _, q := range rt.queues {
+		n, b := q.Occupancy()
+		items += n
+		bytes += b
+	}
+	return items, bytes
+}

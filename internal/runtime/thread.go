@@ -1,0 +1,470 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/channel"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/queue"
+	"repro/internal/trace"
+	"repro/internal/vt"
+)
+
+// ErrShutdown reports that an operation was interrupted because the
+// runtime is stopping. Thread bodies should return promptly on it (run()
+// treats it as a clean exit, so `return err` suffices).
+var ErrShutdown = errors.New("runtime: shutting down")
+
+// Thread is one declared computation thread.
+type Thread struct {
+	rt   *Runtime
+	id   graph.NodeID
+	name string
+	host int
+	body Body
+
+	ins  []*InPort
+	outs []*OutPort
+
+	isSource bool
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// ID returns the thread's task-graph id.
+func (t *Thread) ID() graph.NodeID { return t.id }
+
+// Name returns the thread's name.
+func (t *Thread) Name() string { return t.name }
+
+// Host returns the thread's placement.
+func (t *Thread) Host() int { return t.host }
+
+// Input connects a buffer as one of the thread's inputs and returns the
+// port used to get from it.
+func (t *Thread) Input(src endpoint) (*InPort, error) {
+	t.rt.mu.Lock()
+	defer t.rt.mu.Unlock()
+	if err := t.rt.checkBuilding("connect input"); err != nil {
+		return nil, err
+	}
+	conn, err := t.rt.g.Connect(src.nodeID(), t.id)
+	if err != nil {
+		return nil, err
+	}
+	p := &InPort{thread: t, source: src, conn: conn}
+	t.ins = append(t.ins, p)
+	return p, nil
+}
+
+// MustInput is Input that panics on error.
+func (t *Thread) MustInput(src endpoint) *InPort {
+	p, err := t.Input(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// InputWindow connects a channel as a sliding-window input of width
+// n ≥ 1: GetWindow on the returned port delivers the freshest item plus
+// the retained trailing items — the paper's gesture-recognition motif
+// ("a sliding window over a video stream"). Only channels support
+// windows.
+func (t *Thread) InputWindow(src endpoint, n int) (*InPort, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("runtime: window width %d < 1", n)
+	}
+	if _, ok := src.(*ChannelRef); !ok {
+		return nil, fmt.Errorf("runtime: windowed input requires a channel, got %q", src.nodeName())
+	}
+	p, err := t.Input(src)
+	if err != nil {
+		return nil, err
+	}
+	p.window = n
+	return p, nil
+}
+
+// MustInputWindow is InputWindow that panics on error.
+func (t *Thread) MustInputWindow(src endpoint, n int) *InPort {
+	p, err := t.InputWindow(src, n)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Output connects a buffer as one of the thread's outputs and returns the
+// port used to put into it.
+func (t *Thread) Output(dst endpoint) (*OutPort, error) {
+	t.rt.mu.Lock()
+	defer t.rt.mu.Unlock()
+	if err := t.rt.checkBuilding("connect output"); err != nil {
+		return nil, err
+	}
+	conn, err := t.rt.g.Connect(t.id, dst.nodeID())
+	if err != nil {
+		return nil, err
+	}
+	p := &OutPort{thread: t, target: dst, conn: conn}
+	t.outs = append(t.outs, p)
+	return p, nil
+}
+
+// MustOutput is Output that panics on error.
+func (t *Thread) MustOutput(dst endpoint) *OutPort {
+	p, err := t.Output(dst)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// prepare finalizes the thread just before Start spawns it.
+func (t *Thread) prepare() {
+	t.stop = make(chan struct{})
+	t.isSource = len(t.ins) == 0
+}
+
+// requestStop signals the body's Stopped()/Done() observers.
+func (t *Thread) requestStop() {
+	t.stopOnce.Do(func() { close(t.stop) })
+}
+
+// run executes the body on its goroutine.
+func (t *Thread) run() error {
+	ctx := &Ctx{thread: t, rt: t.rt, meter: core.NewMeter(t.rt.clk), throttle: core.NewThrottle(t.rt.clk)}
+	ctx.meter.BeginIteration()
+	return t.body(ctx)
+}
+
+// Msg is a consumed item as seen by a thread body.
+type Msg struct {
+	// TS is the item's virtual timestamp.
+	TS vt.Timestamp
+	// Payload is the application data.
+	Payload any
+	// Size is the item's logical size in bytes.
+	Size int64
+	// ID is the trace identity (NoItem when tracing is disabled).
+	ID trace.ItemID
+}
+
+// Ctx is the per-thread execution context handed to a Body. It is not
+// safe for concurrent use: a body is a single loop on a single goroutine,
+// exactly like a Stampede thread.
+type Ctx struct {
+	thread   *Thread
+	rt       *Runtime
+	meter    *core.Meter
+	throttle *core.Throttle
+
+	consumed []trace.ItemID
+	produced []trace.ItemID
+	emitted  int
+	iters    int64
+}
+
+// Name returns the owning thread's name.
+func (c *Ctx) Name() string { return c.thread.name }
+
+// Host returns the owning thread's placement.
+func (c *Ctx) Host() int { return c.thread.host }
+
+// Done returns a channel closed when the runtime is stopping. Under the
+// discrete-event virtual clock, blocking directly on it freezes virtual
+// time (the clock still counts the goroutine active); a body that wants
+// to idle until shutdown should call Park instead.
+func (c *Ctx) Done() <-chan struct{} { return c.thread.stop }
+
+// Park blocks until the runtime stops, telling a discrete-event clock
+// that the thread is idle so virtual time keeps advancing for everyone
+// else.
+func (c *Ctx) Park() {
+	if b, ok := c.rt.clk.(clock.Blocker); ok {
+		b.BlockEnter()
+		<-c.thread.stop
+		b.BlockExit()
+		return
+	}
+	<-c.thread.stop
+}
+
+// Stopped reports whether the runtime is stopping.
+func (c *Ctx) Stopped() bool {
+	select {
+	case <-c.thread.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// Iterations returns the number of completed Sync calls.
+func (c *Ctx) Iterations() int64 { return c.iters }
+
+// Ins returns the thread's input ports in wiring (declaration) order.
+func (c *Ctx) Ins() []*InPort { return c.thread.ins }
+
+// Outs returns the thread's output ports in wiring (declaration) order.
+func (c *Ctx) Outs() []*OutPort { return c.thread.outs }
+
+// Compute simulates data-dependent task execution for d of runtime time.
+// It counts toward the iteration's busy time and hence the current-STP.
+func (c *Ctx) Compute(d time.Duration) {
+	c.rt.clk.Sleep(d)
+}
+
+// Idle sleeps for d of runtime time without counting toward the
+// current-STP or the computation metrics — deliberate pacing, like a
+// digitizer waiting for the next camera frame. The paper's computation
+// accounting explicitly excludes "blocking and sleep time" (§4).
+func (c *Ctx) Idle(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.rt.clk.Sleep(d)
+	c.meter.AddThrottled(d)
+}
+
+// Elapsed returns the wall time of the current iteration so far.
+func (c *Ctx) Elapsed() time.Duration { return c.meter.Elapsed() }
+
+// ChargeBus charges the host's shared memory system for touching size
+// bytes (queueing behind concurrent charges from co-located threads,
+// scaled by the host's memory pressure). It models the paper's
+// observation that wasteful production loads the memory system everyone
+// shares.
+func (c *Ctx) ChargeBus(size int64) {
+	c.rt.bus(c.thread.host).ChargeScaled(size, c.rt.pressureFactor(c.thread.host))
+}
+
+// translateErr maps buffer shutdown errors to ErrShutdown.
+func translateErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, channel.ErrClosed) || errors.Is(err, queue.ErrClosed) {
+		return ErrShutdown
+	}
+	return err
+}
+
+// GetLatest consumes the freshest item from a channel input, blocking
+// until one newer than this connection's guarantee arrives. Skipped stale
+// items are traced, the consumer's summary-STP is piggybacked to the
+// channel, and the transfer is charged to the network and the local bus.
+func (c *Ctx) GetLatest(p *InPort) (Msg, error) {
+	ch := c.rt.Channel(p.source.(*ChannelRef))
+	res, err := ch.GetLatest(p.conn)
+	c.meter.AddBlocked(res.Blocked)
+	if err != nil {
+		return Msg{}, translateErr(err)
+	}
+	return c.finishGet(p, ch.Node(), res)
+}
+
+// GetWindow consumes the freshest item from a sliding-window channel
+// input (declared via Thread.InputWindow) and returns it together with
+// the retained trailing items, oldest first. All returned items count as
+// consumed for provenance; the head drives skip/feedback semantics
+// exactly like GetLatest.
+func (c *Ctx) GetWindow(p *InPort) (head Msg, window []Msg, err error) {
+	ch := c.rt.Channel(p.source.(*ChannelRef))
+	res, err := ch.GetLatest(p.conn)
+	c.meter.AddBlocked(res.Blocked)
+	if err != nil {
+		return Msg{}, nil, translateErr(err)
+	}
+	rec := c.rt.opts.Recorder
+	now := c.rt.clk.Now()
+	for _, w := range res.Window {
+		rec.Append(trace.Event{Kind: trace.EvGet, At: now, Item: w.ID, Node: ch.Node(), Thread: c.thread.id})
+		c.consumed = append(c.consumed, w.ID)
+		// Window members already live locally; only the head pays the
+		// transfer below.
+		window = append(window, Msg{TS: w.TS, Payload: w.Payload, Size: w.Size, ID: w.ID})
+	}
+	head, err = c.finishGet(p, ch.Node(), res)
+	return head, window, err
+}
+
+// TryGetLatest is the non-blocking variant of GetLatest: ok is false when
+// no item newer than the connection's guarantee is available. Bodies that
+// keep working with their previous input when nothing fresh exists (the
+// tracker's detectors reusing the current histogram model) are built on
+// it; pair it with Reuse so provenance stays accurate.
+func (c *Ctx) TryGetLatest(p *InPort) (Msg, bool, error) {
+	ch := c.rt.Channel(p.source.(*ChannelRef))
+	res, ok, err := ch.TryGetLatest(p.conn)
+	if err != nil {
+		return Msg{}, false, translateErr(err)
+	}
+	if !ok {
+		return Msg{}, false, nil
+	}
+	msg, err := c.finishGet(p, ch.Node(), res)
+	return msg, err == nil, err
+}
+
+// Reuse declares that a previously consumed item participates in the
+// current iteration's outputs, so provenance (and therefore the
+// wasted-versus-successful classification and latency accounting) remains
+// correct for cached inputs.
+func (c *Ctx) Reuse(msg Msg) {
+	if msg.ID != trace.NoItem {
+		c.consumed = append(c.consumed, msg.ID)
+	}
+}
+
+// Get consumes the item at exactly ts from a channel input. It is the
+// corresponding-timestamp primitive (stereo modules, overlays).
+func (c *Ctx) Get(p *InPort, ts vt.Timestamp) (Msg, error) {
+	ch := c.rt.Channel(p.source.(*ChannelRef))
+	res, err := ch.Get(p.conn, ts)
+	c.meter.AddBlocked(res.Blocked)
+	if err != nil {
+		return Msg{}, translateErr(err)
+	}
+	return c.finishGet(p, ch.Node(), res)
+}
+
+// finishGet performs the shared post-consumption work of channel gets.
+func (c *Ctx) finishGet(p *InPort, node graph.NodeID, res channel.GetResult) (Msg, error) {
+	rec := c.rt.opts.Recorder
+	now := c.rt.clk.Now()
+	for _, sk := range res.Skipped {
+		rec.Append(trace.Event{Kind: trace.EvSkip, At: now, Item: sk.ID, Node: node, Thread: c.thread.id})
+	}
+	rec.Append(trace.Event{Kind: trace.EvGet, At: now, Item: res.Item.ID, Node: node, Thread: c.thread.id})
+
+	// Move the item to the consumer: network hop (if remote) plus local
+	// memory traffic. Both are load and belong in the current-STP.
+	c.rt.transfer(p.source.nodeHost(), c.thread.host, res.Item.Size)
+	c.ChargeBus(res.Item.Size)
+
+	// Piggyback the consumer's summary-STP back to the channel (§3.3.2).
+	c.rt.ctrl.NoteGet(p.conn)
+
+	c.consumed = append(c.consumed, res.Item.ID)
+	return Msg{TS: res.Item.TS, Payload: res.Item.Payload, Size: res.Item.Size, ID: res.Item.ID}, nil
+}
+
+// GetQueue dequeues the oldest item from a queue input.
+func (c *Ctx) GetQueue(p *InPort) (Msg, error) {
+	q := c.rt.Queue(p.source.(*QueueRef))
+	res, err := q.Get(p.conn)
+	c.meter.AddBlocked(res.Blocked)
+	if err != nil {
+		return Msg{}, translateErr(err)
+	}
+	rec := c.rt.opts.Recorder
+	rec.Append(trace.Event{Kind: trace.EvGet, At: c.rt.clk.Now(), Item: res.Item.ID, Node: q.Node(), Thread: c.thread.id})
+	c.rt.transfer(p.source.nodeHost(), c.thread.host, res.Item.Size)
+	c.ChargeBus(res.Item.Size)
+	c.rt.ctrl.NoteGet(p.conn)
+	c.consumed = append(c.consumed, res.Item.ID)
+	return Msg{TS: res.Item.TS, Payload: res.Item.Payload, Size: res.Item.Size, ID: res.Item.ID}, nil
+}
+
+// Put produces an item with the given timestamp, payload, and logical
+// size into a channel or queue output. Producing charges the local bus
+// (writing size bytes) and, for a remotely placed buffer, the network.
+// The buffer's summary-STP is piggybacked back on the same operation. The
+// new item's provenance is every item consumed so far in this iteration.
+func (c *Ctx) Put(p *OutPort, ts vt.Timestamp, payload any, size int64) error {
+	rec := c.rt.opts.Recorder
+	id := rec.NewItemID()
+
+	// The producer materializes the item locally, then it travels to the
+	// buffer's host.
+	c.ChargeBus(size)
+	c.rt.transfer(c.thread.host, p.target.nodeHost(), size)
+
+	rec.Append(trace.Event{
+		Kind: trace.EvAlloc, At: c.rt.clk.Now(), Item: id,
+		Node: p.target.nodeID(), Thread: c.thread.id, TS: ts, Size: size,
+		Items: append([]trace.ItemID(nil), c.consumed...),
+	})
+
+	var blocked time.Duration
+	var err error
+	switch ref := p.target.(type) {
+	case *ChannelRef:
+		blocked, err = c.rt.Channel(ref).Put(p.conn, &channel.Item{TS: ts, Payload: payload, Size: size, ID: id})
+	case *QueueRef:
+		blocked, err = c.rt.Queue(ref).Put(p.conn, &queue.Item{TS: ts, Payload: payload, Size: size, ID: id})
+	default:
+		return fmt.Errorf("runtime: unknown output target %T", p.target)
+	}
+	c.meter.AddBlocked(blocked)
+	if err != nil {
+		// The item never entered the buffer; account its storage as
+		// immediately reclaimed so footprint accounting stays balanced.
+		rec.Append(trace.Event{Kind: trace.EvFree, At: c.rt.clk.Now(), Item: id, Node: p.target.nodeID()})
+		return translateErr(err)
+	}
+
+	// Piggyback the buffer's summary-STP back to this producer (§3.3.2).
+	c.rt.ctrl.NotePut(p.conn)
+
+	c.rt.addLive(p.target.nodeHost(), size)
+	c.produced = append(c.produced, id)
+	return nil
+}
+
+// ShouldProduce reports whether work toward putting timestamp ts into
+// the output is still worthwhile: false when every consumer of the
+// target channel has already moved past ts (the item would be dead on
+// arrival). This is the paper's §3.2 upstream computation elimination
+// using local virtual-time knowledge; queues always report true (their
+// items are never skipped). Call it before the expensive compute, not
+// after.
+func (c *Ctx) ShouldProduce(p *OutPort, ts vt.Timestamp) bool {
+	if ref, ok := p.target.(*ChannelRef); ok {
+		return !c.rt.Channel(ref).WouldBeDead(ts)
+	}
+	return true
+}
+
+// Emit records one pipeline output: the items consumed so far in this
+// iteration reached the end of the pipeline (the tracker's GUI displaying
+// a frame). Sink threads call it once per successful iteration.
+func (c *Ctx) Emit() {
+	c.rt.opts.Recorder.Append(trace.Event{
+		Kind: trace.EvEmit, At: c.rt.clk.Now(), Thread: c.thread.id,
+		Items: append([]trace.ItemID(nil), c.consumed...),
+	})
+	c.emitted++
+}
+
+// Sync is the paper's periodicity_sync(): every thread calls it at the
+// end of each loop iteration. It measures the iteration's current-STP
+// (blocking excluded), feeds it to the ARU controller, records the
+// iteration trace event, and — for source threads — paces the loop to the
+// thread's summary-STP, which is precisely how ARU throttles production.
+func (c *Ctx) Sync() {
+	fullElapsed := c.meter.Elapsed()
+	current, busy, blocked := c.meter.EndIteration()
+	c.rt.ctrl.SetCurrentSTP(c.thread.id, current)
+	c.rt.opts.Recorder.Append(trace.Event{
+		Kind: trace.EvIter, At: c.rt.clk.Now(), Thread: c.thread.id,
+		Compute: busy, Blocked: blocked,
+		Items: append([]trace.ItemID(nil), c.produced...),
+	})
+	c.consumed = c.consumed[:0]
+	c.produced = c.produced[:0]
+	c.iters++
+
+	if c.thread.isSource && !c.Stopped() {
+		target := c.rt.ctrl.TargetPeriod(c.thread.id)
+		c.throttle.Pace(target, fullElapsed)
+	}
+	c.meter.BeginIteration()
+}

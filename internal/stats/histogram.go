@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+)
+
+// Histogram is a fixed-bin histogram over durations, used to render
+// latency distributions in the offline analysis tooling.
+type Histogram struct {
+	lo, hi time.Duration
+	counts []int
+	under  int
+	over   int
+	total  int
+}
+
+// NewHistogram builds a histogram with bins uniform bins over [lo, hi).
+// Invalid shapes panic: histograms are constructed from code, not input.
+func NewHistogram(lo, hi time.Duration, bins int) *Histogram {
+	if bins < 1 || hi <= lo {
+		panic(fmt.Sprintf("stats: invalid histogram [%v, %v) x%d", lo, hi, bins))
+	}
+	return &Histogram{lo: lo, hi: hi, counts: make([]int, bins)}
+}
+
+// AutoHistogram sizes the range from the samples (min to a nudge past
+// max) and fills it. Empty input yields a 1-bin empty histogram.
+func AutoHistogram(samples []time.Duration, bins int) *Histogram {
+	if len(samples) == 0 {
+		return NewHistogram(0, time.Second, 1)
+	}
+	lo, hi := samples[0], samples[0]
+	for _, s := range samples {
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	// Nudge the top edge so the max lands inside the last bin.
+	span := hi - lo
+	h := NewHistogram(lo, hi+span/time.Duration(64*bins)+1, bins)
+	for _, s := range samples {
+		h.Add(s)
+	}
+	return h
+}
+
+// Add folds one sample.
+func (h *Histogram) Add(d time.Duration) {
+	h.total++
+	switch {
+	case d < h.lo:
+		h.under++
+	case d >= h.hi:
+		h.over++
+	default:
+		idx := int(float64(d-h.lo) / float64(h.hi-h.lo) * float64(len(h.counts)))
+		if idx >= len(h.counts) {
+			idx = len(h.counts) - 1
+		}
+		h.counts[idx]++
+	}
+}
+
+// Total returns the number of samples folded.
+func (h *Histogram) Total() int { return h.total }
+
+// Bin returns bin i's [lo, hi) edges and count.
+func (h *Histogram) Bin(i int) (lo, hi time.Duration, count int) {
+	width := (h.hi - h.lo) / time.Duration(len(h.counts))
+	return h.lo + time.Duration(i)*width, h.lo + time.Duration(i+1)*width, h.counts[i]
+}
+
+// Bins returns the bin count.
+func (h *Histogram) Bins() int { return len(h.counts) }
+
+// OutOfRange returns the under/over counts.
+func (h *Histogram) OutOfRange() (under, over int) { return h.under, h.over }
+
+// Write renders the histogram as a fixed-width bar chart.
+func (h *Histogram) Write(w io.Writer, width int) {
+	if width < 1 {
+		width = 40
+	}
+	max := 1
+	for _, c := range h.counts {
+		if c > max {
+			max = c
+		}
+	}
+	for i := range h.counts {
+		lo, hi, count := h.Bin(i)
+		bar := strings.Repeat("#", int(math.Round(float64(count)/float64(max)*float64(width))))
+		fmt.Fprintf(w, "%10v – %-10v %6d |%s\n",
+			lo.Round(time.Millisecond), hi.Round(time.Millisecond), count, bar)
+	}
+	if h.under > 0 || h.over > 0 {
+		fmt.Fprintf(w, "%23s %6d under, %d over\n", "", h.under, h.over)
+	}
+}

@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 100*time.Millisecond, 4)
+	for _, d := range []time.Duration{
+		5 * time.Millisecond, 30 * time.Millisecond, 55 * time.Millisecond,
+		80 * time.Millisecond, 99 * time.Millisecond,
+	} {
+		h.Add(d)
+	}
+	wantCounts := []int{1, 1, 1, 2}
+	for i, want := range wantCounts {
+		lo, hi, count := h.Bin(i)
+		if count != want {
+			t.Errorf("bin %d [%v,%v) = %d, want %d", i, lo, hi, count, want)
+		}
+	}
+	if h.Total() != 5 || h.Bins() != 4 {
+		t.Errorf("total/bins = %d/%d", h.Total(), h.Bins())
+	}
+}
+
+func TestHistogramOutOfRange(t *testing.T) {
+	h := NewHistogram(10*time.Millisecond, 20*time.Millisecond, 2)
+	h.Add(5 * time.Millisecond)
+	h.Add(25 * time.Millisecond)
+	h.Add(15 * time.Millisecond)
+	under, over := h.OutOfRange()
+	if under != 1 || over != 1 {
+		t.Fatalf("under/over = %d/%d", under, over)
+	}
+	if h.Total() != 3 {
+		t.Fatalf("total = %d", h.Total())
+	}
+}
+
+func TestAutoHistogram(t *testing.T) {
+	samples := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond,
+		300 * time.Millisecond, 400 * time.Millisecond,
+	}
+	h := AutoHistogram(samples, 4)
+	if h.Total() != 4 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	under, over := h.OutOfRange()
+	if under != 0 || over != 0 {
+		t.Fatalf("auto range must cover all samples: %d/%d", under, over)
+	}
+	sum := 0
+	for i := 0; i < h.Bins(); i++ {
+		_, _, c := h.Bin(i)
+		sum += c
+	}
+	if sum != 4 {
+		t.Fatalf("binned %d of 4", sum)
+	}
+}
+
+func TestAutoHistogramDegenerate(t *testing.T) {
+	if h := AutoHistogram(nil, 4); h.Total() != 0 {
+		t.Fatal("empty input")
+	}
+	// All-equal samples must not panic (zero span).
+	h := AutoHistogram([]time.Duration{time.Second, time.Second}, 3)
+	if h.Total() != 2 {
+		t.Fatalf("total = %d", h.Total())
+	}
+}
+
+func TestHistogramWrite(t *testing.T) {
+	h := AutoHistogram([]time.Duration{
+		10 * time.Millisecond, 12 * time.Millisecond, 90 * time.Millisecond,
+	}, 3)
+	var buf bytes.Buffer
+	h.Write(&buf, 20)
+	out := buf.String()
+	if !strings.Contains(out, "#") || !strings.Contains(out, "|") {
+		t.Fatalf("render degenerate:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 3 {
+		t.Fatalf("want 3 rows:\n%s", out)
+	}
+}
+
+func TestHistogramInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid shape must panic")
+		}
+	}()
+	NewHistogram(0, 0, 1)
+}

@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestJitterUniformOutputIsZero(t *testing.T) {
+	outs := []time.Duration{ms(0), ms(100), ms(200), ms(300)}
+	if got := Jitter(outs); got != 0 {
+		t.Fatalf("uniform output must have zero jitter, got %v", got)
+	}
+}
+
+func TestJitterKnown(t *testing.T) {
+	// Gaps: 100, 300 → mean 200, population std 100.
+	outs := []time.Duration{ms(0), ms(100), ms(400)}
+	if got := Jitter(outs); got != ms(100) {
+		t.Fatalf("Jitter = %v, want 100ms", got)
+	}
+}
+
+func TestJitterTooFewOutputs(t *testing.T) {
+	if Jitter(nil) != 0 || Jitter([]time.Duration{ms(1)}) != 0 || Jitter([]time.Duration{ms(1), ms(5)}) != 0 {
+		t.Fatal("fewer than 3 outputs must yield zero jitter")
+	}
+}
+
+func TestGaps(t *testing.T) {
+	outs := []time.Duration{ms(10), ms(30), ms(35)}
+	gaps := Gaps(outs)
+	if len(gaps) != 2 || gaps[0] != ms(20) || gaps[1] != ms(5) {
+		t.Fatalf("Gaps = %v", gaps)
+	}
+	if Gaps([]time.Duration{ms(1)}) != nil {
+		t.Fatal("single output has no gaps")
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	if got := Throughput(50, 10*time.Second); got != 5 {
+		t.Fatalf("Throughput = %v, want 5", got)
+	}
+	if Throughput(10, 0) != 0 || Throughput(10, -time.Second) != 0 {
+		t.Fatal("non-positive window must yield 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	samples := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {-1, 1}, {2, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(samples, c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := Quantile([]float64{1, 2}, 0.5); got != 1.5 {
+		t.Errorf("interpolated Quantile = %v, want 1.5", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty Quantile must be NaN")
+	}
+	// Input must not be reordered.
+	in := []float64{3, 1, 2}
+	Quantile(in, 0.5)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Error("Quantile must not mutate its input")
+	}
+}
+
+func TestDurationStats(t *testing.T) {
+	mean, std := DurationStats([]time.Duration{ms(100), ms(300)})
+	if mean != ms(200) {
+		t.Errorf("mean = %v", mean)
+	}
+	if std != ms(100) {
+		t.Errorf("std = %v", std)
+	}
+	mean, std = DurationStats(nil)
+	if mean != 0 || std != 0 {
+		t.Error("empty DurationStats must yield zeros")
+	}
+}

@@ -1,0 +1,103 @@
+// Package stats provides the statistical machinery used by the paper's
+// evaluation methodology (§4): time-weighted mean and standard deviation of
+// the memory footprint (MUμ, MUσ), sample statistics for latency and
+// throughput, jitter (the standard deviation of successive output-frame
+// gaps), quantiles, and step series for the footprint-versus-time figures.
+package stats
+
+import "math"
+
+// Welford accumulates streaming sample statistics using Welford's
+// numerically stable online algorithm. The zero value is ready to use.
+type Welford struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds one sample into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// Count returns the number of samples seen.
+func (w *Welford) Count() int64 { return w.n }
+
+// Mean returns the sample mean, or 0 with no samples.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the population variance, or 0 with fewer than one
+// sample.
+func (w *Welford) Variance() float64 {
+	if w.n < 1 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// SampleVariance returns the Bessel-corrected variance, or 0 with fewer
+// than two samples.
+func (w *Welford) SampleVariance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// Std returns the population standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Variance()) }
+
+// SampleStd returns the Bessel-corrected standard deviation.
+func (w *Welford) SampleStd() float64 { return math.Sqrt(w.SampleVariance()) }
+
+// Min returns the smallest sample, or 0 with no samples.
+func (w *Welford) Min() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.min
+}
+
+// Max returns the largest sample, or 0 with no samples.
+func (w *Welford) Max() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.max
+}
+
+// Merge folds the samples of other into w, as if every sample had been
+// added to w directly (Chan et al. parallel variance combination).
+func (w *Welford) Merge(other *Welford) {
+	if other.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = *other
+		return
+	}
+	n := w.n + other.n
+	delta := other.mean - w.mean
+	w.mean += delta * float64(other.n) / float64(n)
+	w.m2 += other.m2 + delta*delta*float64(w.n)*float64(other.n)/float64(n)
+	if other.min < w.min {
+		w.min = other.min
+	}
+	if other.max > w.max {
+		w.max = other.max
+	}
+	w.n = n
+}

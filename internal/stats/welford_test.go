@@ -1,0 +1,150 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	d := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		scale = 1
+	}
+	return d <= tol*scale
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.Count() != 0 || w.Mean() != 0 || w.Std() != 0 || w.Min() != 0 || w.Max() != 0 {
+		t.Fatal("zero-value Welford must report zeros")
+	}
+}
+
+func TestWelfordKnownValues(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.Count() != 8 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+	if !almostEqual(w.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", w.Mean())
+	}
+	if !almostEqual(w.Std(), 2, 1e-12) { // classic example: population std 2
+		t.Errorf("Std = %v, want 2", w.Std())
+	}
+	if !almostEqual(w.SampleVariance(), 32.0/7.0, 1e-12) {
+		t.Errorf("SampleVariance = %v", w.SampleVariance())
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordSingleSample(t *testing.T) {
+	var w Welford
+	w.Add(3.5)
+	if w.Mean() != 3.5 || w.Variance() != 0 || w.SampleVariance() != 0 {
+		t.Fatal("single sample must have mean=x, variance=0")
+	}
+	if w.Min() != 3.5 || w.Max() != 3.5 {
+		t.Fatal("single sample min=max=x")
+	}
+}
+
+// Property: streaming results match the naive two-pass computation.
+func TestWelfordQuickMatchesNaive(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var w Welford
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+			w.Add(xs[i])
+		}
+		var sum float64
+		for _, x := range xs {
+			sum += x
+		}
+		mean := sum / float64(len(xs))
+		var m2 float64
+		for _, x := range xs {
+			m2 += (x - mean) * (x - mean)
+		}
+		return almostEqual(w.Mean(), mean, 1e-9) &&
+			almostEqual(w.Variance(), m2/float64(len(xs)), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Merge(a, b) equals adding all samples to one accumulator.
+func TestWelfordQuickMerge(t *testing.T) {
+	f := func(av, bv []int16) bool {
+		var a, b, all Welford
+		for _, v := range av {
+			a.Add(float64(v))
+			all.Add(float64(v))
+		}
+		for _, v := range bv {
+			b.Add(float64(v))
+			all.Add(float64(v))
+		}
+		a.Merge(&b)
+		if a.Count() != all.Count() {
+			return false
+		}
+		if all.Count() == 0 {
+			return true
+		}
+		return almostEqual(a.Mean(), all.Mean(), 1e-9) &&
+			almostEqual(a.Variance(), all.Variance(), 1e-8) &&
+			a.Min() == all.Min() && a.Max() == all.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordMergeIntoEmpty(t *testing.T) {
+	var a, b Welford
+	b.Add(1)
+	b.Add(3)
+	a.Merge(&b)
+	if a.Count() != 2 || !almostEqual(a.Mean(), 2, 1e-12) {
+		t.Fatalf("Merge into empty: count=%d mean=%v", a.Count(), a.Mean())
+	}
+	var c Welford
+	a.Merge(&c) // merging empty is a no-op
+	if a.Count() != 2 {
+		t.Fatal("merging an empty accumulator must not change counts")
+	}
+}
+
+func TestWelfordNumericalStability(t *testing.T) {
+	// Large offset with small variance: naive sum-of-squares would lose
+	// precision; Welford must not.
+	var w Welford
+	rng := rand.New(rand.NewSource(7))
+	const offset = 1e9
+	for i := 0; i < 10000; i++ {
+		w.Add(offset + rng.Float64()) // uniform [offset, offset+1)
+	}
+	if !almostEqual(w.Mean(), offset+0.5, 1e-6) {
+		t.Errorf("Mean = %v", w.Mean())
+	}
+	// Uniform(0,1) variance is 1/12 ≈ 0.0833.
+	if w.Variance() < 0.06 || w.Variance() > 0.11 {
+		t.Errorf("Variance = %v, want ≈1/12", w.Variance())
+	}
+}

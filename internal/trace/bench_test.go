@@ -1,0 +1,43 @@
+package trace
+
+import "testing"
+
+// BenchmarkAnalyze measures the postmortem pass over the reference
+// pipeline trace, scaled 100x.
+func BenchmarkAnalyze(b *testing.B) {
+	base := buildPipelineTrace()
+	events := make([]Event, 0, len(base)*100)
+	for rep := 0; rep < 100; rep++ {
+		offset := ItemID(rep * 1000)
+		for _, ev := range base {
+			ev2 := ev
+			if ev2.Item != 0 {
+				ev2.Item += offset
+			}
+			if len(ev2.Items) > 0 {
+				items := make([]ItemID, len(ev2.Items))
+				for i, id := range ev2.Items {
+					items[i] = id + offset
+				}
+				ev2.Items = items
+			}
+			events = append(events, ev2)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AnalyzeEvents(events, AnalyzeOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecorderAppend measures the tracing hot path.
+func BenchmarkRecorderAppend(b *testing.B) {
+	r := NewRecorder()
+	ev := Event{Kind: EvGet, Item: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Append(ev)
+	}
+}

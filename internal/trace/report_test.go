@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+func TestBuildReportThreads(t *testing.T) {
+	evs := buildPipelineTrace()
+	a := mustAnalyze(t, evs, AnalyzeOptions{To: sec(5)})
+	rep := BuildReport(evs, a)
+
+	src := rep.Threads[graph.NodeID(0)]
+	if src == nil {
+		t.Fatal("source thread missing from report")
+	}
+	if src.Iterations != 4 {
+		t.Errorf("source iterations = %d, want 4", src.Iterations)
+	}
+	if src.Compute != 100*time.Millisecond {
+		t.Errorf("source mean compute = %v, want 100ms", src.Compute)
+	}
+	if src.Produced != 4 {
+		t.Errorf("source produced = %d", src.Produced)
+	}
+	if src.Period != sec(5)/4 {
+		t.Errorf("source period = %v", src.Period)
+	}
+	if src.Utilization <= 0 || src.Utilization > 1 {
+		t.Errorf("utilization = %v", src.Utilization)
+	}
+
+	worker := rep.Threads[graph.NodeID(2)]
+	if worker == nil || worker.Iterations != 2 || worker.Compute != 800*time.Millisecond {
+		t.Fatalf("worker report = %+v", worker)
+	}
+}
+
+func TestBuildReportChannels(t *testing.T) {
+	evs := buildPipelineTrace()
+	a := mustAnalyze(t, evs, AnalyzeOptions{To: sec(5)})
+	rep := BuildReport(evs, a)
+
+	chA := rep.Channels[graph.NodeID(1)]
+	if chA == nil {
+		t.Fatal("channel A missing")
+	}
+	if chA.Allocs != 4 || chA.Gets != 2 || chA.Skips != 2 || chA.Frees != 4 {
+		t.Errorf("chA counts = %+v", chA)
+	}
+	if chA.BytesAllocated != 400 {
+		t.Errorf("chA bytes = %d", chA.BytesAllocated)
+	}
+	if chA.WastedItems != 2 {
+		t.Errorf("chA wasted = %d (items 2 and 4)", chA.WastedItems)
+	}
+	if chA.MeanResidency <= 0 {
+		t.Errorf("chA residency = %v", chA.MeanResidency)
+	}
+
+	chB := rep.Channels[graph.NodeID(3)]
+	if chB == nil || chB.Allocs != 2 || chB.WastedItems != 0 {
+		t.Fatalf("chB report = %+v", chB)
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	evs := buildPipelineTrace()
+	a := mustAnalyze(t, evs, AnalyzeOptions{To: sec(5)})
+	rep := BuildReport(evs, a)
+
+	g := graph.New()
+	g.MustAddNode(graph.KindThread, "source", 0)
+	g.MustAddNode(graph.KindChannel, "chanA", 0)
+	g.MustAddNode(graph.KindThread, "worker", 0)
+	g.MustAddNode(graph.KindChannel, "chanB", 0)
+	g.MustAddNode(graph.KindThread, "sink", 0)
+
+	var buf bytes.Buffer
+	rep.WriteThreads(&buf, g)
+	rep.WriteChannels(&buf, g)
+	out := buf.String()
+	for _, want := range []string{"source", "worker", "sink", "chanA", "chanB", "iters", "residency"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Rendering without a graph falls back to ids.
+	buf.Reset()
+	rep.WriteThreads(&buf, nil)
+	if !strings.Contains(buf.String(), "node-0") {
+		t.Error("nil-graph rendering must use node ids")
+	}
+}
+
+func TestReportWindowClipping(t *testing.T) {
+	evs := buildPipelineTrace()
+	a := mustAnalyze(t, evs, AnalyzeOptions{From: sec(2), To: sec(4)})
+	rep := BuildReport(evs, a)
+	src := rep.Threads[graph.NodeID(0)]
+	// Source iterations at 0,1,2,3s; window [2,4) keeps 2 of them.
+	if src == nil || src.Iterations != 2 {
+		t.Fatalf("clipped source = %+v", src)
+	}
+}

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// Summary is the flat, machine-readable digest of an Analysis, suitable
+// for JSON export and diffing across runs. All byte figures are raw
+// bytes; durations are in milliseconds for spreadsheet friendliness.
+type Summary struct {
+	WindowFromMS int64 `json:"window_from_ms"`
+	WindowToMS   int64 `json:"window_to_ms"`
+
+	MeanFootprintBytes float64 `json:"mean_footprint_bytes"`
+	StdFootprintBytes  float64 `json:"std_footprint_bytes"`
+	PeakFootprintBytes float64 `json:"peak_footprint_bytes"`
+	IGCMeanBytes       float64 `json:"igc_mean_bytes"`
+	WastedMemPct       float64 `json:"wasted_mem_pct"`
+	WastedCompPct      float64 `json:"wasted_comp_pct"`
+
+	Outputs       int     `json:"outputs"`
+	ThroughputFPS float64 `json:"throughput_fps"`
+	LatencyMeanMS float64 `json:"latency_mean_ms"`
+	LatencyStdMS  float64 `json:"latency_std_ms"`
+	LatencyP50MS  float64 `json:"latency_p50_ms"`
+	LatencyP95MS  float64 `json:"latency_p95_ms"`
+	LatencyP99MS  float64 `json:"latency_p99_ms"`
+	JitterMS      float64 `json:"jitter_ms"`
+
+	ItemsTotal      int `json:"items_total"`
+	ItemsSuccessful int `json:"items_successful"`
+	ItemsWasted     int `json:"items_wasted"`
+	Gets            int `json:"gets"`
+	Skips           int `json:"skips"`
+
+	TotalComputeMS  float64 `json:"total_compute_ms"`
+	WastedComputeMS float64 `json:"wasted_compute_ms"`
+}
+
+// Summary digests the analysis.
+func (a *Analysis) Summary() Summary {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return Summary{
+		WindowFromMS:       a.From.Milliseconds(),
+		WindowToMS:         a.To.Milliseconds(),
+		MeanFootprintBytes: a.All.MeanBytes,
+		StdFootprintBytes:  a.All.StdBytes,
+		PeakFootprintBytes: a.All.PeakBytes,
+		IGCMeanBytes:       a.IGC.MeanBytes,
+		WastedMemPct:       a.WastedMemPct,
+		WastedCompPct:      a.WastedCompPct,
+		Outputs:            a.Outputs,
+		ThroughputFPS:      a.ThroughputFPS,
+		LatencyMeanMS:      ms(a.LatencyMean),
+		LatencyStdMS:       ms(a.LatencyStd),
+		LatencyP50MS:       ms(a.LatencyP50),
+		LatencyP95MS:       ms(a.LatencyP95),
+		LatencyP99MS:       ms(a.LatencyP99),
+		JitterMS:           ms(a.Jitter),
+		ItemsTotal:         a.ItemsTotal,
+		ItemsSuccessful:    a.ItemsSuccessful,
+		ItemsWasted:        a.ItemsWasted,
+		Gets:               a.Gets,
+		Skips:              a.Skips,
+		TotalComputeMS:     ms(a.TotalCompute),
+		WastedComputeMS:    ms(a.WastedCompute),
+	}
+}
+
+// WriteJSON writes the summary as indented JSON.
+func (a *Analysis) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a.Summary())
+}

@@ -1,0 +1,162 @@
+// Package trace implements the measurement infrastructure described in §4
+// of the paper: "Each interaction of an item with the operating system
+// (e.g., allocation, deallocation, etc.) is recorded. Items that do not
+// make it to the end of the pipeline are marked to differentiate between
+// wasted and successful memory and computations. A postmortem analysis
+// program uses these statistics to derive the metrics of interest."
+//
+// The runtime appends Events to a Recorder during execution; Analyze runs
+// the postmortem pass, classifying every item as successful (its data
+// transitively reached a pipeline sink) or wasted, and computing the
+// paper's metrics: mean/std memory footprint (MUμ/MUσ), percentage wasted
+// memory and computation, latency, throughput, jitter, and the Ideal
+// Garbage Collector (IGC) lower bound on footprint.
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/vt"
+)
+
+// ItemID uniquely identifies one data item instance across the whole run.
+// Each Put creates a distinct item (Stampede copies data into the channel).
+type ItemID int64
+
+// NoItem is the invalid item id.
+const NoItem ItemID = 0
+
+// EventKind discriminates trace events.
+type EventKind uint8
+
+const (
+	// EvAlloc records the creation of an item by a producer thread. It
+	// carries the item's logical size, its timestamp, the channel it was
+	// produced into, and its provenance (the input items consumed by the
+	// iteration that produced it). An item's live interval for footprint
+	// accounting starts here.
+	EvAlloc EventKind = iota
+	// EvGet records a consumer connection retrieving the item.
+	EvGet
+	// EvSkip records a consumer connection passing over the item without
+	// consuming it (get-latest semantics skipped stale data).
+	EvSkip
+	// EvFree records the garbage collector reclaiming the item, ending
+	// its live interval.
+	EvFree
+	// EvIter records the completion of one thread loop iteration with its
+	// compute time (blocking excluded) and the items it produced.
+	EvIter
+	// EvEmit records a pipeline output: a sink thread completed
+	// processing of the listed consumed items (one displayed frame for
+	// the tracker's GUI).
+	EvEmit
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvAlloc:
+		return "alloc"
+	case EvGet:
+		return "get"
+	case EvSkip:
+		return "skip"
+	case EvFree:
+		return "free"
+	case EvIter:
+		return "iter"
+	case EvEmit:
+		return "emit"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one trace record. Field usage depends on Kind; unused fields
+// are zero.
+type Event struct {
+	Kind EventKind
+	// At is the runtime-clock time of the event.
+	At time.Duration
+	// Item is the subject item (EvAlloc/EvGet/EvSkip/EvFree).
+	Item ItemID
+	// Node is the channel or queue holding the item (EvAlloc/EvGet/
+	// EvSkip/EvFree).
+	Node graph.NodeID
+	// Thread is the acting thread (EvAlloc producer, EvGet/EvSkip
+	// consumer, EvIter/EvEmit subject).
+	Thread graph.NodeID
+	// TS is the item's virtual timestamp (EvAlloc).
+	TS vt.Timestamp
+	// Size is the item's logical size in bytes (EvAlloc).
+	Size int64
+	// Compute is the iteration's execution time excluding blocking and
+	// throttle sleep (EvIter).
+	Compute time.Duration
+	// Blocked is the time the iteration spent waiting on inputs (EvIter).
+	Blocked time.Duration
+	// Items lists provenance inputs (EvAlloc), items produced (EvIter),
+	// or items consumed for an output (EvEmit).
+	Items []ItemID
+}
+
+// Recorder collects events. It is safe for concurrent use. A nil
+// *Recorder is valid and discards everything, so tracing can be disabled
+// without branching at call sites.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+	nextID atomic.Int64
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	r := &Recorder{}
+	r.nextID.Store(1)
+	return r
+}
+
+// NewItemID allocates a fresh unique item id. Valid on a nil recorder,
+// which hands out ids without recording anything.
+func (r *Recorder) NewItemID() ItemID {
+	if r == nil {
+		return NoItem
+	}
+	return ItemID(r.nextID.Add(1))
+}
+
+// Append records one event. A nil recorder discards it.
+func (r *Recorder) Append(ev Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.events = append(r.events, ev)
+	r.mu.Unlock()
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Events returns a snapshot copy of the recorded events in append order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	r.Append(Event{Kind: EvAlloc}) // must not panic
+	if r.Len() != 0 {
+		t.Error("nil recorder must report 0 events")
+	}
+	if r.Events() != nil {
+		t.Error("nil recorder must return nil events")
+	}
+	if r.NewItemID() != NoItem {
+		t.Error("nil recorder must hand out NoItem")
+	}
+}
+
+func TestRecorderAppendAndSnapshot(t *testing.T) {
+	r := NewRecorder()
+	r.Append(Event{Kind: EvAlloc, Item: 1})
+	r.Append(Event{Kind: EvFree, Item: 1})
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	evs := r.Events()
+	if len(evs) != 2 || evs[0].Kind != EvAlloc || evs[1].Kind != EvFree {
+		t.Fatalf("Events = %+v", evs)
+	}
+	// Snapshot must be independent of later appends.
+	r.Append(Event{Kind: EvGet})
+	if len(evs) != 2 {
+		t.Error("snapshot must not grow")
+	}
+}
+
+func TestRecorderUniqueIDs(t *testing.T) {
+	r := NewRecorder()
+	const n = 64
+	ids := make(chan ItemID, n*8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				ids <- r.NewItemID()
+			}
+		}()
+	}
+	wg.Wait()
+	close(ids)
+	seen := map[ItemID]bool{}
+	for id := range ids {
+		if id == NoItem {
+			t.Fatal("NewItemID returned NoItem")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	want := map[EventKind]string{
+		EvAlloc: "alloc", EvGet: "get", EvSkip: "skip",
+		EvFree: "free", EvIter: "iter", EvEmit: "emit",
+		EventKind(99): "unknown",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+}
+
+func TestRecorderConcurrentAppend(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Append(Event{Kind: EvGet, At: time.Duration(g*100 + i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Len() != 800 {
+		t.Fatalf("Len = %d, want 800", r.Len())
+	}
+}
+
+var _ = graph.NodeID(0) // keep import honest in minimal builds

@@ -1,0 +1,42 @@
+package tracker
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestCalibrate is a tuning aid, enabled with TRACKER_CALIBRATE=1. It
+// sweeps bus bandwidth and prints the headline metrics per policy.
+func TestCalibrate(t *testing.T) {
+	if os.Getenv("TRACKER_CALIBRATE") == "" {
+		t.Skip("set TRACKER_CALIBRATE=1 to run the calibration sweep")
+	}
+	for _, hosts := range []int{1, 5} {
+		for _, bus := range []float64{120e6} {
+			for _, pc := range []struct {
+				name   string
+				policy core.Policy
+			}{
+				{"no-aru", core.PolicyOff()},
+				{"aru-min", core.PolicyMin()},
+				{"aru-max", core.PolicyMax()},
+			} {
+				app, err := New(Config{Hosts: hosts, Seed: 42, Policy: pc.policy, BusBytesPerSec: bus})
+				if err != nil {
+					t.Fatal(err)
+				}
+				a, err := app.Run(60*time.Second, 10*time.Second)
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("h=%d bus=%3.0fMB/s %-8s mem=%6.2fMB igc=%5.2fMB wastedMem=%5.1f%% wastedComp=%5.1f%% fps=%.2f lat=%dms jit=%dms",
+					hosts, bus/1e6, pc.name, a.All.MeanBytes/(1<<20), a.IGC.MeanBytes/(1<<20),
+					a.WastedMemPct, a.WastedCompPct, a.ThroughputFPS,
+					a.LatencyMean.Milliseconds(), a.Jitter.Milliseconds())
+			}
+		}
+	}
+}

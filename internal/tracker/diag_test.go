@@ -1,0 +1,71 @@
+package tracker
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/trace"
+)
+
+// TestDiagPeriods prints per-thread effective periods, compute, and
+// blocked time. Enabled with TRACKER_DIAG=1.
+func TestDiagPeriods(t *testing.T) {
+	if os.Getenv("TRACKER_DIAG") == "" {
+		t.Skip("set TRACKER_DIAG=1")
+	}
+	for _, pc := range []struct {
+		name   string
+		policy core.Policy
+	}{
+		{"no-aru", core.PolicyOff()},
+		{"aru-min", core.PolicyMin()},
+		{"aru-max", core.PolicyMax()},
+	} {
+		app, err := New(Config{Hosts: 1, Seed: 42, Policy: pc.policy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := app.Runtime.RunFor(60 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		type agg struct {
+			iters   int
+			compute time.Duration
+			blocked time.Duration
+		}
+		per := map[graph.NodeID]*agg{}
+		for _, ev := range app.Recorder.Events() {
+			if ev.Kind != trace.EvIter || ev.At < 10*time.Second {
+				continue
+			}
+			a := per[ev.Thread]
+			if a == nil {
+				a = &agg{}
+				per[ev.Thread] = a
+			}
+			a.iters++
+			a.compute += ev.Compute
+			a.blocked += ev.Blocked
+		}
+		t.Logf("=== %s ===", pc.name)
+		app.Runtime.Graph().Nodes(func(n *graph.Node) {
+			if n.Kind != graph.KindThread {
+				return
+			}
+			a := per[n.ID]
+			if a == nil || a.iters == 0 {
+				t.Logf("  %-16s no iterations", n.Name)
+				return
+			}
+			window := 50 * time.Second
+			t.Logf("  %-16s iters=%4d period=%4dms compute=%4dms blocked=%4dms",
+				n.Name, a.iters,
+				(window / time.Duration(a.iters)).Milliseconds(),
+				(a.compute / time.Duration(a.iters)).Milliseconds(),
+				(a.blocked / time.Duration(a.iters)).Milliseconds())
+		})
+	}
+}

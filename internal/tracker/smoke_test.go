@@ -1,0 +1,66 @@
+package tracker
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestSmokeShapes runs each policy briefly at high scale and prints the
+// headline metrics; it asserts only the coarsest orderings. The full
+// shape assertions live in integration_test.go and the bench harness.
+func TestSmokeShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke run skipped in -short")
+	}
+	type result struct {
+		name          string
+		meanMB, igcMB float64
+		wastedMemPct  float64
+		wastedCompPct float64
+		fps           float64
+		latency       time.Duration
+	}
+	var results []result
+	for _, pc := range []struct {
+		name   string
+		policy core.Policy
+	}{
+		{"no-aru", core.PolicyOff()},
+		{"aru-min", core.PolicyMin()},
+		{"aru-max", core.PolicyMax()},
+	} {
+		app, err := New(Config{Hosts: 1, Seed: 42, Policy: pc.policy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := app.Run(60*time.Second, 10*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, result{
+			name:          pc.name,
+			meanMB:        a.All.MeanBytes / (1 << 20),
+			igcMB:         a.IGC.MeanBytes / (1 << 20),
+			wastedMemPct:  a.WastedMemPct,
+			wastedCompPct: a.WastedCompPct,
+			fps:           a.ThroughputFPS,
+			latency:       a.LatencyMean,
+		})
+	}
+	for _, r := range results {
+		t.Logf("%-8s mem=%6.2fMB igc=%5.2fMB wastedMem=%5.1f%% wastedComp=%5.1f%% fps=%.2f lat=%v",
+			r.name, r.meanMB, r.igcMB, r.wastedMemPct, r.wastedCompPct, r.fps, r.latency)
+	}
+	noARU, min, max := results[0], results[1], results[2]
+	if min.meanMB >= noARU.meanMB {
+		t.Errorf("ARU-min footprint %.2f must beat No-ARU %.2f", min.meanMB, noARU.meanMB)
+	}
+	if max.meanMB >= min.meanMB {
+		t.Errorf("ARU-max footprint %.2f must beat ARU-min %.2f", max.meanMB, min.meanMB)
+	}
+	if min.wastedMemPct >= noARU.wastedMemPct {
+		t.Errorf("ARU-min wasted %.1f%% must beat No-ARU %.1f%%", min.wastedMemPct, noARU.wastedMemPct)
+	}
+}

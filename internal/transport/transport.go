@@ -1,0 +1,254 @@
+// Package transport models the cluster substrate the paper ran on: a
+// 17-node cluster of 8-way SMPs connected by Gigabit Ethernet (§5). The
+// reproduction simulates hosts in-process; the cost of moving data is
+// charged as time on a Clock rather than incurred by real sockets, which
+// keeps experiments deterministic and laptop-scale while preserving the
+// ratios the feedback mechanism reacts to.
+//
+// Two resources are modeled:
+//
+//   - Network: a serialized link between each ordered pair of hosts, with
+//     latency plus size/bandwidth occupancy. Cross-host put/get operations
+//     charge it.
+//
+//   - Bus: the shared memory system of one host. Producing or copying an
+//     item charges size/bandwidth against a host-wide resource. This is
+//     the causal channel by which wasteful production slows useful work
+//     (the paper's configuration 1 throughput effect): a digitizer running
+//     full tilt saturates the host's memory system.
+//
+// A real-sockets variant for genuinely distributed runs lives in package
+// remote; this package is purely the simulation substrate.
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// HostID identifies a simulated cluster machine. Hosts are numbered
+// 0..N-1.
+type HostID int
+
+// LinkSpec describes one direction of a network link.
+type LinkSpec struct {
+	// Latency is the propagation delay charged once per transfer.
+	Latency time.Duration
+	// BytesPerSec is the link bandwidth. Zero means infinite bandwidth
+	// (only latency is charged).
+	BytesPerSec float64
+}
+
+// occupancy returns the serialization time for size bytes.
+func (l LinkSpec) occupancy(size int64) time.Duration {
+	if l.BytesPerSec <= 0 || size <= 0 {
+		return 0
+	}
+	return time.Duration(float64(size) / l.BytesPerSec * float64(time.Second))
+}
+
+// GigabitEthernet approximates the paper's interconnect: 1 Gb/s and ~100µs
+// of software latency per transfer (circa-2004 TCP stacks).
+var GigabitEthernet = LinkSpec{Latency: 100 * time.Microsecond, BytesPerSec: 125e6}
+
+// resource is a serialized shared resource: requests queue behind each
+// other FIFO. It is the common mechanism behind links and buses.
+type resource struct {
+	clk      clock.Clock
+	mu       sync.Mutex
+	nextFree time.Duration
+	busy     time.Duration // cumulative occupancy charged
+}
+
+// charge blocks the caller for queueing delay plus cost and returns the
+// total time blocked.
+func (r *resource) charge(cost time.Duration) time.Duration {
+	if cost <= 0 {
+		return 0
+	}
+	r.mu.Lock()
+	now := r.clk.Now()
+	start := now
+	if r.nextFree > start {
+		start = r.nextFree
+	}
+	r.nextFree = start + cost
+	r.busy += cost
+	wait := r.nextFree - now
+	r.mu.Unlock()
+	r.clk.Sleep(wait)
+	return wait
+}
+
+// busyTime returns the cumulative occupancy charged so far.
+func (r *resource) busyTime() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.busy
+}
+
+// Network is a simulated cluster interconnect with one serialized link per
+// ordered host pair. Intra-host transfers are free (the Bus accounts for
+// local copies). It is safe for concurrent use.
+type Network struct {
+	clk   clock.Clock
+	hosts int
+	spec  LinkSpec
+	links map[[2]HostID]*resource
+	mu    sync.Mutex
+}
+
+// NewNetwork creates a network of n hosts with uniform link
+// characteristics. n must be positive.
+func NewNetwork(clk clock.Clock, n int, spec LinkSpec) *Network {
+	if n <= 0 {
+		panic(fmt.Sprintf("transport: invalid host count %d", n))
+	}
+	return &Network{clk: clk, hosts: n, spec: spec, links: make(map[[2]HostID]*resource)}
+}
+
+// Hosts returns the number of hosts.
+func (n *Network) Hosts() int { return n.hosts }
+
+// Spec returns the uniform link characteristics.
+func (n *Network) Spec() LinkSpec { return n.spec }
+
+func (n *Network) link(from, to HostID) *resource {
+	key := [2]HostID{from, to}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	r, ok := n.links[key]
+	if !ok {
+		r = &resource{clk: n.clk}
+		n.links[key] = r
+	}
+	return r
+}
+
+// Transfer blocks the caller for the time needed to move size bytes from
+// one host to another: latency plus serialized link occupancy. Intra-host
+// transfers return immediately. Unknown hosts panic, as placement bugs
+// must not silently become free transfers.
+func (n *Network) Transfer(from, to HostID, size int64) time.Duration {
+	n.checkHost(from)
+	n.checkHost(to)
+	if from == to {
+		return 0
+	}
+	occ := n.spec.occupancy(size)
+	wait := n.link(from, to).charge(occ)
+	if n.spec.Latency > 0 {
+		n.clk.Sleep(n.spec.Latency)
+		wait += n.spec.Latency
+	}
+	return wait
+}
+
+func (n *Network) checkHost(h HostID) {
+	if h < 0 || int(h) >= n.hosts {
+		panic(fmt.Sprintf("transport: host %d out of range [0,%d)", h, n.hosts))
+	}
+}
+
+// LinkBusy returns the cumulative occupancy charged on the from→to link.
+func (n *Network) LinkBusy(from, to HostID) time.Duration {
+	return n.link(from, to).busyTime()
+}
+
+// Bus models the shared memory system of one host. Every item production
+// and local copy charges size/BytesPerSec against it; concurrent charges
+// serialize, so a host saturated by wasteful production delays all of its
+// threads.
+type Bus struct {
+	res         resource
+	bytesPerSec float64
+}
+
+// NewBus creates a bus with the given bandwidth. Non-positive bandwidth
+// makes every charge free (an "infinite" memory system, useful in unit
+// tests).
+func NewBus(clk clock.Clock, bytesPerSec float64) *Bus {
+	return &Bus{res: resource{clk: clk}, bytesPerSec: bytesPerSec}
+}
+
+// Charge blocks the caller for the time to move size bytes through the
+// host memory system (queueing included) and returns the time blocked.
+func (b *Bus) Charge(size int64) time.Duration {
+	return b.ChargeScaled(size, 1)
+}
+
+// ChargeScaled is Charge with a cost multiplier ≥ 1, used to model
+// memory-pressure slowdown: a host whose buffers hold many megabytes of
+// live items pays more per byte moved (allocator, paging, and cache
+// effects — the mechanism by which the paper's No-ARU configuration
+// "generates memory pressure" that degrades throughput). Factors below 1
+// are clamped to 1.
+func (b *Bus) ChargeScaled(size int64, factor float64) time.Duration {
+	if b == nil || b.bytesPerSec <= 0 || size <= 0 {
+		return 0
+	}
+	if factor < 1 {
+		factor = 1
+	}
+	cost := time.Duration(float64(size) / b.bytesPerSec * float64(time.Second) * factor)
+	return b.res.charge(cost)
+}
+
+// BusyTime returns the cumulative occupancy charged on the bus.
+func (b *Bus) BusyTime() time.Duration {
+	if b == nil {
+		return 0
+	}
+	return b.res.busyTime()
+}
+
+// Cluster bundles the per-host buses and the interconnect for a simulated
+// machine room.
+type Cluster struct {
+	clk   clock.Clock
+	net   *Network
+	buses []*Bus
+}
+
+// ClusterSpec configures a simulated cluster.
+type ClusterSpec struct {
+	// Hosts is the machine count (≥1).
+	Hosts int
+	// Link characterizes every inter-host link.
+	Link LinkSpec
+	// BusBytesPerSec is each host's memory-system bandwidth; zero
+	// disables bus accounting.
+	BusBytesPerSec float64
+}
+
+// PaperCluster returns the specification used by the reproduction's
+// experiments: Gigabit Ethernet links and a memory system of roughly
+// 400 MB/s effective copy bandwidth per host (an 8-way 550 MHz Pentium III
+// Xeon SMP of the paper's era).
+func PaperCluster(hosts int) ClusterSpec {
+	return ClusterSpec{Hosts: hosts, Link: GigabitEthernet, BusBytesPerSec: 400e6}
+}
+
+// NewCluster builds the simulated cluster.
+func NewCluster(clk clock.Clock, spec ClusterSpec) *Cluster {
+	c := &Cluster{clk: clk, net: NewNetwork(clk, spec.Hosts, spec.Link)}
+	for i := 0; i < spec.Hosts; i++ {
+		c.buses = append(c.buses, NewBus(clk, spec.BusBytesPerSec))
+	}
+	return c
+}
+
+// Hosts returns the machine count.
+func (c *Cluster) Hosts() int { return c.net.Hosts() }
+
+// Network returns the interconnect.
+func (c *Cluster) Network() *Network { return c.net }
+
+// Bus returns host h's memory system.
+func (c *Cluster) Bus(h HostID) *Bus {
+	c.net.checkHost(h)
+	return c.buses[h]
+}

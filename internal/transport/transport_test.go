@@ -1,0 +1,190 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+func TestLinkSpecOccupancy(t *testing.T) {
+	l := LinkSpec{BytesPerSec: 1000}
+	if got := l.occupancy(500); got != 500*time.Millisecond {
+		t.Errorf("occupancy = %v, want 500ms", got)
+	}
+	if got := l.occupancy(0); got != 0 {
+		t.Errorf("zero size occupancy = %v", got)
+	}
+	if got := (LinkSpec{}).occupancy(1 << 30); got != 0 {
+		t.Errorf("infinite bandwidth occupancy = %v", got)
+	}
+}
+
+func TestNetworkIntraHostIsFree(t *testing.T) {
+	clk := clock.NewReal()
+	n := NewNetwork(clk, 3, LinkSpec{Latency: time.Hour, BytesPerSec: 1})
+	start := clk.Now()
+	if d := n.Transfer(1, 1, 1<<20); d != 0 {
+		t.Errorf("intra-host transfer charged %v", d)
+	}
+	if clk.Now()-start > 100*time.Millisecond {
+		t.Error("intra-host transfer must not sleep")
+	}
+}
+
+func TestNetworkChargesLatencyAndBandwidth(t *testing.T) {
+	clk := clock.NewReal()
+	// 1 MB/s bandwidth, 5ms latency: 10 kB → 10ms occupancy + 5ms.
+	n := NewNetwork(clk, 2, LinkSpec{Latency: 5 * time.Millisecond, BytesPerSec: 1e6})
+	start := clk.Now()
+	n.Transfer(0, 1, 10_000)
+	elapsed := clk.Now() - start
+	if elapsed < 14*time.Millisecond {
+		t.Errorf("transfer took %v, want ≥ ~15ms", elapsed)
+	}
+	if busy := n.LinkBusy(0, 1); busy != 10*time.Millisecond {
+		t.Errorf("LinkBusy = %v, want 10ms", busy)
+	}
+}
+
+func TestNetworkLinksSerialize(t *testing.T) {
+	clk := clock.NewReal()
+	n := NewNetwork(clk, 2, LinkSpec{BytesPerSec: 1e6}) // 10kB = 10ms
+	start := clk.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n.Transfer(0, 1, 10_000)
+		}()
+	}
+	wg.Wait()
+	elapsed := clk.Now() - start
+	if elapsed < 35*time.Millisecond {
+		t.Errorf("4 serialized 10ms transfers took %v, want ≥ ~40ms", elapsed)
+	}
+}
+
+func TestNetworkDirectionsIndependent(t *testing.T) {
+	clk := clock.NewReal()
+	n := NewNetwork(clk, 2, LinkSpec{BytesPerSec: 1e6})
+	start := clk.Now()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); n.Transfer(0, 1, 20_000) }()
+	go func() { defer wg.Done(); n.Transfer(1, 0, 20_000) }()
+	wg.Wait()
+	elapsed := clk.Now() - start
+	// Opposite directions are separate links: ~20ms, not ~40ms.
+	if elapsed > 35*time.Millisecond {
+		t.Errorf("opposite-direction transfers serialized: %v", elapsed)
+	}
+}
+
+func TestNetworkPanicsOnBadHost(t *testing.T) {
+	n := NewNetwork(clock.NewReal(), 2, LinkSpec{})
+	for _, pair := range [][2]HostID{{-1, 0}, {0, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Transfer(%v) must panic", pair)
+				}
+			}()
+			n.Transfer(pair[0], pair[1], 1)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewNetwork(0 hosts) must panic")
+			}
+		}()
+		NewNetwork(clock.NewReal(), 0, LinkSpec{})
+	}()
+}
+
+func TestBusChargesAndSerializes(t *testing.T) {
+	clk := clock.NewReal()
+	b := NewBus(clk, 1e6) // 10kB = 10ms
+	start := clk.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b.Charge(10_000)
+		}()
+	}
+	wg.Wait()
+	elapsed := clk.Now() - start
+	if elapsed < 25*time.Millisecond {
+		t.Errorf("3 serialized bus charges took %v, want ≥ ~30ms", elapsed)
+	}
+	if busy := b.BusyTime(); busy != 30*time.Millisecond {
+		t.Errorf("BusyTime = %v, want 30ms", busy)
+	}
+}
+
+func TestBusNilAndFree(t *testing.T) {
+	var nilBus *Bus
+	if nilBus.Charge(1<<20) != 0 || nilBus.BusyTime() != 0 {
+		t.Error("nil bus must be free")
+	}
+	free := NewBus(clock.NewReal(), 0)
+	if free.Charge(1<<30) != 0 {
+		t.Error("zero-bandwidth bus must be free")
+	}
+	real := NewBus(clock.NewReal(), 1e9)
+	if real.Charge(0) != 0 || real.Charge(-5) != 0 {
+		t.Error("non-positive sizes must be free")
+	}
+}
+
+func TestBusScaledClock(t *testing.T) {
+	// With a 100x scaled clock, a 100ms (virtual) charge sleeps ~1ms.
+	clk := clock.NewScaled(clock.NewReal(), 100)
+	b := NewBus(clk, 1e6)
+	realStart := time.Now()
+	b.Charge(100_000) // 100ms virtual
+	realElapsed := time.Since(realStart)
+	if realElapsed > 50*time.Millisecond {
+		t.Errorf("scaled charge slept %v real, want ~1ms", realElapsed)
+	}
+	if b.BusyTime() != 100*time.Millisecond {
+		t.Errorf("BusyTime = %v, want 100ms virtual", b.BusyTime())
+	}
+}
+
+func TestCluster(t *testing.T) {
+	clk := clock.NewReal()
+	c := NewCluster(clk, ClusterSpec{Hosts: 5, Link: GigabitEthernet, BusBytesPerSec: 400e6})
+	if c.Hosts() != 5 {
+		t.Fatalf("Hosts = %d", c.Hosts())
+	}
+	if c.Network().Spec() != GigabitEthernet {
+		t.Error("network spec mismatch")
+	}
+	if c.Bus(0) == nil || c.Bus(4) == nil {
+		t.Error("buses must exist")
+	}
+	if c.Bus(0) == c.Bus(1) {
+		t.Error("hosts must have distinct buses")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Bus(out of range) must panic")
+			}
+		}()
+		c.Bus(5)
+	}()
+}
+
+func TestPaperCluster(t *testing.T) {
+	spec := PaperCluster(5)
+	if spec.Hosts != 5 || spec.Link != GigabitEthernet || spec.BusBytesPerSec != 400e6 {
+		t.Errorf("PaperCluster = %+v", spec)
+	}
+}

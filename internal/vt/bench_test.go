@@ -1,0 +1,31 @@
+package vt
+
+import "testing"
+
+// BenchmarkSetAddRemove measures the live-set churn of a channel under a
+// steady put/consume cycle.
+func BenchmarkSetAddRemove(b *testing.B) {
+	s := NewSet()
+	for ts := Timestamp(0); ts < 16; ts++ {
+		s.Add(ts)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts := Timestamp(16 + i)
+		s.Add(ts)
+		s.Remove(ts - 16)
+	}
+}
+
+// BenchmarkSetRemoveBelow measures guarantee-advance sweeps.
+func BenchmarkSetRemoveBelow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := NewSet()
+		for ts := Timestamp(0); ts < 64; ts++ {
+			s.Add(ts)
+		}
+		b.StartTimer()
+		s.RemoveBelow(48)
+	}
+}

@@ -1,0 +1,172 @@
+package vt
+
+import (
+	"sort"
+	"strings"
+)
+
+// Set is an ordered set of timestamps. The zero value is an empty set
+// ready to use. Set is not safe for concurrent use; callers synchronize.
+//
+// Sets are used by the dead-timestamp garbage collector to track the
+// timestamps that are live in a channel and the timestamps known to be dead
+// at neighbouring nodes of the task graph.
+type Set struct {
+	ts []Timestamp // sorted ascending, no duplicates
+}
+
+// NewSet returns a set holding the given timestamps.
+func NewSet(ts ...Timestamp) *Set {
+	s := &Set{}
+	for _, t := range ts {
+		s.Add(t)
+	}
+	return s
+}
+
+// Len returns the number of timestamps in the set.
+func (s *Set) Len() int { return len(s.ts) }
+
+// Empty reports whether the set holds no timestamps.
+func (s *Set) Empty() bool { return len(s.ts) == 0 }
+
+// index returns the position of t in the backing slice and whether it is
+// present.
+func (s *Set) index(t Timestamp) (int, bool) {
+	i := sort.Search(len(s.ts), func(i int) bool { return s.ts[i] >= t })
+	return i, i < len(s.ts) && s.ts[i] == t
+}
+
+// Contains reports whether t is in the set.
+func (s *Set) Contains(t Timestamp) bool {
+	_, ok := s.index(t)
+	return ok
+}
+
+// Add inserts t, reporting whether the set changed.
+func (s *Set) Add(t Timestamp) bool {
+	i, ok := s.index(t)
+	if ok {
+		return false
+	}
+	s.ts = append(s.ts, 0)
+	copy(s.ts[i+1:], s.ts[i:])
+	s.ts[i] = t
+	return true
+}
+
+// Remove deletes t, reporting whether it was present.
+func (s *Set) Remove(t Timestamp) bool {
+	i, ok := s.index(t)
+	if !ok {
+		return false
+	}
+	s.ts = append(s.ts[:i], s.ts[i+1:]...)
+	return true
+}
+
+// Min returns the earliest timestamp, or Infinity if the set is empty.
+func (s *Set) Min() Timestamp {
+	if len(s.ts) == 0 {
+		return Infinity
+	}
+	return s.ts[0]
+}
+
+// Max returns the latest timestamp, or None if the set is empty.
+func (s *Set) Max() Timestamp {
+	if len(s.ts) == 0 {
+		return None
+	}
+	return s.ts[len(s.ts)-1]
+}
+
+// Slice returns a copy of the contents in ascending order.
+func (s *Set) Slice() []Timestamp {
+	out := make([]Timestamp, len(s.ts))
+	copy(out, s.ts)
+	return out
+}
+
+// Clone returns an independent copy of the set.
+func (s *Set) Clone() *Set {
+	return &Set{ts: s.Slice()}
+}
+
+// Union adds every timestamp of other to s.
+func (s *Set) Union(other *Set) {
+	for _, t := range other.ts {
+		s.Add(t)
+	}
+}
+
+// Intersect removes from s every timestamp not present in other.
+func (s *Set) Intersect(other *Set) {
+	kept := s.ts[:0]
+	for _, t := range s.ts {
+		if other.Contains(t) {
+			kept = append(kept, t)
+		}
+	}
+	s.ts = kept
+}
+
+// Subtract removes from s every timestamp present in other.
+func (s *Set) Subtract(other *Set) {
+	kept := s.ts[:0]
+	for _, t := range s.ts {
+		if !other.Contains(t) {
+			kept = append(kept, t)
+		}
+	}
+	s.ts = kept
+}
+
+// RemoveBelow deletes every timestamp strictly less than bound and returns
+// the removed timestamps in ascending order. It is the primitive used when
+// a consumer's virtual-time guarantee advances: everything below the
+// guarantee can never be requested again.
+func (s *Set) RemoveBelow(bound Timestamp) []Timestamp {
+	i := sort.Search(len(s.ts), func(i int) bool { return s.ts[i] >= bound })
+	if i == 0 {
+		return nil
+	}
+	removed := make([]Timestamp, i)
+	copy(removed, s.ts[:i])
+	s.ts = append(s.ts[:0], s.ts[i:]...)
+	return removed
+}
+
+// FirstAfter returns the earliest timestamp strictly greater than t, or
+// Infinity if none exists.
+func (s *Set) FirstAfter(t Timestamp) Timestamp {
+	i := sort.Search(len(s.ts), func(i int) bool { return s.ts[i] > t })
+	if i == len(s.ts) {
+		return Infinity
+	}
+	return s.ts[i]
+}
+
+// LastBefore returns the latest timestamp strictly less than t, or None if
+// none exists.
+func (s *Set) LastBefore(t Timestamp) Timestamp {
+	i := sort.Search(len(s.ts), func(i int) bool { return s.ts[i] >= t })
+	if i == 0 {
+		return None
+	}
+	return s.ts[i-1]
+}
+
+// String renders the set as {ts(1) ts(2) ...}.
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, t := range s.ts {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(t.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}

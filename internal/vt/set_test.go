@@ -1,0 +1,250 @@
+package vt
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetAddRemoveContains(t *testing.T) {
+	s := NewSet()
+	if !s.Empty() || s.Len() != 0 {
+		t.Fatal("new set must be empty")
+	}
+	if !s.Add(5) {
+		t.Error("first Add must report change")
+	}
+	if s.Add(5) {
+		t.Error("duplicate Add must report no change")
+	}
+	s.Add(1)
+	s.Add(9)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if !s.Contains(5) || s.Contains(6) {
+		t.Error("Contains broken")
+	}
+	if !s.Remove(5) {
+		t.Error("Remove of present element must report true")
+	}
+	if s.Remove(5) {
+		t.Error("Remove of absent element must report false")
+	}
+	if got := s.Slice(); !reflect.DeepEqual(got, []Timestamp{1, 9}) {
+		t.Errorf("Slice = %v", got)
+	}
+}
+
+func TestSetMinMaxEmpty(t *testing.T) {
+	s := NewSet()
+	if s.Min() != Infinity {
+		t.Error("empty Min must be Infinity")
+	}
+	if s.Max() != None {
+		t.Error("empty Max must be None")
+	}
+	s.Add(4)
+	s.Add(-2)
+	if s.Min() != -2 || s.Max() != 4 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSetOrderInvariant(t *testing.T) {
+	s := NewSet()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		s.Add(Timestamp(rng.Intn(100)))
+	}
+	got := s.Slice()
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("set contents must stay sorted")
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] == got[i-1] {
+			t.Fatal("set must not contain duplicates")
+		}
+	}
+}
+
+func TestSetRemoveBelow(t *testing.T) {
+	s := NewSet(1, 3, 5, 7, 9)
+	removed := s.RemoveBelow(5)
+	if !reflect.DeepEqual(removed, []Timestamp{1, 3}) {
+		t.Errorf("removed = %v", removed)
+	}
+	if !reflect.DeepEqual(s.Slice(), []Timestamp{5, 7, 9}) {
+		t.Errorf("remaining = %v", s.Slice())
+	}
+	if got := s.RemoveBelow(0); got != nil {
+		t.Errorf("RemoveBelow with nothing below returned %v", got)
+	}
+	all := s.RemoveBelow(Infinity)
+	if len(all) != 3 || !s.Empty() {
+		t.Errorf("RemoveBelow(Infinity) must drain; got %v, len=%d", all, s.Len())
+	}
+}
+
+func TestSetFirstAfterLastBefore(t *testing.T) {
+	s := NewSet(2, 4, 8)
+	cases := []struct {
+		in    Timestamp
+		after Timestamp
+	}{
+		{None, 2}, {1, 2}, {2, 4}, {5, 8}, {8, Infinity}, {100, Infinity},
+	}
+	for _, c := range cases {
+		if got := s.FirstAfter(c.in); got != c.after {
+			t.Errorf("FirstAfter(%v) = %v, want %v", c.in, got, c.after)
+		}
+	}
+	befores := []struct {
+		in     Timestamp
+		before Timestamp
+	}{
+		{2, None}, {3, 2}, {8, 4}, {Infinity, 8}, {None, None},
+	}
+	for _, c := range befores {
+		if got := s.LastBefore(c.in); got != c.before {
+			t.Errorf("LastBefore(%v) = %v, want %v", c.in, got, c.before)
+		}
+	}
+}
+
+func TestSetUnionIntersectSubtract(t *testing.T) {
+	a := NewSet(1, 2, 3)
+	b := NewSet(2, 3, 4)
+
+	u := a.Clone()
+	u.Union(b)
+	if !reflect.DeepEqual(u.Slice(), []Timestamp{1, 2, 3, 4}) {
+		t.Errorf("Union = %v", u.Slice())
+	}
+
+	i := a.Clone()
+	i.Intersect(b)
+	if !reflect.DeepEqual(i.Slice(), []Timestamp{2, 3}) {
+		t.Errorf("Intersect = %v", i.Slice())
+	}
+
+	d := a.Clone()
+	d.Subtract(b)
+	if !reflect.DeepEqual(d.Slice(), []Timestamp{1}) {
+		t.Errorf("Subtract = %v", d.Slice())
+	}
+}
+
+func TestSetString(t *testing.T) {
+	s := NewSet(1, 2)
+	if got := s.String(); got != "{ts(1) ts(2)}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := NewSet().String(); got != "{}" {
+		t.Errorf("empty String = %q", got)
+	}
+}
+
+// Property: for any insertion sequence, the set equals the sorted
+// deduplicated slice of the inputs.
+func TestSetQuickMatchesReference(t *testing.T) {
+	f := func(vals []int16) bool {
+		s := NewSet()
+		ref := map[Timestamp]bool{}
+		for _, v := range vals {
+			ts := Timestamp(v)
+			s.Add(ts)
+			ref[ts] = true
+		}
+		want := make([]Timestamp, 0, len(ref))
+		for ts := range ref {
+			want = append(want, ts)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(want) == 0 {
+			return s.Empty()
+		}
+		return reflect.DeepEqual(s.Slice(), want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RemoveBelow(b) partitions the set: removed < b <= remaining,
+// and removed ∪ remaining equals the original contents.
+func TestSetQuickRemoveBelowPartitions(t *testing.T) {
+	f := func(vals []int16, bound int16) bool {
+		s := NewSet()
+		for _, v := range vals {
+			s.Add(Timestamp(v))
+		}
+		orig := s.Slice()
+		b := Timestamp(bound)
+		removed := s.RemoveBelow(b)
+		for _, ts := range removed {
+			if ts >= b {
+				return false
+			}
+		}
+		for _, ts := range s.Slice() {
+			if ts < b {
+				return false
+			}
+		}
+		return len(removed)+s.Len() == len(orig)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: set algebra matches map-based reference semantics.
+func TestSetQuickAlgebra(t *testing.T) {
+	build := func(vals []int8) (*Set, map[Timestamp]bool) {
+		s := NewSet()
+		m := map[Timestamp]bool{}
+		for _, v := range vals {
+			s.Add(Timestamp(v))
+			m[Timestamp(v)] = true
+		}
+		return s, m
+	}
+	f := func(av, bv []int8) bool {
+		a, am := build(av)
+		b, bm := build(bv)
+
+		u := a.Clone()
+		u.Union(b)
+		i := a.Clone()
+		i.Intersect(b)
+		d := a.Clone()
+		d.Subtract(b)
+
+		for ts := range am {
+			if !u.Contains(ts) {
+				return false
+			}
+			if bm[ts] != i.Contains(ts) {
+				return false
+			}
+			if bm[ts] == d.Contains(ts) {
+				return false
+			}
+		}
+		for ts := range bm {
+			if !u.Contains(ts) {
+				return false
+			}
+			if !am[ts] && (i.Contains(ts) || d.Contains(ts)) {
+				return false
+			}
+		}
+		return u.Len() <= len(am)+len(bm)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,134 @@
+package vt
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTimestampBounds(t *testing.T) {
+	if None.Valid() {
+		t.Error("None must not be Valid")
+	}
+	if Infinity.Valid() {
+		t.Error("Infinity must not be Valid")
+	}
+	if !Timestamp(0).Valid() {
+		t.Error("ts(0) must be Valid")
+	}
+	if !Timestamp(-42).Valid() {
+		t.Error("negative application timestamps are valid")
+	}
+	if !None.Before(Timestamp(math.MinInt64 + 1)) {
+		t.Error("None must sort before every other timestamp")
+	}
+	if !Timestamp(math.MaxInt64 - 1).Before(Infinity) {
+		t.Error("Infinity must sort after every other timestamp")
+	}
+}
+
+func TestTimestampNextPrev(t *testing.T) {
+	cases := []struct {
+		in         Timestamp
+		next, prev Timestamp
+	}{
+		{Timestamp(0), Timestamp(1), Timestamp(-1)},
+		{Timestamp(41), Timestamp(42), Timestamp(40)},
+		{Infinity, Infinity, Infinity - 1},
+		{None, None + 1, None},
+	}
+	for _, c := range cases {
+		if got := c.in.Next(); got != c.next {
+			t.Errorf("%v.Next() = %v, want %v", c.in, got, c.next)
+		}
+		if got := c.in.Prev(); got != c.prev {
+			t.Errorf("%v.Prev() = %v, want %v", c.in, got, c.prev)
+		}
+	}
+}
+
+func TestTimestampString(t *testing.T) {
+	if got := Timestamp(7).String(); got != "ts(7)" {
+		t.Errorf("String = %q", got)
+	}
+	if got := None.String(); got != "ts(-inf)" {
+		t.Errorf("None.String = %q", got)
+	}
+	if got := Infinity.String(); got != "ts(+inf)" {
+		t.Errorf("Infinity.String = %q", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if Min(3, 5) != 3 || Min(5, 3) != 3 {
+		t.Error("Min broken")
+	}
+	if Max(3, 5) != 5 || Max(5, 3) != 5 {
+		t.Error("Max broken")
+	}
+	if Min(None, 0) != None || Max(Infinity, 0) != Infinity {
+		t.Error("bounds must win Min/Max")
+	}
+}
+
+func TestIntervalBasics(t *testing.T) {
+	iv := Interval{Lo: 2, Hi: 5}
+	if iv.Empty() {
+		t.Fatal("non-empty interval reported Empty")
+	}
+	if iv.Len() != 3 {
+		t.Errorf("Len = %d, want 3", iv.Len())
+	}
+	for _, ts := range []Timestamp{2, 3, 4} {
+		if !iv.Contains(ts) {
+			t.Errorf("interval must contain %v", ts)
+		}
+	}
+	for _, ts := range []Timestamp{1, 5, 100} {
+		if iv.Contains(ts) {
+			t.Errorf("interval must not contain %v", ts)
+		}
+	}
+	if !(Interval{Lo: 5, Hi: 5}).Empty() || !(Interval{Lo: 6, Hi: 5}).Empty() {
+		t.Error("degenerate intervals must be empty")
+	}
+}
+
+func TestIntervalUnboundedLen(t *testing.T) {
+	if (Interval{Lo: None, Hi: 5}).Len() != math.MaxInt64 {
+		t.Error("interval from None must report unbounded length")
+	}
+	if (Interval{Lo: 5, Hi: Infinity}).Len() != math.MaxInt64 {
+		t.Error("interval to Infinity must report unbounded length")
+	}
+}
+
+func TestIntervalIntersectUnion(t *testing.T) {
+	a := Interval{Lo: 0, Hi: 10}
+	b := Interval{Lo: 5, Hi: 15}
+	got := a.Intersect(b)
+	if got.Lo != 5 || got.Hi != 10 {
+		t.Errorf("Intersect = %v", got)
+	}
+	u := a.Union(b)
+	if u.Lo != 0 || u.Hi != 15 {
+		t.Errorf("Union = %v", u)
+	}
+	empty := Interval{Lo: 3, Hi: 3}
+	if got := empty.Union(a); got != a {
+		t.Errorf("Union with empty = %v, want %v", got, a)
+	}
+	if got := a.Union(empty); got != a {
+		t.Errorf("Union with empty (rhs) = %v, want %v", got, a)
+	}
+	disjoint := a.Intersect(Interval{Lo: 20, Hi: 30})
+	if !disjoint.Empty() {
+		t.Errorf("disjoint Intersect must be empty, got %v", disjoint)
+	}
+}
+
+func TestIntervalString(t *testing.T) {
+	iv := Interval{Lo: 1, Hi: 4}
+	if got := iv.String(); got != "[ts(1), ts(4))" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,12 +1,81 @@
 package channel
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/clock"
 	"repro/internal/gc"
+	"repro/internal/graph"
 	"repro/internal/vt"
 )
+
+// BenchmarkGetLatestNoSkip isolates the consume side of the hot path: the
+// timer (and the allocation counter) only runs around GetLatest, with the
+// matching Put excluded via StopTimer. Run with a fixed -benchtime=N x
+// (StopTimer/StartTimer are expensive). This is the path the tentpole
+// drives to 0 allocs/op.
+func BenchmarkGetLatestNoSkip(b *testing.B) {
+	c := New(Config{Name: "b", Clock: clock.NewReal(), Collector: gc.NewDeadTimestamp()})
+	c.AttachProducer(prodConn)
+	c.AttachConsumer(consConn)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if _, err := c.Put(prodConn, &Item{TS: vt.Timestamp(i + 1), Size: 1024}); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := c.GetLatest(consConn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchContended drives one producer (the benchmark loop) against m
+// consumer goroutines hammering GetLatest on the same channel — the
+// multi-consumer fan-out every Stampede channel serves. ns/op is the
+// producer-observed put cost under contention, which includes the wakeup
+// protocol (Broadcast before the tentpole, targeted signaling after).
+func benchContended(b *testing.B, m int) {
+	c := New(Config{Name: "b", Clock: clock.NewReal(), Collector: gc.NewDeadTimestamp()})
+	c.AttachProducer(prodConn)
+	conns := make([]graph.ConnID, m)
+	for i := range conns {
+		conns[i] = graph.ConnID(100 + i)
+		c.AttachConsumer(conns[i])
+	}
+	var wg sync.WaitGroup
+	for _, conn := range conns {
+		wg.Add(1)
+		go func(conn graph.ConnID) {
+			defer wg.Done()
+			for {
+				if _, err := c.GetLatest(conn); err != nil {
+					return
+				}
+			}
+		}(conn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Put(prodConn, &Item{TS: vt.Timestamp(i + 1), Size: 1024}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	c.Close()
+	wg.Wait()
+}
+
+// BenchmarkContendedFanout4 is the contended multi-consumer benchmark
+// (4 GetLatest consumers).
+func BenchmarkContendedFanout4(b *testing.B) { benchContended(b, 4) }
+
+// BenchmarkContendedFanout16 stresses the wakeup protocol harder.
+func BenchmarkContendedFanout16(b *testing.B) { benchContended(b, 16) }
 
 // BenchmarkPutGetLatest measures one put + one consume on a DGC channel —
 // the runtime's hot path. The paper argues ARU's overhead is "minuscule";

@@ -93,12 +93,21 @@ type Config struct {
 
 // Channel is a timestamped buffer. All methods are safe for concurrent
 // use.
+//
+// Blocking is split across two condition variables so wakeups are
+// targeted: consumers waiting for fresh data park on notEmpty (signaled
+// by puts and close), producers waiting for capacity park on notFull
+// (signaled by frees and close). Before the split a single condvar was
+// broadcast on every put and every guarantee advance, thundering-herding
+// every waiter on every operation.
 type Channel struct {
 	cfg  Config
 	coll gc.Collector
 
 	mu        sync.Mutex
-	cond      *sync.Cond
+	notEmpty  *sync.Cond // consumers: a fresh item arrived (or closed)
+	notFull   *sync.Cond // producers: capacity freed (or closed)
+	consWait  int        // consumers currently parked on notEmpty
 	items     map[vt.Timestamp]*Item
 	live      *vt.Set
 	consumers map[graph.ConnID]*consumerState
@@ -108,6 +117,13 @@ type Channel struct {
 	puts      int64
 	frees     int64
 	liveBytes int64
+
+	// scratchG and scratchDead are per-channel scratch buffers reused by
+	// every collection sweep (guarantee vector and dead-timestamp list),
+	// keeping the per-advance GC hop allocation-free. Both are only
+	// touched under mu.
+	scratchG    []vt.Timestamp
+	scratchDead []vt.Timestamp
 }
 
 // New creates a channel.
@@ -128,21 +144,44 @@ func New(cfg Config) *Channel {
 		producers: make(map[graph.ConnID]bool),
 		maxPut:    vt.None,
 	}
-	c.cond = sync.NewCond(&c.mu)
+	c.notEmpty = sync.NewCond(&c.mu)
+	c.notFull = sync.NewCond(&c.mu)
 	return c
 }
 
-// wait parks the caller on the channel's condition variable, telling a
+// wait parks the caller on the given condition variable, telling a
 // discrete-event clock (if one is in use) that the goroutine is blocked
 // so virtual time may advance.
-func (c *Channel) wait() {
+func (c *Channel) wait(cond *sync.Cond) {
 	if b, ok := c.cfg.Clock.(clock.Blocker); ok {
 		b.BlockEnter()
-		c.cond.Wait()
+		cond.Wait()
 		b.BlockExit()
 		return
 	}
-	c.cond.Wait()
+	cond.Wait()
+}
+
+// waitConsumer parks a consumer on notEmpty, maintaining the waiter
+// count that lets puts choose Signal over Broadcast.
+func (c *Channel) waitConsumer() {
+	c.consWait++
+	c.wait(c.notEmpty)
+	c.consWait--
+}
+
+// wakeConsumersLocked wakes consumers after a put. The single parked
+// consumer — by far the common case — is woken with Signal; only when
+// several consumers (with heterogeneous wait predicates: GetLatest
+// versus Get-at-ts) are parked does it fall back to Broadcast.
+func (c *Channel) wakeConsumersLocked() {
+	switch {
+	case c.consWait == 0:
+	case c.consWait == 1:
+		c.notEmpty.Signal()
+	default:
+		c.notEmpty.Broadcast()
+	}
 }
 
 // Name returns the channel's name.
@@ -187,8 +226,9 @@ func (c *Channel) DetachConsumer(conn graph.ConnID) {
 	}
 	delete(c.consumers, conn)
 	c.coll.Forget(c.cfg.Node, conn)
+	// Any frees below wake capacity waiters via freeLocked; parked
+	// consumers are unaffected by a detach.
 	c.collectLocked()
-	c.cond.Broadcast()
 }
 
 // AttachProducer registers an output connection for a producer thread.
@@ -211,7 +251,7 @@ func (c *Channel) Put(conn graph.ConnID, it *Item) (time.Duration, error) {
 	if c.cfg.Capacity > 0 {
 		start := c.cfg.Clock.Now()
 		for !c.closed && c.live.Len() >= c.cfg.Capacity {
-			c.wait()
+			c.wait(c.notFull)
 		}
 		blocked = c.cfg.Clock.Now() - start
 	}
@@ -229,9 +269,10 @@ func (c *Channel) Put(conn graph.ConnID, it *Item) (time.Duration, error) {
 		c.maxPut = it.TS
 	}
 	// A put may itself complete a collection condition (e.g. the global
-	// virtual time advanced elsewhere), so sweep opportunistically.
+	// virtual time advanced elsewhere), so sweep opportunistically; any
+	// frees wake capacity waiters inside freeLocked.
 	c.collectLocked()
-	c.cond.Broadcast()
+	c.wakeConsumersLocked()
 	return blocked, nil
 }
 
@@ -279,34 +320,33 @@ func (c *Channel) GetLatest(conn graph.ConnID) (GetResult, error) {
 		if c.closed {
 			return GetResult{Blocked: c.cfg.Clock.Now() - start}, ErrClosed
 		}
-		c.wait()
+		c.waitConsumer()
 	}
 }
 
 // deliverLocked hands the item at newest to the consumer as a window
 // head: trailing live items within the window are re-delivered, older
 // unseen items are marked skipped, and the consumer's guarantee advances
-// to newest-(window-1).
+// to newest-(window-1). Both passes walk the sorted live set in place
+// (vt.Set.AscendRange): the skip-free, window-1 fast path touches no
+// intermediate storage at all.
 func (c *Channel) deliverLocked(cs *consumerState, newest vt.Timestamp) GetResult {
 	var res GetResult
 	windowStart := newest - cs.window + 1
-	for _, ts := range c.live.Slice() {
-		if ts <= cs.lastSeen || ts >= newest {
-			continue
-		}
-		if ts >= windowStart {
-			continue // delivered below as a window member
-		}
+	// Skipped: unseen live items older than the window, i.e.
+	// (lastSeen, windowStart) — windowStart ≤ newest always holds.
+	c.live.AscendRange(cs.lastSeen+1, windowStart, func(ts vt.Timestamp) bool {
 		res.Skipped = append(res.Skipped, snapshot(c.items[ts]))
-	}
-	for _, ts := range c.live.Slice() {
-		if ts < windowStart || ts >= newest {
-			continue
-		}
+		return true
+	})
+	// Window members: [windowStart, newest), including previously seen
+	// items the window may re-read.
+	c.live.AscendRange(windowStart, newest, func(ts vt.Timestamp) bool {
 		it := c.items[ts]
 		it.consumed = true
 		res.Window = append(res.Window, snapshot(it))
-	}
+		return true
+	})
 	it := c.items[newest]
 	it.consumed = true
 	res.Item = snapshot(it)
@@ -379,12 +419,13 @@ func (c *Channel) Get(conn graph.ConnID, ts vt.Timestamp) (GetResult, error) {
 		if c.closed {
 			return GetResult{Blocked: c.cfg.Clock.Now() - start}, ErrClosed
 		}
-		c.wait()
+		c.waitConsumer()
 	}
 }
 
 // advanceLocked moves a consumer's guarantee to ts and lets the collector
-// reclaim whatever died.
+// reclaim whatever died. Capacity waiters are woken by freeLocked, one
+// per reclaimed slot; nothing else needs waking on an advance.
 func (c *Channel) advanceLocked(cs *consumerState, ts vt.Timestamp) {
 	if ts <= cs.guarantee {
 		return
@@ -392,26 +433,27 @@ func (c *Channel) advanceLocked(cs *consumerState, ts vt.Timestamp) {
 	cs.guarantee = ts
 	c.coll.Observe(c.cfg.Node, cs.conn, ts)
 	c.collectLocked()
-	// Capacity waiters may be unblocked by frees.
-	c.cond.Broadcast()
 }
 
 // collectLocked asks the collector for dead timestamps and frees them.
+// The guarantee vector and the dead list live in per-channel scratch
+// buffers, so the sweep is allocation-free in steady state.
 func (c *Channel) collectLocked() {
 	if c.live.Empty() {
 		return
 	}
-	guarantees := make([]vt.Timestamp, 0, len(c.consumers))
+	c.scratchG = c.scratchG[:0]
 	for _, cs := range c.consumers {
-		guarantees = append(guarantees, cs.guarantee)
+		c.scratchG = append(c.scratchG, cs.guarantee)
 	}
-	dead := c.coll.Dead(c.cfg.Node, c.live, guarantees)
-	for _, ts := range dead {
+	c.scratchDead = c.coll.Dead(c.cfg.Node, c.live, c.scratchG, c.scratchDead[:0])
+	for _, ts := range c.scratchDead {
 		c.freeLocked(ts)
 	}
 }
 
-// freeLocked reclaims one item.
+// freeLocked reclaims one item and wakes one capacity waiter for the
+// freed slot.
 func (c *Channel) freeLocked(ts vt.Timestamp) {
 	it, ok := c.items[ts]
 	if !ok || it.freed {
@@ -427,6 +469,9 @@ func (c *Channel) freeLocked(ts vt.Timestamp) {
 	// Retain a tombstone so Get(ts) can distinguish ErrGone from "not
 	// yet produced"; drop the payload to release real memory.
 	it.Payload = nil
+	if c.cfg.Capacity > 0 {
+		c.notFull.Signal()
+	}
 }
 
 // Close marks the channel closed, frees every remaining live item, and
@@ -438,13 +483,20 @@ func (c *Channel) Close() {
 		return
 	}
 	c.closed = true
-	for _, ts := range c.live.Slice() {
+	// Collect the live timestamps first: freeLocked mutates the set.
+	c.scratchDead = c.scratchDead[:0]
+	c.live.Ascend(func(ts vt.Timestamp) bool {
+		c.scratchDead = append(c.scratchDead, ts)
+		return true
+	})
+	for _, ts := range c.scratchDead {
 		c.freeLocked(ts)
 	}
 	for conn := range c.consumers {
 		c.coll.Forget(c.cfg.Node, conn)
 	}
-	c.cond.Broadcast()
+	c.notEmpty.Broadcast()
+	c.notFull.Broadcast()
 }
 
 // Closed reports whether Close has been called.

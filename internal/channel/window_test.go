@@ -151,3 +151,96 @@ func TestAttachConsumerWindowValidation(t *testing.T) {
 	}()
 	c.AttachConsumerWindow(graph.ConnID(1), 0)
 }
+
+// TestWindowTryGetLatestWideWindow exercises the non-blocking path with a
+// window wider than the basic test's width 2: window membership, skip
+// marking, guarantee trailing, and retention must all match GetLatest.
+func TestWindowTryGetLatestWideWindow(t *testing.T) {
+	c := newWindowChannel(t, 3)
+	for ts := vt.Timestamp(1); ts <= 5; ts++ {
+		put(t, c, ts, 10)
+	}
+	res, ok, err := c.TryGetLatest(consConn)
+	if err != nil || !ok {
+		t.Fatalf("try must hit: ok=%v err=%v", ok, err)
+	}
+	if res.Item.TS != 5 {
+		t.Fatalf("head = %v, want 5", res.Item.TS)
+	}
+	if len(res.Window) != 2 || res.Window[0].TS != 3 || res.Window[1].TS != 4 {
+		t.Fatalf("window = %+v, want trailing [3 4]", res.Window)
+	}
+	if len(res.Skipped) != 2 || res.Skipped[0].TS != 1 || res.Skipped[1].TS != 2 {
+		t.Fatalf("skipped = %+v, want [1 2]", res.Skipped)
+	}
+	// The guarantee trails the head by width-1: head 5 → guarantee 3.
+	if g := c.Guarantee(consConn); g != 3 {
+		t.Fatalf("guarantee = %v, want 3", g)
+	}
+	// DGC frees ts ≤ 3; items 4, 5 are retained for the next window.
+	if n, _ := c.Occupancy(); n != 2 {
+		t.Fatalf("occupancy = %d, want 2 retained", n)
+	}
+	// Nothing newer than the last head: miss without state change.
+	if _, ok, _ := c.TryGetLatest(consConn); ok {
+		t.Fatal("stale head re-delivered")
+	}
+	if g := c.Guarantee(consConn); g != 3 {
+		t.Fatalf("miss moved the guarantee to %v", g)
+	}
+}
+
+// TestWindowTryGetLatestSlides checks the retained trailing items appear
+// in the next non-blocking window, i.e. try-gets slide exactly like
+// blocking gets.
+func TestWindowTryGetLatestSlides(t *testing.T) {
+	c := newWindowChannel(t, 3)
+	for ts := vt.Timestamp(1); ts <= 5; ts++ {
+		put(t, c, ts, 10)
+	}
+	if _, ok, err := c.TryGetLatest(consConn); err != nil || !ok {
+		t.Fatal("first try must hit")
+	}
+	put(t, c, 6, 10)
+	res, ok, err := c.TryGetLatest(consConn)
+	if err != nil || !ok {
+		t.Fatal("second try must hit")
+	}
+	if res.Item.TS != 6 {
+		t.Fatalf("head = %v, want 6", res.Item.TS)
+	}
+	// 4 and 5 were retained by the first call's trailing guarantee and
+	// now form the window; nothing was skipped.
+	if len(res.Window) != 2 || res.Window[0].TS != 4 || res.Window[1].TS != 5 {
+		t.Fatalf("window = %+v, want [4 5]", res.Window)
+	}
+	if len(res.Skipped) != 0 {
+		t.Fatalf("skipped = %+v, want none", res.Skipped)
+	}
+	if g := c.Guarantee(consConn); g != 4 {
+		t.Fatalf("guarantee = %v, want 4", g)
+	}
+}
+
+// TestWindowTryGetLatestSparse: a try-get with fewer live items than the
+// window width delivers a partial window, and the guarantee still trails
+// by width-1 (going negative territory is fine — vt.None anchors it).
+func TestWindowTryGetLatestSparse(t *testing.T) {
+	c := newWindowChannel(t, 4)
+	put(t, c, 1, 10)
+	put(t, c, 2, 10)
+	res, ok, err := c.TryGetLatest(consConn)
+	if err != nil || !ok {
+		t.Fatal("try must hit")
+	}
+	if res.Item.TS != 2 || len(res.Window) != 1 || res.Window[0].TS != 1 {
+		t.Fatalf("sparse try: head=%v window=%+v", res.Item.TS, res.Window)
+	}
+	if len(res.Skipped) != 0 {
+		t.Fatalf("skipped = %+v", res.Skipped)
+	}
+	// Both items stay live: guarantee 2-4+1 = -1 < 1.
+	if n, _ := c.Occupancy(); n != 2 {
+		t.Fatalf("occupancy = %d, want 2", n)
+	}
+}

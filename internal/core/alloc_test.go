@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestPiggybackZeroAlloc pins the hot-path allocation contract: NotePut
+// and NoteGet run once per item moved through the pipeline, so any
+// allocation there shows up as GC pressure in the very STP measurements
+// the feedback loop consumes. The incremental fold on BackwardVec makes
+// both paths allocation-free.
+func TestPiggybackZeroAlloc(t *testing.T) {
+	c, putConn, getConn := benchGraph(t, PolicyMin())
+	if got := testing.AllocsPerRun(200, func() { c.NotePut(putConn) }); got != 0 {
+		t.Errorf("NotePut allocates %.1f objects per call, want 0", got)
+	}
+	if got := testing.AllocsPerRun(200, func() { c.NoteGet(getConn) }); got != 0 {
+		t.Errorf("NoteGet allocates %.1f objects per call, want 0", got)
+	}
+	cMax, putMax, getMax := benchGraph(t, PolicyMax())
+	if got := testing.AllocsPerRun(200, func() { cMax.NotePut(putMax) }); got != 0 {
+		t.Errorf("NotePut(max) allocates %.1f objects per call, want 0", got)
+	}
+	if got := testing.AllocsPerRun(200, func() { cMax.NoteGet(getMax) }); got != 0 {
+		t.Errorf("NoteGet(max) allocates %.1f objects per call, want 0", got)
+	}
+}
+
+// TestBackwardVecFoldMatchesRecompute drives a vector through a random
+// Update / RemoveSlot / AddSlot sequence and cross-checks the cached
+// fold against a from-scratch reference after every step, for min, max
+// and a custom (non-foldable) compressor. This is the invariant the
+// incremental fold must maintain: Compressed(c) == c.Compress(Snapshot())
+// at every observation point.
+func TestBackwardVecFoldMatchesRecompute(t *testing.T) {
+	compressors := []Compressor{Min, Max,
+		Func{FuncName: "second-min", Fn: func(vec []STP) STP {
+			// A deliberately non-foldable operator.
+			best, second := Unknown, Unknown
+			for _, s := range vec {
+				if !s.Known() {
+					continue
+				}
+				switch {
+				case !best.Known() || s < best:
+					second, best = best, s
+				case !second.Known() || s < second:
+					second = s
+				}
+			}
+			if second.Known() {
+				return second
+			}
+			return best
+		}},
+	}
+	for _, comp := range compressors {
+		comp := comp
+		t.Run(comp.Name(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			conns := []graph.ConnID{0, 1, 2, 3, 4}
+			v := NewBackwardVec(conns, nil)
+			present := map[graph.ConnID]bool{0: true, 1: true, 2: true, 3: true, 4: true}
+			for step := 0; step < 2000; step++ {
+				conn := conns[rng.Intn(len(conns))]
+				switch op := rng.Intn(10); {
+				case op < 7: // update (sometimes to Unknown)
+					s := STP(rng.Intn(500)+1) * 1e6
+					if rng.Intn(10) == 0 {
+						s = Unknown
+					}
+					v.Update(conn, s)
+				case op < 8: // fast-path update+compress
+					v.UpdateAndCompress(conn, STP(rng.Intn(500)+1)*1e6, comp)
+				case op < 9:
+					v.RemoveSlot(conn)
+					present[conn] = false
+				default:
+					v.AddSlot(conn, nil)
+					present[conn] = true
+				}
+				got := v.Compressed(comp)
+				want := comp.Compress(v.Snapshot())
+				if got != want {
+					t.Fatalf("step %d: Compressed = %v, reference fold = %v (snapshot %v)",
+						step, got, want, v.Snapshot())
+				}
+			}
+			_ = present
+		})
+	}
+}
+
+// TestBackwardVecCompressorSwitch checks that re-binding the fold cache
+// to a differently named compressor re-folds instead of serving the
+// stale cache.
+func TestBackwardVecCompressorSwitch(t *testing.T) {
+	v := NewBackwardVec([]graph.ConnID{1, 2}, nil)
+	v.Update(1, STP(100e6))
+	v.Update(2, STP(300e6))
+	if got := v.Compressed(Min); got != STP(100e6) {
+		t.Fatalf("min = %v", got)
+	}
+	if got := v.Compressed(Max); got != STP(300e6) {
+		t.Fatalf("max after switch = %v", got)
+	}
+	if got := v.Compressed(Min); got != STP(100e6) {
+		t.Fatalf("min after switch back = %v", got)
+	}
+}

@@ -12,11 +12,34 @@ import (
 // per output connection, holding the (optionally filtered) summary-STP
 // most recently received from that downstream node. It is safe for
 // concurrent use.
+//
+// The vector maintains its compressed (folded) value incrementally: for
+// the foldable min/max operators an Update adjusts the cached fold in
+// O(1) (a full re-fold is deferred only when the current extremum is
+// raised/lowered away, and on RemoveSlot); custom compressors mark the
+// cache dirty and re-fold lazily through a reused scratch slice. Either
+// way the per-piggyback path (NoteGet/NotePut) performs zero allocations
+// and a single lock hop on the vector — the pre-optimization design took
+// two vector locks and built a fresh snapshot slice on every piggyback.
+//
+// The cache is keyed by the compression operator's Name(): callers that
+// alternate between differently named compressors on one vector (none
+// do) pay a re-fold per switch. Compressors must be deterministic pure
+// functions of the vector, which the Compressor contract already
+// requires.
 type BackwardVec struct {
 	mu      sync.Mutex
 	order   []graph.ConnID
 	slots   map[graph.ConnID]STP
 	filters map[graph.ConnID]Filter
+
+	comp       Compressor // operator the cached fold belongs to (nil: none yet)
+	compName   string
+	compIsMin  bool
+	compIsMax  bool
+	compressed STP
+	dirty      bool
+	scratch    []STP // reused by re-folds under custom compressors
 }
 
 // NewBackwardVec creates a vector with one Unknown slot per connection.
@@ -54,7 +77,9 @@ func (v *BackwardVec) AddSlot(conn graph.ConnID, newFilter FilterFactory) {
 }
 
 // RemoveSlot drops a connection from the vector (consumer detach), so its
-// stale feedback no longer influences compression.
+// stale feedback no longer influences compression. The cached fold is
+// fully recomputed on the next read — removal can promote any slot to
+// the new extremum.
 func (v *BackwardVec) RemoveSlot(conn graph.ConnID) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
@@ -69,6 +94,90 @@ func (v *BackwardVec) RemoveSlot(conn graph.ConnID) {
 			break
 		}
 	}
+	v.dirty = true
+}
+
+// bindLocked points the fold cache at compressor c (identified by name).
+func (v *BackwardVec) bindLocked(c Compressor) {
+	if v.comp != nil && v.compName == c.Name() {
+		return
+	}
+	v.comp = c
+	v.compName = c.Name()
+	_, v.compIsMin = c.(minCompressor)
+	_, v.compIsMax = c.(maxCompressor)
+	v.dirty = true
+}
+
+// foldUpdateLocked folds one slot transition old→s into the cached
+// compressed value, marking the cache dirty when the fold cannot be
+// maintained in O(1) (the previous extremum moved away, or the operator
+// is not min/max).
+func (v *BackwardVec) foldUpdateLocked(old, s STP) {
+	if v.comp == nil || v.dirty {
+		v.dirty = true
+		return
+	}
+	switch {
+	case v.compIsMin:
+		if s.Known() && (!v.compressed.Known() || s <= v.compressed) {
+			v.compressed = s
+		} else if old.Known() && old == v.compressed {
+			v.dirty = true // the previous minimum was raised or withdrawn
+		}
+	case v.compIsMax:
+		if s.Known() && s >= v.compressed {
+			v.compressed = s
+		} else if old.Known() && old == v.compressed {
+			v.dirty = true // the previous maximum was lowered or withdrawn
+		}
+	default:
+		v.dirty = true
+	}
+}
+
+// recomputeLocked re-folds the whole vector under the bound compressor.
+// Min/max fold directly over the slots; custom operators are fed through
+// the reused scratch slice. No allocation in steady state.
+func (v *BackwardVec) recomputeLocked() {
+	v.dirty = false
+	if v.comp == nil {
+		v.compressed = Unknown
+		return
+	}
+	if v.compIsMin || v.compIsMax {
+		out := Unknown
+		for _, c := range v.order {
+			s := v.slots[c]
+			if v.compIsMin {
+				out = MinSTP(out, s)
+			} else {
+				out = MaxSTP(out, s)
+			}
+		}
+		v.compressed = out
+		return
+	}
+	v.scratch = v.scratch[:0]
+	for _, c := range v.order {
+		v.scratch = append(v.scratch, v.slots[c])
+	}
+	v.compressed = v.comp.Compress(v.scratch)
+}
+
+// updateLocked applies the filter and stores the slot, folding the
+// transition into the cache. It reports whether the slot existed.
+func (v *BackwardVec) updateLocked(conn graph.ConnID, s STP) bool {
+	old, ok := v.slots[conn]
+	if !ok {
+		return false
+	}
+	if f, ok := v.filters[conn]; ok {
+		s = f.Apply(s)
+	}
+	v.slots[conn] = s
+	v.foldUpdateLocked(old, s)
+	return true
 }
 
 // Update stores the summary-STP received on conn, passing it through the
@@ -77,13 +186,7 @@ func (v *BackwardVec) RemoveSlot(conn graph.ConnID) {
 func (v *BackwardVec) Update(conn graph.ConnID, s STP) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
-	if _, ok := v.slots[conn]; !ok {
-		return
-	}
-	if f, ok := v.filters[conn]; ok {
-		s = f.Apply(s)
-	}
-	v.slots[conn] = s
+	v.updateLocked(conn, s)
 }
 
 // Snapshot returns the slot values in connection order.
@@ -97,9 +200,30 @@ func (v *BackwardVec) Snapshot() []STP {
 	return out
 }
 
-// Compressed folds the vector with the compressor.
+// Compressed folds the vector with the compressor, served from the
+// incremental cache whenever it is clean.
 func (v *BackwardVec) Compressed(c Compressor) STP {
-	return c.Compress(v.Snapshot())
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.bindLocked(c)
+	if v.dirty {
+		v.recomputeLocked()
+	}
+	return v.compressed
+}
+
+// UpdateAndCompress stores the summary-STP received on conn and returns
+// the vector's compressed value under c — the piggyback fast path, one
+// lock acquisition and zero allocations.
+func (v *BackwardVec) UpdateAndCompress(conn graph.ConnID, s STP, c Compressor) STP {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.bindLocked(c)
+	v.updateLocked(conn, s)
+	if v.dirty {
+		v.recomputeLocked()
+	}
+	return v.compressed
 }
 
 // Policy selects the ARU behaviour for a run.
@@ -162,11 +286,10 @@ func (n *NodeState) Vec() *BackwardVec { return n.vec }
 // Compressor returns the operator the node folds its vector with.
 func (n *NodeState) Compressor() Compressor { return n.comp }
 
-// recompute derives the node's summary-STP per the paper's algorithm:
+// applySummary derives the node's summary-STP per the paper's algorithm:
 // threads take max(compressed-backwardSTP, current-STP); buffers take the
 // compressed value alone (they generate no current-STP).
-func (n *NodeState) recompute() {
-	compressed := n.vec.Compressed(n.comp)
+func (n *NodeState) applySummary(compressed STP) {
 	n.mu.Lock()
 	if n.node.Kind == graph.KindThread {
 		n.summary = MaxSTP(compressed, n.current)
@@ -177,10 +300,11 @@ func (n *NodeState) recompute() {
 }
 
 // ReceiveSummary folds a summary-STP received on an output connection and
-// refreshes the node's own summary.
+// refreshes the node's own summary. This is the piggyback hot path: one
+// lock hop on the vector (update + cached fold) and one on the node
+// state, no allocations.
 func (n *NodeState) ReceiveSummary(conn graph.ConnID, s STP) {
-	n.vec.Update(conn, s)
-	n.recompute()
+	n.applySummary(n.vec.UpdateAndCompress(conn, s, n.comp))
 }
 
 // SetCurrentSTP records a thread's newly measured current-STP and
@@ -189,7 +313,7 @@ func (n *NodeState) SetCurrentSTP(s STP) {
 	n.mu.Lock()
 	n.current = s
 	n.mu.Unlock()
-	n.recompute()
+	n.applySummary(n.vec.Compressed(n.comp))
 }
 
 // CurrentSTP returns the thread's last measured current-STP.

@@ -43,10 +43,13 @@ type Collector interface {
 	// Forget removes a connection from consideration (consumer detach or
 	// channel close), so it no longer holds back collection.
 	Forget(ch graph.NodeID, conn graph.ConnID)
-	// Dead returns the timestamps in live that can be freed from channel
-	// ch, whose attached consumers currently hold the given guarantees.
-	// Implementations must not retain or mutate live.
-	Dead(ch graph.NodeID, live *vt.Set, guarantees []vt.Timestamp) []vt.Timestamp
+	// Dead appends to buf the timestamps in live that can be freed from
+	// channel ch, whose attached consumers currently hold the given
+	// guarantees, and returns the extended slice. Callers pass a reused
+	// scratch slice (sliced to length 0) so the per-advance collection
+	// sweep is allocation-free in steady state; nil is a valid buf.
+	// Implementations must not retain buf or retain/mutate live.
+	Dead(ch graph.NodeID, live *vt.Set, guarantees []vt.Timestamp, buf []vt.Timestamp) []vt.Timestamp
 }
 
 // none never frees anything.
@@ -58,7 +61,9 @@ func NewNone() Collector { return none{} }
 func (none) Name() string                                              { return "none" }
 func (none) Observe(graph.NodeID, graph.ConnID, vt.Timestamp)          {}
 func (none) Forget(graph.NodeID, graph.ConnID)                         {}
-func (none) Dead(graph.NodeID, *vt.Set, []vt.Timestamp) []vt.Timestamp { return nil }
+func (none) Dead(_ graph.NodeID, _ *vt.Set, _ []vt.Timestamp, buf []vt.Timestamp) []vt.Timestamp {
+	return buf
+}
 
 // deadTimestamp is the DGC: local, per-channel dead-timestamp inference.
 type deadTimestamp struct{}
@@ -70,10 +75,10 @@ func (deadTimestamp) Name() string                                     { return 
 func (deadTimestamp) Observe(graph.NodeID, graph.ConnID, vt.Timestamp) {}
 func (deadTimestamp) Forget(graph.NodeID, graph.ConnID)                {}
 
-func (deadTimestamp) Dead(_ graph.NodeID, live *vt.Set, guarantees []vt.Timestamp) []vt.Timestamp {
+func (deadTimestamp) Dead(_ graph.NodeID, live *vt.Set, guarantees []vt.Timestamp, buf []vt.Timestamp) []vt.Timestamp {
 	if len(guarantees) == 0 {
 		// No consumers attached yet: freeing now would race attachment.
-		return nil
+		return buf
 	}
 	min := vt.Infinity
 	for _, g := range guarantees {
@@ -82,16 +87,19 @@ func (deadTimestamp) Dead(_ graph.NodeID, live *vt.Set, guarantees []vt.Timestam
 		}
 	}
 	if min == vt.None {
-		return nil
+		return buf
 	}
-	// Dead: every consumer has passed (or consumed) the timestamp.
-	var dead []vt.Timestamp
-	for _, ts := range live.Slice() {
-		if ts <= min {
-			dead = append(dead, ts)
+	// Dead: every consumer has passed (or consumed) the timestamp. The
+	// live set is sorted, so walk it in place and stop at the bound — no
+	// snapshot copy on this per-advance path.
+	live.Ascend(func(ts vt.Timestamp) bool {
+		if ts > min {
+			return false
 		}
-	}
-	return dead
+		buf = append(buf, ts)
+		return true
+	})
+	return buf
 }
 
 // transparent is the TGC: an application-global virtual-time low-water
@@ -140,23 +148,24 @@ func (t *transparent) globalMin() vt.Timestamp {
 	return min
 }
 
-func (t *transparent) Dead(_ graph.NodeID, live *vt.Set, guarantees []vt.Timestamp) []vt.Timestamp {
+func (t *transparent) Dead(_ graph.NodeID, live *vt.Set, guarantees []vt.Timestamp, buf []vt.Timestamp) []vt.Timestamp {
 	if len(guarantees) == 0 {
-		return nil
+		return buf
 	}
 	gvt := t.globalMin()
 	if gvt == vt.None {
-		return nil
+		return buf
 	}
-	var dead []vt.Timestamp
-	for _, ts := range live.Slice() {
-		// Strictly below the global low-water mark: no thread anywhere
-		// in the application can name this timestamp again.
-		if ts < gvt {
-			dead = append(dead, ts)
+	// Strictly below the global low-water mark: no thread anywhere in
+	// the application can name this timestamp again.
+	live.Ascend(func(ts vt.Timestamp) bool {
+		if ts >= gvt {
+			return false
 		}
-	}
-	return dead
+		buf = append(buf, ts)
+		return true
+	})
+	return buf
 }
 
 // ByName constructs a collector from its report name; unknown names fall

@@ -16,7 +16,7 @@ func TestNoneNeverFrees(t *testing.T) {
 	}
 	live := vt.NewSet(1, 2, 3)
 	c.Observe(0, 0, 100)
-	if got := c.Dead(0, live, []vt.Timestamp{100, 100}); got != nil {
+	if got := c.Dead(0, live, []vt.Timestamp{100, 100}, nil); got != nil {
 		t.Fatalf("none collector freed %v", got)
 	}
 	c.Forget(0, 0) // must not panic
@@ -29,7 +29,7 @@ func TestDGCFreesBelowMinGuarantee(t *testing.T) {
 	}
 	live := vt.NewSet(1, 2, 3, 4, 5)
 	// Consumers at 3 and 4: min is 3 → items 1,2,3 dead.
-	got := c.Dead(0, live, []vt.Timestamp{3, 4})
+	got := c.Dead(0, live, []vt.Timestamp{3, 4}, nil)
 	want := []vt.Timestamp{1, 2, 3}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("Dead = %v, want %v", got, want)
@@ -39,10 +39,10 @@ func TestDGCFreesBelowMinGuarantee(t *testing.T) {
 func TestDGCNoConsumersOrUnstarted(t *testing.T) {
 	c := NewDeadTimestamp()
 	live := vt.NewSet(1, 2)
-	if got := c.Dead(0, live, nil); got != nil {
+	if got := c.Dead(0, live, nil, nil); got != nil {
 		t.Fatalf("no consumers: Dead = %v", got)
 	}
-	if got := c.Dead(0, live, []vt.Timestamp{vt.None, 5}); got != nil {
+	if got := c.Dead(0, live, []vt.Timestamp{vt.None, 5}, nil); got != nil {
 		t.Fatalf("unstarted consumer must block collection, got %v", got)
 	}
 }
@@ -50,7 +50,7 @@ func TestDGCNoConsumersOrUnstarted(t *testing.T) {
 func TestDGCDetachedConsumerInfinity(t *testing.T) {
 	c := NewDeadTimestamp()
 	live := vt.NewSet(7, 9)
-	got := c.Dead(0, live, []vt.Timestamp{vt.Infinity})
+	got := c.Dead(0, live, []vt.Timestamp{vt.Infinity}, nil)
 	if !reflect.DeepEqual(got, []vt.Timestamp{7, 9}) {
 		t.Fatalf("detached-only consumers must free everything, got %v", got)
 	}
@@ -69,7 +69,7 @@ func TestDGCQuickSafety(t *testing.T) {
 		for i, v := range guarRaw {
 			guarantees[i] = vt.Timestamp(v)
 		}
-		dead := c.Dead(0, live, guarantees)
+		dead := c.Dead(0, live, guarantees, nil)
 		for _, d := range dead {
 			for _, g := range guarantees {
 				if d > g { // some consumer may still request d
@@ -99,14 +99,14 @@ func TestTGCUsesGlobalMinimum(t *testing.T) {
 
 	live := vt.NewSet(1, 2, 3, 9)
 	// Even on channel A, only items < 2 (the global min) die.
-	got := c.Dead(chA, live, []vt.Timestamp{10})
+	got := c.Dead(chA, live, []vt.Timestamp{10}, nil)
 	if !reflect.DeepEqual(got, []vt.Timestamp{1}) {
 		t.Fatalf("TGC Dead = %v, want [1]", got)
 	}
 
 	// DGC on the same channel would free 1,2,3,9.
 	dgc := NewDeadTimestamp()
-	if got := dgc.Dead(chA, live, []vt.Timestamp{10}); len(got) != 4 {
+	if got := dgc.Dead(chA, live, []vt.Timestamp{10}, nil); len(got) != 4 {
 		t.Fatalf("DGC comparison = %v", got)
 	}
 }
@@ -125,11 +125,11 @@ func TestTGCForgetReleases(t *testing.T) {
 	c.Observe(0, graph.ConnID(0), 100)
 	c.Observe(0, graph.ConnID(1), 1)
 	live := vt.NewSet(50)
-	if got := c.Dead(0, live, []vt.Timestamp{100}); got != nil {
+	if got := c.Dead(0, live, []vt.Timestamp{100}, nil); got != nil {
 		t.Fatalf("lagging consumer must retain, got %v", got)
 	}
 	c.Forget(0, graph.ConnID(1))
-	if got := c.Dead(0, live, []vt.Timestamp{100}); !reflect.DeepEqual(got, []vt.Timestamp{50}) {
+	if got := c.Dead(0, live, []vt.Timestamp{100}, nil); !reflect.DeepEqual(got, []vt.Timestamp{50}) {
 		t.Fatalf("after Forget, Dead = %v, want [50]", got)
 	}
 }
@@ -137,11 +137,11 @@ func TestTGCForgetReleases(t *testing.T) {
 func TestTGCEmptyStates(t *testing.T) {
 	c := NewTransparent()
 	live := vt.NewSet(1)
-	if got := c.Dead(0, live, nil); got != nil {
+	if got := c.Dead(0, live, nil, nil); got != nil {
 		t.Fatalf("no local consumers: %v", got)
 	}
 	// Local consumers exist but nothing observed globally yet.
-	if got := c.Dead(0, live, []vt.Timestamp{5}); got != nil {
+	if got := c.Dead(0, live, []vt.Timestamp{5}, nil); got != nil {
 		t.Fatalf("no global observations yet: %v", got)
 	}
 }
@@ -166,11 +166,11 @@ func TestTGCQuickMoreConservativeThanDGC(t *testing.T) {
 			tgc.Observe(0, graph.ConnID(i), guarantees[i])
 		}
 		tgcDead := map[vt.Timestamp]bool{}
-		for _, ts := range tgc.Dead(0, live, guarantees) {
+		for _, ts := range tgc.Dead(0, live, guarantees, nil) {
 			tgcDead[ts] = true
 		}
 		dgcDead := map[vt.Timestamp]bool{}
-		for _, ts := range dgc.Dead(0, live, guarantees) {
+		for _, ts := range dgc.Dead(0, live, guarantees, nil) {
 			dgcDead[ts] = true
 		}
 		for ts := range tgcDead {

@@ -59,12 +59,22 @@ type Config struct {
 }
 
 // Queue is a FIFO of timestamped items, safe for concurrent use.
+//
+// Like channel.Channel, blocking is split across two condition
+// variables: consumers waiting for work park on notEmpty (one Signal per
+// enqueued item — queue consumers are interchangeable, so exactly one
+// should wake), producers waiting for capacity park on notFull (one
+// Signal per dequeue). The buffer is a head-indexed slice: dequeues
+// advance head instead of re-slicing, and the backing array is reused
+// once drained, so a steady-state queue stops allocating.
 type Queue struct {
 	cfg Config
 
 	mu        sync.Mutex
-	cond      *sync.Cond
+	notEmpty  *sync.Cond // consumers: an item is available (or closed)
+	notFull   *sync.Cond // producers: capacity freed (or closed/drained)
 	items     []*Item
+	head      int // index of the next item to dequeue
 	consumers map[graph.ConnID]bool
 	producers map[graph.ConnID]bool
 	closed    bool
@@ -84,22 +94,26 @@ func New(cfg Config) *Queue {
 		producers: make(map[graph.ConnID]bool),
 		lastDeq:   vt.None,
 	}
-	q.cond = sync.NewCond(&q.mu)
+	q.notEmpty = sync.NewCond(&q.mu)
+	q.notFull = sync.NewCond(&q.mu)
 	return q
 }
 
-// wait parks the caller on the queue's condition variable, telling a
+// wait parks the caller on the given condition variable, telling a
 // discrete-event clock (if one is in use) that the goroutine is blocked
 // so virtual time may advance.
-func (q *Queue) wait() {
+func (q *Queue) wait(cond *sync.Cond) {
 	if b, ok := q.cfg.Clock.(clock.Blocker); ok {
 		b.BlockEnter()
-		q.cond.Wait()
+		cond.Wait()
 		b.BlockExit()
 		return
 	}
-	q.cond.Wait()
+	cond.Wait()
 }
+
+// queued returns the number of items currently buffered.
+func (q *Queue) queued() int { return len(q.items) - q.head }
 
 // Name returns the queue's name.
 func (q *Queue) Name() string { return q.cfg.Name }
@@ -132,8 +146,8 @@ func (q *Queue) Put(conn graph.ConnID, it *Item) (time.Duration, error) {
 	var blocked time.Duration
 	if q.cfg.Capacity > 0 {
 		start := q.cfg.Clock.Now()
-		for !q.closed && len(q.items) >= q.cfg.Capacity {
-			q.wait()
+		for !q.closed && q.queued() >= q.cfg.Capacity {
+			q.wait(q.notFull)
 		}
 		blocked = q.cfg.Clock.Now() - start
 	}
@@ -143,7 +157,8 @@ func (q *Queue) Put(conn graph.ConnID, it *Item) (time.Duration, error) {
 	q.items = append(q.items, it)
 	q.liveBytes += it.Size
 	q.puts++
-	q.cond.Broadcast()
+	// One item: wake exactly one (interchangeable) consumer.
+	q.notEmpty.Signal()
 	return blocked, nil
 }
 
@@ -165,9 +180,15 @@ func (q *Queue) Get(conn graph.ConnID) (GetResult, error) {
 	}
 	start := q.cfg.Clock.Now()
 	for {
-		if len(q.items) > 0 {
-			it := q.items[0]
-			q.items = q.items[1:]
+		if q.queued() > 0 {
+			it := q.items[q.head]
+			q.items[q.head] = nil // release the reference for GC
+			q.head++
+			if q.head == len(q.items) {
+				// Fully drained: rewind and reuse the backing array.
+				q.items = q.items[:0]
+				q.head = 0
+			}
 			q.liveBytes -= it.Size
 			if it.TS > q.lastDeq {
 				q.lastDeq = it.TS
@@ -175,13 +196,15 @@ func (q *Queue) Get(conn graph.ConnID) (GetResult, error) {
 			if q.cfg.OnFree != nil {
 				q.cfg.OnFree(it, q.cfg.Clock.Now())
 			}
-			q.cond.Broadcast() // capacity waiters
+			if q.cfg.Capacity > 0 {
+				q.notFull.Signal() // one slot freed: one producer
+			}
 			return GetResult{Item: it, Blocked: q.cfg.Clock.Now() - start}, nil
 		}
 		if q.closed {
 			return GetResult{Blocked: q.cfg.Clock.Now() - start}, ErrClosed
 		}
-		q.wait()
+		q.wait(q.notEmpty)
 	}
 }
 
@@ -195,7 +218,8 @@ func (q *Queue) Close() {
 		return
 	}
 	q.closed = true
-	q.cond.Broadcast()
+	q.notEmpty.Broadcast()
+	q.notFull.Broadcast()
 }
 
 // Drain discards all queued items, reporting each to OnFree. It is used
@@ -203,15 +227,16 @@ func (q *Queue) Close() {
 func (q *Queue) Drain() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	n := len(q.items)
-	for _, it := range q.items {
+	n := q.queued()
+	for _, it := range q.items[q.head:] {
 		q.liveBytes -= it.Size
 		if q.cfg.OnFree != nil {
 			q.cfg.OnFree(it, q.cfg.Clock.Now())
 		}
 	}
 	q.items = nil
-	q.cond.Broadcast()
+	q.head = 0
+	q.notFull.Broadcast()
 	return n
 }
 
@@ -226,7 +251,7 @@ func (q *Queue) Closed() bool {
 func (q *Queue) Occupancy() (items int, bytes int64) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return len(q.items), q.liveBytes
+	return q.queued(), q.liveBytes
 }
 
 // Puts returns the cumulative number of enqueued items.

@@ -67,6 +67,12 @@ type Runtime struct {
 	channels map[graph.NodeID]*channel.Channel
 	queues   map[graph.NodeID]*queue.Queue
 
+	// Builder refs indexed at declaration time so Start materializes
+	// buffers with O(1) lookups instead of rescanning every thread's
+	// ports per node.
+	channelRefs map[graph.NodeID]*ChannelRef
+	queueRefs   map[graph.NodeID]*QueueRef
+
 	ctrl *core.Controller
 
 	// hostLive tracks live buffered bytes per host for the
@@ -91,7 +97,11 @@ func New(opts Options) *Runtime {
 		g:        graph.New(),
 		channels: make(map[graph.NodeID]*channel.Channel),
 		queues:   make(map[graph.NodeID]*queue.Queue),
-		errs:     make(chan error, 64),
+
+		channelRefs: make(map[graph.NodeID]*ChannelRef),
+		queueRefs:   make(map[graph.NodeID]*QueueRef),
+
+		errs: make(chan error, 64),
 	}
 	hosts := 1
 	if opts.Cluster != nil {
@@ -186,6 +196,7 @@ func (rt *Runtime) AddChannel(name string, host int, copts ...ChannelOption) (*C
 	for _, o := range copts {
 		o(ref)
 	}
+	rt.channelRefs[id] = ref
 	return ref, nil
 }
 
@@ -216,6 +227,7 @@ func (rt *Runtime) AddQueue(name string, host int, qopts ...QueueOption) (*Queue
 	for _, o := range qopts {
 		o(ref)
 	}
+	rt.queueRefs[id] = ref
 	return ref, nil
 }
 
@@ -367,38 +379,16 @@ func (rt *Runtime) Start() error {
 	return nil
 }
 
-// findChannelRef locates the builder ref for a node id (builder refs are
-// few; linear scan is fine).
+// findChannelRef locates the builder ref for a node id. Refs are indexed
+// in AddChannel, so this is a map lookup rather than the old
+// O(threads x ports) scan per materialized node.
 func (rt *Runtime) findChannelRef(id graph.NodeID) *ChannelRef {
-	for _, th := range rt.threads {
-		for _, p := range th.outs {
-			if cr, ok := p.target.(*ChannelRef); ok && cr.id == id {
-				return cr
-			}
-		}
-		for _, p := range th.ins {
-			if cr, ok := p.source.(*ChannelRef); ok && cr.id == id {
-				return cr
-			}
-		}
-	}
-	return nil
+	return rt.channelRefs[id]
 }
 
+// findQueueRef locates the builder ref for a node id (see findChannelRef).
 func (rt *Runtime) findQueueRef(id graph.NodeID) *QueueRef {
-	for _, th := range rt.threads {
-		for _, p := range th.outs {
-			if qr, ok := p.target.(*QueueRef); ok && qr.id == id {
-				return qr
-			}
-		}
-		for _, p := range th.ins {
-			if qr, ok := p.source.(*QueueRef); ok && qr.id == id {
-				return qr
-			}
-		}
-	}
-	return nil
+	return rt.queueRefs[id]
 }
 
 // Stop closes every buffer, which unblocks all waiting threads; their

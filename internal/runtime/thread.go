@@ -20,6 +20,17 @@ import (
 // treats it as a clean exit, so `return err` suffices).
 var ErrShutdown = errors.New("runtime: shutting down")
 
+// snapshotItems copies an id list for attachment to a trace event, or
+// returns nil when tracing is disabled: the nil recorder would drop the
+// copy anyway, and untraced runs must not pay a per-iteration allocation
+// for provenance nobody reads.
+func snapshotItems(rec *trace.Recorder, ids []trace.ItemID) []trace.ItemID {
+	if rec == nil || len(ids) == 0 {
+		return nil
+	}
+	return append([]trace.ItemID(nil), ids...)
+}
+
 // Thread is one declared computation thread.
 type Thread struct {
 	rt   *Runtime
@@ -390,7 +401,7 @@ func (c *Ctx) Put(p *OutPort, ts vt.Timestamp, payload any, size int64) error {
 	rec.Append(trace.Event{
 		Kind: trace.EvAlloc, At: c.rt.clk.Now(), Item: id,
 		Node: p.target.nodeID(), Thread: c.thread.id, TS: ts, Size: size,
-		Items: append([]trace.ItemID(nil), c.consumed...),
+		Items: snapshotItems(rec, c.consumed),
 	})
 
 	var blocked time.Duration
@@ -437,9 +448,10 @@ func (c *Ctx) ShouldProduce(p *OutPort, ts vt.Timestamp) bool {
 // iteration reached the end of the pipeline (the tracker's GUI displaying
 // a frame). Sink threads call it once per successful iteration.
 func (c *Ctx) Emit() {
-	c.rt.opts.Recorder.Append(trace.Event{
+	rec := c.rt.opts.Recorder
+	rec.Append(trace.Event{
 		Kind: trace.EvEmit, At: c.rt.clk.Now(), Thread: c.thread.id,
-		Items: append([]trace.ItemID(nil), c.consumed...),
+		Items: snapshotItems(rec, c.consumed),
 	})
 	c.emitted++
 }
@@ -453,10 +465,11 @@ func (c *Ctx) Sync() {
 	fullElapsed := c.meter.Elapsed()
 	current, busy, blocked := c.meter.EndIteration()
 	c.rt.ctrl.SetCurrentSTP(c.thread.id, current)
-	c.rt.opts.Recorder.Append(trace.Event{
+	rec := c.rt.opts.Recorder
+	rec.Append(trace.Event{
 		Kind: trace.EvIter, At: c.rt.clk.Now(), Thread: c.thread.id,
 		Compute: busy, Blocked: blocked,
-		Items: append([]trace.ItemID(nil), c.produced...),
+		Items: snapshotItems(rec, c.produced),
 	})
 	c.consumed = c.consumed[:0]
 	c.produced = c.produced[:0]

@@ -1,6 +1,9 @@
 package trace
 
-import "testing"
+import (
+	"sync"
+	"testing"
+)
 
 // BenchmarkAnalyze measures the postmortem pass over the reference
 // pipeline trace, scaled 100x.
@@ -36,8 +39,54 @@ func BenchmarkAnalyze(b *testing.B) {
 func BenchmarkRecorderAppend(b *testing.B) {
 	r := NewRecorder()
 	ev := Event{Kind: EvGet, Item: 1}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r.Append(ev)
 	}
+}
+
+// BenchmarkRecorderAppendParallel measures the tracing hot path under
+// contention: every thread goroutine of a busy pipeline appends trace
+// events concurrently, which is exactly the pattern of a real run (each
+// put/get/skip/free funnels into the recorder).
+func BenchmarkRecorderAppendParallel(b *testing.B) {
+	r := NewRecorder()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		ev := Event{Kind: EvGet, Item: 1}
+		for pb.Next() {
+			r.Append(ev)
+		}
+	})
+}
+
+// mutexRecorder is the pre-sharding single-mutex design, kept as an
+// in-tree baseline so the parallel speedup of the sharded recorder stays
+// measurable in one benchmark run.
+type mutexRecorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (r *mutexRecorder) Append(ev Event) {
+	r.mu.Lock()
+	r.events = append(r.events, ev)
+	r.mu.Unlock()
+}
+
+// BenchmarkRecorderAppendParallelMutexBaseline measures the single-mutex
+// baseline under the same parallel load as
+// BenchmarkRecorderAppendParallel.
+func BenchmarkRecorderAppendParallelMutexBaseline(b *testing.B) {
+	r := &mutexRecorder{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		ev := Event{Kind: EvGet, Item: 1}
+		for pb.Next() {
+			r.Append(ev)
+		}
+	})
 }

@@ -14,6 +14,8 @@
 package trace
 
 import (
+	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -104,24 +106,92 @@ type Event struct {
 	Items []ItemID
 }
 
+// chunkSize is the number of events held by one shard chunk. Chunks are
+// append-only and never reallocated, so recording never copies old
+// events (the single-slice design paid an amortized memmove of the whole
+// history on every growth).
+const chunkSize = 1024
+
+// entry is one recorded event tagged with its global append sequence
+// number, which defines the total order Events() reconstructs.
+type entry struct {
+	seq int64
+	ev  Event
+}
+
+// shard is one append-only event buffer. Shards are owned by the
+// recorder; goroutines acquire temporary affinity to a shard through a
+// sync.Pool, so in steady state each P appends to its own shard and the
+// shard mutex is uncontended.
+type shard struct {
+	mu     sync.Mutex
+	chunks [][]entry
+}
+
+// appendEntry adds one entry to the shard's current chunk, opening a new
+// chunk when full.
+func (s *shard) appendEntry(e entry) {
+	s.mu.Lock()
+	n := len(s.chunks)
+	if n == 0 || len(s.chunks[n-1]) == chunkSize {
+		s.chunks = append(s.chunks, make([]entry, 0, chunkSize))
+		n++
+	}
+	s.chunks[n-1] = append(s.chunks[n-1], e)
+	s.mu.Unlock()
+}
+
+// len returns the shard's entry count.
+func (s *shard) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := 0
+	for _, c := range s.chunks {
+		total += len(c)
+	}
+	return total
+}
+
 // Recorder collects events. It is safe for concurrent use. A nil
 // *Recorder is valid and discards everything, so tracing can be disabled
 // without branching at call sites.
+//
+// Internally the recorder is sharded: every Append reserves a global
+// sequence number with one atomic increment and stores the event in a
+// per-P (pool-affine) chunked buffer, so concurrent thread goroutines do
+// not serialize on a single mutex and recording never rewrites history
+// to grow a slice. Events() merges the shards back into the global
+// append order, preserving the original single-buffer contract for the
+// analyze/persist consumers.
 type Recorder struct {
-	mu     sync.Mutex
-	events []Event
+	shards []*shard
+	pool   sync.Pool
+	seq    atomic.Int64 // global append order; also counts appends
 	nextID atomic.Int64
 }
 
 // NewRecorder returns an empty recorder.
 func NewRecorder() *Recorder {
-	r := &Recorder{}
-	r.nextID.Store(1)
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	r := &Recorder{shards: make([]*shard, n)}
+	for i := range r.shards {
+		r.shards[i] = &shard{}
+	}
+	// The pool hands goroutines shard affinity. If the GC drops pooled
+	// entries, New re-issues shards round-robin; events already stored
+	// are owned by r.shards and are never lost.
+	var next atomic.Int64
+	r.pool.New = func() any {
+		return r.shards[int(next.Add(1)-1)%len(r.shards)]
+	}
 	return r
 }
 
-// NewItemID allocates a fresh unique item id. Valid on a nil recorder,
-// which hands out ids without recording anything.
+// NewItemID allocates a fresh unique item id, starting at 1. Valid on a
+// nil recorder, which hands out ids without recording anything.
 func (r *Recorder) NewItemID() ItemID {
 	if r == nil {
 		return NoItem
@@ -134,9 +204,10 @@ func (r *Recorder) Append(ev Event) {
 	if r == nil {
 		return
 	}
-	r.mu.Lock()
-	r.events = append(r.events, ev)
-	r.mu.Unlock()
+	seq := r.seq.Add(1)
+	sh := r.pool.Get().(*shard)
+	sh.appendEntry(entry{seq: seq, ev: ev})
+	r.pool.Put(sh)
 }
 
 // Len returns the number of recorded events.
@@ -144,19 +215,34 @@ func (r *Recorder) Len() int {
 	if r == nil {
 		return 0
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return len(r.events)
+	total := 0
+	for _, sh := range r.shards {
+		total += sh.len()
+	}
+	return total
 }
 
-// Events returns a snapshot copy of the recorded events in append order.
+// Events returns a snapshot copy of the recorded events in append order
+// (the order in which Append calls reserved their sequence numbers; for
+// causally ordered appends this matches the old single-mutex order
+// exactly). The merge and sort run only at analyze/persist time, never
+// on the recording hot path.
 func (r *Recorder) Events() []Event {
 	if r == nil {
 		return nil
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make([]Event, len(r.events))
-	copy(out, r.events)
+	var all []entry
+	for _, sh := range r.shards {
+		sh.mu.Lock()
+		for _, c := range sh.chunks {
+			all = append(all, c...)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	out := make([]Event, len(all))
+	for i := range all {
+		out[i] = all[i].ev
+	}
 	return out
 }

@@ -40,6 +40,84 @@ func TestRecorderAppendAndSnapshot(t *testing.T) {
 	}
 }
 
+// TestRecorderFirstItemID pins the id sequence start: the first item of
+// a run must be 1 (ids used to start at 2 because the counter was
+// initialized to 1 and then pre-incremented).
+func TestRecorderFirstItemID(t *testing.T) {
+	r := NewRecorder()
+	if id := r.NewItemID(); id != ItemID(1) {
+		t.Fatalf("first NewItemID = %d, want 1", id)
+	}
+	if id := r.NewItemID(); id != ItemID(2) {
+		t.Fatalf("second NewItemID = %d, want 2", id)
+	}
+}
+
+// TestRecorderOrderAcrossChunks pins the Events() contract over the
+// sharded implementation: append order is reconstructed exactly, even
+// when the history spans many chunks.
+func TestRecorderOrderAcrossChunks(t *testing.T) {
+	r := NewRecorder()
+	const n = 3*chunkSize + 17
+	for i := 0; i < n; i++ {
+		r.Append(Event{Kind: EvGet, Item: ItemID(i)})
+	}
+	evs := r.Events()
+	if len(evs) != n {
+		t.Fatalf("len = %d, want %d", len(evs), n)
+	}
+	for i, ev := range evs {
+		if ev.Item != ItemID(i) {
+			t.Fatalf("event %d has item %d; append order not preserved", i, ev.Item)
+		}
+	}
+	if r.Len() != n {
+		t.Fatalf("Len = %d, want %d", r.Len(), n)
+	}
+}
+
+// TestRecorderCausalOrderConcurrent checks that causally ordered appends
+// (alloc handed off to a consumer which then records a get) never invert
+// in the merged Events() view, whatever shard each landed in.
+func TestRecorderCausalOrderConcurrent(t *testing.T) {
+	r := NewRecorder()
+	const items = 200
+	ch := make(chan ItemID, items)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // producer
+		defer wg.Done()
+		for i := 0; i < items; i++ {
+			id := r.NewItemID()
+			r.Append(Event{Kind: EvAlloc, Item: id})
+			ch <- id
+		}
+		close(ch)
+	}()
+	go func() { // consumer
+		defer wg.Done()
+		for id := range ch {
+			r.Append(Event{Kind: EvGet, Item: id})
+		}
+	}()
+	wg.Wait()
+	pos := map[ItemID]int{}
+	for i, ev := range r.Events() {
+		if ev.Kind == EvAlloc {
+			pos[ev.Item] = i
+		}
+		if ev.Kind == EvGet {
+			allocAt, ok := pos[ev.Item]
+			if !ok {
+				t.Fatalf("get of item %d before its alloc", ev.Item)
+			}
+			if allocAt >= i {
+				t.Fatalf("alloc at %d not before get at %d", allocAt, i)
+			}
+		}
+	}
+}
+
 func TestRecorderUniqueIDs(t *testing.T) {
 	r := NewRecorder()
 	const n = 64

@@ -81,6 +81,38 @@ func (s *Set) Max() Timestamp {
 	return s.ts[len(s.ts)-1]
 }
 
+// Ascend visits every timestamp in ascending order until f returns
+// false. It makes no copy — it is the hot-path alternative to Slice for
+// callers that only need to look. The set must not be mutated during the
+// walk.
+func (s *Set) Ascend(f func(Timestamp) bool) {
+	for _, t := range s.ts {
+		if !f(t) {
+			return
+		}
+	}
+}
+
+// AscendRange visits, in ascending order, every timestamp t with
+// lo <= t < hi until f returns false. Like Ascend it walks the backing
+// slice directly with no copy; the set must not be mutated during the
+// walk. An empty range (hi <= lo) visits nothing.
+func (s *Set) AscendRange(lo, hi Timestamp, f func(Timestamp) bool) {
+	if hi <= lo {
+		return
+	}
+	i := sort.Search(len(s.ts), func(i int) bool { return s.ts[i] >= lo })
+	for ; i < len(s.ts); i++ {
+		t := s.ts[i]
+		if t >= hi {
+			return
+		}
+		if !f(t) {
+			return
+		}
+	}
+}
+
 // Slice returns a copy of the contents in ascending order.
 func (s *Set) Slice() []Timestamp {
 	out := make([]Timestamp, len(s.ts))

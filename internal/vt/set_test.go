@@ -114,6 +114,84 @@ func TestSetFirstAfterLastBefore(t *testing.T) {
 	}
 }
 
+func TestSetAscend(t *testing.T) {
+	s := NewSet(5, 1, 9, 3)
+	var got []Timestamp
+	s.Ascend(func(ts Timestamp) bool {
+		got = append(got, ts)
+		return true
+	})
+	if !reflect.DeepEqual(got, []Timestamp{1, 3, 5, 9}) {
+		t.Fatalf("Ascend order = %v", got)
+	}
+	// Early stop.
+	got = got[:0]
+	s.Ascend(func(ts Timestamp) bool {
+		got = append(got, ts)
+		return ts < 3
+	})
+	if !reflect.DeepEqual(got, []Timestamp{1, 3}) {
+		t.Fatalf("Ascend early stop = %v", got)
+	}
+	// Empty set visits nothing.
+	NewSet().Ascend(func(Timestamp) bool { t.Fatal("visited"); return true })
+}
+
+func TestSetAscendRange(t *testing.T) {
+	s := NewSet(1, 3, 5, 7, 9)
+	collect := func(lo, hi Timestamp) []Timestamp {
+		var got []Timestamp
+		s.AscendRange(lo, hi, func(ts Timestamp) bool {
+			got = append(got, ts)
+			return true
+		})
+		return got
+	}
+	if got := collect(3, 8); !reflect.DeepEqual(got, []Timestamp{3, 5, 7}) {
+		t.Fatalf("[3,8) = %v", got)
+	}
+	if got := collect(None, Infinity); !reflect.DeepEqual(got, []Timestamp{1, 3, 5, 7, 9}) {
+		t.Fatalf("[None,Inf) = %v", got)
+	}
+	if got := collect(4, 4); got != nil {
+		t.Fatalf("empty range visited %v", got)
+	}
+	if got := collect(8, 2); got != nil {
+		t.Fatalf("inverted range visited %v", got)
+	}
+	if got := collect(10, 20); got != nil {
+		t.Fatalf("past-the-end range visited %v", got)
+	}
+	// Half-open: hi itself excluded.
+	if got := collect(1, 9); !reflect.DeepEqual(got, []Timestamp{1, 3, 5, 7}) {
+		t.Fatalf("[1,9) = %v", got)
+	}
+}
+
+func TestSetQuickAscendRangeMatchesSlice(t *testing.T) {
+	f := func(elems []int16, lo, hi int16) bool {
+		s := NewSet()
+		for _, e := range elems {
+			s.Add(Timestamp(e))
+		}
+		var got []Timestamp
+		s.AscendRange(Timestamp(lo), Timestamp(hi), func(ts Timestamp) bool {
+			got = append(got, ts)
+			return true
+		})
+		var want []Timestamp
+		for _, ts := range s.Slice() {
+			if ts >= Timestamp(lo) && ts < Timestamp(hi) {
+				want = append(want, ts)
+			}
+		}
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSetUnionIntersectSubtract(t *testing.T) {
 	a := NewSet(1, 2, 3)
 	b := NewSet(2, 3, 4)

@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/buffer"
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/gc"
@@ -70,10 +71,18 @@ type (
 	Body = runtime.Body
 	// Thread is a declared computation thread.
 	Thread = runtime.Thread
+	// BufferRef is an endpoint descriptor for any declared buffer; a
+	// registered backend materializes it at Start.
+	BufferRef = runtime.BufferRef
 	// ChannelRef names a declared channel.
 	ChannelRef = runtime.ChannelRef
 	// QueueRef names a declared queue.
 	QueueRef = runtime.QueueRef
+	// Buffer is the pluggable buffer-endpoint interface every backend
+	// (channel, queue, remote, ...) implements.
+	Buffer = buffer.Buffer
+	// BufferCaps describes what a buffer backend supports.
+	BufferCaps = buffer.Caps
 	// InPort is a thread input connection.
 	InPort = runtime.InPort
 	// OutPort is a thread output connection.
@@ -149,6 +158,20 @@ type (
 // ErrShutdown reports that an operation was interrupted by Stop; thread
 // bodies return it (or the error wrapping it) for a clean exit.
 var ErrShutdown = runtime.ErrShutdown
+
+// ErrPortKind reports a get/put variant the port's buffer backend does
+// not support (e.g. GetQueue on a channel input, a windowed input on a
+// FIFO queue): a typed wiring/call-time error, never a panic.
+var ErrPortKind = runtime.ErrPortKind
+
+// RegisterBufferBackend adds a buffer backend to the registry, making it
+// available to endpoint descriptors by name. The built-ins are
+// "channel", "queue", and "remote".
+func RegisterBufferBackend(name string, b buffer.Backend) { buffer.Register(name, b) }
+
+// BufferBackend pairs a backend factory with its capabilities for
+// RegisterBufferBackend.
+type BufferBackend = buffer.Backend
 
 // New creates a runtime.
 func New(opts Options) *Runtime { return runtime.New(opts) }

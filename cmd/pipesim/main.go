@@ -149,7 +149,7 @@ func run(stages []stageSpec, policy aru.Policy, duration time.Duration) (*aru.An
 		case i == len(stages)-1: // sink
 			body = func(ctx *aru.Ctx) error {
 				for {
-					if _, err := ctx.GetLatest(ctx.Ins()[0]); err != nil {
+					if _, err := ctx.Get(ctx.Ins()[0]); err != nil {
 						return err
 					}
 					ctx.Compute(s.compute)
@@ -160,7 +160,7 @@ func run(stages []stageSpec, policy aru.Policy, duration time.Duration) (*aru.An
 		default: // interior
 			body = func(ctx *aru.Ctx) error {
 				for {
-					msg, err := ctx.GetLatest(ctx.Ins()[0])
+					msg, err := ctx.Get(ctx.Ins()[0])
 					if err != nil {
 						return err
 					}

@@ -1,15 +1,24 @@
 // Distributed demonstrates the runtime spanning real TCP sockets: a
-// channel server hosts a "frames" channel; a producer and two consumers
+// channel server hosts a "frames" channel; producers and consumers
 // attach over the wire. Summary-STP feedback is piggybacked on the
 // protocol exactly as the paper piggybacks it on put/get: the consumers'
 // gets deliver their sustainable periods to the channel, and each put's
 // reply carries the channel's compressed summary back — the producer
 // throttles itself accordingly.
 //
+// Two attachment styles are shown. The raw roles (producer/consumer)
+// speak the wire protocol directly. The pipeline role instead mounts
+// the hosted channel into an ordinary runtime via the registered
+// "remote" buffer backend (Runtime.AddRemoteChannel): its camera and
+// display threads use the same Ctx.Put/Ctx.Get calls as any local
+// application, and Ctx.Sync throttles the camera from summary-STPs
+// that crossed the wire.
+//
 //	go run ./examples/distributed                 # all roles in-process
 //	go run ./examples/distributed -listen :7777   # server only
 //	go run ./examples/distributed -connect HOST:7777 -role producer
 //	go run ./examples/distributed -connect HOST:7777 -role consumer -period 150ms
+//	go run ./examples/distributed -connect HOST:7777 -role pipeline -period 90ms
 package main
 
 import (
@@ -52,8 +61,12 @@ func main() {
 			if err := consume(*connect, *period, "remote-consumer"); err != nil && !errors.Is(err, aru.ErrShutdown) {
 				log.Fatal(err)
 			}
+		case "pipeline":
+			if err := pipeline(*connect, *frames, *period); err != nil {
+				log.Fatal(err)
+			}
 		default:
-			log.Fatal("with -connect, pass -role producer or -role consumer")
+			log.Fatal("with -connect, pass -role producer, consumer, or pipeline")
 		}
 
 	default:
@@ -81,14 +94,95 @@ func main() {
 			}(c.name, c.period)
 		}
 
-		if err := produce(srv.Addr(), *frames); err != nil {
+		if err := pipeline(srv.Addr(), *frames, 60*time.Millisecond); err != nil {
 			log.Fatal(err)
 		}
 		srv.Close() // releases the blocked consumers
 		wg.Wait()
-		fmt.Println("\nThe producer started at its natural 20ms period and converged to the")
+		fmt.Println("\nThe camera started at its natural 20ms period and converged to the")
 		fmt.Println("fastest consumer's ~60ms period — ARU's min rule, over real sockets.")
 	}
+}
+
+// pipeline runs an ordinary runtime application — camera → frames →
+// display — whose "frames" buffer is the server-hosted channel, mounted
+// through the registered "remote" buffer backend. The threads never see
+// the wire: the camera's Ctx.Put and the display's Ctx.Get are the same
+// unified calls every local backend serves, and Ctx.Sync throttles the
+// camera to the summary-STP each put's reply carried back over TCP.
+func pipeline(addr string, frames int, displayPeriod time.Duration) error {
+	rt := aru.New(aru.Options{Clock: aru.NewRealClock(), ARU: aru.PolicyMin()})
+	ch, err := rt.AddRemoteChannel("frames", 0, addr)
+	if err != nil {
+		return err
+	}
+
+	camera := rt.MustAddThread("camera", 0, func(ctx *aru.Ctx) error {
+		for ts := aru.Timestamp(1); ts <= aru.Timestamp(frames) && !ctx.Stopped(); ts++ {
+			ctx.Compute(20 * time.Millisecond) // natural 20ms period
+			if err := ctx.Put(ctx.Outs()[0], ts, []byte("frame-payload"), 64<<10); err != nil {
+				return err
+			}
+			ctx.Sync() // pace to the feedback that crossed the wire
+		}
+		return nil
+	})
+	display := rt.MustAddThread("display", 0, func(ctx *aru.Ctx) error {
+		for !ctx.Stopped() {
+			if _, err := ctx.Get(ctx.Ins()[0]); err != nil {
+				return err
+			}
+			ctx.Compute(displayPeriod)
+			ctx.Sync()
+		}
+		return nil
+	})
+	camera.MustOutput(ch)
+	display.MustInput(ch)
+
+	if err := rt.Start(); err != nil {
+		return err
+	}
+
+	// Report the camera's target period as the wire feedback moves it.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var reported aru.STP
+		for !rt.Stopped() {
+			if p := rt.Controller().TargetPeriod(camera.ID()); p != reported && p.Known() {
+				fmt.Printf("pipeline: camera target period is now %v\n", p.Duration())
+				reported = p
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}()
+
+	// The camera body returns after the last frame; poll its put count so
+	// the display (blocked in a wire get) can be shut down promptly.
+	deadline := time.Now().Add(2 * time.Minute)
+	for cameraPuts(rt, ch) < int64(frames) && !rt.Stopped() {
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	rt.Stop()
+	<-done
+	if err := rt.Wait(); err != nil && !errors.Is(err, aru.ErrShutdown) {
+		return err
+	}
+	fmt.Printf("pipeline: camera produced %d frames through the wire-backed endpoint\n", frames)
+	return nil
+}
+
+// cameraPuts reads the endpoint's local put count.
+func cameraPuts(rt *aru.Runtime, ch *aru.ChannelRef) int64 {
+	if b := rt.Buffer(ch); b != nil {
+		puts, _ := b.Stats()
+		return puts
+	}
+	return 0
 }
 
 // produce pushes frames, pacing itself to the summary-STP piggybacked on

@@ -76,7 +76,7 @@ func run(policy aru.Policy) error {
 			// Stereo needs the right frame with the *corresponding*
 			// timestamp; when it is already gone (skipped or collected),
 			// fall back to the freshest right frame.
-			r, err := ctx.Get(ins[1], l.TS)
+			r, err := ctx.GetAt(ins[1], l.TS)
 			switch {
 			case err == nil:
 				paired++

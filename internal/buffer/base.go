@@ -1,0 +1,265 @@
+package buffer
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/gc"
+	"repro/internal/graph"
+	"repro/internal/vt"
+)
+
+// Consumer tracks one attached consumer connection. Backends read and
+// update the fields under Base.Mu.
+type Consumer struct {
+	// Conn is the connection's graph identity.
+	Conn graph.ConnID
+	// Guarantee is the timestamp bound the consumer will never request
+	// at or below again; the collector relies on it. FIFO backends leave
+	// it at vt.None.
+	Guarantee vt.Timestamp
+	// LastSeen is the newest timestamp delivered as a window head.
+	LastSeen vt.Timestamp
+	// Window is the sliding-window width: how many trailing items
+	// (including the head) the consumer may still re-read. 1 is the
+	// ordinary consumer.
+	Window vt.Timestamp
+}
+
+// Base owns the machinery every in-process buffer backend needs: the
+// notEmpty/notFull condition-variable pair with discrete-event-clock-aware
+// waits, producer/consumer attachment maps, capacity blocking with
+// blocked-time measurement, and liveBytes/puts/frees accounting. Backends
+// embed it and add their storage discipline (a timestamp-indexed map plus
+// live set for channels, a head-indexed slice for queues).
+//
+// Blocking is split across two condition variables so wakeups are
+// targeted: consumers waiting for fresh data park on notEmpty (signaled by
+// puts and close), producers waiting for capacity park on notFull
+// (signaled by frees and close). Before the split a single condvar was
+// broadcast on every put and every guarantee advance, thundering-herding
+// every waiter on every operation.
+type Base struct {
+	// Cfg is the buffer's configuration with defaults applied (Clock and
+	// Collector are never nil after Init).
+	Cfg Config
+	// Coll is the item collector (gc.NewNone() when Cfg.Collector was
+	// nil).
+	Coll gc.Collector
+
+	// Mu guards all mutable state of the Base and of the embedding
+	// backend.
+	Mu       sync.Mutex
+	notEmpty *sync.Cond // consumers: a fresh item arrived (or closed)
+	notFull  *sync.Cond // producers: capacity freed (or closed)
+	consWait int        // consumers currently parked on notEmpty
+
+	// Consumers and Producers are the attachment maps.
+	Consumers map[graph.ConnID]*Consumer
+	Producers map[graph.ConnID]bool
+
+	closed    bool
+	puts      int64
+	frees     int64
+	liveBytes int64
+
+	// occupied counts the backend's currently live items for capacity
+	// blocking. It is stored once at Init — not passed per call — so the
+	// hot path never allocates a closure crossing the package boundary.
+	occupied func() int
+}
+
+// Init prepares the Base: applies Config defaults (real clock, no-op
+// collector), allocates the attachment maps and condition variables, and
+// stores the backend's live-item counter used for capacity blocking.
+func (b *Base) Init(cfg Config, occupied func() int) {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.NewReal()
+	}
+	b.Cfg = cfg
+	b.Coll = cfg.Collector
+	if b.Coll == nil {
+		b.Coll = gc.NewNone()
+	}
+	b.Consumers = make(map[graph.ConnID]*Consumer)
+	b.Producers = make(map[graph.ConnID]bool)
+	b.notEmpty = sync.NewCond(&b.Mu)
+	b.notFull = sync.NewCond(&b.Mu)
+	b.occupied = occupied
+}
+
+// Name returns the buffer's system-wide unique name.
+func (b *Base) Name() string { return b.Cfg.Name }
+
+// Node returns the buffer's task-graph id.
+func (b *Base) Node() graph.NodeID { return b.Cfg.Node }
+
+// Clock returns the buffer's clock (never nil after Init).
+func (b *Base) Clock() clock.Clock { return b.Cfg.Clock }
+
+// wait parks the caller on the given condition variable, telling a
+// discrete-event clock (if one is in use) that the goroutine is blocked
+// so virtual time may advance.
+func (b *Base) wait(cond *sync.Cond) {
+	if bl, ok := b.Cfg.Clock.(clock.Blocker); ok {
+		bl.BlockEnter()
+		cond.Wait()
+		bl.BlockExit()
+		return
+	}
+	cond.Wait()
+}
+
+// WaitConsumer parks a consumer on notEmpty, maintaining the waiter
+// count that lets puts choose Signal over Broadcast.
+func (b *Base) WaitConsumer() {
+	b.consWait++
+	b.wait(b.notEmpty)
+	b.consWait--
+}
+
+// WakeConsumersLocked wakes consumers after a put. The single parked
+// consumer — by far the common case — is woken with Signal; only when
+// several consumers (with heterogeneous wait predicates: get-latest
+// versus get-at-ts) are parked does it fall back to Broadcast.
+func (b *Base) WakeConsumersLocked() {
+	switch {
+	case b.consWait == 0:
+	case b.consWait == 1:
+		b.notEmpty.Signal()
+	default:
+		b.notEmpty.Broadcast()
+	}
+}
+
+// SignalConsumerLocked wakes exactly one parked consumer. FIFO backends
+// use it on put: queue consumers are interchangeable, so exactly one
+// should wake per enqueued item.
+func (b *Base) SignalConsumerLocked() { b.notEmpty.Signal() }
+
+// AwaitCapacityLocked blocks the calling producer while the buffer is at
+// capacity, returning the time spent blocked. Unbounded buffers return
+// immediately without reading the clock (the hot path stays clock-free).
+func (b *Base) AwaitCapacityLocked() time.Duration {
+	if b.Cfg.Capacity <= 0 {
+		return 0
+	}
+	start := b.Cfg.Clock.Now()
+	for !b.closed && b.occupied() >= b.Cfg.Capacity {
+		b.wait(b.notFull)
+	}
+	return b.Cfg.Clock.Now() - start
+}
+
+// CheckProducerLocked validates that conn is an attached producer.
+func (b *Base) CheckProducerLocked(conn graph.ConnID) error {
+	if !b.Producers[conn] {
+		return fmt.Errorf("%w: producer %d on %q", ErrNotAttached, conn, b.Cfg.Name)
+	}
+	return nil
+}
+
+// ConsumerLocked returns the state of an attached consumer connection.
+func (b *Base) ConsumerLocked(conn graph.ConnID) (*Consumer, error) {
+	cs, ok := b.Consumers[conn]
+	if !ok {
+		return nil, fmt.Errorf("%w: consumer %d on %q", ErrNotAttached, conn, b.Cfg.Name)
+	}
+	return cs, nil
+}
+
+// AttachProducer registers an output connection of a producer thread.
+func (b *Base) AttachProducer(conn graph.ConnID) error {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
+	b.Producers[conn] = true
+	return nil
+}
+
+// AttachConsumerLocked registers a consumer connection with the given
+// sliding-window width; duplicate attaches keep the original state.
+func (b *Base) AttachConsumerLocked(conn graph.ConnID, window int) {
+	if _, dup := b.Consumers[conn]; !dup {
+		b.Consumers[conn] = &Consumer{
+			Conn: conn, Guarantee: vt.None, LastSeen: vt.None, Window: vt.Timestamp(window),
+		}
+	}
+}
+
+// AccountPutLocked records one inserted item.
+func (b *Base) AccountPutLocked(it *Item) {
+	b.liveBytes += it.Size
+	b.puts++
+}
+
+// AccountFreeLocked records one reclaimed item: it adjusts liveBytes and
+// the frees counter, reports the item to OnFree, and wakes one capacity
+// waiter for the freed slot.
+func (b *Base) AccountFreeLocked(it *Item) {
+	b.liveBytes -= it.Size
+	b.frees++
+	if b.Cfg.OnFree != nil {
+		b.Cfg.OnFree(it, b.Cfg.Clock.Now())
+	}
+	if b.Cfg.Capacity > 0 {
+		b.notFull.Signal()
+	}
+}
+
+// MarkClosedLocked sets the closed flag, reporting whether this call was
+// the transition. It does not wake waiters; the backend finishes its
+// close work first and then calls BroadcastLocked.
+func (b *Base) MarkClosedLocked() bool {
+	if b.closed {
+		return false
+	}
+	b.closed = true
+	return true
+}
+
+// ClosedLocked reports the closed flag; callers hold Mu.
+func (b *Base) ClosedLocked() bool { return b.closed }
+
+// BroadcastLocked wakes every blocked operation (used on close and
+// drain).
+func (b *Base) BroadcastLocked() {
+	b.notEmpty.Broadcast()
+	b.notFull.Broadcast()
+}
+
+// BroadcastFullLocked wakes all capacity waiters (used by Drain, which
+// frees slots without going through AccountFreeLocked's one-signal-per-
+// slot discipline).
+func (b *Base) BroadcastFullLocked() { b.notFull.Broadcast() }
+
+// Closed reports whether Close has been called.
+func (b *Base) Closed() bool {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
+	return b.closed
+}
+
+// Occupancy returns the current live item count and bytes.
+func (b *Base) Occupancy() (items int, bytes int64) {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
+	return b.occupied(), b.liveBytes
+}
+
+// Stats returns cumulative puts and frees.
+func (b *Base) Stats() (puts, frees int64) {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
+	return b.puts, b.frees
+}
+
+// LiveBytesLocked returns the current live byte count; callers hold Mu.
+func (b *Base) LiveBytesLocked() int64 { return b.liveBytes }
+
+// Snapshot copies the externally visible fields of an item: backends
+// return snapshots, never pointers into their storage.
+func Snapshot(it *Item) Item {
+	return Item{TS: it.TS, Payload: it.Payload, Size: it.Size, ID: it.ID}
+}

@@ -1,0 +1,219 @@
+// Package buffer defines the pluggable buffer-endpoint layer of the
+// runtime: the Buffer interface every timestamped buffer backend
+// implements, the shared Item/GetResult types, and a Base that owns the
+// machinery every in-process backend needs (condition variables,
+// discrete-event-clock-aware waits, attachment maps, capacity blocking,
+// and puts/frees/liveBytes accounting).
+//
+// The paper treats threads, channels, and queues as uniform task-graph
+// nodes that all relay summary-STP feedback; this package is the code
+// form of that uniformity. The runtime wires thread ports to Buffer
+// values and dispatches every put/get through the interface — no type
+// switches — so new backends (a FIFO queue, a get-latest channel, a
+// TCP-served remote channel, ...) plug in through the Registry without
+// touching the runtime layer.
+package buffer
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/gc"
+	"repro/internal/graph"
+	"repro/internal/trace"
+	"repro/internal/vt"
+)
+
+// Errors shared by all buffer backends. The channel and queue packages
+// re-export them under their historical names; errors.Is works across
+// the aliases.
+var (
+	// ErrClosed reports an operation on a closed buffer.
+	ErrClosed = errors.New("buffer: closed")
+	// ErrDuplicate reports a put of a timestamp already present
+	// (random-access backends only).
+	ErrDuplicate = errors.New("buffer: duplicate timestamp")
+	// ErrPassed reports a get of a timestamp the connection's guarantee
+	// has already moved past.
+	ErrPassed = errors.New("buffer: timestamp already passed")
+	// ErrGone reports a get of an item the collector freed.
+	ErrGone = errors.New("buffer: item was garbage collected")
+	// ErrNotAttached reports use of a connection id that was never
+	// attached.
+	ErrNotAttached = errors.New("buffer: connection not attached")
+	// ErrUnsupported reports an operation the backend does not provide
+	// (e.g. a timestamped get on a FIFO queue, a sliding window on a
+	// wire-backed channel). The runtime surfaces it as a typed
+	// port-kind error at wiring or call time — never as a panic.
+	ErrUnsupported = errors.New("buffer: operation unsupported by backend")
+)
+
+// Item is one timestamped data element stored in (or passing through) a
+// buffer. All backends share this one type, so the runtime's put/get
+// paths never convert between per-backend item structs.
+type Item struct {
+	// TS is the item's virtual timestamp.
+	TS vt.Timestamp
+	// Payload is the application data.
+	Payload any
+	// Size is the logical size in bytes used for footprint and transfer
+	// accounting (the paper's item sizes: a digitizer frame is 738 kB).
+	Size int64
+	// ID is the trace identity of this item instance.
+	ID trace.ItemID
+}
+
+// GetResult is the outcome of a successful get. All item fields are
+// snapshots taken under the buffer lock: the backend may reclaim its
+// stored items at any moment after the call returns, so callers never
+// share memory with the buffer.
+type GetResult struct {
+	// Item is the consumed item (snapshot).
+	Item Item
+	// Skipped lists the live items the connection passed over to reach
+	// Item (stale data dropped by get-latest semantics), oldest first.
+	Skipped []Item
+	// Window lists the retained trailing items preceding Item (oldest
+	// first) for sliding-window consumers; empty for window width 1.
+	Window []Item
+	// Blocked is the time spent waiting for a fresh item.
+	Blocked time.Duration
+}
+
+// Discipline is a backend's consumption order.
+type Discipline uint8
+
+const (
+	// Latest marks get-latest (channel) semantics: every consumer sees
+	// every item and may skip stale ones.
+	Latest Discipline = iota
+	// FIFO marks work-queue semantics: each item goes to exactly one
+	// consumer, in put order.
+	FIFO
+)
+
+// String returns the lowercase discipline name.
+func (d Discipline) String() string {
+	if d == FIFO {
+		return "fifo"
+	}
+	return "latest"
+}
+
+// Caps describes what a backend supports. The runtime validates port
+// usage against it at wiring time, so misuse surfaces as a typed error
+// before (or instead of) a hot-path type assertion.
+type Caps struct {
+	// Discipline is the backend's consumption order.
+	Discipline Discipline
+	// Windows reports sliding-window consumer support.
+	Windows bool
+	// GetAt reports support for consuming an exact timestamp.
+	GetAt bool
+	// TryGet reports support for the non-blocking get variant.
+	TryGet bool
+	// Remote marks a backend whose storage lives outside this process:
+	// summary-STP feedback crosses a wire, so the local controller must
+	// treat the buffer's summary as externally supplied, and the
+	// runtime requires a real clock (a discrete-event clock cannot see
+	// network blocking).
+	Remote bool
+}
+
+// Feedback lets a backend exchange summary-STP values with the hosting
+// runtime. In-process backends ignore it (the controller piggybacks
+// feedback itself); wire-backed backends use it to forward a consumer's
+// summary-STP with each get and to deliver the buffer's summary-STP
+// received with each put reply.
+type Feedback interface {
+	// ConsumerSummary returns the current summary-STP of the thread
+	// consuming over conn.
+	ConsumerSummary(conn graph.ConnID) core.STP
+	// ObserveBufferSummary delivers the buffer's summary-STP as
+	// reported by its authoritative (remote) holder.
+	ObserveBufferSummary(s core.STP)
+}
+
+// Config configures a buffer backend. Fields irrelevant to a backend
+// are ignored (queues ignore Collector; in-process backends ignore
+// Addr/RemoteName/Feedback).
+type Config struct {
+	// Name is the buffer's system-wide unique name.
+	Name string
+	// Node is the buffer's task-graph identity.
+	Node graph.NodeID
+	// Clock supplies event times; nil means a real clock.
+	Clock clock.Clock
+	// Collector reclaims dead items (random-access backends); nil
+	// means gc.NewNone().
+	Collector gc.Collector
+	// OnFree, if non-nil, observes every reclaimed item (the runtime
+	// records EvFree trace events here).
+	OnFree func(it *Item, at time.Duration)
+	// Capacity bounds the number of live items; Put blocks while full.
+	// Zero means unbounded (the Stampede default).
+	Capacity int
+	// Addr is the server address for wire-backed backends.
+	Addr string
+	// RemoteName is the hosted buffer name on the server; empty means
+	// Name.
+	RemoteName string
+	// Feedback is the runtime's summary-STP exchange hook for
+	// wire-backed backends.
+	Feedback Feedback
+}
+
+// Buffer is a timestamped buffer endpoint as seen by the runtime. All
+// methods must be safe for concurrent use.
+type Buffer interface {
+	// Name returns the buffer's system-wide unique name.
+	Name() string
+	// Node returns the buffer's task-graph id.
+	Node() graph.NodeID
+	// Caps reports the backend's capabilities.
+	Caps() Caps
+
+	// AttachProducer registers an output connection of a producer
+	// thread. It must happen before the producer's first Put.
+	AttachProducer(conn graph.ConnID) error
+	// AttachConsumer registers an input connection with the given
+	// sliding-window width (1 for ordinary consumers). Backends
+	// without window support reject window > 1 with ErrUnsupported.
+	AttachConsumer(conn graph.ConnID, window int) error
+	// DetachConsumer removes a consumer connection; its collection
+	// guarantee becomes infinite.
+	DetachConsumer(conn graph.ConnID)
+
+	// Put inserts an item, blocking while a bounded buffer is full.
+	// The returned duration is the time spent blocked on capacity.
+	Put(conn graph.ConnID, it *Item) (time.Duration, error)
+	// Get consumes the next item per the backend's discipline —
+	// freshest-unseen for Latest, oldest for FIFO — blocking until one
+	// is available.
+	Get(conn graph.ConnID) (GetResult, error)
+	// TryGet is the non-blocking Get; ok is false when nothing is
+	// consumable right now.
+	TryGet(conn graph.ConnID) (res GetResult, ok bool, err error)
+	// GetAt consumes the item at exactly ts (random-access backends).
+	GetAt(conn graph.ConnID, ts vt.Timestamp) (GetResult, error)
+
+	// WouldBeDead reports whether an item put at ts right now would be
+	// immediately unreachable (§3.2 upstream computation elimination).
+	// Backends whose items are never skipped report false.
+	WouldBeDead(ts vt.Timestamp) bool
+
+	// Close marks the buffer closed and wakes all blocked operations.
+	Close()
+	// Closed reports whether Close has been called.
+	Closed() bool
+	// Drain discards items still buffered after Close, reporting each
+	// to OnFree, and returns how many it discarded.
+	Drain() int
+
+	// Occupancy returns the current live item count and bytes.
+	Occupancy() (items int, bytes int64)
+	// Stats returns cumulative puts and frees.
+	Stats() (puts, frees int64)
+}

@@ -1,0 +1,419 @@
+// Differential property tests: the refactored backends, driven purely
+// through the buffer.Buffer interface exactly as the runtime drives
+// them, are compared op-for-op against straight-line oracle models of
+// the pre-refactor semantics (get-latest delivery with skip sets for
+// channels, strict FIFO with immediate reclamation for queues). Any
+// divergence in delivered timestamps, skip sets, error classes,
+// occupancy, or the puts/frees counters is a regression the unit tests
+// might rationalize away; the oracle cannot.
+package buffer_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/buffer"
+	_ "repro/internal/channel" // register "channel"
+	"repro/internal/graph"
+	_ "repro/internal/queue" // register "queue"
+	"repro/internal/vt"
+)
+
+const (
+	prodConn  graph.ConnID = 10
+	consConnA graph.ConnID = 1
+	consConnB graph.ConnID = 2
+)
+
+func newBackend(t *testing.T, backend string) buffer.Buffer {
+	t.Helper()
+	b, err := buffer.New(backend, buffer.Config{Name: "diff-" + backend, Node: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AttachProducer(prodConn); err != nil {
+		t.Fatal(err)
+	}
+	for _, conn := range []graph.ConnID{consConnA, consConnB} {
+		if err := b.AttachConsumer(conn, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b
+}
+
+// itemSize derives a deterministic per-timestamp size so the oracle can
+// predict occupancy bytes.
+func itemSize(ts vt.Timestamp) int64 { return int64(ts%7+1) * 100 }
+
+// --- channel oracle -------------------------------------------------
+
+// chanCons models one get-latest consumer connection.
+type chanCons struct {
+	lastSeen  vt.Timestamp
+	guarantee vt.Timestamp
+}
+
+// chanOracle is the pre-refactor channel model under the no-op
+// collector: every put stays live, so delivery and skip sets follow
+// from the timestamp order alone.
+type chanOracle struct {
+	live   map[vt.Timestamp]bool
+	maxPut vt.Timestamp
+	cons   map[graph.ConnID]*chanCons
+	puts   int64
+	bytes  int64
+}
+
+func newChanOracle() *chanOracle {
+	return &chanOracle{
+		live:   make(map[vt.Timestamp]bool),
+		maxPut: vt.None,
+		cons: map[graph.ConnID]*chanCons{
+			consConnA: {lastSeen: vt.None, guarantee: vt.None},
+			consConnB: {lastSeen: vt.None, guarantee: vt.None},
+		},
+	}
+}
+
+func (o *chanOracle) liveAsc(lo, hi vt.Timestamp) []vt.Timestamp {
+	if lo < 1 {
+		lo = 1 // the test only puts timestamps ≥ 1 (vt.None is MinInt64)
+	}
+	var out []vt.Timestamp
+	for ts := lo; ts < hi; ts++ {
+		if o.live[ts] {
+			out = append(out, ts)
+		}
+	}
+	return out
+}
+
+func (o *chanOracle) newest() vt.Timestamp {
+	newest := vt.None
+	for ts := range o.live {
+		if ts > newest {
+			newest = ts
+		}
+	}
+	return newest
+}
+
+// put returns whether the put must succeed.
+func (o *chanOracle) put(ts vt.Timestamp) bool {
+	if o.live[ts] {
+		return false // duplicate
+	}
+	o.live[ts] = true
+	o.puts++
+	o.bytes += itemSize(ts)
+	if ts > o.maxPut {
+		o.maxPut = ts
+	}
+	return true
+}
+
+// tryGet returns the expected item TS, skip list, and ok flag.
+func (o *chanOracle) tryGet(conn graph.ConnID) (vt.Timestamp, []vt.Timestamp, bool) {
+	cs := o.cons[conn]
+	newest := o.newest()
+	if newest <= cs.lastSeen {
+		return 0, nil, false
+	}
+	skipped := o.liveAsc(cs.lastSeen+1, newest)
+	cs.lastSeen = newest
+	if newest > cs.guarantee {
+		cs.guarantee = newest
+	}
+	return newest, skipped, true
+}
+
+// getAtClass classifies the expected GetAt outcome: "ok", "passed",
+// "gone", or "block" (the test never issues blocking calls).
+func (o *chanOracle) getAtClass(conn graph.ConnID, ts vt.Timestamp) string {
+	cs := o.cons[conn]
+	if ts <= cs.guarantee {
+		return "passed"
+	}
+	if o.live[ts] {
+		if ts > cs.lastSeen {
+			cs.lastSeen = ts
+		}
+		cs.guarantee = ts
+		return "ok"
+	}
+	if o.maxPut > ts {
+		return "gone"
+	}
+	return "block"
+}
+
+// TestDifferentialChannel drives a registry-materialized channel with a
+// seeded random op sequence and checks every observable against the
+// oracle.
+func TestDifferentialChannel(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			b := newBackend(t, "channel")
+			o := newChanOracle()
+			conns := []graph.ConnID{consConnA, consConnB}
+			var nextTS vt.Timestamp = 1
+
+			for op := 0; op < 3000; op++ {
+				switch k := rng.Intn(10); {
+				case k < 4: // put, occasionally a duplicate
+					ts := nextTS
+					if o.puts > 0 && rng.Intn(10) == 0 {
+						ts = vt.Timestamp(1 + rng.Int63n(int64(o.maxPut)))
+					} else {
+						nextTS += vt.Timestamp(1 + rng.Intn(3))
+					}
+					wantOK := o.put(ts)
+					_, err := b.Put(prodConn, &buffer.Item{TS: ts, Size: itemSize(ts)})
+					if wantOK && err != nil {
+						t.Fatalf("op %d: put %v: unexpected error %v", op, ts, err)
+					}
+					if !wantOK && !errors.Is(err, buffer.ErrDuplicate) {
+						t.Fatalf("op %d: duplicate put %v: got %v, want ErrDuplicate", op, ts, err)
+					}
+
+				case k < 8: // try-get by a random consumer
+					conn := conns[rng.Intn(len(conns))]
+					wantTS, wantSkip, wantOK := o.tryGet(conn)
+					res, ok, err := b.TryGet(conn)
+					if err != nil {
+						t.Fatalf("op %d: tryget: %v", op, err)
+					}
+					if ok != wantOK {
+						t.Fatalf("op %d: tryget ok=%v, oracle %v", op, ok, wantOK)
+					}
+					if !ok {
+						continue
+					}
+					if res.Item.TS != wantTS {
+						t.Fatalf("op %d: tryget ts=%v, oracle %v", op, res.Item.TS, wantTS)
+					}
+					if len(res.Skipped) != len(wantSkip) {
+						t.Fatalf("op %d: tryget skipped %d items, oracle %d", op, len(res.Skipped), len(wantSkip))
+					}
+					for i, sk := range res.Skipped {
+						if sk.TS != wantSkip[i] {
+							t.Fatalf("op %d: skipped[%d]=%v, oracle %v", op, i, sk.TS, wantSkip[i])
+						}
+					}
+
+				case k < 9: // get-at a timestamp that cannot block
+					if o.maxPut == vt.None {
+						continue
+					}
+					conn := conns[rng.Intn(len(conns))]
+					ts := vt.Timestamp(1 + rng.Int63n(int64(o.maxPut)))
+					class := o.getAtClass(conn, ts)
+					if class == "block" {
+						continue
+					}
+					res, err := b.GetAt(conn, ts)
+					switch class {
+					case "ok":
+						if err != nil {
+							t.Fatalf("op %d: getat %v: %v, oracle ok", op, ts, err)
+						}
+						if res.Item.TS != ts {
+							t.Fatalf("op %d: getat ts=%v, want %v", op, res.Item.TS, ts)
+						}
+					case "passed":
+						if !errors.Is(err, buffer.ErrPassed) {
+							t.Fatalf("op %d: getat %v: %v, oracle ErrPassed", op, ts, err)
+						}
+					case "gone":
+						if !errors.Is(err, buffer.ErrGone) {
+							t.Fatalf("op %d: getat %v: %v, oracle ErrGone", op, ts, err)
+						}
+					}
+
+				default: // accounting parity
+					items, bytes := b.Occupancy()
+					if items != len(o.live) || bytes != o.bytes {
+						t.Fatalf("op %d: occupancy (%d, %d), oracle (%d, %d)", op, items, bytes, len(o.live), o.bytes)
+					}
+					puts, frees := b.Stats()
+					if puts != o.puts || frees != 0 {
+						t.Fatalf("op %d: stats (%d, %d), oracle (%d, 0)", op, puts, frees, o.puts)
+					}
+				}
+			}
+		})
+	}
+}
+
+// --- queue oracle ---------------------------------------------------
+
+// queueOracle is the pre-refactor FIFO model: put appends, get pops the
+// head, and the popped item is reclaimed on the spot — so frees must
+// track gets exactly (the Stats parity the refactor added).
+type queueOracle struct {
+	fifo  []vt.Timestamp
+	puts  int64
+	frees int64
+	bytes int64
+}
+
+func (o *queueOracle) put(ts vt.Timestamp) {
+	o.fifo = append(o.fifo, ts)
+	o.puts++
+	o.bytes += itemSize(ts)
+}
+
+func (o *queueOracle) tryGet() (vt.Timestamp, bool) {
+	if len(o.fifo) == 0 {
+		return 0, false
+	}
+	ts := o.fifo[0]
+	o.fifo = o.fifo[1:]
+	o.frees++
+	o.bytes -= itemSize(ts)
+	return ts, true
+}
+
+// TestDifferentialQueue drives a registry-materialized queue against the
+// FIFO oracle, including the frees-counter parity that WriteStatus
+// reports.
+func TestDifferentialQueue(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			b := newBackend(t, "queue")
+			o := &queueOracle{}
+			conns := []graph.ConnID{consConnA, consConnB}
+			var nextTS vt.Timestamp
+
+			for op := 0; op < 3000; op++ {
+				switch k := rng.Intn(10); {
+				case k < 4: // put (queues accept any timestamp order)
+					nextTS++
+					ts := nextTS
+					o.put(ts)
+					if _, err := b.Put(prodConn, &buffer.Item{TS: ts, Size: itemSize(ts)}); err != nil {
+						t.Fatalf("op %d: put %v: %v", op, ts, err)
+					}
+
+				case k < 8: // try-get from either consumer pops the head
+					conn := conns[rng.Intn(len(conns))]
+					wantTS, wantOK := o.tryGet()
+					res, ok, err := b.TryGet(conn)
+					if err != nil {
+						t.Fatalf("op %d: tryget: %v", op, err)
+					}
+					if ok != wantOK {
+						t.Fatalf("op %d: tryget ok=%v, oracle %v", op, ok, wantOK)
+					}
+					if ok && res.Item.TS != wantTS {
+						t.Fatalf("op %d: tryget ts=%v, oracle %v", op, res.Item.TS, wantTS)
+					}
+
+				case k < 9: // unsupported op reports the typed error
+					if _, err := b.GetAt(consConnA, 1); !errors.Is(err, buffer.ErrUnsupported) {
+						t.Fatalf("op %d: getat on queue: %v, want ErrUnsupported", op, err)
+					}
+
+				default: // accounting parity, including frees
+					items, bytes := b.Occupancy()
+					if items != len(o.fifo) || bytes != o.bytes {
+						t.Fatalf("op %d: occupancy (%d, %d), oracle (%d, %d)", op, items, bytes, len(o.fifo), o.bytes)
+					}
+					puts, frees := b.Stats()
+					if puts != o.puts || frees != o.frees {
+						t.Fatalf("op %d: stats (%d, %d), oracle (%d, %d)", op, puts, frees, o.puts, o.frees)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestUnifiedDispatchConcurrent hammers both in-process backends through
+// the Buffer interface from concurrent producers and consumers — the
+// shape the runtime's unified Ctx.Get/Ctx.Put produces — so the -race
+// build checks the Base synchronization under interface dispatch.
+func TestUnifiedDispatchConcurrent(t *testing.T) {
+	for _, backend := range []string{"channel", "queue"} {
+		t.Run(backend, func(t *testing.T) {
+			b, err := buffer.New(backend, buffer.Config{Name: "race-" + backend, Node: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const producers, consumers, perProducer = 3, 3, 200
+			for i := 0; i < producers; i++ {
+				if err := b.AttachProducer(graph.ConnID(100 + i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for i := 0; i < consumers; i++ {
+				if err := b.AttachConsumer(graph.ConnID(200+i), 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			var wg sync.WaitGroup
+			for i := 0; i < producers; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					for k := 0; k < perProducer; k++ {
+						ts := vt.Timestamp(i*perProducer + k + 1)
+						if _, err := b.Put(graph.ConnID(100+i), &buffer.Item{TS: ts, Size: 64}); err != nil {
+							t.Errorf("put %v: %v", ts, err)
+							return
+						}
+					}
+				}(i)
+			}
+			for i := 0; i < consumers; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					conn := graph.ConnID(200 + i)
+					for {
+						if _, err := b.Get(conn); err != nil {
+							if errors.Is(err, buffer.ErrClosed) {
+								return
+							}
+							t.Errorf("get: %v", err)
+							return
+						}
+					}
+				}(i)
+			}
+
+			// Let the producers finish, then close to release the
+			// blocked consumers.
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				wg.Wait()
+			}()
+			go func() {
+				// Close once all puts landed; consumers drain or skip.
+				for {
+					puts, _ := b.Stats()
+					if puts >= producers*perProducer {
+						b.Close()
+						return
+					}
+					time.Sleep(time.Millisecond)
+				}
+			}()
+			<-done
+
+			puts, _ := b.Stats()
+			if puts != producers*perProducer {
+				t.Fatalf("puts=%d, want %d", puts, producers*perProducer)
+			}
+		})
+	}
+}

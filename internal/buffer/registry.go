@@ -1,0 +1,73 @@
+package buffer
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Factory creates a backend instance from a Config.
+type Factory func(cfg Config) (Buffer, error)
+
+// Backend is a registered buffer implementation: its constructor plus the
+// capabilities the runtime may validate against before any instance
+// exists (wiring-time port-kind checks).
+type Backend struct {
+	// New constructs an instance.
+	New Factory
+	// Caps describes what every instance of this backend supports.
+	Caps Caps
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Backend)
+)
+
+// Register adds a backend under name. Backends register themselves from
+// init(), so importing a backend package is all it takes to make it
+// available to the runtime's endpoint descriptors. Re-registering a name
+// panics: it is a wiring bug, not a runtime condition.
+func Register(name string, b Backend) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if name == "" {
+		panic("buffer: Register with empty backend name")
+	}
+	if b.New == nil {
+		panic(fmt.Sprintf("buffer: Register(%q) with nil factory", name))
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("buffer: Register(%q) called twice", name))
+	}
+	registry[name] = b
+}
+
+// Lookup returns the backend registered under name.
+func Lookup(name string) (Backend, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	b, ok := registry[name]
+	return b, ok
+}
+
+// New materializes an instance of the named backend.
+func New(name string, cfg Config) (Buffer, error) {
+	b, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("buffer: unknown backend %q (registered: %v)", name, Names())
+	}
+	return b.New(cfg)
+}
+
+// Names returns the registered backend names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

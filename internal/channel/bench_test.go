@@ -18,7 +18,7 @@ import (
 func BenchmarkGetLatestNoSkip(b *testing.B) {
 	c := New(Config{Name: "b", Clock: clock.NewReal(), Collector: gc.NewDeadTimestamp()})
 	c.AttachProducer(prodConn)
-	c.AttachConsumer(consConn)
+	c.AttachConsumer(consConn, 1)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -44,7 +44,7 @@ func benchContended(b *testing.B, m int) {
 	conns := make([]graph.ConnID, m)
 	for i := range conns {
 		conns[i] = graph.ConnID(100 + i)
-		c.AttachConsumer(conns[i])
+		c.AttachConsumer(conns[i], 1)
 	}
 	var wg sync.WaitGroup
 	for _, conn := range conns {
@@ -83,7 +83,7 @@ func BenchmarkContendedFanout16(b *testing.B) { benchContended(b, 16) }
 func BenchmarkPutGetLatest(b *testing.B) {
 	c := New(Config{Name: "b", Clock: clock.NewReal(), Collector: gc.NewDeadTimestamp()})
 	c.AttachProducer(prodConn)
-	c.AttachConsumer(consConn)
+	c.AttachConsumer(consConn, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := c.Put(prodConn, &Item{TS: vt.Timestamp(i + 1), Size: 1024}); err != nil {
@@ -100,7 +100,7 @@ func BenchmarkPutGetLatest(b *testing.B) {
 func BenchmarkPutSkip10(b *testing.B) {
 	c := New(Config{Name: "b", Clock: clock.NewReal(), Collector: gc.NewDeadTimestamp()})
 	c.AttachProducer(prodConn)
-	c.AttachConsumer(consConn)
+	c.AttachConsumer(consConn, 1)
 	ts := vt.Timestamp(0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

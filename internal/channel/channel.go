@@ -10,192 +10,114 @@
 // at timestamp T it will never request an item at or before T again. The
 // guarantees feed the garbage collector (package gc), which reclaims items
 // no consumer can name anymore.
+//
+// Channel is a buffer.Buffer backend (registered as "channel"): the
+// condvar pair, clock-aware waits, attachment maps, capacity blocking, and
+// puts/frees/liveBytes accounting all live in the embedded buffer.Base;
+// this package adds only the channel discipline — the timestamp-indexed
+// item map, the sorted live set, get-latest/sliding-window delivery, and
+// guarantee-driven garbage collection.
 package channel
 
 import (
-	"errors"
 	"fmt"
-	"sync"
 	"time"
 
-	"repro/internal/clock"
-	"repro/internal/gc"
+	"repro/internal/buffer"
 	"repro/internal/graph"
-	"repro/internal/trace"
 	"repro/internal/vt"
 )
 
-// Errors returned by channel operations.
+// Errors returned by channel operations. They alias the shared buffer
+// errors, so errors.Is matches across packages.
 var (
 	// ErrClosed reports an operation on a closed channel.
-	ErrClosed = errors.New("channel: closed")
+	ErrClosed = buffer.ErrClosed
 	// ErrDuplicate reports a put of a timestamp already present.
-	ErrDuplicate = errors.New("channel: duplicate timestamp")
+	ErrDuplicate = buffer.ErrDuplicate
 	// ErrPassed reports a get of a timestamp the connection's guarantee
 	// has already moved past.
-	ErrPassed = errors.New("channel: timestamp already passed")
+	ErrPassed = buffer.ErrPassed
 	// ErrGone reports a get of an item the collector freed.
-	ErrGone = errors.New("channel: item was garbage collected")
+	ErrGone = buffer.ErrGone
 	// ErrNotAttached reports use of a connection id that was never
 	// attached.
-	ErrNotAttached = errors.New("channel: connection not attached")
+	ErrNotAttached = buffer.ErrNotAttached
 )
 
-// Item is one timestamped data element stored in a channel.
-type Item struct {
-	// TS is the item's virtual timestamp.
-	TS vt.Timestamp
-	// Payload is the application data.
-	Payload any
-	// Size is the logical size in bytes used for footprint and transfer
-	// accounting (the paper's item sizes: a digitizer frame is 738 kB).
-	Size int64
-	// ID is the trace identity of this item instance.
-	ID trace.ItemID
-
-	freed    bool
-	consumed bool
-}
-
-// consumerState tracks one attached consumer connection.
-type consumerState struct {
-	conn graph.ConnID
-	// guarantee is the timestamp bound the consumer will never request
-	// at or below again; the collector relies on it.
-	guarantee vt.Timestamp
-	// lastSeen is the newest timestamp delivered as a window head.
-	lastSeen vt.Timestamp
-	// window is the sliding-window width: how many trailing items
-	// (including the head) the consumer may still re-read. 1 is the
-	// ordinary get-latest consumer.
-	window vt.Timestamp
-}
+// Item is one timestamped data element stored in a channel. It is the
+// shared buffer item type: all backends store the same struct, so the
+// runtime's put/get paths never convert between per-backend items.
+type Item = buffer.Item
 
 // Config configures a channel.
-type Config struct {
-	// Name is the channel's system-wide unique name.
-	Name string
-	// Node is the channel's task-graph identity.
-	Node graph.NodeID
-	// Clock supplies event times for frees.
-	Clock clock.Clock
-	// Collector reclaims dead items; nil means gc.NewNone().
-	Collector gc.Collector
-	// OnFree, if non-nil, observes every reclaimed item (the runtime
-	// records EvFree trace events here).
-	OnFree func(it *Item, at time.Duration)
-	// Capacity bounds the number of live items; Put blocks while full.
-	// Zero means unbounded (the Stampede default; the tracker relies on
-	// it, which is exactly how the memory footprint balloons without
-	// ARU).
-	Capacity int
+type Config = buffer.Config
+
+// GetResult is the outcome of a successful get.
+type GetResult = buffer.GetResult
+
+func init() {
+	buffer.Register("channel", buffer.Backend{
+		New:  func(cfg Config) (buffer.Buffer, error) { return New(cfg), nil },
+		Caps: caps,
+	})
+}
+
+var caps = buffer.Caps{
+	Discipline: buffer.Latest,
+	Windows:    true,
+	GetAt:      true,
+	TryGet:     true,
 }
 
 // Channel is a timestamped buffer. All methods are safe for concurrent
 // use.
 //
-// Blocking is split across two condition variables so wakeups are
-// targeted: consumers waiting for fresh data park on notEmpty (signaled
-// by puts and close), producers waiting for capacity park on notFull
-// (signaled by frees and close). Before the split a single condvar was
-// broadcast on every put and every guarantee advance, thundering-herding
-// every waiter on every operation.
+// An item's lifecycle is tracked by the (items, live) pair: a timestamp in
+// items but absent from live is a tombstone — the collector freed it, and
+// Get reports ErrGone rather than "not yet produced".
 type Channel struct {
-	cfg  Config
-	coll gc.Collector
+	buffer.Base
 
-	mu        sync.Mutex
-	notEmpty  *sync.Cond // consumers: a fresh item arrived (or closed)
-	notFull   *sync.Cond // producers: capacity freed (or closed)
-	consWait  int        // consumers currently parked on notEmpty
-	items     map[vt.Timestamp]*Item
-	live      *vt.Set
-	consumers map[graph.ConnID]*consumerState
-	producers map[graph.ConnID]bool
-	maxPut    vt.Timestamp
-	closed    bool
-	puts      int64
-	frees     int64
-	liveBytes int64
+	// items and live are guarded by Base.Mu.
+	items  map[vt.Timestamp]*Item
+	live   *vt.Set
+	maxPut vt.Timestamp
 
 	// scratchG and scratchDead are per-channel scratch buffers reused by
 	// every collection sweep (guarantee vector and dead-timestamp list),
 	// keeping the per-advance GC hop allocation-free. Both are only
-	// touched under mu.
+	// touched under Base.Mu.
 	scratchG    []vt.Timestamp
 	scratchDead []vt.Timestamp
 }
 
 // New creates a channel.
 func New(cfg Config) *Channel {
-	if cfg.Clock == nil {
-		cfg.Clock = clock.NewReal()
-	}
-	coll := cfg.Collector
-	if coll == nil {
-		coll = gc.NewNone()
-	}
 	c := &Channel{
-		cfg:       cfg,
-		coll:      coll,
-		items:     make(map[vt.Timestamp]*Item),
-		live:      vt.NewSet(),
-		consumers: make(map[graph.ConnID]*consumerState),
-		producers: make(map[graph.ConnID]bool),
-		maxPut:    vt.None,
+		items:  make(map[vt.Timestamp]*Item),
+		live:   vt.NewSet(),
+		maxPut: vt.None,
 	}
-	c.notEmpty = sync.NewCond(&c.mu)
-	c.notFull = sync.NewCond(&c.mu)
+	c.Base.Init(cfg, c.live.Len)
 	return c
 }
 
-// wait parks the caller on the given condition variable, telling a
-// discrete-event clock (if one is in use) that the goroutine is blocked
-// so virtual time may advance.
-func (c *Channel) wait(cond *sync.Cond) {
-	if b, ok := c.cfg.Clock.(clock.Blocker); ok {
-		b.BlockEnter()
-		cond.Wait()
-		b.BlockExit()
-		return
+// Caps reports the channel backend's capabilities.
+func (c *Channel) Caps() buffer.Caps { return caps }
+
+// AttachConsumer registers an input connection with the given
+// sliding-window width (1 for ordinary consumers). It must happen before
+// the consumer's first get; attaching after items were already collected
+// is fine — the new consumer simply starts at the present.
+func (c *Channel) AttachConsumer(conn graph.ConnID, window int) error {
+	if window < 1 {
+		return fmt.Errorf("%w: window width %d < 1 on %q", buffer.ErrUnsupported, window, c.Name())
 	}
-	cond.Wait()
-}
-
-// waitConsumer parks a consumer on notEmpty, maintaining the waiter
-// count that lets puts choose Signal over Broadcast.
-func (c *Channel) waitConsumer() {
-	c.consWait++
-	c.wait(c.notEmpty)
-	c.consWait--
-}
-
-// wakeConsumersLocked wakes consumers after a put. The single parked
-// consumer — by far the common case — is woken with Signal; only when
-// several consumers (with heterogeneous wait predicates: GetLatest
-// versus Get-at-ts) are parked does it fall back to Broadcast.
-func (c *Channel) wakeConsumersLocked() {
-	switch {
-	case c.consWait == 0:
-	case c.consWait == 1:
-		c.notEmpty.Signal()
-	default:
-		c.notEmpty.Broadcast()
-	}
-}
-
-// Name returns the channel's name.
-func (c *Channel) Name() string { return c.cfg.Name }
-
-// Node returns the channel's task-graph id.
-func (c *Channel) Node() graph.NodeID { return c.cfg.Node }
-
-// AttachConsumer registers an input connection for a consumer thread. It
-// must happen before the consumer's first get; attaching after items were
-// already collected is fine — the new consumer simply starts at the
-// present.
-func (c *Channel) AttachConsumer(conn graph.ConnID) {
-	c.AttachConsumerWindow(conn, 1)
+	c.Mu.Lock()
+	defer c.Mu.Unlock()
+	c.AttachConsumerLocked(conn, window)
+	return nil
 }
 
 // AttachConsumerWindow registers a consumer that analyzes a sliding
@@ -204,67 +126,45 @@ func (c *Channel) AttachConsumer(conn graph.ConnID) {
 // timestamp T the consumer may still re-read items in (T-n, T], so its
 // collection guarantee trails the head by n-1 timestamps. n < 1 panics.
 func (c *Channel) AttachConsumerWindow(conn graph.ConnID, n int) {
-	if n < 1 {
-		panic(fmt.Sprintf("channel: window width %d < 1 on %q", n, c.cfg.Name))
-	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, dup := c.consumers[conn]; !dup {
-		c.consumers[conn] = &consumerState{
-			conn: conn, guarantee: vt.None, lastSeen: vt.None, window: vt.Timestamp(n),
-		}
+	if err := c.AttachConsumer(conn, n); err != nil {
+		panic(fmt.Sprintf("channel: window width %d < 1 on %q", n, c.Name()))
 	}
 }
 
 // DetachConsumer removes a consumer connection. Its guarantee becomes
 // Infinity for collection purposes: it will never request anything again.
 func (c *Channel) DetachConsumer(conn graph.ConnID) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.consumers[conn]; !ok {
+	c.Mu.Lock()
+	defer c.Mu.Unlock()
+	if _, ok := c.Consumers[conn]; !ok {
 		return
 	}
-	delete(c.consumers, conn)
-	c.coll.Forget(c.cfg.Node, conn)
+	delete(c.Consumers, conn)
+	c.Coll.Forget(c.Node(), conn)
 	// Any frees below wake capacity waiters via freeLocked; parked
 	// consumers are unaffected by a detach.
 	c.collectLocked()
-}
-
-// AttachProducer registers an output connection for a producer thread.
-func (c *Channel) AttachProducer(conn graph.ConnID) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.producers[conn] = true
 }
 
 // Put inserts an item. It blocks while a bounded channel is full and
 // returns ErrClosed/ErrDuplicate on those conditions. The returned
 // duration is the time spent blocked on capacity.
 func (c *Channel) Put(conn graph.ConnID, it *Item) (time.Duration, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if !c.producers[conn] {
-		return 0, fmt.Errorf("%w: producer %d on %q", ErrNotAttached, conn, c.cfg.Name)
+	c.Mu.Lock()
+	defer c.Mu.Unlock()
+	if err := c.CheckProducerLocked(conn); err != nil {
+		return 0, err
 	}
-	var blocked time.Duration
-	if c.cfg.Capacity > 0 {
-		start := c.cfg.Clock.Now()
-		for !c.closed && c.live.Len() >= c.cfg.Capacity {
-			c.wait(c.notFull)
-		}
-		blocked = c.cfg.Clock.Now() - start
-	}
-	if c.closed {
+	blocked := c.AwaitCapacityLocked()
+	if c.ClosedLocked() {
 		return blocked, ErrClosed
 	}
 	if _, dup := c.items[it.TS]; dup {
-		return blocked, fmt.Errorf("%w: %v on %q", ErrDuplicate, it.TS, c.cfg.Name)
+		return blocked, fmt.Errorf("%w: %v on %q", ErrDuplicate, it.TS, c.Name())
 	}
 	c.items[it.TS] = it
 	c.live.Add(it.TS)
-	c.liveBytes += it.Size
-	c.puts++
+	c.AccountPutLocked(it)
 	if it.TS > c.maxPut {
 		c.maxPut = it.TS
 	}
@@ -272,55 +172,38 @@ func (c *Channel) Put(conn graph.ConnID, it *Item) (time.Duration, error) {
 	// virtual time advanced elsewhere), so sweep opportunistically; any
 	// frees wake capacity waiters inside freeLocked.
 	c.collectLocked()
-	c.wakeConsumersLocked()
+	c.WakeConsumersLocked()
 	return blocked, nil
 }
 
-// GetResult is the outcome of a successful get. Item and Skipped are
-// snapshots taken under the channel lock: the garbage collector may
-// reclaim the stored items at any moment after the call returns, so
-// callers never share memory with the channel.
-type GetResult struct {
-	// Item is the consumed item (snapshot).
-	Item Item
-	// Skipped lists the live items the connection passed over to reach
-	// Item (stale data dropped by get-latest semantics), oldest first.
-	Skipped []Item
-	// Window lists the retained trailing items preceding Item (oldest
-	// first) for sliding-window consumers; empty for window width 1.
-	Window []Item
-	// Blocked is the time spent waiting for a fresh item.
-	Blocked time.Duration
-}
-
-// snapshot copies the externally visible fields of an item.
-func snapshot(it *Item) Item {
-	return Item{TS: it.TS, Payload: it.Payload, Size: it.Size, ID: it.ID}
-}
-
-// GetLatest blocks until an item newer than the connection's guarantee is
+// Get blocks until an item newer than the connection's guarantee is
 // available and consumes the newest such item, advancing the guarantee and
 // recording everything in between as skipped. This is the "threads always
 // request the latest item" discipline the ARU algorithm is predicated on
 // (§3.3.3).
+func (c *Channel) Get(conn graph.ConnID) (GetResult, error) {
+	return c.GetLatest(conn)
+}
+
+// GetLatest is Get under its historical Stampede name.
 func (c *Channel) GetLatest(conn graph.ConnID) (GetResult, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	cs, ok := c.consumers[conn]
-	if !ok {
-		return GetResult{}, fmt.Errorf("%w: consumer %d on %q", ErrNotAttached, conn, c.cfg.Name)
+	c.Mu.Lock()
+	defer c.Mu.Unlock()
+	cs, err := c.ConsumerLocked(conn)
+	if err != nil {
+		return GetResult{}, err
 	}
-	start := c.cfg.Clock.Now()
+	start := c.Clock().Now()
 	for {
-		if newest := c.live.Max(); newest > cs.lastSeen {
+		if newest := c.live.Max(); newest > cs.LastSeen {
 			res := c.deliverLocked(cs, newest)
-			res.Blocked = c.cfg.Clock.Now() - start
+			res.Blocked = c.Clock().Now() - start
 			return res, nil
 		}
-		if c.closed {
-			return GetResult{Blocked: c.cfg.Clock.Now() - start}, ErrClosed
+		if c.ClosedLocked() {
+			return GetResult{Blocked: c.Clock().Now() - start}, ErrClosed
 		}
-		c.waitConsumer()
+		c.WaitConsumer()
 	}
 }
 
@@ -330,27 +213,23 @@ func (c *Channel) GetLatest(conn graph.ConnID) (GetResult, error) {
 // to newest-(window-1). Both passes walk the sorted live set in place
 // (vt.Set.AscendRange): the skip-free, window-1 fast path touches no
 // intermediate storage at all.
-func (c *Channel) deliverLocked(cs *consumerState, newest vt.Timestamp) GetResult {
+func (c *Channel) deliverLocked(cs *buffer.Consumer, newest vt.Timestamp) GetResult {
 	var res GetResult
-	windowStart := newest - cs.window + 1
+	windowStart := newest - cs.Window + 1
 	// Skipped: unseen live items older than the window, i.e.
 	// (lastSeen, windowStart) — windowStart ≤ newest always holds.
-	c.live.AscendRange(cs.lastSeen+1, windowStart, func(ts vt.Timestamp) bool {
-		res.Skipped = append(res.Skipped, snapshot(c.items[ts]))
+	c.live.AscendRange(cs.LastSeen+1, windowStart, func(ts vt.Timestamp) bool {
+		res.Skipped = append(res.Skipped, buffer.Snapshot(c.items[ts]))
 		return true
 	})
 	// Window members: [windowStart, newest), including previously seen
 	// items the window may re-read.
 	c.live.AscendRange(windowStart, newest, func(ts vt.Timestamp) bool {
-		it := c.items[ts]
-		it.consumed = true
-		res.Window = append(res.Window, snapshot(it))
+		res.Window = append(res.Window, buffer.Snapshot(c.items[ts]))
 		return true
 	})
-	it := c.items[newest]
-	it.consumed = true
-	res.Item = snapshot(it)
-	cs.lastSeen = newest
+	res.Item = buffer.Snapshot(c.items[newest])
+	cs.LastSeen = newest
 	// The consumer will never request ≤ windowStart again: the next
 	// head is at least newest+1, so the next window starts at least at
 	// windowStart+1.
@@ -358,80 +237,84 @@ func (c *Channel) deliverLocked(cs *consumerState, newest vt.Timestamp) GetResul
 	return res
 }
 
-// TryGetLatest is the non-blocking variant of GetLatest: if an item newer
-// than the connection's guarantee is available it is consumed exactly as
-// GetLatest would, otherwise ok is false and nothing changes. Stages that
-// reuse their previous input when no fresh one exists (the tracker's
-// detectors reusing the current histogram model) are built on it.
+// TryGet is the non-blocking variant of Get: if an item newer than the
+// connection's guarantee is available it is consumed exactly as Get
+// would, otherwise ok is false and nothing changes. Stages that reuse
+// their previous input when no fresh one exists (the tracker's detectors
+// reusing the current histogram model) are built on it.
+func (c *Channel) TryGet(conn graph.ConnID) (res GetResult, ok bool, err error) {
+	return c.TryGetLatest(conn)
+}
+
+// TryGetLatest is TryGet under its historical Stampede name.
 func (c *Channel) TryGetLatest(conn graph.ConnID) (res GetResult, ok bool, err error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	cs, present := c.consumers[conn]
-	if !present {
-		return GetResult{}, false, fmt.Errorf("%w: consumer %d on %q", ErrNotAttached, conn, c.cfg.Name)
+	c.Mu.Lock()
+	defer c.Mu.Unlock()
+	cs, err := c.ConsumerLocked(conn)
+	if err != nil {
+		return GetResult{}, false, err
 	}
-	if c.closed {
+	if c.ClosedLocked() {
 		return GetResult{}, false, ErrClosed
 	}
 	newest := c.live.Max()
-	if newest <= cs.lastSeen {
+	if newest <= cs.LastSeen {
 		return GetResult{}, false, nil
 	}
 	return c.deliverLocked(cs, newest), true, nil
 }
 
-// Get blocks until the item at exactly ts is available and consumes it.
+// GetAt blocks until the item at exactly ts is available and consumes it.
 // It fails with ErrPassed if the connection's guarantee has moved past ts,
 // and with ErrGone if the item existed but was collected (possible when
 // another consumer's skip pattern let the collector reclaim it first).
-// Unlike GetLatest, Get does not mark intermediate items skipped; it is
-// the primitive for stages that need corresponding timestamps rather than
+// Unlike Get, GetAt does not mark intermediate items skipped; it is the
+// primitive for stages that need corresponding timestamps rather than
 // freshest data.
-func (c *Channel) Get(conn graph.ConnID, ts vt.Timestamp) (GetResult, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	cs, ok := c.consumers[conn]
-	if !ok {
-		return GetResult{}, fmt.Errorf("%w: consumer %d on %q", ErrNotAttached, conn, c.cfg.Name)
+func (c *Channel) GetAt(conn graph.ConnID, ts vt.Timestamp) (GetResult, error) {
+	c.Mu.Lock()
+	defer c.Mu.Unlock()
+	cs, err := c.ConsumerLocked(conn)
+	if err != nil {
+		return GetResult{}, err
 	}
-	start := c.cfg.Clock.Now()
+	start := c.Clock().Now()
 	for {
-		if ts <= cs.guarantee {
-			return GetResult{Blocked: c.cfg.Clock.Now() - start}, fmt.Errorf("%w: %v ≤ guarantee on %q", ErrPassed, ts, c.cfg.Name)
+		if ts <= cs.Guarantee {
+			return GetResult{Blocked: c.Clock().Now() - start}, fmt.Errorf("%w: %v ≤ guarantee on %q", ErrPassed, ts, c.Name())
 		}
 		if it, present := c.items[ts]; present {
-			if it.freed {
-				return GetResult{Blocked: c.cfg.Clock.Now() - start}, fmt.Errorf("%w: %v on %q", ErrGone, ts, c.cfg.Name)
+			if !c.live.Contains(ts) {
+				return GetResult{Blocked: c.Clock().Now() - start}, fmt.Errorf("%w: %v on %q", ErrGone, ts, c.Name())
 			}
-			it.consumed = true
-			res := GetResult{Item: snapshot(it), Blocked: c.cfg.Clock.Now() - start}
-			if ts > cs.lastSeen {
-				cs.lastSeen = ts
+			res := GetResult{Item: buffer.Snapshot(it), Blocked: c.Clock().Now() - start}
+			if ts > cs.LastSeen {
+				cs.LastSeen = ts
 			}
-			c.advanceLocked(cs, ts-cs.window+1)
+			c.advanceLocked(cs, ts-cs.Window+1)
 			return res, nil
 		}
 		// The item may never have existed but already be unreachable: a
 		// producer has moved past it.
 		if c.maxPut > ts {
-			return GetResult{Blocked: c.cfg.Clock.Now() - start}, fmt.Errorf("%w: %v on %q", ErrGone, ts, c.cfg.Name)
+			return GetResult{Blocked: c.Clock().Now() - start}, fmt.Errorf("%w: %v on %q", ErrGone, ts, c.Name())
 		}
-		if c.closed {
-			return GetResult{Blocked: c.cfg.Clock.Now() - start}, ErrClosed
+		if c.ClosedLocked() {
+			return GetResult{Blocked: c.Clock().Now() - start}, ErrClosed
 		}
-		c.waitConsumer()
+		c.WaitConsumer()
 	}
 }
 
 // advanceLocked moves a consumer's guarantee to ts and lets the collector
 // reclaim whatever died. Capacity waiters are woken by freeLocked, one
 // per reclaimed slot; nothing else needs waking on an advance.
-func (c *Channel) advanceLocked(cs *consumerState, ts vt.Timestamp) {
-	if ts <= cs.guarantee {
+func (c *Channel) advanceLocked(cs *buffer.Consumer, ts vt.Timestamp) {
+	if ts <= cs.Guarantee {
 		return
 	}
-	cs.guarantee = ts
-	c.coll.Observe(c.cfg.Node, cs.conn, ts)
+	cs.Guarantee = ts
+	c.Coll.Observe(c.Node(), cs.Conn, ts)
 	c.collectLocked()
 }
 
@@ -443,10 +326,10 @@ func (c *Channel) collectLocked() {
 		return
 	}
 	c.scratchG = c.scratchG[:0]
-	for _, cs := range c.consumers {
-		c.scratchG = append(c.scratchG, cs.guarantee)
+	for _, cs := range c.Consumers {
+		c.scratchG = append(c.scratchG, cs.Guarantee)
 	}
-	c.scratchDead = c.coll.Dead(c.cfg.Node, c.live, c.scratchG, c.scratchDead[:0])
+	c.scratchDead = c.Coll.Dead(c.Node(), c.live, c.scratchG, c.scratchDead[:0])
 	for _, ts := range c.scratchDead {
 		c.freeLocked(ts)
 	}
@@ -456,33 +339,24 @@ func (c *Channel) collectLocked() {
 // freed slot.
 func (c *Channel) freeLocked(ts vt.Timestamp) {
 	it, ok := c.items[ts]
-	if !ok || it.freed {
+	if !ok || !c.live.Contains(ts) {
 		return
 	}
-	it.freed = true
 	c.live.Remove(ts)
-	c.liveBytes -= it.Size
-	c.frees++
-	if c.cfg.OnFree != nil {
-		c.cfg.OnFree(it, c.cfg.Clock.Now())
-	}
-	// Retain a tombstone so Get(ts) can distinguish ErrGone from "not
+	c.AccountFreeLocked(it)
+	// Retain a tombstone so GetAt(ts) can distinguish ErrGone from "not
 	// yet produced"; drop the payload to release real memory.
 	it.Payload = nil
-	if c.cfg.Capacity > 0 {
-		c.notFull.Signal()
-	}
 }
 
 // Close marks the channel closed, frees every remaining live item, and
 // wakes all blocked operations.
 func (c *Channel) Close() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
+	c.Mu.Lock()
+	defer c.Mu.Unlock()
+	if !c.MarkClosedLocked() {
 		return
 	}
-	c.closed = true
 	// Collect the live timestamps first: freeLocked mutates the set.
 	c.scratchDead = c.scratchDead[:0]
 	c.live.Ascend(func(ts vt.Timestamp) bool {
@@ -492,33 +366,29 @@ func (c *Channel) Close() {
 	for _, ts := range c.scratchDead {
 		c.freeLocked(ts)
 	}
-	for conn := range c.consumers {
-		c.coll.Forget(c.cfg.Node, conn)
+	for conn := range c.Consumers {
+		c.Coll.Forget(c.Node(), conn)
 	}
-	c.notEmpty.Broadcast()
-	c.notFull.Broadcast()
+	c.BroadcastLocked()
 }
 
-// Closed reports whether Close has been called.
-func (c *Channel) Closed() bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.closed
-}
-
-// Occupancy returns the current number of live items and their total
-// bytes.
-func (c *Channel) Occupancy() (items int, bytes int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.live.Len(), c.liveBytes
-}
-
-// Stats returns cumulative puts and frees.
-func (c *Channel) Stats() (puts, frees int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.puts, c.frees
+// Drain discards items still live after Close, reporting each to OnFree,
+// and returns how many it discarded. Close already frees every live item,
+// so Drain on a closed channel normally reports 0; it exists for
+// interface parity with FIFO backends, which retain items at close for
+// consumers to drain.
+func (c *Channel) Drain() int {
+	c.Mu.Lock()
+	defer c.Mu.Unlock()
+	c.scratchDead = c.scratchDead[:0]
+	c.live.Ascend(func(ts vt.Timestamp) bool {
+		c.scratchDead = append(c.scratchDead, ts)
+		return true
+	})
+	for _, ts := range c.scratchDead {
+		c.freeLocked(ts)
+	}
+	return len(c.scratchDead)
 }
 
 // WouldBeDead reports whether an item put at ts right now would be
@@ -529,16 +399,16 @@ func (c *Channel) Stats() (puts, frees int64) {
 // upstream threads run ahead of consumer guarantees; the ABL4 ablation
 // reproduces that finding.)
 func (c *Channel) WouldBeDead(ts vt.Timestamp) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
+	c.Mu.Lock()
+	defer c.Mu.Unlock()
+	if c.ClosedLocked() {
 		return true
 	}
-	if len(c.consumers) == 0 {
+	if len(c.Consumers) == 0 {
 		return false
 	}
-	for _, cs := range c.consumers {
-		if cs.guarantee < ts {
+	for _, cs := range c.Consumers {
+		if cs.Guarantee < ts {
 			return false
 		}
 	}
@@ -548,10 +418,10 @@ func (c *Channel) WouldBeDead(ts vt.Timestamp) bool {
 // Guarantee returns a consumer connection's current guarantee, or vt.None
 // if the connection is unknown.
 func (c *Channel) Guarantee(conn graph.ConnID) vt.Timestamp {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if cs, ok := c.consumers[conn]; ok {
-		return cs.guarantee
+	c.Mu.Lock()
+	defer c.Mu.Unlock()
+	if cs, ok := c.Consumers[conn]; ok {
+		return cs.Guarantee
 	}
 	return vt.None
 }

@@ -21,7 +21,7 @@ const (
 func newTestChannel(coll gc.Collector) *Channel {
 	c := New(Config{Name: "test", Node: 1, Clock: clock.NewReal(), Collector: coll})
 	c.AttachProducer(prodConn)
-	c.AttachConsumer(consConn)
+	c.AttachConsumer(consConn, 1)
 	return c
 }
 
@@ -120,7 +120,7 @@ func TestGetExact(t *testing.T) {
 	c := newTestChannel(nil)
 	put(t, c, 1, 10)
 	put(t, c, 2, 10)
-	res, err := c.Get(consConn, 1)
+	res, err := c.GetAt(consConn, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,11 +128,11 @@ func TestGetExact(t *testing.T) {
 		t.Fatalf("Get(1) = %+v", res)
 	}
 	// Guarantee advanced to 1; Get(1) again must fail ErrPassed.
-	if _, err := c.Get(consConn, 1); !errors.Is(err, ErrPassed) {
+	if _, err := c.GetAt(consConn, 1); !errors.Is(err, ErrPassed) {
 		t.Fatalf("replay Get err = %v", err)
 	}
 	// Get of a skipped-past-by-producer timestamp fails ErrGone.
-	if _, err := c.Get(consConn, 0); !errors.Is(err, ErrPassed) {
+	if _, err := c.GetAt(consConn, 0); !errors.Is(err, ErrPassed) {
 		// ts 0 < guarantee 1 → passed
 		t.Fatalf("Get(0) err = %v", err)
 	}
@@ -142,7 +142,7 @@ func TestGetGoneWhenProducerMovedPast(t *testing.T) {
 	c := newTestChannel(nil)
 	put(t, c, 5, 10)
 	// ts 3 was never produced and the producer is already at 5.
-	if _, err := c.Get(consConn, 3); !errors.Is(err, ErrGone) {
+	if _, err := c.GetAt(consConn, 3); !errors.Is(err, ErrGone) {
 		t.Fatalf("err = %v, want ErrGone", err)
 	}
 }
@@ -163,7 +163,7 @@ func TestUnattachedConnections(t *testing.T) {
 	if _, err := c.GetLatest(graph.ConnID(99)); !errors.Is(err, ErrNotAttached) {
 		t.Fatalf("unattached get err = %v", err)
 	}
-	if _, err := c.Get(graph.ConnID(99), 1); !errors.Is(err, ErrNotAttached) {
+	if _, err := c.GetAt(graph.ConnID(99), 1); !errors.Is(err, ErrNotAttached) {
 		t.Fatalf("unattached exact get err = %v", err)
 	}
 }
@@ -203,7 +203,7 @@ func TestCloseFreesLiveItems(t *testing.T) {
 		mu.Unlock()
 	}})
 	c.AttachProducer(prodConn)
-	c.AttachConsumer(consConn)
+	c.AttachConsumer(consConn, 1)
 	put(t, c, 1, 10)
 	put(t, c, 2, 10)
 	c.Close()
@@ -229,7 +229,7 @@ func TestDGCCollectsOnConsumption(t *testing.T) {
 		},
 	})
 	c.AttachProducer(prodConn)
-	c.AttachConsumer(consConn)
+	c.AttachConsumer(consConn, 1)
 	for ts := vt.Timestamp(1); ts <= 5; ts++ {
 		put(t, c, ts, 100)
 	}
@@ -256,8 +256,8 @@ func TestDGCCollectsOnConsumption(t *testing.T) {
 func TestDGCWaitsForSlowestConsumer(t *testing.T) {
 	c := New(Config{Name: "t", Clock: clock.NewReal(), Collector: gc.NewDeadTimestamp()})
 	c.AttachProducer(prodConn)
-	c.AttachConsumer(consConn)
-	c.AttachConsumer(consConn2)
+	c.AttachConsumer(consConn, 1)
+	c.AttachConsumer(consConn2, 1)
 	for ts := vt.Timestamp(1); ts <= 3; ts++ {
 		put(t, c, ts, 100)
 	}
@@ -279,8 +279,8 @@ func TestDGCWaitsForSlowestConsumer(t *testing.T) {
 func TestDetachConsumerReleasesItems(t *testing.T) {
 	c := New(Config{Name: "t", Clock: clock.NewReal(), Collector: gc.NewDeadTimestamp()})
 	c.AttachProducer(prodConn)
-	c.AttachConsumer(consConn)
-	c.AttachConsumer(consConn2)
+	c.AttachConsumer(consConn, 1)
+	c.AttachConsumer(consConn2, 1)
 	put(t, c, 1, 100)
 	if _, err := c.GetLatest(consConn); err != nil {
 		t.Fatal(err)
@@ -297,8 +297,8 @@ func TestDetachConsumerReleasesItems(t *testing.T) {
 func TestGetGoneAfterCollection(t *testing.T) {
 	c := New(Config{Name: "t", Clock: clock.NewReal(), Collector: gc.NewDeadTimestamp()})
 	c.AttachProducer(prodConn)
-	c.AttachConsumer(consConn)
-	c.AttachConsumer(consConn2)
+	c.AttachConsumer(consConn, 1)
+	c.AttachConsumer(consConn2, 1)
 	put(t, c, 1, 10)
 	put(t, c, 2, 10)
 	// Consumer 1 takes latest (2): item 1 skipped but retained for c2.
@@ -311,8 +311,8 @@ func TestGetGoneAfterCollection(t *testing.T) {
 	}
 	// A third consumer attached late cannot get item 1: it is gone.
 	c3 := graph.ConnID(7)
-	c.AttachConsumer(c3)
-	if _, err := c.Get(c3, 1); !errors.Is(err, ErrGone) {
+	c.AttachConsumer(c3, 1)
+	if _, err := c.GetAt(c3, 1); !errors.Is(err, ErrGone) {
 		t.Fatalf("err = %v, want ErrGone", err)
 	}
 }
@@ -320,7 +320,7 @@ func TestGetGoneAfterCollection(t *testing.T) {
 func TestCapacityBlocksPut(t *testing.T) {
 	c := New(Config{Name: "t", Clock: clock.NewReal(), Collector: gc.NewDeadTimestamp(), Capacity: 2})
 	c.AttachProducer(prodConn)
-	c.AttachConsumer(consConn)
+	c.AttachConsumer(consConn, 1)
 	put(t, c, 1, 10)
 	put(t, c, 2, 10)
 	done := make(chan time.Duration, 1)
@@ -390,7 +390,7 @@ func TestConcurrentProducersConsumers(t *testing.T) {
 		c.AttachProducer(graph.ConnID(p))
 	}
 	for k := 0; k < consumers; k++ {
-		c.AttachConsumer(graph.ConnID(100 + k))
+		c.AttachConsumer(graph.ConnID(100+k), 1)
 	}
 	var wg sync.WaitGroup
 	wg.Add(1)
@@ -434,7 +434,7 @@ func TestConcurrentProducersConsumers(t *testing.T) {
 
 func TestWouldBeDead(t *testing.T) {
 	c := newTestChannel(gc.NewDeadTimestamp())
-	c.AttachConsumer(consConn2)
+	c.AttachConsumer(consConn2, 1)
 	// No consumption yet: nothing is provably dead.
 	if c.WouldBeDead(1) {
 		t.Error("ts 1 must not be dead before any consumption")

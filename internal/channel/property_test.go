@@ -69,7 +69,7 @@ func TestChannelMatchesReferenceModel(t *testing.T) {
 		ch.AttachProducer(prod)
 		ref := &refModel{live: map[vt.Timestamp]int64{}, guarantees: map[graph.ConnID]vt.Timestamp{}}
 		for _, c := range consumers {
-			ch.AttachConsumer(c)
+			ch.AttachConsumer(c, 1)
 			ref.guarantees[c] = vt.None
 		}
 

@@ -50,7 +50,7 @@ func TestChannelConcurrentWindowConsumersProperty(t *testing.T) {
 		c.AttachConsumerWindow(consConns[i], width)
 	}
 	consConns[consumers] = graph.ConnID(299) // plain width-1 consumer
-	c.AttachConsumer(consConns[consumers])
+	c.AttachConsumer(consConns[consumers], 1)
 
 	checkSnapshot := func(it Item) error {
 		if it.Payload != int(it.TS) {

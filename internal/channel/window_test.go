@@ -122,7 +122,7 @@ func TestWindowMixedConsumers(t *testing.T) {
 	// window consumer's retention governs collection.
 	c := New(Config{Name: "w", Clock: clock.NewReal(), Collector: gc.NewDeadTimestamp()})
 	c.AttachProducer(prodConn)
-	c.AttachConsumer(consConn)
+	c.AttachConsumer(consConn, 1)
 	c.AttachConsumerWindow(consConn2, 3)
 	for ts := vt.Timestamp(1); ts <= 5; ts++ {
 		put(t, c, ts, 10)

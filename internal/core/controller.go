@@ -275,6 +275,7 @@ type NodeState struct {
 	mu      sync.Mutex
 	current STP // threads only: most recent current-STP
 	summary STP
+	remote  bool // summary is externally supplied (wire-backed buffer)
 }
 
 // Node returns the underlying graph node.
@@ -291,6 +292,12 @@ func (n *NodeState) Compressor() Compressor { return n.comp }
 // compressed value alone (they generate no current-STP).
 func (n *NodeState) applySummary(compressed STP) {
 	n.mu.Lock()
+	if n.remote {
+		// A wire-backed buffer's summary is authoritative on the remote
+		// holder; locally folded values must not overwrite it.
+		n.mu.Unlock()
+		return
+	}
 	if n.node.Kind == graph.KindThread {
 		n.summary = MaxSTP(compressed, n.current)
 	} else {
@@ -328,6 +335,31 @@ func (n *NodeState) Summary() STP {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.summary
+}
+
+// MarkRemote declares the node's summary externally supplied: local folds
+// stop writing it and SetSummary becomes the only writer. Used for
+// wire-backed buffer endpoints, whose authoritative summary-STP lives on
+// the remote server and arrives piggybacked on put replies.
+func (n *NodeState) MarkRemote() {
+	n.mu.Lock()
+	n.remote = true
+	n.mu.Unlock()
+}
+
+// Remote reports whether the node's summary is externally supplied.
+func (n *NodeState) Remote() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.remote
+}
+
+// SetSummary overwrites the node's summary-STP with an externally
+// supplied value (the wire feedback path for remote buffers).
+func (n *NodeState) SetSummary(s STP) {
+	n.mu.Lock()
+	n.summary = s
+	n.mu.Unlock()
 }
 
 // Controller owns the ARU state for every node of a task graph and
@@ -404,6 +436,31 @@ func (c *Controller) SetCurrentSTP(id graph.NodeID, s STP) {
 		return
 	}
 	c.states[id].SetCurrentSTP(s)
+}
+
+// MarkRemote declares a node's summary-STP externally supplied (see
+// NodeState.MarkRemote). Safe to call regardless of policy.
+func (c *Controller) MarkRemote(id graph.NodeID) {
+	c.states[id].MarkRemote()
+}
+
+// SetRemoteSummary delivers a remote buffer's summary-STP as received
+// over the wire. It is the remote counterpart of the NotePut fold.
+func (c *Controller) SetRemoteSummary(id graph.NodeID, s STP) {
+	if !c.policy.Enabled {
+		return
+	}
+	c.states[id].SetSummary(s)
+}
+
+// ConsumerSummary returns the summary-STP of the thread consuming over
+// conn (a buffer→thread edge), or Unknown when feedback is disabled. It
+// is what a wire-backed buffer endpoint forwards with each remote get.
+func (c *Controller) ConsumerSummary(conn graph.ConnID) STP {
+	if !c.policy.Enabled {
+		return Unknown
+	}
+	return c.states[c.g.Conn(conn).To].Summary()
 }
 
 // TargetPeriod returns the period a thread should pace itself to: its own

@@ -58,9 +58,9 @@ type none struct{}
 // NewNone returns the no-op collector.
 func NewNone() Collector { return none{} }
 
-func (none) Name() string                                              { return "none" }
-func (none) Observe(graph.NodeID, graph.ConnID, vt.Timestamp)          {}
-func (none) Forget(graph.NodeID, graph.ConnID)                         {}
+func (none) Name() string                                     { return "none" }
+func (none) Observe(graph.NodeID, graph.ConnID, vt.Timestamp) {}
+func (none) Forget(graph.NodeID, graph.ConnID)                {}
 func (none) Dead(_ graph.NodeID, _ *vt.Set, _ []vt.Timestamp, buf []vt.Timestamp) []vt.Timestamp {
 	return buf
 }

@@ -280,7 +280,7 @@ func (a *App) build() error {
 		ins := ctx.Ins() // [decision queue, frames]
 		out := ctx.Outs()[0]
 		for {
-			rec, err := ctx.GetQueue(ins[0]) // every decision is honored
+			rec, err := ctx.Get(ins[0]) // unified get: FIFO — every decision is honored
 			if err != nil {
 				return err
 			}

@@ -18,7 +18,7 @@ func TestQueueMatchesReferenceFIFO(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		q := New(Config{Name: "prop", Clock: clock.NewReal()})
 		q.AttachProducer(prod)
-		q.AttachConsumer(cons)
+		q.AttachConsumer(cons, 1)
 
 		type refItem struct {
 			ts   vt.Timestamp

@@ -8,262 +8,216 @@
 // with a backwardSTP vector and relay summary-STP feedback between their
 // consumers and producers; they merely have trivial garbage-collection
 // behaviour (an item is reclaimed the moment it is dequeued).
+//
+// Queue is a buffer.Buffer backend (registered as "queue"): the condvar
+// pair, clock-aware waits, attachment maps, capacity blocking, and
+// puts/frees/liveBytes accounting live in the embedded buffer.Base; this
+// package adds only the FIFO discipline — a head-indexed slice whose
+// dequeues advance head instead of re-slicing, reusing the backing array
+// once drained so a steady-state queue stops allocating.
 package queue
 
 import (
-	"errors"
 	"fmt"
-	"sync"
 	"time"
 
-	"repro/internal/clock"
+	"repro/internal/buffer"
 	"repro/internal/graph"
-	"repro/internal/trace"
 	"repro/internal/vt"
 )
 
-// Errors returned by queue operations.
+// Errors returned by queue operations. They alias the shared buffer
+// errors, so errors.Is matches across packages.
 var (
 	// ErrClosed reports an operation on a closed queue.
-	ErrClosed = errors.New("queue: closed")
+	ErrClosed = buffer.ErrClosed
 	// ErrNotAttached reports use of an unattached connection.
-	ErrNotAttached = errors.New("queue: connection not attached")
+	ErrNotAttached = buffer.ErrNotAttached
 )
 
-// Item is one queued element.
-type Item struct {
-	// TS is the producer-assigned virtual timestamp.
-	TS vt.Timestamp
-	// Payload is the application data.
-	Payload any
-	// Size is the logical size in bytes.
-	Size int64
-	// ID is the trace identity.
-	ID trace.ItemID
-}
+// Item is one queued element (the shared buffer item type).
+type Item = buffer.Item
 
 // Config configures a queue.
-type Config struct {
-	// Name is the queue's system-wide unique name.
-	Name string
-	// Node is the queue's task-graph identity.
-	Node graph.NodeID
-	// Clock supplies time for blocking measurement and free events.
-	Clock clock.Clock
-	// Capacity bounds queued items; Put blocks while full. Zero means
-	// unbounded.
-	Capacity int
-	// OnFree, if non-nil, observes each item as it is dequeued (its
-	// storage leaves the queue).
-	OnFree func(it *Item, at time.Duration)
+type Config = buffer.Config
+
+// GetResult is the outcome of a dequeue.
+type GetResult = buffer.GetResult
+
+func init() {
+	buffer.Register("queue", buffer.Backend{
+		New:  func(cfg Config) (buffer.Buffer, error) { return New(cfg), nil },
+		Caps: caps,
+	})
+}
+
+var caps = buffer.Caps{
+	Discipline: buffer.FIFO,
+	TryGet:     true,
 }
 
 // Queue is a FIFO of timestamped items, safe for concurrent use.
-//
-// Like channel.Channel, blocking is split across two condition
-// variables: consumers waiting for work park on notEmpty (one Signal per
-// enqueued item — queue consumers are interchangeable, so exactly one
-// should wake), producers waiting for capacity park on notFull (one
-// Signal per dequeue). The buffer is a head-indexed slice: dequeues
-// advance head instead of re-slicing, and the backing array is reused
-// once drained, so a steady-state queue stops allocating.
 type Queue struct {
-	cfg Config
+	buffer.Base
 
-	mu        sync.Mutex
-	notEmpty  *sync.Cond // consumers: an item is available (or closed)
-	notFull   *sync.Cond // producers: capacity freed (or closed/drained)
-	items     []*Item
-	head      int // index of the next item to dequeue
-	consumers map[graph.ConnID]bool
-	producers map[graph.ConnID]bool
-	closed    bool
-	puts      int64
-	liveBytes int64
-	lastDeq   vt.Timestamp
+	// items and head are guarded by Base.Mu.
+	items   []*Item
+	head    int // index of the next item to dequeue
+	lastDeq vt.Timestamp
 }
 
 // New creates a queue.
 func New(cfg Config) *Queue {
-	if cfg.Clock == nil {
-		cfg.Clock = clock.NewReal()
-	}
-	q := &Queue{
-		cfg:       cfg,
-		consumers: make(map[graph.ConnID]bool),
-		producers: make(map[graph.ConnID]bool),
-		lastDeq:   vt.None,
-	}
-	q.notEmpty = sync.NewCond(&q.mu)
-	q.notFull = sync.NewCond(&q.mu)
+	q := &Queue{lastDeq: vt.None}
+	q.Base.Init(cfg, q.queued)
 	return q
-}
-
-// wait parks the caller on the given condition variable, telling a
-// discrete-event clock (if one is in use) that the goroutine is blocked
-// so virtual time may advance.
-func (q *Queue) wait(cond *sync.Cond) {
-	if b, ok := q.cfg.Clock.(clock.Blocker); ok {
-		b.BlockEnter()
-		cond.Wait()
-		b.BlockExit()
-		return
-	}
-	cond.Wait()
 }
 
 // queued returns the number of items currently buffered.
 func (q *Queue) queued() int { return len(q.items) - q.head }
 
-// Name returns the queue's name.
-func (q *Queue) Name() string { return q.cfg.Name }
+// Caps reports the queue backend's capabilities.
+func (q *Queue) Caps() buffer.Caps { return caps }
 
-// Node returns the queue's task-graph id.
-func (q *Queue) Node() graph.NodeID { return q.cfg.Node }
-
-// AttachProducer registers an output connection.
-func (q *Queue) AttachProducer(conn graph.ConnID) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	q.producers[conn] = true
+// AttachConsumer registers an input connection. Queues hand each item to
+// exactly one consumer, so sliding windows are meaningless: window > 1 is
+// rejected with ErrUnsupported.
+func (q *Queue) AttachConsumer(conn graph.ConnID, window int) error {
+	if window != 1 {
+		return fmt.Errorf("%w: window width %d on FIFO queue %q", buffer.ErrUnsupported, window, q.Name())
+	}
+	q.Mu.Lock()
+	defer q.Mu.Unlock()
+	q.AttachConsumerLocked(conn, 1)
+	return nil
 }
 
-// AttachConsumer registers an input connection.
-func (q *Queue) AttachConsumer(conn graph.ConnID) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	q.consumers[conn] = true
+// DetachConsumer removes a consumer connection.
+func (q *Queue) DetachConsumer(conn graph.ConnID) {
+	q.Mu.Lock()
+	defer q.Mu.Unlock()
+	delete(q.Consumers, conn)
 }
 
 // Put enqueues an item, blocking while a bounded queue is full. The
 // returned duration is time spent blocked.
 func (q *Queue) Put(conn graph.ConnID, it *Item) (time.Duration, error) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if !q.producers[conn] {
-		return 0, fmt.Errorf("%w: producer %d on %q", ErrNotAttached, conn, q.cfg.Name)
+	q.Mu.Lock()
+	defer q.Mu.Unlock()
+	if err := q.CheckProducerLocked(conn); err != nil {
+		return 0, err
 	}
-	var blocked time.Duration
-	if q.cfg.Capacity > 0 {
-		start := q.cfg.Clock.Now()
-		for !q.closed && q.queued() >= q.cfg.Capacity {
-			q.wait(q.notFull)
-		}
-		blocked = q.cfg.Clock.Now() - start
-	}
-	if q.closed {
+	blocked := q.AwaitCapacityLocked()
+	if q.ClosedLocked() {
 		return blocked, ErrClosed
 	}
 	q.items = append(q.items, it)
-	q.liveBytes += it.Size
-	q.puts++
+	q.AccountPutLocked(it)
 	// One item: wake exactly one (interchangeable) consumer.
-	q.notEmpty.Signal()
+	q.SignalConsumerLocked()
 	return blocked, nil
-}
-
-// GetResult is the outcome of a dequeue.
-type GetResult struct {
-	// Item is the dequeued element.
-	Item *Item
-	// Blocked is the time spent waiting for work.
-	Blocked time.Duration
 }
 
 // Get dequeues the oldest item, blocking until one is available. A closed
 // queue drains remaining items before reporting ErrClosed.
 func (q *Queue) Get(conn graph.ConnID) (GetResult, error) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if !q.consumers[conn] {
-		return GetResult{}, fmt.Errorf("%w: consumer %d on %q", ErrNotAttached, conn, q.cfg.Name)
+	q.Mu.Lock()
+	defer q.Mu.Unlock()
+	if _, err := q.ConsumerLocked(conn); err != nil {
+		return GetResult{}, err
 	}
-	start := q.cfg.Clock.Now()
+	start := q.Clock().Now()
 	for {
 		if q.queued() > 0 {
-			it := q.items[q.head]
-			q.items[q.head] = nil // release the reference for GC
-			q.head++
-			if q.head == len(q.items) {
-				// Fully drained: rewind and reuse the backing array.
-				q.items = q.items[:0]
-				q.head = 0
-			}
-			q.liveBytes -= it.Size
-			if it.TS > q.lastDeq {
-				q.lastDeq = it.TS
-			}
-			if q.cfg.OnFree != nil {
-				q.cfg.OnFree(it, q.cfg.Clock.Now())
-			}
-			if q.cfg.Capacity > 0 {
-				q.notFull.Signal() // one slot freed: one producer
-			}
-			return GetResult{Item: it, Blocked: q.cfg.Clock.Now() - start}, nil
+			res := GetResult{Item: q.dequeueLocked(), Blocked: q.Clock().Now() - start}
+			return res, nil
 		}
-		if q.closed {
-			return GetResult{Blocked: q.cfg.Clock.Now() - start}, ErrClosed
+		if q.ClosedLocked() {
+			return GetResult{Blocked: q.Clock().Now() - start}, ErrClosed
 		}
-		q.wait(q.notEmpty)
+		q.WaitConsumer()
 	}
 }
 
+// TryGet is the non-blocking Get: ok is false when the queue is empty.
+func (q *Queue) TryGet(conn graph.ConnID) (res GetResult, ok bool, err error) {
+	q.Mu.Lock()
+	defer q.Mu.Unlock()
+	if _, err := q.ConsumerLocked(conn); err != nil {
+		return GetResult{}, false, err
+	}
+	if q.queued() == 0 {
+		if q.ClosedLocked() {
+			return GetResult{}, false, ErrClosed
+		}
+		return GetResult{}, false, nil
+	}
+	return GetResult{Item: q.dequeueLocked()}, true, nil
+}
+
+// GetAt is unsupported: a FIFO queue cannot consume by timestamp.
+func (q *Queue) GetAt(conn graph.ConnID, ts vt.Timestamp) (GetResult, error) {
+	return GetResult{}, fmt.Errorf("%w: GetAt on FIFO queue %q", buffer.ErrUnsupported, q.Name())
+}
+
+// dequeueLocked removes and accounts the head item, returning a snapshot.
+// The item's storage leaves the queue here: OnFree observes it and one
+// capacity waiter is woken, matching a channel free.
+func (q *Queue) dequeueLocked() Item {
+	it := q.items[q.head]
+	q.items[q.head] = nil // release the reference for GC
+	q.head++
+	if q.head == len(q.items) {
+		// Fully drained: rewind and reuse the backing array.
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	if it.TS > q.lastDeq {
+		q.lastDeq = it.TS
+	}
+	q.AccountFreeLocked(it)
+	return buffer.Snapshot(it)
+}
+
+// WouldBeDead reports false always: queue items are handed to exactly one
+// consumer and never skipped, so no put is ever dead on arrival.
+func (q *Queue) WouldBeDead(ts vt.Timestamp) bool { return false }
+
 // Close marks the queue closed; consumers drain remaining items, then see
-// ErrClosed. Undequeued items at close are reported to OnFree as
-// reclaimed.
+// ErrClosed.
 func (q *Queue) Close() {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	if q.closed {
+	q.Mu.Lock()
+	defer q.Mu.Unlock()
+	if !q.MarkClosedLocked() {
 		return
 	}
-	q.closed = true
-	q.notEmpty.Broadcast()
-	q.notFull.Broadcast()
+	q.BroadcastLocked()
 }
 
 // Drain discards all queued items, reporting each to OnFree. It is used
 // at shutdown to account remaining storage.
 func (q *Queue) Drain() int {
-	q.mu.Lock()
-	defer q.mu.Unlock()
+	q.Mu.Lock()
+	defer q.Mu.Unlock()
 	n := q.queued()
 	for _, it := range q.items[q.head:] {
-		q.liveBytes -= it.Size
-		if q.cfg.OnFree != nil {
-			q.cfg.OnFree(it, q.cfg.Clock.Now())
-		}
+		q.AccountFreeLocked(it)
 	}
 	q.items = nil
 	q.head = 0
-	q.notFull.Broadcast()
+	q.BroadcastFullLocked()
 	return n
-}
-
-// Closed reports whether Close has been called.
-func (q *Queue) Closed() bool {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return q.closed
-}
-
-// Occupancy returns the current queued item count and bytes.
-func (q *Queue) Occupancy() (items int, bytes int64) {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return q.queued(), q.liveBytes
 }
 
 // Puts returns the cumulative number of enqueued items.
 func (q *Queue) Puts() int64 {
-	q.mu.Lock()
-	defer q.mu.Unlock()
-	return q.puts
+	puts, _ := q.Stats()
+	return puts
 }
 
 // LastDequeued returns the highest timestamp dequeued so far, or vt.None.
 func (q *Queue) LastDequeued() vt.Timestamp {
-	q.mu.Lock()
-	defer q.mu.Unlock()
+	q.Mu.Lock()
+	defer q.Mu.Unlock()
 	return q.lastDeq
 }

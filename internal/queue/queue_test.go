@@ -19,7 +19,7 @@ const (
 func newTestQueue(capacity int) *Queue {
 	q := New(Config{Name: "q", Clock: clock.NewReal(), Capacity: capacity})
 	q.AttachProducer(prod)
-	q.AttachConsumer(cons)
+	q.AttachConsumer(cons, 1)
 	return q
 }
 
@@ -167,7 +167,7 @@ func TestOnFreeAndDrain(t *testing.T) {
 		mu.Unlock()
 	}})
 	q.AttachProducer(prod)
-	q.AttachConsumer(cons)
+	q.AttachConsumer(cons, 1)
 	q.Put(prod, &Item{TS: 1, Size: 5})
 	q.Put(prod, &Item{TS: 2, Size: 5})
 	q.Get(cons)
@@ -189,7 +189,7 @@ func TestEachItemDeliveredOnce(t *testing.T) {
 	q.AttachProducer(prod)
 	consumers := []graph.ConnID{10, 11, 12}
 	for _, c := range consumers {
-		q.AttachConsumer(c)
+		q.AttachConsumer(c, 1)
 	}
 	const n = 300
 	var wg sync.WaitGroup

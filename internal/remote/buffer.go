@@ -1,0 +1,330 @@
+package remote
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/vt"
+)
+
+// endpointCaps describes the wire-backed backend: get-latest discipline
+// without windows or timestamped access (the protocol serves the
+// freshest unseen item), and Remote — its storage lives on the server,
+// summary-STP feedback crosses the wire, and the hosting runtime must
+// use a real clock.
+var endpointCaps = buffer.Caps{
+	Discipline: buffer.Latest,
+	TryGet:     true,
+	Remote:     true,
+}
+
+func init() {
+	buffer.Register("remote", buffer.Backend{
+		New:  func(cfg buffer.Config) (buffer.Buffer, error) { return NewEndpoint(cfg) },
+		Caps: endpointCaps,
+	})
+}
+
+// Endpoint mounts a server-hosted channel (package remote's wire
+// protocol) as a buffer.Buffer graph endpoint: the third backend of the
+// registry, proving the buffer layer is pluggable beyond the two
+// in-process disciplines. Each attached connection holds its own TCP
+// session, mirroring Stampede's one-socket-per-attachment design.
+//
+// Summary-STP feedback flows through buffer.Feedback: every Get forwards
+// the consuming thread's summary to the server (where it lands in the
+// hosted channel's backwardSTP vector), and every Put reply delivers the
+// channel's compressed summary, which the endpoint hands to the hosting
+// runtime via ObserveBufferSummary — the §3.3.2 piggyback rules, over a
+// real socket.
+type Endpoint struct {
+	cfg  buffer.Config
+	name string // hosted channel name on the server
+
+	mu        sync.Mutex
+	producers map[graph.ConnID]*Producer
+	consumers map[graph.ConnID]*Consumer
+	closed    bool
+	puts      int64
+	frees     int64
+}
+
+// NewEndpoint creates a wire-backed endpoint for the channel named
+// cfg.RemoteName (default cfg.Name) on the server at cfg.Addr. No
+// connection is made yet; attaches dial.
+func NewEndpoint(cfg buffer.Config) (*Endpoint, error) {
+	if cfg.Addr == "" {
+		return nil, fmt.Errorf("remote: endpoint %q has no server address", cfg.Name)
+	}
+	name := cfg.RemoteName
+	if name == "" {
+		name = cfg.Name
+	}
+	return &Endpoint{
+		cfg:       cfg,
+		name:      name,
+		producers: make(map[graph.ConnID]*Producer),
+		consumers: make(map[graph.ConnID]*Consumer),
+	}, nil
+}
+
+// Name returns the endpoint's local (graph) name.
+func (e *Endpoint) Name() string { return e.cfg.Name }
+
+// Node returns the endpoint's task-graph id.
+func (e *Endpoint) Node() graph.NodeID { return e.cfg.Node }
+
+// Caps reports the wire-backed backend's capabilities.
+func (e *Endpoint) Caps() buffer.Caps { return endpointCaps }
+
+// AttachProducer dials a producer session to the hosted channel.
+func (e *Endpoint) AttachProducer(conn graph.ConnID) error {
+	p, err := DialProducer(e.cfg.Addr, e.name)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		p.Close()
+		return buffer.ErrClosed
+	}
+	if _, dup := e.producers[conn]; dup {
+		p.Close()
+		return nil
+	}
+	e.producers[conn] = p
+	return nil
+}
+
+// AttachConsumer dials a consumer session to the hosted channel. The
+// wire protocol serves whole fresh items only, so window > 1 is
+// rejected with ErrUnsupported.
+func (e *Endpoint) AttachConsumer(conn graph.ConnID, window int) error {
+	if window != 1 {
+		return fmt.Errorf("%w: window width %d on wire-backed endpoint %q", buffer.ErrUnsupported, window, e.cfg.Name)
+	}
+	c, err := DialConsumer(e.cfg.Addr, e.name)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		c.Close()
+		return buffer.ErrClosed
+	}
+	if _, dup := e.consumers[conn]; dup {
+		c.Close()
+		return nil
+	}
+	e.consumers[conn] = c
+	return nil
+}
+
+// DetachConsumer closes the connection's consumer session; the server
+// treats its guarantee as infinite from then on.
+func (e *Endpoint) DetachConsumer(conn graph.ConnID) {
+	e.mu.Lock()
+	c := e.consumers[conn]
+	delete(e.consumers, conn)
+	e.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+}
+
+// producer returns the session for a producer connection.
+func (e *Endpoint) producer(conn graph.ConnID) (*Producer, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, buffer.ErrClosed
+	}
+	p, ok := e.producers[conn]
+	if !ok {
+		return nil, fmt.Errorf("%w: producer %d on %q", buffer.ErrNotAttached, conn, e.cfg.Name)
+	}
+	return p, nil
+}
+
+// consumer returns the session for a consumer connection.
+func (e *Endpoint) consumer(conn graph.ConnID) (*Consumer, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, buffer.ErrClosed
+	}
+	c, ok := e.consumers[conn]
+	if !ok {
+		return nil, fmt.Errorf("%w: consumer %d on %q", buffer.ErrNotAttached, conn, e.cfg.Name)
+	}
+	return c, nil
+}
+
+// wireErr maps wire-level failures to the shared buffer errors: a closed
+// endpoint (or a server that went away mid-call) reports ErrClosed so
+// the runtime translates it into a clean shutdown.
+func (e *Endpoint) wireErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if err == ErrClosed {
+		return buffer.ErrClosed
+	}
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return buffer.ErrClosed
+	}
+	return err
+}
+
+// Put sends an item over the wire. Payloads must be []byte (or nil): the
+// endpoint refuses to guess an encoding for arbitrary values. The
+// channel's summary-STP piggybacked on the reply is delivered to the
+// hosting runtime through cfg.Feedback.
+func (e *Endpoint) Put(conn graph.ConnID, it *buffer.Item) (time.Duration, error) {
+	p, err := e.producer(conn)
+	if err != nil {
+		return 0, err
+	}
+	payload, ok := it.Payload.([]byte)
+	if !ok && it.Payload != nil {
+		return 0, fmt.Errorf("%w: remote put payload must be []byte, got %T", buffer.ErrUnsupported, it.Payload)
+	}
+	summary, err := p.Put(it.TS, payload, it.Size)
+	if err != nil {
+		return 0, e.wireErr(err)
+	}
+	e.mu.Lock()
+	e.puts++
+	e.mu.Unlock()
+	if e.cfg.Feedback != nil {
+		e.cfg.Feedback.ObserveBufferSummary(summary)
+	}
+	return 0, nil
+}
+
+// Get blocks until the hosted channel serves a fresh item, forwarding the
+// consuming thread's summary-STP with the request. Time spent inside the
+// call is reported as blocked: under the required real clock it covers
+// both the wire and the server-side wait for data.
+func (e *Endpoint) Get(conn graph.ConnID) (buffer.GetResult, error) {
+	c, err := e.consumer(conn)
+	if err != nil {
+		return buffer.GetResult{}, err
+	}
+	start := e.cfg.Clock.Now()
+	it, err := c.GetLatest(e.consumerSummary(conn))
+	blocked := e.cfg.Clock.Now() - start
+	if err != nil {
+		return buffer.GetResult{Blocked: blocked}, e.wireErr(err)
+	}
+	return e.result(it, blocked), nil
+}
+
+// TryGet is the non-blocking Get.
+func (e *Endpoint) TryGet(conn graph.ConnID) (buffer.GetResult, bool, error) {
+	c, err := e.consumer(conn)
+	if err != nil {
+		return buffer.GetResult{}, false, err
+	}
+	it, ok, err := c.TryGetLatest(e.consumerSummary(conn))
+	if err != nil {
+		return buffer.GetResult{}, false, e.wireErr(err)
+	}
+	if !ok {
+		return buffer.GetResult{}, false, nil
+	}
+	return e.result(it, 0), true, nil
+}
+
+// GetAt is unsupported: the wire protocol serves freshest-unseen only.
+func (e *Endpoint) GetAt(conn graph.ConnID, ts vt.Timestamp) (buffer.GetResult, error) {
+	return buffer.GetResult{}, fmt.Errorf("%w: GetAt on wire-backed endpoint %q", buffer.ErrUnsupported, e.cfg.Name)
+}
+
+// consumerSummary reads the consuming thread's summary-STP to piggyback
+// on an outgoing get.
+func (e *Endpoint) consumerSummary(conn graph.ConnID) core.STP {
+	if e.cfg.Feedback == nil {
+		return core.Unknown
+	}
+	return e.cfg.Feedback.ConsumerSummary(conn)
+}
+
+// result converts a wire item into the shared GetResult. Skipped stale
+// items are known by timestamp only (their payloads stayed on the
+// server); they carry no trace identity.
+func (e *Endpoint) result(it Item, blocked time.Duration) buffer.GetResult {
+	res := buffer.GetResult{
+		Item:    buffer.Item{TS: it.TS, Payload: it.Payload, Size: it.Size},
+		Blocked: blocked,
+	}
+	for _, ts := range it.SkippedTS {
+		res.Skipped = append(res.Skipped, buffer.Item{TS: ts})
+	}
+	return res
+}
+
+// WouldBeDead reports false: the endpoint has no local knowledge of the
+// server-side consumer guarantees.
+func (e *Endpoint) WouldBeDead(ts vt.Timestamp) bool { return false }
+
+// Close tears down every session. The hosted channel itself stays up —
+// it belongs to the server, which may serve other processes.
+func (e *Endpoint) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	producers := e.producers
+	consumers := e.consumers
+	e.producers = make(map[graph.ConnID]*Producer)
+	e.consumers = make(map[graph.ConnID]*Consumer)
+	e.mu.Unlock()
+	for _, p := range producers {
+		p.Close()
+	}
+	for _, c := range consumers {
+		c.Close()
+	}
+}
+
+// Closed reports whether Close has been called.
+func (e *Endpoint) Closed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.closed
+}
+
+// Drain reports 0: buffered items live on the server, which reclaims
+// them through its own collector.
+func (e *Endpoint) Drain() int { return 0 }
+
+// Occupancy queries the hosted channel's occupancy over a fresh
+// connection; it reports zeros when the server is unreachable (e.g.
+// after shutdown).
+func (e *Endpoint) Occupancy() (items int, bytes int64) {
+	items, bytes, err := Stats(e.cfg.Addr, e.name)
+	if err != nil {
+		return 0, 0
+	}
+	return items, bytes
+}
+
+// Stats returns the endpoint's local put count. Frees happen on the
+// server and are not visible here; they read as 0.
+func (e *Endpoint) Stats() (puts, frees int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.puts, e.frees
+}

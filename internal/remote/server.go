@@ -238,7 +238,7 @@ func (s *Server) handle(sess *session, req *Request) Response {
 			h.ch.AttachProducer(sess.connID)
 		} else {
 			sess.consumer = true
-			h.ch.AttachConsumer(sess.connID)
+			h.ch.AttachConsumer(sess.connID, 1)
 			h.vec.AddSlot(sess.connID, nil)
 		}
 		return Response{OK: true}

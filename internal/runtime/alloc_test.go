@@ -1,0 +1,183 @@
+package runtime
+
+import (
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/vt"
+)
+
+// The hot-path allocation pins. PR 1 drove the buffer hot path to its
+// floor — a skip-free consume is 0 allocs/op and a put+consume round
+// trip costs exactly the one Item the producer materializes (see
+// EXPERIMENTS.md). The buffer-endpoint refactor replaced the runtime's
+// concrete channel/queue calls with buffer.Buffer interface dispatch;
+// these pins prove the indirection added no allocations: the unified
+// Ctx.Get is still 0 allocs/op and Ctx.Put still allocates exactly the
+// Item. testing.AllocsPerRun divides total mallocs by runs (integer
+// division), so amortized slice/map growth inside the backends does not
+// disturb the pin.
+
+const allocRuns = 500
+
+// allocRuntime builds a tracing-free runtime (nil Recorder: the sharded
+// trace recorder's amortized append costs are pinned separately in
+// internal/trace) with ARU off and a real clock.
+func allocRuntime() *Runtime {
+	return New(Options{Clock: clock.NewReal(), ARU: core.PolicyOff()})
+}
+
+// TestCtxPutChannelAllocs pins the producer half in isolation: one
+// unified Ctx.Put into a channel is exactly 1 alloc/op — the Item.
+func TestCtxPutChannelAllocs(t *testing.T) {
+	rt := allocRuntime()
+	ch := rt.MustAddChannel("C", 0)
+	got := make(chan float64, 1)
+
+	prod := rt.MustAddThread("prod", 0, func(ctx *Ctx) error {
+		out := ctx.Outs()[0]
+		ts := vt.Timestamp(0)
+		got <- testing.AllocsPerRun(allocRuns, func() {
+			ts++
+			if err := ctx.Put(out, ts, nil, 64); err != nil {
+				panic(err)
+			}
+		})
+		<-ctx.Done()
+		return nil
+	})
+	cons := rt.MustAddThread("cons", 0, func(ctx *Ctx) error {
+		<-ctx.Done() // attached but idle: nothing else allocates
+		return nil
+	})
+	prod.MustOutput(ch)
+	cons.MustInput(ch)
+
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := <-got
+	rt.Stop()
+	if err := rt.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 1 {
+		t.Fatalf("Ctx.Put on channel: %.0f allocs/op, want exactly 1 (the Item)", allocs)
+	}
+}
+
+// TestCtxPutGetChannelAllocs pins a full produce/consume round trip over
+// a channel through the unified dispatch: the consumer measures
+// (request, producer's Ctx.Put, Ctx.Get) and the only allocation per
+// round is the producer's Item — the consume side stays at 0, matching
+// PR 1's GetLatestNoSkip floor.
+func TestCtxPutGetChannelAllocs(t *testing.T) {
+	rt := allocRuntime()
+	ch := rt.MustAddChannel("C", 0)
+	req := make(chan struct{})
+	ack := make(chan struct{})
+	got := make(chan float64, 1)
+
+	prod := rt.MustAddThread("prod", 0, func(ctx *Ctx) error {
+		out := ctx.Outs()[0]
+		ts := vt.Timestamp(0)
+		for {
+			select {
+			case <-ctx.Done():
+				return nil
+			case _, ok := <-req:
+				if !ok {
+					return nil
+				}
+			}
+			ts++
+			if err := ctx.Put(out, ts, nil, 64); err != nil {
+				return err
+			}
+			ack <- struct{}{}
+		}
+	})
+	cons := rt.MustAddThread("cons", 0, func(ctx *Ctx) error {
+		in := ctx.Ins()[0]
+		got <- testing.AllocsPerRun(allocRuns, func() {
+			req <- struct{}{}
+			<-ack
+			if _, err := ctx.Get(in); err != nil {
+				panic(err)
+			}
+		})
+		close(req)
+		<-ctx.Done()
+		return nil
+	})
+	prod.MustOutput(ch)
+	cons.MustInput(ch)
+
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := <-got
+	rt.Stop()
+	if err := rt.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 1 {
+		t.Fatalf("channel put+get round trip: %.0f allocs/op, want exactly 1 (the Item)", allocs)
+	}
+}
+
+// TestCtxPutGetQueueAllocs pins both halves on the FIFO backend: Ctx.Put
+// is exactly the 1 Item alloc, and draining the backlog through the
+// unified Ctx.Get — which now also advances the queue's frees counter —
+// is 0 allocs/op.
+func TestCtxPutGetQueueAllocs(t *testing.T) {
+	rt := allocRuntime()
+	q := rt.MustAddQueue("Q", 0)
+	putAllocs := make(chan float64, 1)
+	getAllocs := make(chan float64, 1)
+	start := make(chan struct{})
+
+	prod := rt.MustAddThread("prod", 0, func(ctx *Ctx) error {
+		out := ctx.Outs()[0]
+		ts := vt.Timestamp(0)
+		putAllocs <- testing.AllocsPerRun(allocRuns, func() {
+			ts++
+			if err := ctx.Put(out, ts, nil, 64); err != nil {
+				panic(err)
+			}
+		})
+		<-ctx.Done()
+		return nil
+	})
+	cons := rt.MustAddThread("cons", 0, func(ctx *Ctx) error {
+		in := ctx.Ins()[0]
+		<-start // wait until the producer has gone quiet
+		getAllocs <- testing.AllocsPerRun(allocRuns, func() {
+			if _, err := ctx.Get(in); err != nil {
+				panic(err)
+			}
+		})
+		<-ctx.Done()
+		return nil
+	})
+	prod.MustOutput(q)
+	cons.MustInput(q)
+
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	puts := <-putAllocs // producer finished all its puts
+	close(start)
+	gets := <-getAllocs
+	rt.Stop()
+	if err := rt.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if puts != 1 {
+		t.Errorf("Ctx.Put on queue: %.0f allocs/op, want exactly 1 (the Item)", puts)
+	}
+	if gets != 0 {
+		t.Errorf("Ctx.Get on queue: %.0f allocs/op, want 0", gets)
+	}
+}

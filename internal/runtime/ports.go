@@ -1,98 +1,106 @@
 package runtime
 
 import (
+	"repro/internal/buffer"
 	"repro/internal/graph"
 )
 
-// endpoint is a buffer node a thread can connect to (channel or queue).
-type endpoint interface {
-	nodeID() graph.NodeID
-	nodeHost() int
-	nodeName() string
+// BufferRef is an endpoint descriptor: it names a declared buffer node
+// during graph construction and records which registered backend will
+// materialize it at Start. The runtime is polymorphic over backends —
+// ChannelRef and QueueRef are aliases of this one type, and every
+// put/get dispatches through the buffer.Buffer interface — so a new
+// backend (a wire-served remote channel, say) plugs in without touching
+// the runtime layer.
+type BufferRef struct {
+	rt      *Runtime
+	id      graph.NodeID
+	name    string
+	host    int
+	backend string
+	caps    buffer.Caps
+
+	capacity   int
+	addr       string
+	remoteName string
 }
 
 // ChannelRef names a declared channel during graph construction.
-type ChannelRef struct {
-	rt       *Runtime
-	id       graph.NodeID
-	name     string
-	host     int
-	capacity int
-}
-
-func (c *ChannelRef) nodeID() graph.NodeID { return c.id }
-func (c *ChannelRef) nodeHost() int        { return c.host }
-func (c *ChannelRef) nodeName() string     { return c.name }
-
-// ID returns the channel's task-graph id.
-func (c *ChannelRef) ID() graph.NodeID { return c.id }
-
-// Name returns the channel's name.
-func (c *ChannelRef) Name() string { return c.name }
-
-// Host returns the channel's placement.
-func (c *ChannelRef) Host() int { return c.host }
-
-// ChannelOption customizes a channel declaration.
-type ChannelOption func(*ChannelRef)
-
-// WithCapacity bounds the channel's live items; producers block while it
-// is full. Zero (the default) is unbounded, Stampede's behaviour and the
-// precondition for the paper's footprint measurements.
-func WithCapacity(n int) ChannelOption {
-	return func(c *ChannelRef) { c.capacity = n }
-}
+type ChannelRef = BufferRef
 
 // QueueRef names a declared queue during graph construction.
-type QueueRef struct {
-	rt       *Runtime
-	id       graph.NodeID
-	name     string
-	host     int
-	capacity int
-}
+type QueueRef = BufferRef
 
-func (q *QueueRef) nodeID() graph.NodeID { return q.id }
-func (q *QueueRef) nodeHost() int        { return q.host }
-func (q *QueueRef) nodeName() string     { return q.name }
+// ID returns the buffer's task-graph id.
+func (b *BufferRef) ID() graph.NodeID { return b.id }
 
-// ID returns the queue's task-graph id.
-func (q *QueueRef) ID() graph.NodeID { return q.id }
+// Name returns the buffer's name.
+func (b *BufferRef) Name() string { return b.name }
 
-// Name returns the queue's name.
-func (q *QueueRef) Name() string { return q.name }
+// Host returns the buffer's placement.
+func (b *BufferRef) Host() int { return b.host }
 
-// Host returns the queue's placement.
-func (q *QueueRef) Host() int { return q.host }
+// Backend returns the registered backend name ("channel", "queue",
+// "remote", ...).
+func (b *BufferRef) Backend() string { return b.backend }
+
+// Caps returns the backend's capabilities, known at declaration time so
+// port misuse surfaces while wiring.
+func (b *BufferRef) Caps() buffer.Caps { return b.caps }
+
+// BufferOption customizes a buffer declaration.
+type BufferOption func(*BufferRef)
+
+// ChannelOption customizes a channel declaration.
+type ChannelOption = BufferOption
 
 // QueueOption customizes a queue declaration.
-type QueueOption func(*QueueRef)
+type QueueOption = BufferOption
 
-// WithQueueCapacity bounds the queue's occupancy.
-func WithQueueCapacity(n int) QueueOption {
-	return func(q *QueueRef) { q.capacity = n }
+// WithCapacity bounds the buffer's live items; producers block while it
+// is full. Zero (the default) is unbounded, Stampede's behaviour and the
+// precondition for the paper's footprint measurements.
+func WithCapacity(n int) BufferOption {
+	return func(b *BufferRef) { b.capacity = n }
+}
+
+// WithQueueCapacity bounds the queue's occupancy. It is WithCapacity
+// under its historical name.
+func WithQueueCapacity(n int) BufferOption { return WithCapacity(n) }
+
+// WithRemoteName maps the endpoint to a differently named channel hosted
+// on the remote server (remote backends only); the default is the
+// endpoint's own name.
+func WithRemoteName(name string) BufferOption {
+	return func(b *BufferRef) { b.remoteName = name }
 }
 
 // OutPort is a thread's output connection to a buffer.
 type OutPort struct {
 	thread *Thread
-	target endpoint
+	ref    *BufferRef
 	conn   graph.ConnID
+	// buf is the materialized endpoint, resolved once at Start so the
+	// hot path is a direct interface dispatch with no map lookups or
+	// type assertions.
+	buf buffer.Buffer
 }
 
 // Conn returns the port's connection id.
 func (p *OutPort) Conn() graph.ConnID { return p.conn }
 
 // Target returns the connected buffer's node id.
-func (p *OutPort) Target() graph.NodeID { return p.target.nodeID() }
+func (p *OutPort) Target() graph.NodeID { return p.ref.id }
 
 // InPort is a thread's input connection from a buffer.
 type InPort struct {
 	thread *Thread
-	source endpoint
+	ref    *BufferRef
 	conn   graph.ConnID
-	// window is the sliding-window width for channel inputs (≥1).
+	// window is the sliding-window width for windowed inputs (≥1).
 	window int
+	// buf is the materialized endpoint (see OutPort.buf).
+	buf buffer.Buffer
 }
 
 // Window returns the port's sliding-window width (1 for ordinary
@@ -108,4 +116,4 @@ func (p *InPort) Window() int {
 func (p *InPort) Conn() graph.ConnID { return p.conn }
 
 // Source returns the connected buffer's node id.
-func (p *InPort) Source() graph.NodeID { return p.source.nodeID() }
+func (p *InPort) Source() graph.NodeID { return p.ref.id }

@@ -1,16 +1,18 @@
 // Package runtime is the Stampede-style streaming runtime the paper's
 // experiments run on: it binds the task graph (package graph), timestamped
-// buffers (packages channel and queue), garbage collection (package gc),
-// the ARU feedback controller (package core), the simulated cluster
-// substrate (package transport), and the measurement infrastructure
-// (package trace) behind one programming surface.
+// buffers (package buffer and its backends channel, queue, and remote),
+// garbage collection (package gc), the ARU feedback controller (package
+// core), the simulated cluster substrate (package transport), and the
+// measurement infrastructure (package trace) behind one programming
+// surface.
 //
 // An application is built in two phases. First the task graph is declared:
-// AddThread / AddChannel / AddQueue create nodes, and Thread.Input /
-// Thread.Output wire connections (mirroring Stampede's spd_chan_alloc and
-// attach calls, where the ARU dependency parameter also lives). Then Start
-// spawns one goroutine per thread and the declared body runs a loop of
-// get → compute → put → Sync, where Sync is the paper's
+// AddThread / AddChannel / AddQueue / AddRemoteChannel create nodes, and
+// Thread.Input / Thread.Output wire connections (mirroring Stampede's
+// spd_chan_alloc and attach calls, where the ARU dependency parameter also
+// lives). Then Start materializes every buffer endpoint through the
+// backend registry, spawns one goroutine per thread, and the declared body
+// runs a loop of get → compute → put → Sync, where Sync is the paper's
 // periodicity_sync(): it closes the iteration, measures the current-STP,
 // feeds the ARU controller, and paces source threads to their summary-STP.
 package runtime
@@ -23,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/buffer"
 	"repro/internal/channel"
 	"repro/internal/clock"
 	"repro/internal/core"
@@ -60,18 +63,20 @@ type Runtime struct {
 	clk  clock.Clock
 	g    *graph.Graph
 
-	mu       sync.Mutex
-	started  bool
-	stopped  bool
-	threads  []*Thread
-	channels map[graph.NodeID]*channel.Channel
-	queues   map[graph.NodeID]*queue.Queue
+	mu      sync.Mutex
+	started bool
+	stopped bool
+	threads []*Thread
 
-	// Builder refs indexed at declaration time so Start materializes
-	// buffers with O(1) lookups instead of rescanning every thread's
-	// ports per node.
-	channelRefs map[graph.NodeID]*ChannelRef
-	queueRefs   map[graph.NodeID]*QueueRef
+	// buffers holds every materialized endpoint, keyed by node;
+	// operations dispatch through the buffer.Buffer interface — the
+	// runtime has no per-backend code paths.
+	buffers map[graph.NodeID]buffer.Buffer
+
+	// refs are the endpoint descriptors indexed at declaration time so
+	// Start materializes buffers with O(1) lookups instead of rescanning
+	// every thread's ports per node.
+	refs map[graph.NodeID]*BufferRef
 
 	ctrl *core.Controller
 
@@ -92,16 +97,12 @@ func New(opts Options) *Runtime {
 		opts.Collector = gc.NewDeadTimestamp()
 	}
 	rt := &Runtime{
-		opts:     opts,
-		clk:      opts.Clock,
-		g:        graph.New(),
-		channels: make(map[graph.NodeID]*channel.Channel),
-		queues:   make(map[graph.NodeID]*queue.Queue),
-
-		channelRefs: make(map[graph.NodeID]*ChannelRef),
-		queueRefs:   make(map[graph.NodeID]*QueueRef),
-
-		errs: make(chan error, 64),
+		opts:    opts,
+		clk:     opts.Clock,
+		g:       graph.New(),
+		buffers: make(map[graph.NodeID]buffer.Buffer),
+		refs:    make(map[graph.NodeID]*BufferRef),
+		errs:    make(chan error, 64),
 	}
 	hosts := 1
 	if opts.Cluster != nil {
@@ -176,28 +177,40 @@ func (rt *Runtime) checkHost(host int) error {
 	return nil
 }
 
-// AddChannel declares a channel placed on the given host. Stampede places
-// channels on the host of their producer (§5); the caller is responsible
-// for following that convention (helpers in package bench do).
-func (rt *Runtime) AddChannel(name string, host int, copts ...ChannelOption) (*ChannelRef, error) {
+// addBuffer declares a buffer node backed by the named registered
+// backend. Backend capabilities are captured on the ref immediately, so
+// wiring-time checks (windowed input on a FIFO queue, say) fail before
+// Start.
+func (rt *Runtime) addBuffer(kind graph.Kind, backend, name string, host int, opts []BufferOption) (*BufferRef, error) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	if err := rt.checkBuilding("add channel"); err != nil {
+	if err := rt.checkBuilding("add " + backend); err != nil {
 		return nil, err
 	}
 	if err := rt.checkHost(host); err != nil {
 		return nil, err
 	}
-	id, err := rt.g.AddNode(graph.KindChannel, name, host)
+	be, ok := buffer.Lookup(backend)
+	if !ok {
+		return nil, fmt.Errorf("runtime: unknown buffer backend %q (registered: %v)", backend, buffer.Names())
+	}
+	id, err := rt.g.AddNode(kind, name, host)
 	if err != nil {
 		return nil, err
 	}
-	ref := &ChannelRef{rt: rt, id: id, name: name, host: host}
-	for _, o := range copts {
+	ref := &BufferRef{rt: rt, id: id, name: name, host: host, backend: backend, caps: be.Caps}
+	for _, o := range opts {
 		o(ref)
 	}
-	rt.channelRefs[id] = ref
+	rt.refs[id] = ref
 	return ref, nil
+}
+
+// AddChannel declares a channel placed on the given host. Stampede places
+// channels on the host of their producer (§5); the caller is responsible
+// for following that convention (helpers in package bench do).
+func (rt *Runtime) AddChannel(name string, host int, copts ...ChannelOption) (*ChannelRef, error) {
+	return rt.addBuffer(graph.KindChannel, "channel", name, host, copts)
 }
 
 // MustAddChannel is AddChannel that panics on error.
@@ -211,29 +224,38 @@ func (rt *Runtime) MustAddChannel(name string, host int, copts ...ChannelOption)
 
 // AddQueue declares a queue placed on the given host.
 func (rt *Runtime) AddQueue(name string, host int, qopts ...QueueOption) (*QueueRef, error) {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	if err := rt.checkBuilding("add queue"); err != nil {
-		return nil, err
-	}
-	if err := rt.checkHost(host); err != nil {
-		return nil, err
-	}
-	id, err := rt.g.AddNode(graph.KindQueue, name, host)
-	if err != nil {
-		return nil, err
-	}
-	ref := &QueueRef{rt: rt, id: id, name: name, host: host}
-	for _, o := range qopts {
-		o(ref)
-	}
-	rt.queueRefs[id] = ref
-	return ref, nil
+	return rt.addBuffer(graph.KindQueue, "queue", name, host, qopts)
 }
 
 // MustAddQueue is AddQueue that panics on error.
 func (rt *Runtime) MustAddQueue(name string, host int, qopts ...QueueOption) *QueueRef {
 	ref, err := rt.AddQueue(name, host, qopts...)
+	if err != nil {
+		panic(err)
+	}
+	return ref
+}
+
+// AddRemoteChannel declares a channel endpoint whose storage is a
+// channel hosted by a remote server (package remote) at addr, mounted
+// into the task graph through the "remote" backend: puts and gets cross
+// real TCP, and summary-STP feedback rides the wire in both directions.
+// The hosted channel's name defaults to this endpoint's name
+// (WithRemoteName overrides). The process must import the remote backend
+// package for the registration to exist; a real clock is required
+// (enforced at Start).
+func (rt *Runtime) AddRemoteChannel(name string, host int, addr string, copts ...ChannelOption) (*ChannelRef, error) {
+	ref, err := rt.addBuffer(graph.KindChannel, "remote", name, host, copts)
+	if err != nil {
+		return nil, err
+	}
+	ref.addr = addr
+	return ref, nil
+}
+
+// MustAddRemoteChannel is AddRemoteChannel that panics on error.
+func (rt *Runtime) MustAddRemoteChannel(name string, host int, addr string, copts ...ChannelOption) *ChannelRef {
+	ref, err := rt.AddRemoteChannel(name, host, addr, copts...)
 	if err != nil {
 		panic(err)
 	}
@@ -276,8 +298,82 @@ func (rt *Runtime) MustAddThread(name string, host int, body Body) *Thread {
 	return th
 }
 
-// Start validates the graph, materializes channels and queues, builds the
-// ARU controller, and spawns every thread goroutine.
+// runtimeFeedback is the summary-STP exchange hook handed to wire-backed
+// backends: it reads the consuming thread's summary for outgoing gets and
+// delivers the remote buffer's summary into the controller.
+type runtimeFeedback struct {
+	rt   *Runtime
+	node graph.NodeID
+}
+
+func (f *runtimeFeedback) ConsumerSummary(conn graph.ConnID) core.STP {
+	if f.rt.ctrl == nil {
+		return core.Unknown
+	}
+	return f.rt.ctrl.ConsumerSummary(conn)
+}
+
+func (f *runtimeFeedback) ObserveBufferSummary(s core.STP) {
+	if f.rt.ctrl == nil {
+		return
+	}
+	f.rt.ctrl.SetRemoteSummary(f.node, s)
+}
+
+// materializeLocked builds the endpoint for one buffer node through the
+// backend registry and attaches its producer and consumer connections.
+func (rt *Runtime) materializeLocked(n *graph.Node, windows map[graph.ConnID]int) error {
+	ref := rt.refs[n.ID]
+	if ref == nil {
+		return fmt.Errorf("runtime: buffer node %q has no endpoint descriptor", n.Name)
+	}
+	if ref.caps.Remote {
+		if _, isReg := rt.clk.(clock.Registrar); isReg {
+			return fmt.Errorf("runtime: remote endpoint %q requires a real clock: a discrete-event clock cannot observe network blocking", n.Name)
+		}
+		// The wire is authoritative for this node's summary-STP; the
+		// local fold must not overwrite it.
+		rt.ctrl.MarkRemote(n.ID)
+	}
+	host, node := n.Host, n.ID
+	b, err := buffer.New(ref.backend, buffer.Config{
+		Name:       n.Name,
+		Node:       node,
+		Clock:      rt.clk,
+		Collector:  rt.opts.Collector,
+		Capacity:   ref.capacity,
+		Addr:       ref.addr,
+		RemoteName: ref.remoteName,
+		Feedback:   &runtimeFeedback{rt: rt, node: node},
+		OnFree: func(it *buffer.Item, at time.Duration) {
+			rt.addLive(host, -it.Size)
+			rt.opts.Recorder.Append(trace.Event{Kind: trace.EvFree, At: at, Item: it.ID, Node: node})
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("runtime: materialize %q (backend %q): %w", n.Name, ref.backend, err)
+	}
+	for _, cid := range n.In {
+		if err := b.AttachProducer(cid); err != nil {
+			return fmt.Errorf("runtime: attach producer to %q: %w", n.Name, err)
+		}
+	}
+	for _, cid := range n.Out {
+		w := windows[cid]
+		if w < 1 {
+			w = 1
+		}
+		if err := b.AttachConsumer(cid, w); err != nil {
+			return fmt.Errorf("runtime: attach consumer to %q: %w", n.Name, err)
+		}
+	}
+	rt.buffers[n.ID] = b
+	return nil
+}
+
+// Start validates the graph, materializes every buffer endpoint through
+// the backend registry, builds the ARU controller, and spawns every
+// thread goroutine.
 func (rt *Runtime) Start() error {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
@@ -301,59 +397,22 @@ func (rt *Runtime) Start() error {
 	}
 
 	// Materialize buffers.
+	var mErr error
 	rt.g.Nodes(func(n *graph.Node) {
-		switch n.Kind {
-		case graph.KindChannel:
-			capacity := 0
-			if ref := rt.findChannelRef(n.ID); ref != nil {
-				capacity = ref.capacity
-			}
-			ch := channel.New(channel.Config{
-				Name:      n.Name,
-				Node:      n.ID,
-				Clock:     rt.clk,
-				Collector: rt.opts.Collector,
-				Capacity:  capacity,
-				OnFree: func(it *channel.Item, at time.Duration) {
-					rt.addLive(n.Host, -it.Size)
-					rt.opts.Recorder.Append(trace.Event{Kind: trace.EvFree, At: at, Item: it.ID, Node: n.ID})
-				},
-			})
-			for _, cid := range n.In {
-				ch.AttachProducer(cid)
-			}
-			for _, cid := range n.Out {
-				if w := windows[cid]; w > 1 {
-					ch.AttachConsumerWindow(cid, w)
-				} else {
-					ch.AttachConsumer(cid)
-				}
-			}
-			rt.channels[n.ID] = ch
-		case graph.KindQueue:
-			capacity := 0
-			if ref := rt.findQueueRef(n.ID); ref != nil {
-				capacity = ref.capacity
-			}
-			q := queue.New(queue.Config{
-				Name:     n.Name,
-				Node:     n.ID,
-				Clock:    rt.clk,
-				Capacity: capacity,
-				OnFree: func(it *queue.Item, at time.Duration) {
-					rt.addLive(n.Host, -it.Size)
-					rt.opts.Recorder.Append(trace.Event{Kind: trace.EvFree, At: at, Item: it.ID, Node: n.ID})
-				},
-			})
-			for _, cid := range n.In {
-				q.AttachProducer(cid)
-			}
-			for _, cid := range n.Out {
-				q.AttachConsumer(cid)
-			}
-			rt.queues[n.ID] = q
+		if mErr != nil || n.Kind == graph.KindThread {
+			return
 		}
+		mErr = rt.materializeLocked(n, windows)
 	})
+	if mErr != nil {
+		// Unwind endpoints already materialized (remote attaches hold
+		// TCP connections).
+		for id, b := range rt.buffers {
+			b.Close()
+			delete(rt.buffers, id)
+		}
+		return mErr
+	}
 
 	rt.started = true
 	reg, hasReg := rt.clk.(clock.Registrar)
@@ -379,20 +438,9 @@ func (rt *Runtime) Start() error {
 	return nil
 }
 
-// findChannelRef locates the builder ref for a node id. Refs are indexed
-// in AddChannel, so this is a map lookup rather than the old
-// O(threads x ports) scan per materialized node.
-func (rt *Runtime) findChannelRef(id graph.NodeID) *ChannelRef {
-	return rt.channelRefs[id]
-}
-
-// findQueueRef locates the builder ref for a node id (see findChannelRef).
-func (rt *Runtime) findQueueRef(id graph.NodeID) *QueueRef {
-	return rt.queueRefs[id]
-}
-
 // Stop closes every buffer, which unblocks all waiting threads; their
-// bodies observe ErrShutdown and return. Stop is idempotent.
+// bodies observe ErrShutdown and return. Remaining buffered items are
+// drained so their storage is accounted as reclaimed. Stop is idempotent.
 func (rt *Runtime) Stop() {
 	rt.mu.Lock()
 	if !rt.started || rt.stopped {
@@ -400,13 +448,9 @@ func (rt *Runtime) Stop() {
 		return
 	}
 	rt.stopped = true
-	channels := make([]*channel.Channel, 0, len(rt.channels))
-	for _, ch := range rt.channels {
-		channels = append(channels, ch)
-	}
-	queues := make([]*queue.Queue, 0, len(rt.queues))
-	for _, q := range rt.queues {
-		queues = append(queues, q)
+	buffers := make([]buffer.Buffer, 0, len(rt.buffers))
+	for _, b := range rt.buffers {
+		buffers = append(buffers, b)
 	}
 	threads := append([]*Thread(nil), rt.threads...)
 	rt.mu.Unlock()
@@ -414,12 +458,11 @@ func (rt *Runtime) Stop() {
 	for _, th := range threads {
 		th.requestStop()
 	}
-	for _, ch := range channels {
-		ch.Close()
+	for _, b := range buffers {
+		b.Close()
 	}
-	for _, q := range queues {
-		q.Close()
-		q.Drain()
+	for _, b := range buffers {
+		b.Drain()
 	}
 }
 
@@ -466,18 +509,29 @@ func (rt *Runtime) RunFor(d time.Duration) error {
 	return rt.Wait()
 }
 
-// Channel returns the materialized channel for a ref (post-Start).
+// Buffer returns the materialized endpoint for a ref (post-Start).
+func (rt *Runtime) Buffer(ref *BufferRef) buffer.Buffer {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.buffers[ref.id]
+}
+
+// Channel returns the materialized channel for a ref (post-Start), or nil
+// if the ref's backend is not the in-process channel.
 func (rt *Runtime) Channel(ref *ChannelRef) *channel.Channel {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	return rt.channels[ref.id]
+	ch, _ := rt.buffers[ref.id].(*channel.Channel)
+	return ch
 }
 
-// Queue returns the materialized queue for a ref (post-Start).
+// Queue returns the materialized queue for a ref (post-Start), or nil if
+// the ref's backend is not the in-process queue.
 func (rt *Runtime) Queue(ref *QueueRef) *queue.Queue {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	return rt.queues[ref.id]
+	q, _ := rt.buffers[ref.id].(*queue.Queue)
+	return q
 }
 
 // WriteStatus renders a point-in-time view of the running application:
@@ -495,17 +549,13 @@ func (rt *Runtime) WriteStatus(w io.Writer) {
 	}
 	var rows []row
 	rt.g.Nodes(func(n *graph.Node) {
-		switch n.Kind {
-		case graph.KindChannel:
-			ch := rt.channels[n.ID]
-			items, bytes := ch.Occupancy()
-			puts, frees := ch.Stats()
-			rows = append(rows, row{n.Name, items, bytes, puts, frees})
-		case graph.KindQueue:
-			q := rt.queues[n.ID]
-			items, bytes := q.Occupancy()
-			rows = append(rows, row{n.Name, items, bytes, q.Puts(), 0})
+		b, ok := rt.buffers[n.ID]
+		if !ok {
+			return
 		}
+		items, bytes := b.Occupancy()
+		puts, frees := b.Stats()
+		rows = append(rows, row{n.Name, items, bytes, puts, frees})
 	})
 	rt.mu.Unlock()
 
@@ -520,19 +570,14 @@ func (rt *Runtime) WriteStatus(w io.Writer) {
 	}
 }
 
-// TotalOccupancy sums live items and bytes over every channel and queue.
+// TotalOccupancy sums live items and bytes over every buffer endpoint.
 func (rt *Runtime) TotalOccupancy() (items int, bytes int64) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	for _, ch := range rt.channels {
-		n, b := ch.Occupancy()
+	for _, b := range rt.buffers {
+		n, bts := b.Occupancy()
 		items += n
-		bytes += b
-	}
-	for _, q := range rt.queues {
-		n, b := q.Occupancy()
-		items += n
-		bytes += b
+		bytes += bts
 	}
 	return items, bytes
 }

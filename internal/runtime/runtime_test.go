@@ -87,7 +87,7 @@ func outPortOf(t *testing.T, rt *Runtime, threadName, bufName string) *OutPort {
 			continue
 		}
 		for _, p := range th.outs {
-			if p.target.nodeName() == bufName {
+			if p.ref.name == bufName {
 				return p
 			}
 		}
@@ -103,7 +103,7 @@ func inPortOf(t *testing.T, rt *Runtime, threadName, bufName string) *InPort {
 			continue
 		}
 		for _, p := range th.ins {
-			if p.source.nodeName() == bufName {
+			if p.ref.name == bufName {
 				return p
 			}
 		}
@@ -151,7 +151,7 @@ func TestARUThrottlesSource(t *testing.T) {
 		for _, th := range rt.threads {
 			if th.name == "src" {
 				// iterations == puts onto C1
-				ch := rt.channels[th.outs[0].target.nodeID()]
+				ch := rt.buffers[th.outs[0].ref.id]
 				puts, _ := ch.Stats()
 				srcIters = puts
 			}

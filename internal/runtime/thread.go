@@ -6,11 +6,10 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/channel"
+	"repro/internal/buffer"
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/graph"
-	"repro/internal/queue"
 	"repro/internal/trace"
 	"repro/internal/vt"
 )
@@ -19,6 +18,14 @@ import (
 // runtime is stopping. Thread bodies should return promptly on it (run()
 // treats it as a clean exit, so `return err` suffices).
 var ErrShutdown = errors.New("runtime: shutting down")
+
+// ErrPortKind reports a get/put variant that the port's buffer backend
+// does not support — a timestamped GetAt on a FIFO queue, a GetQueue on a
+// channel input, a windowed input on a backend without window support.
+// Before the buffer layer became pluggable these misuses panicked through
+// a runtime type assertion; now they surface as a typed error at wiring
+// or call time.
+var ErrPortKind = errors.New("runtime: operation not supported by port's buffer backend")
 
 // snapshotItems copies an id list for attachment to a trace event, or
 // returns nil when tracing is disabled: the nil recorder would drop the
@@ -58,23 +65,23 @@ func (t *Thread) Host() int { return t.host }
 
 // Input connects a buffer as one of the thread's inputs and returns the
 // port used to get from it.
-func (t *Thread) Input(src endpoint) (*InPort, error) {
+func (t *Thread) Input(src *BufferRef) (*InPort, error) {
 	t.rt.mu.Lock()
 	defer t.rt.mu.Unlock()
 	if err := t.rt.checkBuilding("connect input"); err != nil {
 		return nil, err
 	}
-	conn, err := t.rt.g.Connect(src.nodeID(), t.id)
+	conn, err := t.rt.g.Connect(src.id, t.id)
 	if err != nil {
 		return nil, err
 	}
-	p := &InPort{thread: t, source: src, conn: conn}
+	p := &InPort{thread: t, ref: src, conn: conn}
 	t.ins = append(t.ins, p)
 	return p, nil
 }
 
 // MustInput is Input that panics on error.
-func (t *Thread) MustInput(src endpoint) *InPort {
+func (t *Thread) MustInput(src *BufferRef) *InPort {
 	p, err := t.Input(src)
 	if err != nil {
 		panic(err)
@@ -82,17 +89,18 @@ func (t *Thread) MustInput(src endpoint) *InPort {
 	return p
 }
 
-// InputWindow connects a channel as a sliding-window input of width
+// InputWindow connects a buffer as a sliding-window input of width
 // n ≥ 1: GetWindow on the returned port delivers the freshest item plus
 // the retained trailing items — the paper's gesture-recognition motif
-// ("a sliding window over a video stream"). Only channels support
-// windows.
-func (t *Thread) InputWindow(src endpoint, n int) (*InPort, error) {
+// ("a sliding window over a video stream"). The backend must support
+// windows (channels do, FIFO queues and wire-backed endpoints do not);
+// misuse is a typed ErrPortKind error at wiring time.
+func (t *Thread) InputWindow(src *BufferRef, n int) (*InPort, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("runtime: window width %d < 1", n)
 	}
-	if _, ok := src.(*ChannelRef); !ok {
-		return nil, fmt.Errorf("runtime: windowed input requires a channel, got %q", src.nodeName())
+	if !src.caps.Windows {
+		return nil, fmt.Errorf("%w: windowed input requires a channel, got %q (backend %q)", ErrPortKind, src.name, src.backend)
 	}
 	p, err := t.Input(src)
 	if err != nil {
@@ -103,7 +111,7 @@ func (t *Thread) InputWindow(src endpoint, n int) (*InPort, error) {
 }
 
 // MustInputWindow is InputWindow that panics on error.
-func (t *Thread) MustInputWindow(src endpoint, n int) *InPort {
+func (t *Thread) MustInputWindow(src *BufferRef, n int) *InPort {
 	p, err := t.InputWindow(src, n)
 	if err != nil {
 		panic(err)
@@ -113,23 +121,23 @@ func (t *Thread) MustInputWindow(src endpoint, n int) *InPort {
 
 // Output connects a buffer as one of the thread's outputs and returns the
 // port used to put into it.
-func (t *Thread) Output(dst endpoint) (*OutPort, error) {
+func (t *Thread) Output(dst *BufferRef) (*OutPort, error) {
 	t.rt.mu.Lock()
 	defer t.rt.mu.Unlock()
 	if err := t.rt.checkBuilding("connect output"); err != nil {
 		return nil, err
 	}
-	conn, err := t.rt.g.Connect(t.id, dst.nodeID())
+	conn, err := t.rt.g.Connect(t.id, dst.id)
 	if err != nil {
 		return nil, err
 	}
-	p := &OutPort{thread: t, target: dst, conn: conn}
+	p := &OutPort{thread: t, ref: dst, conn: conn}
 	t.outs = append(t.outs, p)
 	return p, nil
 }
 
 // MustOutput is Output that panics on error.
-func (t *Thread) MustOutput(dst endpoint) *OutPort {
+func (t *Thread) MustOutput(dst *BufferRef) *OutPort {
 	p, err := t.Output(dst)
 	if err != nil {
 		panic(err)
@@ -137,10 +145,18 @@ func (t *Thread) MustOutput(dst endpoint) *OutPort {
 	return p
 }
 
-// prepare finalizes the thread just before Start spawns it.
+// prepare finalizes the thread just before Start spawns it: each port
+// resolves its materialized endpoint once, so the hot path is a direct
+// interface dispatch with no map lookups or type assertions.
 func (t *Thread) prepare() {
 	t.stop = make(chan struct{})
 	t.isSource = len(t.ins) == 0
+	for _, p := range t.ins {
+		p.buf = t.rt.buffers[p.ref.id]
+	}
+	for _, p := range t.outs {
+		p.buf = t.rt.buffers[p.ref.id]
+	}
 }
 
 // requestStop signals the body's Stopped()/Done() observers.
@@ -261,34 +277,65 @@ func translateErr(err error) error {
 	if err == nil {
 		return nil
 	}
-	if errors.Is(err, channel.ErrClosed) || errors.Is(err, queue.ErrClosed) {
+	if errors.Is(err, buffer.ErrClosed) {
 		return ErrShutdown
 	}
 	return err
 }
 
-// GetLatest consumes the freshest item from a channel input, blocking
-// until one newer than this connection's guarantee arrives. Skipped stale
-// items are traced, the consumer's summary-STP is piggybacked to the
-// channel, and the transfer is charged to the network and the local bus.
-func (c *Ctx) GetLatest(p *InPort) (Msg, error) {
-	ch := c.rt.Channel(p.source.(*ChannelRef))
-	res, err := ch.GetLatest(p.conn)
+// portKindErr builds the typed misuse error for a get variant the port's
+// backend cannot serve.
+func portKindErr(op string, ref *BufferRef) error {
+	return fmt.Errorf("%w: %s on %q (backend %q, discipline %s)", ErrPortKind, op, ref.name, ref.backend, ref.caps.Discipline)
+}
+
+// Get consumes the next item from any input port per its backend's
+// discipline — the freshest unseen item for channel-like (Latest)
+// endpoints, the oldest for FIFO queues — blocking until one is
+// available. It is the unified consumption path: skipped stale items are
+// traced, the consumer's summary-STP is piggybacked to the buffer, and
+// the transfer is charged to the network and the local bus, identically
+// for every backend.
+func (c *Ctx) Get(p *InPort) (Msg, error) {
+	res, err := p.buf.Get(p.conn)
 	c.meter.AddBlocked(res.Blocked)
 	if err != nil {
 		return Msg{}, translateErr(err)
 	}
-	return c.finishGet(p, ch.Node(), res)
+	return c.finishGet(p, res)
 }
 
-// GetWindow consumes the freshest item from a sliding-window channel
-// input (declared via Thread.InputWindow) and returns it together with
-// the retained trailing items, oldest first. All returned items count as
+// GetLatest consumes the freshest item from a get-latest (channel-like)
+// input, blocking until one newer than this connection's guarantee
+// arrives. It is Get restricted to Latest-discipline ports; a FIFO port
+// reports ErrPortKind.
+func (c *Ctx) GetLatest(p *InPort) (Msg, error) {
+	if p.ref.caps.Discipline != buffer.Latest {
+		return Msg{}, portKindErr("GetLatest", p.ref)
+	}
+	return c.Get(p)
+}
+
+// GetQueue dequeues the oldest item from a FIFO queue input. It is Get
+// restricted to FIFO-discipline ports; a channel port reports
+// ErrPortKind.
+func (c *Ctx) GetQueue(p *InPort) (Msg, error) {
+	if p.ref.caps.Discipline != buffer.FIFO {
+		return Msg{}, portKindErr("GetQueue", p.ref)
+	}
+	return c.Get(p)
+}
+
+// GetWindow consumes the freshest item from a sliding-window input
+// (declared via Thread.InputWindow) and returns it together with the
+// retained trailing items, oldest first. All returned items count as
 // consumed for provenance; the head drives skip/feedback semantics
-// exactly like GetLatest.
+// exactly like Get.
 func (c *Ctx) GetWindow(p *InPort) (head Msg, window []Msg, err error) {
-	ch := c.rt.Channel(p.source.(*ChannelRef))
-	res, err := ch.GetLatest(p.conn)
+	if !p.ref.caps.Windows {
+		return Msg{}, nil, portKindErr("GetWindow", p.ref)
+	}
+	res, err := p.buf.Get(p.conn)
 	c.meter.AddBlocked(res.Blocked)
 	if err != nil {
 		return Msg{}, nil, translateErr(err)
@@ -296,31 +343,33 @@ func (c *Ctx) GetWindow(p *InPort) (head Msg, window []Msg, err error) {
 	rec := c.rt.opts.Recorder
 	now := c.rt.clk.Now()
 	for _, w := range res.Window {
-		rec.Append(trace.Event{Kind: trace.EvGet, At: now, Item: w.ID, Node: ch.Node(), Thread: c.thread.id})
+		rec.Append(trace.Event{Kind: trace.EvGet, At: now, Item: w.ID, Node: p.ref.id, Thread: c.thread.id})
 		c.consumed = append(c.consumed, w.ID)
 		// Window members already live locally; only the head pays the
 		// transfer below.
 		window = append(window, Msg{TS: w.TS, Payload: w.Payload, Size: w.Size, ID: w.ID})
 	}
-	head, err = c.finishGet(p, ch.Node(), res)
+	head, err = c.finishGet(p, res)
 	return head, window, err
 }
 
-// TryGetLatest is the non-blocking variant of GetLatest: ok is false when
-// no item newer than the connection's guarantee is available. Bodies that
+// TryGetLatest is the non-blocking variant of Get: ok is false when no
+// item newer than the connection's guarantee is available. Bodies that
 // keep working with their previous input when nothing fresh exists (the
 // tracker's detectors reusing the current histogram model) are built on
 // it; pair it with Reuse so provenance stays accurate.
 func (c *Ctx) TryGetLatest(p *InPort) (Msg, bool, error) {
-	ch := c.rt.Channel(p.source.(*ChannelRef))
-	res, ok, err := ch.TryGetLatest(p.conn)
+	if !p.ref.caps.TryGet {
+		return Msg{}, false, portKindErr("TryGetLatest", p.ref)
+	}
+	res, ok, err := p.buf.TryGet(p.conn)
 	if err != nil {
 		return Msg{}, false, translateErr(err)
 	}
 	if !ok {
 		return Msg{}, false, nil
 	}
-	msg, err := c.finishGet(p, ch.Node(), res)
+	msg, err := c.finishGet(p, res)
 	return msg, err == nil, err
 }
 
@@ -334,61 +383,50 @@ func (c *Ctx) Reuse(msg Msg) {
 	}
 }
 
-// Get consumes the item at exactly ts from a channel input. It is the
-// corresponding-timestamp primitive (stereo modules, overlays).
-func (c *Ctx) Get(p *InPort, ts vt.Timestamp) (Msg, error) {
-	ch := c.rt.Channel(p.source.(*ChannelRef))
-	res, err := ch.Get(p.conn, ts)
+// GetAt consumes the item at exactly ts from a random-access input. It is
+// the corresponding-timestamp primitive (stereo modules, overlays);
+// backends without timestamped access (FIFO queues, wire-backed
+// endpoints) report ErrPortKind.
+func (c *Ctx) GetAt(p *InPort, ts vt.Timestamp) (Msg, error) {
+	if !p.ref.caps.GetAt {
+		return Msg{}, portKindErr("GetAt", p.ref)
+	}
+	res, err := p.buf.GetAt(p.conn, ts)
 	c.meter.AddBlocked(res.Blocked)
 	if err != nil {
 		return Msg{}, translateErr(err)
 	}
-	return c.finishGet(p, ch.Node(), res)
+	return c.finishGet(p, res)
 }
 
-// finishGet performs the shared post-consumption work of channel gets.
-func (c *Ctx) finishGet(p *InPort, node graph.NodeID, res channel.GetResult) (Msg, error) {
+// finishGet performs the shared post-consumption work of every get
+// variant, uniformly across backends.
+func (c *Ctx) finishGet(p *InPort, res buffer.GetResult) (Msg, error) {
 	rec := c.rt.opts.Recorder
 	now := c.rt.clk.Now()
 	for _, sk := range res.Skipped {
-		rec.Append(trace.Event{Kind: trace.EvSkip, At: now, Item: sk.ID, Node: node, Thread: c.thread.id})
+		rec.Append(trace.Event{Kind: trace.EvSkip, At: now, Item: sk.ID, Node: p.ref.id, Thread: c.thread.id})
 	}
-	rec.Append(trace.Event{Kind: trace.EvGet, At: now, Item: res.Item.ID, Node: node, Thread: c.thread.id})
+	rec.Append(trace.Event{Kind: trace.EvGet, At: now, Item: res.Item.ID, Node: p.ref.id, Thread: c.thread.id})
 
 	// Move the item to the consumer: network hop (if remote) plus local
 	// memory traffic. Both are load and belong in the current-STP.
-	c.rt.transfer(p.source.nodeHost(), c.thread.host, res.Item.Size)
+	c.rt.transfer(p.ref.host, c.thread.host, res.Item.Size)
 	c.ChargeBus(res.Item.Size)
 
-	// Piggyback the consumer's summary-STP back to the channel (§3.3.2).
+	// Piggyback the consumer's summary-STP back to the buffer (§3.3.2).
 	c.rt.ctrl.NoteGet(p.conn)
 
-	c.consumed = append(c.consumed, res.Item.ID)
-	return Msg{TS: res.Item.TS, Payload: res.Item.Payload, Size: res.Item.Size, ID: res.Item.ID}, nil
-}
-
-// GetQueue dequeues the oldest item from a queue input.
-func (c *Ctx) GetQueue(p *InPort) (Msg, error) {
-	q := c.rt.Queue(p.source.(*QueueRef))
-	res, err := q.Get(p.conn)
-	c.meter.AddBlocked(res.Blocked)
-	if err != nil {
-		return Msg{}, translateErr(err)
-	}
-	rec := c.rt.opts.Recorder
-	rec.Append(trace.Event{Kind: trace.EvGet, At: c.rt.clk.Now(), Item: res.Item.ID, Node: q.Node(), Thread: c.thread.id})
-	c.rt.transfer(p.source.nodeHost(), c.thread.host, res.Item.Size)
-	c.ChargeBus(res.Item.Size)
-	c.rt.ctrl.NoteGet(p.conn)
 	c.consumed = append(c.consumed, res.Item.ID)
 	return Msg{TS: res.Item.TS, Payload: res.Item.Payload, Size: res.Item.Size, ID: res.Item.ID}, nil
 }
 
 // Put produces an item with the given timestamp, payload, and logical
-// size into a channel or queue output. Producing charges the local bus
-// (writing size bytes) and, for a remotely placed buffer, the network.
-// The buffer's summary-STP is piggybacked back on the same operation. The
-// new item's provenance is every item consumed so far in this iteration.
+// size into any output port. Producing charges the local bus (writing
+// size bytes) and, for a remotely placed buffer, the network. The
+// buffer's summary-STP is piggybacked back on the same operation — over
+// the wire for remote endpoints. The new item's provenance is every item
+// consumed so far in this iteration.
 func (c *Ctx) Put(p *OutPort, ts vt.Timestamp, payload any, size int64) error {
 	rec := c.rt.opts.Recorder
 	id := rec.NewItemID()
@@ -396,52 +434,44 @@ func (c *Ctx) Put(p *OutPort, ts vt.Timestamp, payload any, size int64) error {
 	// The producer materializes the item locally, then it travels to the
 	// buffer's host.
 	c.ChargeBus(size)
-	c.rt.transfer(c.thread.host, p.target.nodeHost(), size)
+	c.rt.transfer(c.thread.host, p.ref.host, size)
 
 	rec.Append(trace.Event{
 		Kind: trace.EvAlloc, At: c.rt.clk.Now(), Item: id,
-		Node: p.target.nodeID(), Thread: c.thread.id, TS: ts, Size: size,
+		Node: p.ref.id, Thread: c.thread.id, TS: ts, Size: size,
 		Items: snapshotItems(rec, c.consumed),
 	})
 
-	var blocked time.Duration
-	var err error
-	switch ref := p.target.(type) {
-	case *ChannelRef:
-		blocked, err = c.rt.Channel(ref).Put(p.conn, &channel.Item{TS: ts, Payload: payload, Size: size, ID: id})
-	case *QueueRef:
-		blocked, err = c.rt.Queue(ref).Put(p.conn, &queue.Item{TS: ts, Payload: payload, Size: size, ID: id})
-	default:
-		return fmt.Errorf("runtime: unknown output target %T", p.target)
-	}
+	blocked, err := p.buf.Put(p.conn, &buffer.Item{TS: ts, Payload: payload, Size: size, ID: id})
 	c.meter.AddBlocked(blocked)
 	if err != nil {
 		// The item never entered the buffer; account its storage as
 		// immediately reclaimed so footprint accounting stays balanced.
-		rec.Append(trace.Event{Kind: trace.EvFree, At: c.rt.clk.Now(), Item: id, Node: p.target.nodeID()})
+		rec.Append(trace.Event{Kind: trace.EvFree, At: c.rt.clk.Now(), Item: id, Node: p.ref.id})
 		return translateErr(err)
 	}
 
 	// Piggyback the buffer's summary-STP back to this producer (§3.3.2).
 	c.rt.ctrl.NotePut(p.conn)
 
-	c.rt.addLive(p.target.nodeHost(), size)
+	if !p.ref.caps.Remote {
+		// Remote endpoints hold their storage on the server; local
+		// footprint accounting tracks in-process buffers only.
+		c.rt.addLive(p.ref.host, size)
+	}
 	c.produced = append(c.produced, id)
 	return nil
 }
 
 // ShouldProduce reports whether work toward putting timestamp ts into
 // the output is still worthwhile: false when every consumer of the
-// target channel has already moved past ts (the item would be dead on
+// target buffer has already moved past ts (the item would be dead on
 // arrival). This is the paper's §3.2 upstream computation elimination
-// using local virtual-time knowledge; queues always report true (their
-// items are never skipped). Call it before the expensive compute, not
-// after.
+// using local virtual-time knowledge; backends whose items are never
+// skipped (FIFO queues) always report true. Call it before the expensive
+// compute, not after.
 func (c *Ctx) ShouldProduce(p *OutPort, ts vt.Timestamp) bool {
-	if ref, ok := p.target.(*ChannelRef); ok {
-		return !c.rt.Channel(ref).WouldBeDead(ts)
-	}
-	return true
+	return !p.buf.WouldBeDead(ts)
 }
 
 // Emit records one pipeline output: the items consumed so far in this

@@ -78,6 +78,9 @@ type (
 	ChannelRef = runtime.ChannelRef
 	// QueueRef names a declared queue.
 	QueueRef = runtime.QueueRef
+	// BufferOption customizes a buffer declaration (capacity, remote
+	// name, remote fault-tolerance tuning, ...).
+	BufferOption = runtime.BufferOption
 	// Buffer is the pluggable buffer-endpoint interface every backend
 	// (channel, queue, remote, ...) implements.
 	Buffer = buffer.Buffer
@@ -163,6 +166,18 @@ var ErrShutdown = runtime.ErrShutdown
 // not support (e.g. GetQueue on a channel input, a windowed input on a
 // FIFO queue): a typed wiring/call-time error, never a panic.
 var ErrPortKind = runtime.ErrPortKind
+
+// ErrDegraded reports that a wire-backed put/get exhausted its redial
+// and retry budget against an unreachable server. The connection is not
+// torn down: the next operation retries from scratch, and ARU's
+// staleness decay meanwhile returns upstream producers to local pacing.
+var ErrDegraded = runtime.ErrDegraded
+
+// ErrReattached is informational: the operation SUCCEEDED, but only
+// after the client redialed the server and replayed its attachment.
+// Results returned alongside it are valid; filter it with errors.Is
+// when only hard failures matter.
+var ErrReattached = runtime.ErrReattached
 
 // RegisterBufferBackend adds a buffer backend to the registry, making it
 // available to endpoint descriptors by name. The built-ins are
@@ -300,7 +315,23 @@ type (
 	RemoteConsumer = remote.Consumer
 	// RemoteItem is one item consumed over the wire.
 	RemoteItem = remote.Item
+	// RemoteTuning shapes a wire-backed endpoint's fault tolerance:
+	// call/get deadlines, redial backoff, retry budget, and the
+	// summary-STP staleness TTL. Pass it via WithRemoteTuning.
+	RemoteTuning = buffer.RemoteTuning
+	// RemoteBackoff parameterizes capped exponential redial backoff
+	// with symmetric jitter for raw remote connections.
+	RemoteBackoff = remote.Backoff
+	// RemoteDialConfig configures a raw fault-tolerant producer or
+	// consumer connection (DialRemoteProducerConfig and friends).
+	RemoteDialConfig = remote.DialConfig
 )
+
+// WithRemoteTuning sets a wire-backed endpoint's fault tolerance when
+// declaring it with Runtime.AddRemoteChannel.
+func WithRemoteTuning(t RemoteTuning) BufferOption {
+	return runtime.WithRemoteTuning(t)
+}
 
 // NewRemoteServer starts a TCP channel server.
 func NewRemoteServer(cfg RemoteServerConfig, channels ...string) (*RemoteServer, error) {
@@ -315,6 +346,18 @@ func DialRemoteProducer(addr, channel string) (*RemoteProducer, error) {
 // DialRemoteConsumer attaches a consumer connection to a remote channel.
 func DialRemoteConsumer(addr, channel string) (*RemoteConsumer, error) {
 	return remote.DialConsumer(addr, channel)
+}
+
+// DialRemoteProducerConfig attaches a producer with explicit
+// fault-tolerance configuration (deadlines, backoff, retry budget).
+func DialRemoteProducerConfig(cfg RemoteDialConfig) (*RemoteProducer, error) {
+	return remote.DialProducerConfig(cfg)
+}
+
+// DialRemoteConsumerConfig attaches a consumer with explicit
+// fault-tolerance configuration.
+func DialRemoteConsumerConfig(cfg RemoteDialConfig) (*RemoteConsumer, error) {
+	return remote.DialConsumerConfig(cfg)
 }
 
 // STPUnknown is the "no feedback yet" summary-STP value.

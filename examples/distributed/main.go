@@ -32,6 +32,12 @@ import (
 	aru "repro"
 )
 
+// tuning collects the fault-tolerance knobs every role shares: wire
+// deadlines, redial backoff, the retry budget behind ErrDegraded, and
+// the staleness TTL past which a silent peer's summary-STP decays back
+// toward local pacing.
+var tuning aru.RemoteTuning
+
 func main() {
 	var (
 		listen  = flag.String("listen", "", "run only a channel server on this address")
@@ -40,6 +46,11 @@ func main() {
 		period  = flag.Duration("period", 120*time.Millisecond, "consumer processing period")
 		frames  = flag.Int("frames", 60, "frames to produce")
 	)
+	flag.DurationVar(&tuning.CallTimeout, "call-timeout", 0, "per-call wire deadline (0: default 5s)")
+	flag.DurationVar(&tuning.RetryBase, "retry-base", 0, "first redial backoff delay (0: default 50ms)")
+	flag.DurationVar(&tuning.RetryCap, "retry-cap", 0, "redial backoff cap (0: default 2s)")
+	flag.IntVar(&tuning.MaxRetries, "max-retries", 0, "redial/retry budget before ErrDegraded (0: default 3)")
+	flag.DurationVar(&tuning.StaleTTL, "stale-ttl", 0, "remote summary-STP trust window (0: default 10s; <0: never decay)")
 	flag.Parse()
 
 	switch {
@@ -112,7 +123,7 @@ func main() {
 // camera to the summary-STP each put's reply carried back over TCP.
 func pipeline(addr string, frames int, displayPeriod time.Duration) error {
 	rt := aru.New(aru.Options{Clock: aru.NewRealClock(), ARU: aru.PolicyMin()})
-	ch, err := rt.AddRemoteChannel("frames", 0, addr)
+	ch, err := rt.AddRemoteChannel("frames", 0, addr, aru.WithRemoteTuning(tuning))
 	if err != nil {
 		return err
 	}
@@ -120,7 +131,18 @@ func pipeline(addr string, frames int, displayPeriod time.Duration) error {
 	camera := rt.MustAddThread("camera", 0, func(ctx *aru.Ctx) error {
 		for ts := aru.Timestamp(1); ts <= aru.Timestamp(frames) && !ctx.Stopped(); ts++ {
 			ctx.Compute(20 * time.Millisecond) // natural 20ms period
-			if err := ctx.Put(ctx.Outs()[0], ts, []byte("frame-payload"), 64<<10); err != nil {
+			err := ctx.Put(ctx.Outs()[0], ts, []byte("frame-payload"), 64<<10)
+			switch {
+			case err == nil:
+			case errors.Is(err, aru.ErrReattached):
+				// The put succeeded after a transparent redial.
+				fmt.Println("pipeline: camera re-attached across a wire fault")
+			case errors.Is(err, aru.ErrDegraded):
+				// Retry budget spent against an unreachable server: skip
+				// this frame; the staleness decay meanwhile returns the
+				// camera to its local 20ms pacing.
+				fmt.Println("pipeline: camera put degraded (server unreachable); dropping frame")
+			default:
 				return err
 			}
 			ctx.Sync() // pace to the feedback that crossed the wire
@@ -130,7 +152,13 @@ func pipeline(addr string, frames int, displayPeriod time.Duration) error {
 	display := rt.MustAddThread("display", 0, func(ctx *aru.Ctx) error {
 		for !ctx.Stopped() {
 			if _, err := ctx.Get(ctx.Ins()[0]); err != nil {
-				return err
+				if errors.Is(err, aru.ErrDegraded) {
+					continue // server unreachable; keep trying
+				}
+				if !errors.Is(err, aru.ErrReattached) {
+					return err
+				}
+				// Re-attached mid-get: the item is valid, fall through.
 			}
 			ctx.Compute(displayPeriod)
 			ctx.Sync()
@@ -144,15 +172,26 @@ func pipeline(addr string, frames int, displayPeriod time.Duration) error {
 		return err
 	}
 
-	// Report the camera's target period as the wire feedback moves it.
+	// Report the camera's target period as the wire feedback moves it,
+	// and the hosted channel's degraded/healthy transitions as its
+	// summary-STP ages past the staleness TTL (or heals).
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
 		var reported aru.STP
+		var degraded bool
 		for !rt.Stopped() {
 			if p := rt.Controller().TargetPeriod(camera.ID()); p != reported && p.Known() {
 				fmt.Printf("pipeline: camera target period is now %v\n", p.Duration())
 				reported = p
+			}
+			if d := rt.Controller().Degraded(ch.ID()); d != degraded {
+				if d {
+					fmt.Println("pipeline: remote feedback is STALE — decaying toward local pacing")
+				} else {
+					fmt.Println("pipeline: remote feedback is fresh again")
+				}
+				degraded = d
 			}
 			time.Sleep(50 * time.Millisecond)
 		}
@@ -185,10 +224,28 @@ func cameraPuts(rt *aru.Runtime, ch *aru.ChannelRef) int64 {
 	return 0
 }
 
+// dialCfg translates the shared tuning flags into a raw connection's
+// fault-tolerance configuration.
+func dialCfg(addr string) aru.RemoteDialConfig {
+	return aru.RemoteDialConfig{
+		Addr:        addr,
+		Channel:     "frames",
+		CallTimeout: tuning.CallTimeout,
+		GetTimeout:  tuning.GetTimeout,
+		Backoff: aru.RemoteBackoff{
+			Base:   tuning.RetryBase,
+			Cap:    tuning.RetryCap,
+			Factor: tuning.RetryFactor,
+			Jitter: tuning.RetryJitter,
+		},
+		MaxRetries: tuning.MaxRetries,
+	}
+}
+
 // produce pushes frames, pacing itself to the summary-STP piggybacked on
 // each put's reply (the ARU feedback loop, client side).
 func produce(addr string, frames int) error {
-	prod, err := aru.DialRemoteProducer(addr, "frames")
+	prod, err := aru.DialRemoteProducerConfig(dialCfg(addr))
 	if err != nil {
 		return err
 	}
@@ -199,7 +256,14 @@ func produce(addr string, frames int) error {
 	for ts := aru.Timestamp(1); ts <= aru.Timestamp(frames); ts++ {
 		start := time.Now()
 		summary, err := prod.Put(ts, []byte("frame-payload"), 64<<10)
-		if err != nil {
+		switch {
+		case err == nil:
+		case errors.Is(err, aru.ErrReattached):
+			fmt.Println("producer: re-attached across a wire fault (put applied once)")
+		case errors.Is(err, aru.ErrDegraded):
+			fmt.Printf("producer: degraded at frame %d (server unreachable); dropping frame\n", ts)
+			continue
+		default:
 			return err
 		}
 		if summary != reported {
@@ -222,7 +286,7 @@ func produce(addr string, frames int) error {
 // consume drains the freshest frames at a fixed processing period,
 // reporting that period as its summary-STP with every get.
 func consume(addr string, period time.Duration, name string) error {
-	cons, err := aru.DialRemoteConsumer(addr, "frames")
+	cons, err := aru.DialRemoteConsumerConfig(dialCfg(addr))
 	if err != nil {
 		return err
 	}
@@ -231,6 +295,10 @@ func consume(addr string, period time.Duration, name string) error {
 	got, skipped := 0, 0
 	for {
 		item, err := cons.GetLatest(aru.STP(period))
+		if err != nil && errors.Is(err, aru.ErrReattached) {
+			fmt.Printf("%-14s re-attached across a wire fault\n", name)
+			err = nil // the item is valid
+		}
 		if err != nil {
 			fmt.Printf("%-14s consumed %3d frames, skipped %3d (server closed)\n", name, got, skipped)
 			return aru.ErrShutdown

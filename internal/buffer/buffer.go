@@ -48,6 +48,18 @@ var (
 	// wire-backed channel). The runtime surfaces it as a typed
 	// port-kind error at wiring or call time — never as a panic.
 	ErrUnsupported = errors.New("buffer: operation unsupported by backend")
+	// ErrDegraded reports that a wire-backed operation exhausted its
+	// redial/retry budget: the remote peer is unreachable right now and
+	// the operation did NOT take effect (a put's item was dropped, a
+	// get returned nothing). The endpoint keeps reconnecting in the
+	// background; callers should treat the fault as observable load
+	// shedding, not a crash.
+	ErrDegraded = errors.New("buffer: remote endpoint degraded")
+	// ErrReattached is informational: the operation SUCCEEDED, but only
+	// after the underlying connection was redialed and its attachment
+	// replayed. The result accompanying the error is valid; callers that
+	// do not care may ignore it (errors.Is(err, ErrReattached)).
+	ErrReattached = errors.New("buffer: remote endpoint re-attached")
 )
 
 // Item is one timestamped data element stored in (or passing through) a
@@ -136,6 +148,40 @@ type Feedback interface {
 	ObserveBufferSummary(s core.STP)
 }
 
+// RemoteTuning tunes a wire-backed backend's fault tolerance. The zero
+// value means defaults everywhere; in-process backends ignore it.
+type RemoteTuning struct {
+	// CallTimeout bounds each bounded request/response round trip
+	// (attach, put, try-get, stats) with read/write deadlines; a stalled
+	// peer surfaces as a typed timeout instead of a wedged connection.
+	// Zero means the backend default (5s).
+	CallTimeout time.Duration
+	// GetTimeout bounds a blocking get's wait for the reply. Zero means
+	// wait forever (a legitimately idle channel must not look like a
+	// fault); set it above the longest expected idle gap to bound fault
+	// detection on consumers.
+	GetTimeout time.Duration
+	// RetryBase/RetryCap/RetryFactor/RetryJitter shape the capped
+	// exponential redial backoff (defaults 50ms / 2s / 2 / 0.2).
+	RetryBase   time.Duration
+	RetryCap    time.Duration
+	RetryFactor float64
+	RetryJitter float64
+	// MaxRetries is the per-operation redial/retry budget before the
+	// operation reports ErrDegraded. Zero means the default (3);
+	// negative disables retries.
+	MaxRetries int
+	// Seed fixes the jitter randomness for deterministic tests; zero
+	// derives a seed from the clock.
+	Seed int64
+	// StaleTTL is the age past which a remote summary-STP stops being
+	// trusted: its contribution to the backward fold decays linearly to
+	// Unknown over a second TTL, so a producer throttled by a dead
+	// consumer returns to local pacing (the paper-safe direction). Zero
+	// means the default (10s); negative disables decay.
+	StaleTTL time.Duration
+}
+
 // Config configures a buffer backend. Fields irrelevant to a backend
 // are ignored (queues ignore Collector; in-process backends ignore
 // Addr/RemoteName/Feedback).
@@ -163,6 +209,9 @@ type Config struct {
 	// Feedback is the runtime's summary-STP exchange hook for
 	// wire-backed backends.
 	Feedback Feedback
+	// Remote tunes a wire-backed backend's fault tolerance (deadlines,
+	// redial backoff, staleness TTL); in-process backends ignore it.
+	Remote RemoteTuning
 }
 
 // Buffer is a timestamped buffer endpoint as seen by the runtime. All

@@ -266,6 +266,10 @@ func (p Policy) Name() string {
 	return "aru-" + c.Name()
 }
 
+// DefaultStaleTTL is the default age past which a remote node's
+// summary-STP stops being fully trusted (see NodeState.MarkRemote).
+const DefaultStaleTTL = 10 * time.Second
+
 // NodeState holds the ARU state of one task-graph node.
 type NodeState struct {
 	node *graph.Node
@@ -276,6 +280,17 @@ type NodeState struct {
 	current STP // threads only: most recent current-STP
 	summary STP
 	remote  bool // summary is externally supplied (wire-backed buffer)
+
+	// Staleness tracking for remote summaries: clk stamps each
+	// SetSummary; past staleTTL of silence the stored summary decays
+	// linearly to Unknown over a second staleTTL, so feedback from a
+	// dead peer stops throttling upstream producers (they return to
+	// local current-STP pacing — the safe direction: shedding load on a
+	// healthy pipeline wastes capacity, but pacing to a ghost wedges
+	// it). staleTTL <= 0 or a nil clk disables decay.
+	clk       clock.Clock
+	staleTTL  time.Duration
+	summaryAt time.Duration // clk reading at the last SetSummary
 }
 
 // Node returns the underlying graph node.
@@ -330,20 +345,48 @@ func (n *NodeState) CurrentSTP() STP {
 	return n.current
 }
 
-// Summary returns the node's current summary-STP.
+// Summary returns the node's current summary-STP. For remote nodes with
+// staleness tracking, the stored value is decayed by its age: full
+// strength through staleTTL, then linearly down to Unknown by 2×staleTTL.
 func (n *NodeState) Summary() STP {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.summary
+	return n.decayedLocked()
+}
+
+// decayedLocked applies the staleness decay to the stored summary.
+func (n *NodeState) decayedLocked() STP {
+	s := n.summary
+	if !n.remote || n.staleTTL <= 0 || n.clk == nil || !s.Known() {
+		return s
+	}
+	age := n.clk.Now() - n.summaryAt
+	if age <= n.staleTTL {
+		return s
+	}
+	if age >= 2*n.staleTTL {
+		return Unknown
+	}
+	// Linear fade over the second TTL. A shrinking period throttles
+	// upstream producers less and less until local pacing takes over.
+	frac := float64(2*n.staleTTL-age) / float64(n.staleTTL)
+	return STP(float64(s) * frac)
 }
 
 // MarkRemote declares the node's summary externally supplied: local folds
 // stop writing it and SetSummary becomes the only writer. Used for
 // wire-backed buffer endpoints, whose authoritative summary-STP lives on
-// the remote server and arrives piggybacked on put replies.
-func (n *NodeState) MarkRemote() {
+// the remote server and arrives piggybacked on put replies. clk and
+// staleTTL enable staleness decay (see NodeState docs); a nil clk or
+// non-positive TTL trusts remote feedback forever.
+func (n *NodeState) MarkRemote(clk clock.Clock, staleTTL time.Duration) {
 	n.mu.Lock()
 	n.remote = true
+	n.clk = clk
+	n.staleTTL = staleTTL
+	if clk != nil {
+		n.summaryAt = clk.Now()
+	}
 	n.mu.Unlock()
 }
 
@@ -354,11 +397,27 @@ func (n *NodeState) Remote() bool {
 	return n.remote
 }
 
+// Degraded reports whether a remote node's feedback has gone stale: a
+// known summary older than the staleness TTL. It turns false again as
+// soon as fresh feedback arrives (SetSummary restamps the age).
+func (n *NodeState) Degraded() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.remote || n.staleTTL <= 0 || n.clk == nil || !n.summary.Known() {
+		return false
+	}
+	return n.clk.Now()-n.summaryAt > n.staleTTL
+}
+
 // SetSummary overwrites the node's summary-STP with an externally
-// supplied value (the wire feedback path for remote buffers).
+// supplied value (the wire feedback path for remote buffers), stamping
+// its arrival time for staleness decay.
 func (n *NodeState) SetSummary(s STP) {
 	n.mu.Lock()
 	n.summary = s
+	if n.clk != nil {
+		n.summaryAt = n.clk.Now()
+	}
 	n.mu.Unlock()
 }
 
@@ -439,9 +498,20 @@ func (c *Controller) SetCurrentSTP(id graph.NodeID, s STP) {
 }
 
 // MarkRemote declares a node's summary-STP externally supplied (see
-// NodeState.MarkRemote). Safe to call regardless of policy.
-func (c *Controller) MarkRemote(id graph.NodeID) {
-	c.states[id].MarkRemote()
+// NodeState.MarkRemote), with staleness decay driven by clk and
+// staleTTL. Safe to call regardless of policy.
+func (c *Controller) MarkRemote(id graph.NodeID, clk clock.Clock, staleTTL time.Duration) {
+	c.states[id].MarkRemote(clk, staleTTL)
+}
+
+// Degraded reports whether a remote node's feedback has gone stale (see
+// NodeState.Degraded). It is always false for local nodes and disabled
+// policies.
+func (c *Controller) Degraded(id graph.NodeID) bool {
+	if !c.policy.Enabled {
+		return false
+	}
+	return c.states[id].Degraded()
 }
 
 // SetRemoteSummary delivers a remote buffer's summary-STP as received

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/graph"
+)
+
+// degradeFixture builds src(thread) → ch(channel) with ch marked remote
+// under a manual clock and a 100ms staleness TTL.
+func degradeFixture(t *testing.T) (*Controller, *clock.Manual, graph.NodeID, graph.NodeID, graph.ConnID) {
+	t.Helper()
+	g := graph.New()
+	src, err := g.AddNode(graph.KindThread, "src", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := g.AddNode(graph.KindChannel, "ch", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := g.Connect(src, ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := clock.NewManual()
+	ctrl := NewController(g, PolicyMin())
+	ctrl.MarkRemote(ch, clk, 100*time.Millisecond)
+	return ctrl, clk, src, ch, conn
+}
+
+// TestRemoteSummaryDecaySchedule pins the decay: a remote summary holds
+// full strength through the TTL, fades linearly over the second TTL, and
+// is Unknown past 2×TTL. Degraded flips at exactly age > TTL.
+func TestRemoteSummaryDecaySchedule(t *testing.T) {
+	ctrl, clk, _, ch, _ := degradeFixture(t)
+	st := ctrl.State(ch)
+
+	ctrl.SetRemoteSummary(ch, STP(400*time.Millisecond))
+	if got := st.Summary(); got != STP(400*time.Millisecond) {
+		t.Fatalf("fresh summary = %v", got)
+	}
+	if ctrl.Degraded(ch) {
+		t.Fatal("fresh summary must not be degraded")
+	}
+
+	// Exactly at the TTL: still full strength, still healthy.
+	clk.Advance(100 * time.Millisecond)
+	if got := st.Summary(); got != STP(400*time.Millisecond) {
+		t.Fatalf("summary at TTL = %v, want full 400ms", got)
+	}
+	if ctrl.Degraded(ch) {
+		t.Fatal("age == TTL must not be degraded yet")
+	}
+
+	// Midway through the fade: half strength, degraded.
+	clk.Advance(50 * time.Millisecond)
+	if got := st.Summary(); got != STP(200*time.Millisecond) {
+		t.Fatalf("summary at 1.5×TTL = %v, want 200ms (half)", got)
+	}
+	if !ctrl.Degraded(ch) {
+		t.Fatal("age 1.5×TTL must be degraded")
+	}
+
+	// Three quarters through: quarter strength.
+	clk.Advance(25 * time.Millisecond)
+	if got := st.Summary(); got != STP(100*time.Millisecond) {
+		t.Fatalf("summary at 1.75×TTL = %v, want 100ms", got)
+	}
+
+	// Fully stale: Unknown — the ghost stops throttling anyone.
+	clk.Advance(25 * time.Millisecond)
+	if got := st.Summary(); got.Known() {
+		t.Fatalf("summary at 2×TTL = %v, want Unknown", got)
+	}
+	if !ctrl.Degraded(ch) {
+		t.Fatal("silent peer stays degraded until fresh feedback")
+	}
+
+	// Fresh feedback heals instantly: full strength, healthy.
+	ctrl.SetRemoteSummary(ch, STP(250*time.Millisecond))
+	if got := st.Summary(); got != STP(250*time.Millisecond) {
+		t.Fatalf("healed summary = %v", got)
+	}
+	if ctrl.Degraded(ch) {
+		t.Fatal("fresh feedback must clear degraded")
+	}
+}
+
+// TestDecayReturnsProducerToLocalPacing proves the paper-safe direction
+// end to end in the controller: while remote feedback is fresh the
+// producer paces to it; once it goes fully stale the producer's target
+// period falls back to its own current-STP.
+func TestDecayReturnsProducerToLocalPacing(t *testing.T) {
+	ctrl, clk, src, ch, conn := degradeFixture(t)
+
+	// The producer measures a 30ms local period; the remote channel
+	// reports a 400ms summary (a slow downstream consumer).
+	ctrl.SetCurrentSTP(src, STP(30*time.Millisecond))
+	ctrl.SetRemoteSummary(ch, STP(400*time.Millisecond))
+	ctrl.NotePut(conn) // the put-reply piggyback fold
+	if got := ctrl.TargetPeriod(src); got != STP(400*time.Millisecond) {
+		t.Fatalf("fresh target = %v, want remote 400ms", got)
+	}
+
+	// The peer dies. Midway through the fade the throttle weakens.
+	clk.Advance(150 * time.Millisecond)
+	ctrl.NotePut(conn) // the runtime's Sync-driven fold refresh
+	if got := ctrl.TargetPeriod(src); got != STP(200*time.Millisecond) {
+		t.Fatalf("mid-decay target = %v, want 200ms", got)
+	}
+
+	// Fully stale: the fold sees Unknown and local pacing wins.
+	clk.Advance(50 * time.Millisecond)
+	ctrl.NotePut(conn)
+	if got := ctrl.TargetPeriod(src); got != STP(30*time.Millisecond) {
+		t.Fatalf("stale target = %v, want local 30ms", got)
+	}
+
+	// Heal: fresh feedback re-throttles on the next fold.
+	ctrl.SetRemoteSummary(ch, STP(350*time.Millisecond))
+	ctrl.NotePut(conn)
+	if got := ctrl.TargetPeriod(src); got != STP(350*time.Millisecond) {
+		t.Fatalf("healed target = %v, want 350ms", got)
+	}
+}
+
+// TestLocalNodesNeverDegrade guards the boundary: staleness is a remote
+// concept; in-process buffers and threads are never degraded and their
+// summaries never decay.
+func TestLocalNodesNeverDegrade(t *testing.T) {
+	g := graph.New()
+	src, _ := g.AddNode(graph.KindThread, "src", 0)
+	ch, _ := g.AddNode(graph.KindChannel, "ch", 0)
+	sink, _ := g.AddNode(graph.KindThread, "sink", 0)
+	if _, err := g.Connect(src, ch); err != nil {
+		t.Fatal(err)
+	}
+	get, err := g.Connect(ch, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := NewController(g, PolicyMin())
+
+	ctrl.SetCurrentSTP(sink, STP(100*time.Millisecond))
+	ctrl.NoteGet(get) // sink's summary reaches the in-process channel
+	if ctrl.Degraded(ch) || ctrl.Degraded(src) || ctrl.Degraded(sink) {
+		t.Fatal("local nodes must never report degraded")
+	}
+	if got := ctrl.State(ch).Summary(); got != STP(100*time.Millisecond) {
+		t.Fatalf("local summary = %v, want undecayed 100ms", got)
+	}
+}

@@ -1,0 +1,448 @@
+// Package faultnet injects deterministic, scriptable faults into
+// net.Conn / net.Listener pairs so tests can prove — rather than hope —
+// that the remote layer degrades safely. A Control is a seeded script
+// shared by every connection it wraps; tests flip its switches while a
+// pipeline is running:
+//
+//   - fixed or randomized per-operation delay (slow wires),
+//   - black-holed reads (a stalled peer that accepts bytes but never
+//     answers),
+//   - drop-after-N-bytes (a connection that dies mid-message),
+//   - mid-stream partition (every live connection severed at once, new
+//     dials refused until Heal),
+//   - flaky accept (every k-th accepted connection is immediately
+//     closed).
+//
+// All randomness comes from one seeded source, so a chaos run is
+// reproducible from its seed (CI pins FAULTNET_SEED). The wrappers are
+// plain net.Conn/net.Listener values: any client or server that accepts
+// an injected dialer or listener can be driven through a script —
+// nothing in this package depends on the rest of the repository.
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// ErrInjected reports an I/O failure injected by a faultnet script
+// (partitioned wire, refused dial, byte-budget exhaustion).
+var ErrInjected = errors.New("faultnet: injected fault")
+
+// Seed returns the chaos seed: the FAULTNET_SEED environment variable
+// when set (CI pins it for reproducible runs), def otherwise.
+func Seed(def int64) int64 {
+	if v := os.Getenv("FAULTNET_SEED"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+			return n
+		}
+	}
+	return def
+}
+
+// Control is one fault script shared by every connection it wraps. All
+// methods are safe for concurrent use; switches apply to in-flight
+// connections immediately.
+type Control struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	readDelay   time.Duration
+	writeDelay  time.Duration
+	delayJitter time.Duration
+
+	// blackhole is non-nil while reads are black-holed; it is closed
+	// (releasing every blocked reader) when the script lifts the fault.
+	blackhole chan struct{}
+
+	// dropRead/dropWrite are one-shot byte budgets; the connection that
+	// crosses an armed budget is severed. Negative means disarmed.
+	dropRead  int64
+	dropWrite int64
+
+	partitioned bool
+
+	// acceptEvery k>0 closes every k-th accepted connection.
+	acceptEvery int
+	acceptCount int
+
+	conns    map[*Conn]struct{}
+	injected int64
+}
+
+// New returns a Control whose randomized faults (delay jitter) draw
+// from the given seed.
+func New(seed int64) *Control {
+	return &Control{
+		rng:       rand.New(rand.NewSource(seed)),
+		dropRead:  -1,
+		dropWrite: -1,
+		conns:     make(map[*Conn]struct{}),
+	}
+}
+
+// SetDelays scripts a per-operation latency: every Read sleeps read (+
+// up to jitter, seeded) before touching the wire, every Write sleeps
+// write (+ jitter). Zero disables.
+func (c *Control) SetDelays(read, write, jitter time.Duration) {
+	c.mu.Lock()
+	c.readDelay, c.writeDelay, c.delayJitter = read, write, jitter
+	c.mu.Unlock()
+}
+
+// BlackholeReads scripts a stalled peer: while on, every Read blocks —
+// honoring the connection's read deadline, so deadline-hardened clients
+// observe a timeout, while deadline-less clients hang exactly as they
+// would against a real wedged server. Turning it off releases every
+// blocked reader.
+func (c *Control) BlackholeReads(on bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if on && c.blackhole == nil {
+		c.blackhole = make(chan struct{})
+	} else if !on && c.blackhole != nil {
+		close(c.blackhole)
+		c.blackhole = nil
+	}
+}
+
+// DropReadAfter arms a one-shot budget: after n more bytes have been
+// read across wrapped connections, the connection crossing the budget
+// is severed mid-stream.
+func (c *Control) DropReadAfter(n int64) {
+	c.mu.Lock()
+	c.dropRead = n
+	c.mu.Unlock()
+}
+
+// DropWriteAfter is DropReadAfter for the write direction. Arming with
+// n=0 severs the next writer before any of its bytes reach the wire —
+// the canonical "response lost" script.
+func (c *Control) DropWriteAfter(n int64) {
+	c.mu.Lock()
+	c.dropWrite = n
+	c.mu.Unlock()
+}
+
+// Partition severs every live wrapped connection mid-stream and refuses
+// new ones (accepted connections are closed immediately, Dial fails)
+// until Heal.
+func (c *Control) Partition() {
+	c.mu.Lock()
+	c.partitioned = true
+	conns := make([]*Conn, 0, len(c.conns))
+	for cn := range c.conns {
+		conns = append(conns, cn)
+	}
+	c.injected++
+	c.mu.Unlock()
+	for _, cn := range conns {
+		cn.Close()
+	}
+}
+
+// Heal lifts a partition; new connections flow again.
+func (c *Control) Heal() {
+	c.mu.Lock()
+	c.partitioned = false
+	c.mu.Unlock()
+}
+
+// Partitioned reports whether the wire is currently partitioned.
+func (c *Control) Partitioned() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.partitioned
+}
+
+// FlakyAccept scripts a flaky listener: every k-th accepted connection
+// is closed before the client can use it (k ≤ 0 disables).
+func (c *Control) FlakyAccept(k int) {
+	c.mu.Lock()
+	c.acceptEvery = k
+	c.acceptCount = 0
+	c.mu.Unlock()
+}
+
+// Injected returns how many faults the script has fired (partitions,
+// budget drops, flaky accepts, refused dials).
+func (c *Control) Injected() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.injected
+}
+
+// Conns returns the number of live wrapped connections.
+func (c *Control) Conns() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.conns)
+}
+
+// Wrap places nc under the script's control.
+func (c *Control) Wrap(nc net.Conn) *Conn {
+	w := &Conn{inner: nc, ctl: c, closed: make(chan struct{})}
+	c.mu.Lock()
+	c.conns[w] = struct{}{}
+	c.mu.Unlock()
+	return w
+}
+
+// Listen opens a TCP listener whose accepted connections are under the
+// script's control.
+func (c *Control) Listen(addr string) (*Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Listener{inner: ln, ctl: c}, nil
+}
+
+// WrapListener places an existing listener under the script's control.
+func (c *Control) WrapListener(ln net.Listener) *Listener {
+	return &Listener{inner: ln, ctl: c}
+}
+
+// Dial opens a client connection under the script's control; it fails
+// immediately while the wire is partitioned.
+func (c *Control) Dial(addr string, timeout time.Duration) (net.Conn, error) {
+	c.mu.Lock()
+	parted := c.partitioned
+	if parted {
+		c.injected++
+	}
+	c.mu.Unlock()
+	if parted {
+		return nil, fmt.Errorf("%w: dial %s refused: wire partitioned", ErrInjected, addr)
+	}
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return c.Wrap(nc), nil
+}
+
+// unregister drops a closed connection from the script's live set.
+func (c *Control) unregister(w *Conn) {
+	c.mu.Lock()
+	delete(c.conns, w)
+	c.mu.Unlock()
+}
+
+// delay computes the scripted sleep for one operation (seeded jitter).
+func (c *Control) delay(read bool) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d := c.writeDelay
+	if read {
+		d = c.readDelay
+	}
+	if c.delayJitter > 0 {
+		d += time.Duration(c.rng.Int63n(int64(c.delayJitter)))
+	}
+	return d
+}
+
+// spend deducts n bytes from the direction's one-shot budget and
+// reports whether the budget was crossed (severing the connection is
+// the caller's job).
+func (c *Control) spend(read bool, n int) bool {
+	if n <= 0 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	budget := &c.dropWrite
+	if read {
+		budget = &c.dropRead
+	}
+	if *budget < 0 {
+		return false
+	}
+	*budget -= int64(n)
+	if *budget < 0 {
+		*budget = -1 // disarm: one-shot
+		c.injected++
+		return true
+	}
+	return false
+}
+
+// blackholeCh returns the current blackhole gate (nil when reads flow).
+func (c *Control) blackholeCh() chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.blackhole
+}
+
+// flakyDrop reports whether this accept should be dropped.
+func (c *Control) flakyDrop() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.acceptEvery <= 0 {
+		return false
+	}
+	c.acceptCount++
+	if c.acceptCount%c.acceptEvery == 0 {
+		c.injected++
+		return true
+	}
+	return false
+}
+
+// Conn is one scripted connection.
+type Conn struct {
+	inner net.Conn
+	ctl   *Control
+
+	closeOnce sync.Once
+	closed    chan struct{}
+
+	mu           sync.Mutex
+	readDeadline time.Time
+}
+
+// Read applies the script (partition, delay, blackhole, byte budget)
+// around the underlying read.
+func (c *Conn) Read(p []byte) (int, error) {
+	if err := c.gate(true); err != nil {
+		return 0, err
+	}
+	n, err := c.inner.Read(p)
+	if c.ctl.spend(true, n) {
+		c.Close()
+	}
+	return n, err
+}
+
+// Write applies the script around the underlying write.
+func (c *Conn) Write(p []byte) (int, error) {
+	if err := c.gate(false); err != nil {
+		return 0, err
+	}
+	if c.ctl.spend(false, len(p)) {
+		// The budget dies before these bytes reach the wire: the peer
+		// never sees this message (lost response / lost request).
+		c.Close()
+		return 0, fmt.Errorf("%w: write budget exhausted", ErrInjected)
+	}
+	return c.inner.Write(p)
+}
+
+// gate enforces the pre-I/O script: partition check, scripted delay,
+// and (reads only) the blackhole, which honors the read deadline.
+func (c *Conn) gate(read bool) error {
+	if c.ctl.Partitioned() {
+		return fmt.Errorf("%w: wire partitioned", ErrInjected)
+	}
+	if d := c.ctl.delay(read); d > 0 {
+		select {
+		case <-time.After(d):
+		case <-c.closed:
+			return net.ErrClosed
+		}
+	}
+	if !read {
+		return nil
+	}
+	if bh := c.ctl.blackholeCh(); bh != nil {
+		var deadlineC <-chan time.Time
+		c.mu.Lock()
+		dl := c.readDeadline
+		c.mu.Unlock()
+		if !dl.IsZero() {
+			d := time.Until(dl)
+			if d <= 0 {
+				return os.ErrDeadlineExceeded
+			}
+			t := time.NewTimer(d)
+			defer t.Stop()
+			deadlineC = t.C
+		}
+		select {
+		case <-bh: // healed: proceed to the real read
+		case <-c.closed:
+			return net.ErrClosed
+		case <-deadlineC:
+			return os.ErrDeadlineExceeded
+		}
+	}
+	return nil
+}
+
+// Close severs the connection and releases any blocked script waits.
+func (c *Conn) Close() error {
+	var err error
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		c.ctl.unregister(c)
+		err = c.inner.Close()
+	})
+	return err
+}
+
+// LocalAddr returns the underlying local address.
+func (c *Conn) LocalAddr() net.Addr { return c.inner.LocalAddr() }
+
+// RemoteAddr returns the underlying remote address.
+func (c *Conn) RemoteAddr() net.Addr { return c.inner.RemoteAddr() }
+
+// SetDeadline sets both deadlines (tracked so scripted blocks honor
+// them too).
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDeadline = t
+	c.mu.Unlock()
+	return c.inner.SetDeadline(t)
+}
+
+// SetReadDeadline sets the read deadline; a black-holed Read returns
+// os.ErrDeadlineExceeded when it expires, exactly like a real conn.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDeadline = t
+	c.mu.Unlock()
+	return c.inner.SetReadDeadline(t)
+}
+
+// SetWriteDeadline sets the write deadline on the underlying conn.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	return c.inner.SetWriteDeadline(t)
+}
+
+// Listener is a scripted net.Listener: accepted connections come out
+// wrapped, flaky-accept and partition scripts apply.
+type Listener struct {
+	inner net.Listener
+	ctl   *Control
+}
+
+// Accept returns the next scripted connection. While partitioned, or
+// when the flaky-accept script fires, the accepted connection is closed
+// immediately and Accept moves on — the client sees a wire that opened
+// and instantly died, the classic half-up failure.
+func (l *Listener) Accept() (net.Conn, error) {
+	for {
+		nc, err := l.inner.Accept()
+		if err != nil {
+			return nil, err
+		}
+		if l.ctl.Partitioned() || l.ctl.flakyDrop() {
+			nc.Close()
+			continue
+		}
+		return l.ctl.Wrap(nc), nil
+	}
+}
+
+// Close closes the underlying listener.
+func (l *Listener) Close() error { return l.inner.Close() }
+
+// Addr returns the underlying listen address.
+func (l *Listener) Addr() net.Addr { return l.inner.Addr() }

@@ -1,0 +1,264 @@
+package faultnet
+
+import (
+	"errors"
+	"io"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+// pair starts a scripted listener, dials it, and returns both ends of
+// one live connection (client side raw, server side scripted).
+func pair(t *testing.T, ctl *Control) (client net.Conn, server net.Conn) {
+	t.Helper()
+	ln, err := ctl.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	accepted := make(chan net.Conn, 1)
+	errc := make(chan error, 1)
+	go func() {
+		nc, err := ln.Accept()
+		if err != nil {
+			errc <- err
+			return
+		}
+		accepted <- nc
+	}()
+	client, err = net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	select {
+	case server = <-accepted:
+	case err := <-errc:
+		t.Fatal(err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("accept never returned")
+	}
+	t.Cleanup(func() { server.Close() })
+	return client, server
+}
+
+func TestSeedEnvOverride(t *testing.T) {
+	os.Setenv("FAULTNET_SEED", "1719")
+	defer os.Unsetenv("FAULTNET_SEED")
+	if got := Seed(1); got != 1719 {
+		t.Fatalf("Seed = %d, want 1719 (env)", got)
+	}
+	os.Setenv("FAULTNET_SEED", "junk")
+	if got := Seed(7); got != 7 {
+		t.Fatalf("Seed = %d, want 7 (bad env falls back)", got)
+	}
+}
+
+func TestScriptedReadDelay(t *testing.T) {
+	ctl := New(Seed(42))
+	ctl.SetDelays(50*time.Millisecond, 0, 0)
+	client, server := pair(t, ctl)
+
+	go client.Write([]byte("x"))
+	start := time.Now()
+	buf := make([]byte, 1)
+	if _, err := server.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 45*time.Millisecond {
+		t.Fatalf("scripted 50ms read delay not applied: read returned in %v", elapsed)
+	}
+}
+
+func TestBlackholeHonorsReadDeadline(t *testing.T) {
+	ctl := New(Seed(42))
+	ctl.BlackholeReads(true)
+	client, server := pair(t, ctl)
+
+	go client.Write([]byte("x"))
+	server.SetReadDeadline(time.Now().Add(60 * time.Millisecond))
+	buf := make([]byte, 1)
+	_, err := server.Read(buf)
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("black-holed read with deadline = %v, want deadline exceeded", err)
+	}
+
+	// Healing releases the data.
+	ctl.BlackholeReads(false)
+	server.SetReadDeadline(time.Time{})
+	if _, err := server.Read(buf); err != nil {
+		t.Fatalf("read after heal: %v", err)
+	}
+}
+
+func TestBlackholeBlocksWithoutDeadline(t *testing.T) {
+	ctl := New(Seed(42))
+	ctl.BlackholeReads(true)
+	client, server := pair(t, ctl)
+
+	go client.Write([]byte("x"))
+	done := make(chan struct{})
+	go func() {
+		buf := make([]byte, 1)
+		server.Read(buf)
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("black-holed read returned without deadline or heal")
+	case <-time.After(80 * time.Millisecond):
+	}
+	ctl.BlackholeReads(false)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("read never released after heal")
+	}
+}
+
+func TestDropWriteAfterSeversMidStream(t *testing.T) {
+	ctl := New(Seed(42))
+	client, server := pair(t, ctl)
+
+	// First write passes (budget 4 bytes), the write crossing the
+	// budget is dropped before reaching the wire.
+	ctl.DropWriteAfter(4)
+	if _, err := server.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.Write([]byte("lost!")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("budget-crossing write = %v, want ErrInjected", err)
+	}
+	// The peer sees only the first message, then EOF: the second was
+	// lost, not truncated.
+	got, err := io.ReadAll(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "ok" {
+		t.Fatalf("peer saw %q, want only %q", got, "ok")
+	}
+	if ctl.Injected() == 0 {
+		t.Fatal("injected fault not counted")
+	}
+}
+
+func TestDropReadAfterSevers(t *testing.T) {
+	ctl := New(Seed(42))
+	client, server := pair(t, ctl)
+	ctl.DropReadAfter(2)
+
+	if _, err := client.Write([]byte("abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(server, buf); err != nil {
+		t.Fatal(err)
+	}
+	// Budget crossed on a later read: the connection dies.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := server.Read(buf); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("read budget never severed the connection")
+		}
+	}
+}
+
+func TestPartitionSeversAndRefusesThenHeals(t *testing.T) {
+	ctl := New(Seed(42))
+	client, server := pair(t, ctl)
+
+	// A read blocked mid-stream is severed by the partition.
+	readErr := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 1)
+		_, err := server.Read(buf)
+		readErr <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	ctl.Partition()
+	select {
+	case err := <-readErr:
+		if err == nil {
+			t.Fatal("partition did not sever the blocked read")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked read survived the partition")
+	}
+
+	// New dials through the control are refused while partitioned.
+	if _, err := ctl.Dial(client.RemoteAddr().String(), time.Second); !errors.Is(err, ErrInjected) {
+		t.Fatalf("dial during partition = %v, want ErrInjected", err)
+	}
+
+	ctl.Heal()
+	if ctl.Partitioned() {
+		t.Fatal("Heal did not lift the partition")
+	}
+}
+
+func TestFlakyAcceptDropsEveryKth(t *testing.T) {
+	ctl := New(Seed(42))
+	ctl.FlakyAccept(2) // every 2nd accept dies
+	ln, err := ctl.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	type result struct {
+		nc  net.Conn
+		err error
+	}
+	results := make(chan result, 4)
+	go func() {
+		for i := 0; i < 2; i++ {
+			nc, err := ln.Accept()
+			results <- result{nc, err}
+		}
+	}()
+
+	// Dial 4 times; the listener drops accepts 2 and 4, so only 2
+	// survive. Each surviving connection still works.
+	for i := 0; i < 4; i++ {
+		nc, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer nc.Close()
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case r := <-results:
+			if r.err != nil {
+				t.Fatal(r.err)
+			}
+			r.nc.Close()
+		case <-time.After(5 * time.Second):
+			t.Fatal("surviving accepts never arrived")
+		}
+	}
+	// Two surviving accepts means the listener walked past the 2nd
+	// (dropped) backlog connection; the 4th stays queued, so exactly
+	// one flaky drop has fired by now.
+	if got := ctl.Injected(); got < 1 {
+		t.Fatalf("injected = %d, want ≥ 1 flaky drop", got)
+	}
+}
+
+func TestConnsTracking(t *testing.T) {
+	ctl := New(Seed(42))
+	_, server := pair(t, ctl)
+	if got := ctl.Conns(); got != 1 {
+		t.Fatalf("Conns = %d, want 1", got)
+	}
+	server.Close()
+	if got := ctl.Conns(); got != 0 {
+		t.Fatalf("Conns after close = %d, want 0", got)
+	}
+}

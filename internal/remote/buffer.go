@@ -1,6 +1,7 @@
 package remote
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -81,9 +82,31 @@ func (e *Endpoint) Node() graph.NodeID { return e.cfg.Node }
 // Caps reports the wire-backed backend's capabilities.
 func (e *Endpoint) Caps() buffer.Caps { return endpointCaps }
 
+// dialConfig translates the endpoint's buffer.RemoteTuning into the
+// client layer's DialConfig for one attachment.
+func (e *Endpoint) dialConfig(window int) DialConfig {
+	t := e.cfg.Remote
+	return DialConfig{
+		Addr:        e.cfg.Addr,
+		Channel:     e.name,
+		CallTimeout: t.CallTimeout,
+		GetTimeout:  t.GetTimeout,
+		Backoff: Backoff{
+			Base:   t.RetryBase,
+			Cap:    t.RetryCap,
+			Factor: t.RetryFactor,
+			Jitter: t.RetryJitter,
+		},
+		MaxRetries: t.MaxRetries,
+		Clock:      e.cfg.Clock,
+		Seed:       t.Seed,
+		Window:     window,
+	}
+}
+
 // AttachProducer dials a producer session to the hosted channel.
 func (e *Endpoint) AttachProducer(conn graph.ConnID) error {
-	p, err := DialProducer(e.cfg.Addr, e.name)
+	p, err := DialProducerConfig(e.dialConfig(0))
 	if err != nil {
 		return err
 	}
@@ -108,7 +131,7 @@ func (e *Endpoint) AttachConsumer(conn graph.ConnID, window int) error {
 	if window != 1 {
 		return fmt.Errorf("%w: window width %d on wire-backed endpoint %q", buffer.ErrUnsupported, window, e.cfg.Name)
 	}
-	c, err := DialConsumer(e.cfg.Addr, e.name)
+	c, err := DialConsumerConfig(e.dialConfig(window))
 	if err != nil {
 		return err
 	}
@@ -168,12 +191,14 @@ func (e *Endpoint) consumer(conn graph.ConnID) (*Consumer, error) {
 
 // wireErr maps wire-level failures to the shared buffer errors: a closed
 // endpoint (or a server that went away mid-call) reports ErrClosed so
-// the runtime translates it into a clean shutdown.
+// the runtime translates it into a clean shutdown. ErrDegraded and
+// ErrReattached already wrap their buffer-layer counterparts and pass
+// through unchanged.
 func (e *Endpoint) wireErr(err error) error {
 	if err == nil {
 		return nil
 	}
-	if err == ErrClosed {
+	if errors.Is(err, ErrClosed) {
 		return buffer.ErrClosed
 	}
 	e.mu.Lock()
@@ -199,7 +224,7 @@ func (e *Endpoint) Put(conn graph.ConnID, it *buffer.Item) (time.Duration, error
 		return 0, fmt.Errorf("%w: remote put payload must be []byte, got %T", buffer.ErrUnsupported, it.Payload)
 	}
 	summary, err := p.Put(it.TS, payload, it.Size)
-	if err != nil {
+	if err != nil && !errors.Is(err, ErrReattached) {
 		return 0, e.wireErr(err)
 	}
 	e.mu.Lock()
@@ -208,7 +233,9 @@ func (e *Endpoint) Put(conn graph.ConnID, it *buffer.Item) (time.Duration, error
 	if e.cfg.Feedback != nil {
 		e.cfg.Feedback.ObserveBufferSummary(summary)
 	}
-	return 0, nil
+	// err is nil or the informational ErrReattached (which wraps
+	// buffer.ErrReattached): the put was applied either way.
+	return 0, err
 }
 
 // Get blocks until the hosted channel serves a fresh item, forwarding the
@@ -223,10 +250,11 @@ func (e *Endpoint) Get(conn graph.ConnID) (buffer.GetResult, error) {
 	start := e.cfg.Clock.Now()
 	it, err := c.GetLatest(e.consumerSummary(conn))
 	blocked := e.cfg.Clock.Now() - start
-	if err != nil {
+	if err != nil && !errors.Is(err, ErrReattached) {
 		return buffer.GetResult{Blocked: blocked}, e.wireErr(err)
 	}
-	return e.result(it, blocked), nil
+	// err is nil or the informational ErrReattached: the item is valid.
+	return e.result(it, blocked), err
 }
 
 // TryGet is the non-blocking Get.
@@ -236,13 +264,13 @@ func (e *Endpoint) TryGet(conn graph.ConnID) (buffer.GetResult, bool, error) {
 		return buffer.GetResult{}, false, err
 	}
 	it, ok, err := c.TryGetLatest(e.consumerSummary(conn))
-	if err != nil {
+	if err != nil && !errors.Is(err, ErrReattached) {
 		return buffer.GetResult{}, false, e.wireErr(err)
 	}
 	if !ok {
-		return buffer.GetResult{}, false, nil
+		return buffer.GetResult{}, false, err // nil or informational
 	}
-	return e.result(it, 0), true, nil
+	return e.result(it, 0), true, err // nil or informational
 }
 
 // GetAt is unsupported: the wire protocol serves freshest-unseen only.

@@ -16,8 +16,6 @@
 package remote
 
 import (
-	"time"
-
 	"repro/internal/core"
 	"repro/internal/vt"
 )
@@ -58,6 +56,20 @@ type Request struct {
 	// SummarySTP piggybacks the sender's summary-STP (OpGetLatest /
 	// OpTryGetLatest: consumer → channel feedback).
 	SummarySTP core.STP
+	// Window is the consumer's sliding-window width (OpAttachConsumer);
+	// zero means 1. Re-attaches after a reconnect replay it so the
+	// server-side view is rebuilt exactly.
+	Window int
+	// Token identifies one producer instance across reconnects
+	// (OpAttachProducer / OpPut). The server remembers the last applied
+	// (token, timestamp) so a put retried after a lost response is
+	// idempotent — it never double-inserts. Zero means "no idempotency".
+	Token uint64
+	// Retry marks a put re-sent after a wire failure mid-call: the
+	// original may or may not have been applied. Paired with Token (or,
+	// for token-less clients, with the channel's duplicate-timestamp
+	// check) it makes the retry safe.
+	Retry bool
 }
 
 // Response is one server→client message.
@@ -84,6 +96,3 @@ type Response struct {
 // ErrClosedText is the canonical Err value for a closed channel or
 // server.
 const ErrClosedText = "closed"
-
-// dialTimeout bounds connection establishment.
-const dialTimeout = 5 * time.Second

@@ -1,0 +1,350 @@
+package remote
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// Fault-tolerance defaults. Chosen so a transient blip (a dropped
+// connection, one lost response) heals in well under a second while a
+// true outage degrades within a few seconds instead of wedging.
+const (
+	defaultCallTimeout = 5 * time.Second
+	defaultRetryBase   = 50 * time.Millisecond
+	defaultRetryCap    = 2 * time.Second
+	defaultRetryFactor = 2.0
+	defaultRetryJitter = 0.2
+	defaultMaxRetries  = 3
+)
+
+// Backoff parameterizes capped exponential redial backoff with
+// symmetric jitter: the n-th delay is Base·Factorⁿ capped at Cap, then
+// scaled by 1 + Jitter·(2u−1) for a unit sample u.
+type Backoff struct {
+	// Base is the first delay (default 50ms).
+	Base time.Duration
+	// Cap bounds every delay (default 2s).
+	Cap time.Duration
+	// Factor is the exponential growth rate (default 2).
+	Factor float64
+	// Jitter is the symmetric jitter fraction in [0,1) (default 0.2);
+	// negative disables jitter entirely.
+	Jitter float64
+}
+
+// withDefaults fills zero fields. It is idempotent: the negative
+// "jitter disabled" sentinel survives repeated application (mapping it
+// to 0 here would let a second pass resurrect the default).
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = defaultRetryBase
+	}
+	if b.Cap <= 0 {
+		b.Cap = defaultRetryCap
+	}
+	if b.Factor <= 0 {
+		b.Factor = defaultRetryFactor
+	}
+	if b.Jitter == 0 {
+		b.Jitter = defaultRetryJitter
+	}
+	return b
+}
+
+// Delay returns the n-th (0-based) redial delay for a unit jitter
+// sample u in [0,1). It is a pure function, so fake-clock tests can pin
+// the exact schedule a seed produces.
+func (b Backoff) Delay(n int, u float64) time.Duration {
+	b = b.withDefaults()
+	j := b.Jitter
+	if j < 0 {
+		j = 0 // negative disables jitter
+	}
+	d := float64(b.Base)
+	for i := 0; i < n && d < float64(b.Cap); i++ {
+		d *= b.Factor
+	}
+	if d > float64(b.Cap) {
+		d = float64(b.Cap)
+	}
+	if j > 0 {
+		d *= 1 + j*(2*u-1)
+	}
+	if d < 0 {
+		d = 0
+	}
+	if d > float64(b.Cap)*(1+j) {
+		d = float64(b.Cap) * (1 + j)
+	}
+	return time.Duration(d)
+}
+
+// DialConfig configures a fault-tolerant client connection.
+type DialConfig struct {
+	// Addr is the server address; Channel names the hosted channel.
+	Addr    string
+	Channel string
+	// CallTimeout bounds each bounded round trip (default 5s).
+	CallTimeout time.Duration
+	// GetTimeout bounds a blocking get's wait for its reply; zero waits
+	// forever. See Consumer.GetLatest.
+	GetTimeout time.Duration
+	// Backoff shapes the redial schedule.
+	Backoff Backoff
+	// MaxRetries is the per-operation redial/retry budget before the
+	// operation reports ErrDegraded (default 3; negative: no retries).
+	MaxRetries int
+	// Clock times the backoff sleeps (nil: real time). Fake-clock tests
+	// pin the exact redial schedule through it.
+	Clock clock.Clock
+	// Dialer opens the transport (nil: TCP). Fault-injection tests wrap
+	// it.
+	Dialer Dialer
+	// Seed fixes the jitter randomness; zero derives from wall time.
+	Seed int64
+	// Window is the consumer sliding-window width replayed on every
+	// (re-)attach; zero means 1.
+	Window int
+}
+
+// withDefaults normalizes the config.
+func (cfg DialConfig) withDefaults() DialConfig {
+	if cfg.CallTimeout <= 0 {
+		cfg.CallTimeout = defaultCallTimeout
+	}
+	cfg.Backoff = cfg.Backoff.withDefaults()
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = defaultMaxRetries
+	} else if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.NewReal()
+	}
+	if cfg.Dialer == nil {
+		cfg.Dialer = dialTCP
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = time.Now().UnixNano()
+	}
+	return cfg
+}
+
+// newToken returns a nonzero producer identity for idempotent puts.
+func newToken() uint64 { return rand.Uint64() | 1 }
+
+// Reconnector owns one logical attachment to a hosted channel and keeps
+// it alive across wire faults: it redials with capped exponential
+// backoff plus jitter, replays the attachment (channel name, window
+// width, producer token) on every new connection, and retries the
+// failed call. Application-level refusals from the server and clean
+// ErrClosed shutdowns are terminal — only transport failures retry.
+type Reconnector struct {
+	cfg    DialConfig
+	attach func(*conn) error
+
+	// done is closed by Close so backoff sleeps on a real clock abort
+	// promptly instead of running out their delay.
+	done chan struct{}
+
+	mu         sync.Mutex
+	c          *conn
+	rng        *rand.Rand
+	closed     bool
+	ever       bool // a connection has succeeded at least once
+	pending    bool // a redial happened since the last successful call
+	reattaches int64
+}
+
+// newReconnector builds a reconnector; no connection is made yet.
+func newReconnector(cfg DialConfig, attach func(*conn) error) *Reconnector {
+	cfg = cfg.withDefaults()
+	return &Reconnector{
+		cfg:    cfg,
+		attach: attach,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		done:   make(chan struct{}),
+	}
+}
+
+// isClosed reports whether Close was called.
+func (r *Reconnector) isClosed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.closed
+}
+
+// Reattaches reports how many redial+replay cycles have succeeded.
+func (r *Reconnector) Reattaches() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.reattaches
+}
+
+// Close tears the connection down and makes every subsequent (and
+// in-flight) operation report ErrClosed promptly — no backoff sleeps
+// run once closed.
+func (r *Reconnector) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	c := r.c
+	r.c = nil
+	r.mu.Unlock()
+	close(r.done)
+	if c != nil {
+		c.close()
+	}
+}
+
+// ensure returns the live connection, dialing and replaying the
+// attachment if none exists. Dial failures are wire-tagged (retryable);
+// attach refusals pass through as the server reported them.
+func (r *Reconnector) ensure() (*conn, error) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if r.c != nil {
+		c := r.c
+		r.mu.Unlock()
+		return c, nil
+	}
+	r.mu.Unlock()
+
+	nc, err := r.cfg.Dialer(r.cfg.Addr, r.cfg.CallTimeout)
+	if err != nil {
+		return nil, wireFail("dial "+r.cfg.Addr, err)
+	}
+	c := &conn{nc: nc, enc: gob.NewEncoder(nc), dec: gob.NewDecoder(nc), timeout: r.cfg.CallTimeout}
+	if err := r.attach(c); err != nil {
+		c.close()
+		return nil, err
+	}
+
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		c.close()
+		return nil, ErrClosed
+	}
+	r.c = c
+	if r.ever {
+		r.pending = true
+		r.reattaches++
+	}
+	r.ever = true
+	r.mu.Unlock()
+	return c, nil
+}
+
+// invalidate discards a connection observed failing.
+func (r *Reconnector) invalidate(c *conn) {
+	r.mu.Lock()
+	if r.c == c {
+		r.c = nil
+	}
+	r.mu.Unlock()
+	c.close()
+}
+
+// sleepBackoff sleeps the n-th redial delay on the configured clock. On
+// a real clock the sleep aborts as soon as Close fires; fake clocks are
+// test-driven and release their sleepers explicitly.
+func (r *Reconnector) sleepBackoff(n int) {
+	r.mu.Lock()
+	u := r.rng.Float64()
+	r.mu.Unlock()
+	d := r.cfg.Backoff.Delay(n, u)
+	if _, isReal := r.cfg.Clock.(*clock.Real); isReal {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-r.done:
+		}
+		return
+	}
+	r.cfg.Clock.Sleep(d)
+}
+
+// connect performs the initial dial+attach with the standard retry
+// budget, so a cold start rides through a briefly unreachable server.
+func (r *Reconnector) connect() error {
+	attempts := 0
+	for {
+		if _, err := r.ensure(); err == nil {
+			return nil
+		} else if errors.Is(err, ErrClosed) || !isWire(err) {
+			return err
+		} else if attempts++; attempts > r.cfg.MaxRetries {
+			return fmt.Errorf("%w (last: %v)", ErrDegraded, err)
+		} else {
+			r.sleepBackoff(attempts - 1)
+		}
+	}
+}
+
+// call performs one fault-tolerant round trip: on a transport failure
+// it discards the connection, redials with backoff, replays the
+// attachment, and retries — marking retried puts so the server can
+// deduplicate. reattached is true when the call succeeded on a
+// connection established after a fault since the previous success.
+func (r *Reconnector) call(req *Request, readTimeout time.Duration) (resp Response, reattached bool, err error) {
+	attempts := 0
+	for {
+		c, err := r.ensure()
+		if err != nil {
+			if errors.Is(err, ErrClosed) || !isWire(err) {
+				return Response{}, false, err
+			}
+			if attempts++; attempts > r.cfg.MaxRetries {
+				return Response{}, false, fmt.Errorf("%w (last: %v)", ErrDegraded, err)
+			}
+			if r.isClosed() {
+				return Response{}, false, ErrClosed
+			}
+			r.sleepBackoff(attempts - 1)
+			continue
+		}
+
+		resp, err := c.call(req, readTimeout)
+		if err == nil || !isWire(err) {
+			if err != nil && errors.Is(err, ErrClosed) {
+				return resp, false, err
+			}
+			r.mu.Lock()
+			re := r.pending
+			if err == nil {
+				r.pending = false
+			}
+			r.mu.Unlock()
+			return resp, re && err == nil, err
+		}
+
+		// Transport failure mid-call: the connection is poisoned. A put
+		// may or may not have been applied — mark the retry so the
+		// server's (token, timestamp) dedup makes it idempotent.
+		r.invalidate(c)
+		if req.Op == OpPut {
+			req.Retry = true
+		}
+		if attempts++; attempts > r.cfg.MaxRetries {
+			return Response{}, false, fmt.Errorf("%w (last: %v)", ErrDegraded, err)
+		}
+		if r.isClosed() {
+			return Response{}, false, ErrClosed
+		}
+		r.sleepBackoff(attempts - 1)
+	}
+}

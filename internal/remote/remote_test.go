@@ -236,6 +236,17 @@ func TestStats(t *testing.T) {
 	}
 }
 
+// rawConn returns the live wire connection behind a reconnector so the
+// protocol-error tests can speak the protocol directly.
+func rawConn(t *testing.T, r *Reconnector) *conn {
+	t.Helper()
+	c, err := r.ensure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
 func TestProtocolErrors(t *testing.T) {
 	s := newTestServer(t, nil)
 	if _, err := DialProducer(s.Addr(), "nope"); err == nil {
@@ -244,28 +255,30 @@ func TestProtocolErrors(t *testing.T) {
 	// Put on a consumer connection.
 	cons, _ := DialConsumer(s.Addr(), "frames")
 	defer cons.Close()
-	if _, err := cons.c.call(&Request{Op: OpPut, TS: 1}); err == nil {
+	cc := rawConn(t, cons.r)
+	if _, err := cc.call(&Request{Op: OpPut, TS: 1}, time.Second); err == nil {
 		t.Error("put on consumer connection must fail")
 	}
 	// Get on a producer connection.
 	prod, _ := DialProducer(s.Addr(), "frames")
 	defer prod.Close()
-	if _, err := prod.c.call(&Request{Op: OpGetLatest}); err == nil {
+	pc := rawConn(t, prod.r)
+	if _, err := pc.call(&Request{Op: OpGetLatest}, time.Second); err == nil {
 		t.Error("get on producer connection must fail")
 	}
 	// Double attach.
-	if _, err := prod.c.call(&Request{Op: OpAttachProducer, Channel: "frames"}); err == nil {
+	if _, err := pc.call(&Request{Op: OpAttachProducer, Channel: "frames"}, time.Second); err == nil {
 		t.Error("double attach must fail")
 	}
 	// Unknown op.
-	if _, err := prod.c.call(&Request{Op: Op(99)}); err == nil {
+	if _, err := pc.call(&Request{Op: Op(99)}, time.Second); err == nil {
 		t.Error("unknown op must fail")
 	}
 	// Detach then reattach on the same wire is allowed.
-	if _, err := prod.c.call(&Request{Op: OpDetach}); err != nil {
+	if _, err := pc.call(&Request{Op: OpDetach}, time.Second); err != nil {
 		t.Error(err)
 	}
-	if _, err := prod.c.call(&Request{Op: OpAttachConsumer, Channel: "frames"}); err != nil {
+	if _, err := pc.call(&Request{Op: OpAttachConsumer, Channel: "frames"}, time.Second); err != nil {
 		t.Error(err)
 	}
 }

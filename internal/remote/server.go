@@ -18,8 +18,11 @@ import (
 // ServerConfig configures a channel server.
 type ServerConfig struct {
 	// Addr is the TCP listen address ("127.0.0.1:0" for an ephemeral
-	// port).
+	// port). Ignored when Listener is set.
 	Addr string
+	// Listener, when non-nil, is used instead of listening on Addr.
+	// Fault-injection tests pass a scripted listener here.
+	Listener net.Listener
 	// Clock times blocking and frees; nil means a real clock (remote
 	// deployments run in real time).
 	Clock clock.Clock
@@ -46,6 +49,37 @@ type Server struct {
 type hosted struct {
 	ch  *channel.Channel
 	vec *core.BackwardVec
+
+	// lastPut remembers, per producer token, the timestamp of the last
+	// applied put. The wire protocol is a strict request/response
+	// alternation, so at most one put per producer can ever be in doubt
+	// after a lost response — remembering just the latest (token, ts)
+	// pair makes retried puts idempotent with O(producers) state.
+	mu      sync.Mutex
+	lastPut map[uint64]vt.Timestamp
+}
+
+// alreadyApplied reports whether a put of ts from token was the last one
+// applied — i.e. this request is a retry of a put whose response was
+// lost.
+func (h *hosted) alreadyApplied(token uint64, ts vt.Timestamp) bool {
+	if token == 0 {
+		return false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	last, ok := h.lastPut[token]
+	return ok && last == ts
+}
+
+// recordPut remembers the last applied put for token.
+func (h *hosted) recordPut(token uint64, ts vt.Timestamp) {
+	if token == 0 {
+		return
+	}
+	h.mu.Lock()
+	h.lastPut[token] = ts
+	h.mu.Unlock()
 }
 
 // summary returns the channel's summary-STP: buffers have no current-STP,
@@ -68,9 +102,13 @@ func NewServer(cfg ServerConfig, channelNames ...string) (*Server, error) {
 	if len(channelNames) == 0 {
 		return nil, errors.New("remote: server needs at least one channel")
 	}
-	ln, err := net.Listen("tcp", cfg.Addr)
-	if err != nil {
-		return nil, fmt.Errorf("remote: listen: %w", err)
+	ln := cfg.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", cfg.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("remote: listen: %w", err)
+		}
 	}
 	s := &Server{cfg: cfg, ln: ln, channels: make(map[string]*hosted), conns: make(map[net.Conn]struct{})}
 	for i, name := range channelNames {
@@ -83,7 +121,8 @@ func NewServer(cfg ServerConfig, channelNames ...string) (*Server, error) {
 				Name: name, Node: graph.NodeID(i),
 				Clock: cfg.Clock, Collector: cfg.Collector,
 			}),
-			vec: core.NewBackwardVec(nil, nil),
+			vec:     core.NewBackwardVec(nil, nil),
+			lastPut: make(map[uint64]vt.Timestamp),
 		}
 	}
 	s.wg.Add(1)
@@ -238,7 +277,15 @@ func (s *Server) handle(sess *session, req *Request) Response {
 			h.ch.AttachProducer(sess.connID)
 		} else {
 			sess.consumer = true
-			h.ch.AttachConsumer(sess.connID, 1)
+			w := req.Window
+			if w < 1 {
+				w = 1
+			}
+			if err := h.ch.AttachConsumer(sess.connID, w); err != nil {
+				sess.hosted = nil
+				sess.consumer = false
+				return Response{Err: errText(err)}
+			}
 			h.vec.AddSlot(sess.connID, nil)
 		}
 		return Response{OK: true}
@@ -246,6 +293,12 @@ func (s *Server) handle(sess *session, req *Request) Response {
 	case OpPut:
 		if sess.hosted == nil || !sess.producer {
 			return Response{Err: "remote: put on a non-producer connection"}
+		}
+		// Idempotent retry: if this (token, ts) pair is the last put this
+		// producer applied, its original response was lost on the wire —
+		// acknowledge again without inserting a duplicate.
+		if req.Retry && sess.hosted.alreadyApplied(req.Token, req.TS) {
+			return Response{OK: true, SummarySTP: sess.hosted.summary(s.cfg.Compressor)}
 		}
 		size := req.Size
 		if size == 0 {
@@ -255,8 +308,14 @@ func (s *Server) handle(sess *session, req *Request) Response {
 			TS: req.TS, Payload: req.Payload, Size: size,
 		})
 		if err != nil {
+			// A retried put colliding with its own earlier insert is a
+			// success for token-less producers too: the item is there.
+			if req.Retry && errors.Is(err, channel.ErrDuplicate) {
+				return Response{OK: true, SummarySTP: sess.hosted.summary(s.cfg.Compressor)}
+			}
 			return Response{Err: errText(err)}
 		}
+		sess.hosted.recordPut(req.Token, req.TS)
 		// Piggyback the channel's summary-STP back to the producer.
 		return Response{OK: true, SummarySTP: sess.hosted.summary(s.cfg.Compressor)}
 
@@ -315,5 +374,3 @@ func errText(err error) string {
 	}
 	return err.Error()
 }
-
-var _ = vt.None // vt types appear in the wire structs

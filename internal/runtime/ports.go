@@ -23,6 +23,7 @@ type BufferRef struct {
 	capacity   int
 	addr       string
 	remoteName string
+	remote     buffer.RemoteTuning
 }
 
 // ChannelRef names a declared channel during graph construction.
@@ -73,6 +74,15 @@ func WithQueueCapacity(n int) BufferOption { return WithCapacity(n) }
 // endpoint's own name.
 func WithRemoteName(name string) BufferOption {
 	return func(b *BufferRef) { b.remoteName = name }
+}
+
+// WithRemoteTuning sets a wire-backed endpoint's fault tolerance: call
+// deadlines, redial backoff shape, per-operation retry budget, and the
+// staleness TTL past which remote summary-STP feedback decays back to
+// local pacing. The zero value means defaults everywhere; in-process
+// backends ignore it.
+func WithRemoteTuning(t buffer.RemoteTuning) BufferOption {
+	return func(b *BufferRef) { b.remote = t }
 }
 
 // OutPort is a thread's output connection to a buffer.

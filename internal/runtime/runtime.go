@@ -332,8 +332,17 @@ func (rt *Runtime) materializeLocked(n *graph.Node, windows map[graph.ConnID]int
 			return fmt.Errorf("runtime: remote endpoint %q requires a real clock: a discrete-event clock cannot observe network blocking", n.Name)
 		}
 		// The wire is authoritative for this node's summary-STP; the
-		// local fold must not overwrite it.
-		rt.ctrl.MarkRemote(n.ID)
+		// local fold must not overwrite it. Staleness decay makes that
+		// authority expire: past the TTL without fresh feedback the
+		// summary fades back to Unknown, so producers stop pacing to a
+		// dead peer.
+		ttl := ref.remote.StaleTTL
+		if ttl == 0 {
+			ttl = core.DefaultStaleTTL
+		} else if ttl < 0 {
+			ttl = 0
+		}
+		rt.ctrl.MarkRemote(n.ID, rt.clk, ttl)
 	}
 	host, node := n.Host, n.ID
 	b, err := buffer.New(ref.backend, buffer.Config{
@@ -344,6 +353,7 @@ func (rt *Runtime) materializeLocked(n *graph.Node, windows map[graph.ConnID]int
 		Capacity:   ref.capacity,
 		Addr:       ref.addr,
 		RemoteName: ref.remoteName,
+		Remote:     ref.remote,
 		Feedback:   &runtimeFeedback{rt: rt, node: node},
 		OnFree: func(it *buffer.Item, at time.Duration) {
 			rt.addLive(host, -it.Size)

@@ -27,6 +27,20 @@ var ErrShutdown = errors.New("runtime: shutting down")
 // or call time.
 var ErrPortKind = errors.New("runtime: operation not supported by port's buffer backend")
 
+// ErrDegraded reports that a wire-backed put/get exhausted its redial and
+// retry budget: the remote peer is unreachable and the operation did NOT
+// take effect. The endpoint keeps redialing on subsequent operations;
+// bodies should treat the fault as observable load shedding (skip the
+// item, keep looping), not a crash.
+var ErrDegraded = buffer.ErrDegraded
+
+// ErrReattached is informational: the operation SUCCEEDED, but only
+// after its connection was redialed and the attachment replayed. The
+// accompanying result is valid and all bookkeeping (provenance, feedback
+// piggyback) has been performed; bodies that do not care must filter it
+// with errors.Is(err, ErrReattached) before bailing on non-nil errors.
+var ErrReattached = buffer.ErrReattached
+
 // snapshotItems copies an id list for attachment to a trace event, or
 // returns nil when tracing is disabled: the nil recorder would drop the
 // copy anyway, and untraced runs must not pay a per-iteration allocation
@@ -299,10 +313,16 @@ func portKindErr(op string, ref *BufferRef) error {
 func (c *Ctx) Get(p *InPort) (Msg, error) {
 	res, err := p.buf.Get(p.conn)
 	c.meter.AddBlocked(res.Blocked)
-	if err != nil {
+	if err != nil && !errors.Is(err, buffer.ErrReattached) {
 		return Msg{}, translateErr(err)
 	}
-	return c.finishGet(p, res)
+	msg, ferr := c.finishGet(p, res)
+	if ferr != nil {
+		return msg, ferr
+	}
+	// err is nil or the informational ErrReattached: the item is valid
+	// and fully accounted either way.
+	return msg, err
 }
 
 // GetLatest consumes the freshest item from a get-latest (channel-like)
@@ -363,14 +383,17 @@ func (c *Ctx) TryGetLatest(p *InPort) (Msg, bool, error) {
 		return Msg{}, false, portKindErr("TryGetLatest", p.ref)
 	}
 	res, ok, err := p.buf.TryGet(p.conn)
-	if err != nil {
+	if err != nil && !errors.Is(err, buffer.ErrReattached) {
 		return Msg{}, false, translateErr(err)
 	}
 	if !ok {
-		return Msg{}, false, nil
+		return Msg{}, false, err // nil or informational ErrReattached
 	}
-	msg, err := c.finishGet(p, res)
-	return msg, err == nil, err
+	msg, ferr := c.finishGet(p, res)
+	if ferr != nil {
+		return msg, false, ferr
+	}
+	return msg, true, err // nil or informational ErrReattached
 }
 
 // Reuse declares that a previously consumed item participates in the
@@ -444,9 +467,11 @@ func (c *Ctx) Put(p *OutPort, ts vt.Timestamp, payload any, size int64) error {
 
 	blocked, err := p.buf.Put(p.conn, &buffer.Item{TS: ts, Payload: payload, Size: size, ID: id})
 	c.meter.AddBlocked(blocked)
-	if err != nil {
-		// The item never entered the buffer; account its storage as
-		// immediately reclaimed so footprint accounting stays balanced.
+	if err != nil && !errors.Is(err, buffer.ErrReattached) {
+		// The item never entered the buffer (this includes ErrDegraded:
+		// a retry budget exhausted against an unreachable peer drops the
+		// item); account its storage as immediately reclaimed so
+		// footprint accounting stays balanced.
 		rec.Append(trace.Event{Kind: trace.EvFree, At: c.rt.clk.Now(), Item: id, Node: p.ref.id})
 		return translateErr(err)
 	}
@@ -460,7 +485,9 @@ func (c *Ctx) Put(p *OutPort, ts vt.Timestamp, payload any, size int64) error {
 		c.rt.addLive(p.ref.host, size)
 	}
 	c.produced = append(c.produced, id)
-	return nil
+	// err is nil or the informational ErrReattached: the item was
+	// applied and fully accounted either way.
+	return err
 }
 
 // ShouldProduce reports whether work toward putting timestamp ts into
@@ -494,6 +521,19 @@ func (c *Ctx) Emit() {
 func (c *Ctx) Sync() {
 	fullElapsed := c.meter.Elapsed()
 	current, busy, blocked := c.meter.EndIteration()
+
+	// Re-fold wire-backed output summaries every iteration. A remote
+	// buffer's summary-STP decays with age (graceful degradation), but
+	// the ordinary piggyback fold only runs on successful puts — exactly
+	// what stops happening when the peer dies. Refreshing here lets the
+	// decayed value (ultimately Unknown) reach this thread's backward
+	// vector, so its pacing returns to the local current-STP.
+	for _, p := range c.thread.outs {
+		if p.ref.caps.Remote {
+			c.rt.ctrl.NotePut(p.conn)
+		}
+	}
+
 	c.rt.ctrl.SetCurrentSTP(c.thread.id, current)
 	rec := c.rt.opts.Recorder
 	rec.Append(trace.Event{

@@ -42,6 +42,7 @@ package aru
 import (
 	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/bench"
 	"repro/internal/buffer"
 	"repro/internal/clock"
@@ -178,6 +179,64 @@ var ErrDegraded = runtime.ErrDegraded
 // Results returned alongside it are valid; filter it with errors.Is
 // when only hard failures matter.
 var ErrReattached = runtime.ErrReattached
+
+// ErrPeerFailed reports that a get or put can never complete because
+// every peer on the other side of the buffer failed permanently — the
+// supervision subsystem's failure propagation. Bodies should return it;
+// the cascade is deliberate and resolves whole dead subgraphs instead
+// of hanging them.
+var ErrPeerFailed = runtime.ErrPeerFailed
+
+// Thread supervision (panic containment, restart policies, stall
+// watchdog — see Options.StallTTL and AddThread options).
+type (
+	// ThreadOption configures a thread's supervision at AddThread time.
+	ThreadOption = runtime.ThreadOption
+	// RestartPolicy shapes supervised restarts: backoff schedule,
+	// budget, sliding window, seed.
+	RestartPolicy = runtime.RestartPolicy
+	// Backoff is the capped-exponential-with-jitter delay schedule
+	// shared by restart supervision and remote redialing.
+	Backoff = backoff.Backoff
+	// ThreadFailure is one contained body failure: a recovered panic
+	// (Value, Stack) or a non-shutdown error return (Err).
+	ThreadFailure = runtime.ThreadFailure
+	// ThreadState is a thread's supervision lifecycle state.
+	ThreadState = runtime.ThreadState
+	// ThreadHealth is the supervision snapshot of one thread.
+	ThreadHealth = runtime.ThreadHealth
+	// HealthSnapshot is Runtime.Health()'s application-wide view.
+	HealthSnapshot = runtime.HealthSnapshot
+)
+
+// Thread lifecycle states.
+const (
+	// StateNew is a declared thread before Start.
+	StateNew = runtime.StateNew
+	// StateRunning is a thread whose body is executing.
+	StateRunning = runtime.StateRunning
+	// StateRestarting is a failed thread sleeping its restart backoff.
+	StateRestarting = runtime.StateRestarting
+	// StateFailed is a permanently failed thread.
+	StateFailed = runtime.StateFailed
+	// StateStopped is a thread that exited cleanly.
+	StateStopped = runtime.StateStopped
+)
+
+// WithRestartOnFailure enables supervised restarts for a thread: panics
+// and non-shutdown errors restart the body on p's backoff schedule
+// until the budget is exhausted, then the thread fails permanently and
+// its peers observe ErrPeerFailed. Without it the first failure is
+// permanent (RestartNever) — contained and propagated, never a crash.
+func WithRestartOnFailure(p RestartPolicy) ThreadOption {
+	return runtime.WithRestartOnFailure(p)
+}
+
+// WithStallTTL sets a per-thread heartbeat TTL for the stall watchdog,
+// overriding Options.StallTTL.
+func WithStallTTL(ttl time.Duration) ThreadOption {
+	return runtime.WithStallTTL(ttl)
+}
 
 // RegisterBufferBackend adds a buffer backend to the registry, making it
 // available to endpoint descriptors by name. The built-ins are

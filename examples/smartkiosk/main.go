@@ -13,17 +13,34 @@
 //     displayed results while keeping the queue bounded.
 //
 //     go run ./examples/smartkiosk
+//
+// With -crashy, it instead demonstrates the thread-supervision
+// subsystem on a kiosk-shaped pipeline with a deliberately unreliable
+// digitizer: every 25th frame panics the stage. The supervisor contains
+// each panic, restarts the digitizer on a capped-exponential backoff
+// schedule, and the degraded health is visible in Runtime.Health() and
+// WriteStatus while the rest of the pipeline keeps flowing:
+//
+//	go run ./examples/smartkiosk -crashy
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	aru "repro"
 )
 
 func main() {
+	crashy := flag.Bool("crashy", false, "inject a periodically panicking digitizer to demo supervised restarts")
+	flag.Parse()
+	if *crashy {
+		runCrashy()
+		return
+	}
 	fmt.Println("smart kiosk: digitizer → low-fi tracker → decision ⇒(queue)⇒ high-fi tracker → GUI")
 	fmt.Println("(decision forwards ~50% of records; high-fi is the 170ms bottleneck)")
 	fmt.Println()
@@ -72,4 +89,133 @@ func main() {
 	fmt.Println("         — but over-throttles, because min doesn't know decision halves the flow.")
 	fmt.Println("rate-aware: a user-defined operator (§3.3.2) scales the feedback by the")
 	fmt.Println("         forwarding rate: ~2x the displayed results, queue still bounded.")
+}
+
+// runCrashy hand-wires a kiosk-shaped pipeline — digitizer → tracker →
+// GUI — whose digitizer panics on every 25th frame, and puts the
+// thread-supervision subsystem on display:
+//
+//   - the panic is contained and surfaced as a typed failure instead of
+//     crashing the process;
+//   - WithRestartOnFailure restarts the digitizer on a capped-exponential
+//     backoff schedule (budget: 8 restarts), so the pipeline keeps
+//     producing frames across failures;
+//   - Runtime.Health and WriteStatus show the degraded state live: restart
+//     counts, last failure, and — once the budget is exhausted — the
+//     ErrPeerFailed cascade that winds down the rest of the pipeline.
+func runCrashy() {
+	fmt.Println("smart kiosk (crashy): digitizer panics every 25th frame; supervisor restarts it")
+	fmt.Println()
+
+	clk := aru.NewVirtualClock()
+	rt := aru.New(aru.Options{
+		Clock: clk,
+		ARU:   aru.PolicyMin(),
+		// Flag any thread whose heartbeat goes quiet for >2s of virtual
+		// time (none should, here — the column demos the watchdog).
+		StallTTL: 2 * time.Second,
+	})
+
+	frames := rt.MustAddChannel("frames", 0)
+	tracked := rt.MustAddChannel("tracked", 0)
+
+	// The digitizer's frame counter lives *outside* the body so it
+	// survives restarts: each incarnation resumes where the previous one
+	// died instead of replaying (and re-panicking on) the same frame.
+	var frame aru.Timestamp
+	displayed := 0
+
+	dig := rt.MustAddThread("digitizer", 0, func(ctx *aru.Ctx) error {
+		for !ctx.Stopped() {
+			frame++
+			ctx.Compute(10 * time.Millisecond)
+			if frame%25 == 0 {
+				panic(fmt.Sprintf("frame grabber wedged at frame %d", frame))
+			}
+			if err := ctx.Put(ctx.Outs()[0], frame, nil, 1<<20); err != nil {
+				return err
+			}
+			ctx.Sync()
+		}
+		return nil
+	}, aru.WithRestartOnFailure(aru.RestartPolicy{
+		Backoff:     aru.Backoff{Base: 50 * time.Millisecond, Cap: 500 * time.Millisecond, Jitter: -1},
+		MaxRestarts: 8,
+		Seed:        42,
+	}))
+	dig.MustOutput(frames)
+
+	trk := rt.MustAddThread("tracker", 0, func(ctx *aru.Ctx) error {
+		for !ctx.Stopped() {
+			m, err := ctx.Get(ctx.Ins()[0])
+			if err != nil {
+				return err
+			}
+			ctx.Compute(30 * time.Millisecond)
+			if err := ctx.Put(ctx.Outs()[0], m.TS, nil, 64<<10); err != nil {
+				return err
+			}
+			ctx.Sync()
+		}
+		return nil
+	})
+	trk.MustInput(frames)
+	trk.MustOutput(tracked)
+
+	gui := rt.MustAddThread("gui", 0, func(ctx *aru.Ctx) error {
+		for !ctx.Stopped() {
+			if _, err := ctx.Get(ctx.Ins()[0]); err != nil {
+				return err
+			}
+			displayed++
+			ctx.Sync()
+		}
+		return nil
+	})
+	gui.MustInput(tracked)
+
+	if err := rt.Start(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Sample health mid-run, while the supervisor is actively containing
+	// panics and restarting the digitizer.
+	type registrar interface{ Add(int) }
+	reg := rt.Clock().(registrar)
+	reg.Add(1)
+	rt.Clock().Sleep(3 * time.Second)
+	fmt.Println("--- t=3s: panics contained, digitizer restarting on backoff ---")
+	printHealth(rt.Health())
+
+	// Keep running until the restart budget is exhausted: the digitizer
+	// fails permanently, its death fades the STP feedback, and the
+	// tracker/GUI observe ErrPeerFailed once the pipeline drains.
+	rt.Clock().Sleep(12 * time.Second)
+	reg.Add(-1)
+	rt.Stop()
+	err := rt.Wait()
+
+	fmt.Println()
+	fmt.Println("--- t=15s: restart budget exhausted, pipeline wound down ---")
+	printHealth(rt.Health())
+	fmt.Println()
+	fmt.Printf("frames displayed across all digitizer incarnations: %d\n", displayed)
+	fmt.Println()
+	fmt.Println("Wait() reports every permanent failure (joined):")
+	fmt.Printf("  %v\n", err)
+	fmt.Println()
+	fmt.Println("full status (WriteStatus):")
+	rt.WriteStatus(os.Stdout)
+}
+
+func printHealth(h aru.HealthSnapshot) {
+	fmt.Printf("%-12s %-11s %9s %8s  %s\n", "thread", "state", "restarts", "stalled", "last failure")
+	for _, th := range h.Threads {
+		last := "-"
+		if th.LastFailure != nil {
+			last = th.LastFailure.Error()
+		}
+		fmt.Printf("%-12s %-11s %9d %8v  %s\n", th.Name, th.State, th.Restarts, th.Stalled, last)
+	}
+	fmt.Printf("healthy: %v\n", h.Healthy())
 }

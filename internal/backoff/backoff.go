@@ -1,0 +1,87 @@
+// Package backoff provides the capped-exponential-backoff-with-jitter
+// schedule shared by every layer that retries after a failure: the remote
+// wire layer redialing a severed connection (internal/remote) and the
+// thread supervisor restarting a crashed thread body (internal/runtime).
+//
+// Delay is a pure function of the attempt index and a unit jitter sample,
+// so fake-clock tests can pin the exact schedule a seed produces — the
+// property the PR 3 chaos suite relies on for the redial schedule and the
+// supervision suite relies on for the restart schedule.
+package backoff
+
+import "time"
+
+// Defaults, chosen so a transient blip heals in well under a second while
+// a true outage backs off to a polite cap within a few attempts.
+const (
+	// DefaultBase is the first delay.
+	DefaultBase = 50 * time.Millisecond
+	// DefaultCap bounds every delay.
+	DefaultCap = 2 * time.Second
+	// DefaultFactor is the exponential growth rate.
+	DefaultFactor = 2.0
+	// DefaultJitter is the symmetric jitter fraction.
+	DefaultJitter = 0.2
+)
+
+// Backoff parameterizes capped exponential backoff with symmetric
+// jitter: the n-th delay is Base·Factorⁿ capped at Cap, then scaled by
+// 1 + Jitter·(2u−1) for a unit sample u.
+type Backoff struct {
+	// Base is the first delay (default 50ms).
+	Base time.Duration
+	// Cap bounds every delay (default 2s).
+	Cap time.Duration
+	// Factor is the exponential growth rate (default 2).
+	Factor float64
+	// Jitter is the symmetric jitter fraction in [0,1) (default 0.2);
+	// negative disables jitter entirely.
+	Jitter float64
+}
+
+// WithDefaults fills zero fields. It is idempotent: the negative
+// "jitter disabled" sentinel survives repeated application (mapping it
+// to 0 here would let a second pass resurrect the default).
+func (b Backoff) WithDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = DefaultBase
+	}
+	if b.Cap <= 0 {
+		b.Cap = DefaultCap
+	}
+	if b.Factor <= 0 {
+		b.Factor = DefaultFactor
+	}
+	if b.Jitter == 0 {
+		b.Jitter = DefaultJitter
+	}
+	return b
+}
+
+// Delay returns the n-th (0-based) delay for a unit jitter sample u in
+// [0,1). It is a pure function, so fake-clock tests can pin the exact
+// schedule a seed produces.
+func (b Backoff) Delay(n int, u float64) time.Duration {
+	b = b.WithDefaults()
+	j := b.Jitter
+	if j < 0 {
+		j = 0 // negative disables jitter
+	}
+	d := float64(b.Base)
+	for i := 0; i < n && d < float64(b.Cap); i++ {
+		d *= b.Factor
+	}
+	if d > float64(b.Cap) {
+		d = float64(b.Cap)
+	}
+	if j > 0 {
+		d *= 1 + j*(2*u-1)
+	}
+	if d < 0 {
+		d = 0
+	}
+	if d > float64(b.Cap)*(1+j) {
+		d = float64(b.Cap) * (1 + j)
+	}
+	return time.Duration(d)
+}

@@ -1,0 +1,62 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDelaySchedule pins the jitter-free schedule: Base·Factorⁿ capped
+// at Cap, exactly.
+func TestDelaySchedule(t *testing.T) {
+	b := Backoff{Base: 50 * time.Millisecond, Cap: 400 * time.Millisecond, Factor: 2, Jitter: -1}
+	want := []time.Duration{
+		50 * time.Millisecond,
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		400 * time.Millisecond, // capped
+		400 * time.Millisecond,
+	}
+	for n, w := range want {
+		if got := b.Delay(n, 0.5); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", n, got, w)
+		}
+	}
+}
+
+// TestDelayJitterBounds checks the jittered delay stays within the
+// symmetric band around the deterministic value.
+func TestDelayJitterBounds(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Cap: time.Second, Factor: 2, Jitter: 0.2}
+	for n := 0; n < 6; n++ {
+		det := b.Delay(n, 0.5) // u=0.5 → no displacement
+		for _, u := range []float64{0, 0.25, 0.75, 0.999} {
+			d := b.Delay(n, u)
+			lo := time.Duration(float64(det) * 0.8)
+			hi := time.Duration(float64(det) * 1.2)
+			if d < lo || d > hi {
+				t.Errorf("Delay(%d, %v) = %v outside [%v, %v]", n, u, d, lo, hi)
+			}
+		}
+	}
+}
+
+// TestWithDefaultsIdempotent verifies applying defaults twice changes
+// nothing, including the negative jitter-disabled sentinel.
+func TestWithDefaultsIdempotent(t *testing.T) {
+	var zero Backoff
+	once := zero.WithDefaults()
+	if once != once.WithDefaults() {
+		t.Errorf("WithDefaults not idempotent: %+v vs %+v", once, once.WithDefaults())
+	}
+	if once.Base != DefaultBase || once.Cap != DefaultCap || once.Factor != DefaultFactor || once.Jitter != DefaultJitter {
+		t.Errorf("defaults not applied: %+v", once)
+	}
+	noJ := Backoff{Jitter: -1}.WithDefaults()
+	if noJ.Jitter != -1 {
+		t.Errorf("jitter-disabled sentinel lost: %+v", noJ)
+	}
+	if d := noJ.Delay(0, 0.999); d != DefaultBase {
+		t.Errorf("disabled jitter still jitters: %v", d)
+	}
+}

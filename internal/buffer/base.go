@@ -65,6 +65,14 @@ type Base struct {
 	frees     int64
 	liveBytes int64
 
+	// prodFailed / consFailed count attachments removed because their
+	// thread failed permanently (FailProducer / FailConsumer). They
+	// distinguish "all peers are dead" from "no peers attached yet":
+	// exhaustion predicates only fire once at least one peer has actually
+	// failed, so startup ordering never looks like a failure.
+	prodFailed int
+	consFailed int
+
 	// occupied counts the backend's currently live items for capacity
 	// blocking. It is stored once at Init — not passed per call — so the
 	// hot path never allocates a closure crossing the package boundary.
@@ -142,16 +150,58 @@ func (b *Base) SignalConsumerLocked() { b.notEmpty.Signal() }
 // AwaitCapacityLocked blocks the calling producer while the buffer is at
 // capacity, returning the time spent blocked. Unbounded buffers return
 // immediately without reading the clock (the hot path stays clock-free).
-func (b *Base) AwaitCapacityLocked() time.Duration {
+// When every consumer has failed permanently while the producer waits,
+// the wait reports ErrPeerFailed: with a dead audience the collector
+// will never free a slot (guarantees stop advancing), so the producer
+// would otherwise block forever.
+func (b *Base) AwaitCapacityLocked() (time.Duration, error) {
 	if b.Cfg.Capacity <= 0 {
-		return 0
+		return 0, nil
 	}
 	start := b.Cfg.Clock.Now()
 	for !b.closed && b.occupied() >= b.Cfg.Capacity {
+		if b.ConsumersExhaustedLocked() {
+			return b.Cfg.Clock.Now() - start, fmt.Errorf("%w: all consumers of %q failed while producer blocked on capacity", ErrPeerFailed, b.Cfg.Name)
+		}
 		b.wait(b.notFull)
 	}
-	return b.Cfg.Clock.Now() - start
+	return b.Cfg.Clock.Now() - start, nil
 }
+
+// FailProducerLocked removes a producer attachment that failed
+// permanently, reporting whether it was the last one: once true, gets
+// that would wait forever should report ErrPeerFailed instead.
+func (b *Base) FailProducerLocked(conn graph.ConnID) bool {
+	if b.Producers[conn] {
+		delete(b.Producers, conn)
+		b.prodFailed++
+	}
+	return b.ProducersExhaustedLocked()
+}
+
+// ProducersExhaustedLocked reports whether every producer has failed
+// permanently: at least one failed and none remain. A buffer that never
+// had producers attached reports false (startup, not failure).
+func (b *Base) ProducersExhaustedLocked() bool {
+	return b.prodFailed > 0 && len(b.Producers) == 0
+}
+
+// MarkConsumerFailedLocked records one consumer's permanent failure.
+// The backend removes the attachment itself (it owns the collector
+// bookkeeping); this only maintains the failure count behind
+// ConsumersExhaustedLocked.
+func (b *Base) MarkConsumerFailedLocked() { b.consFailed++ }
+
+// ConsumersExhaustedLocked reports whether every consumer has failed
+// permanently: at least one failed and none remain.
+func (b *Base) ConsumersExhaustedLocked() bool {
+	return b.consFailed > 0 && len(b.Consumers) == 0
+}
+
+// BroadcastConsumersLocked wakes every parked consumer (used when the
+// last producer fails so blocked gets re-check the exhaustion
+// predicate).
+func (b *Base) BroadcastConsumersLocked() { b.notEmpty.Broadcast() }
 
 // CheckProducerLocked validates that conn is an attached producer.
 func (b *Base) CheckProducerLocked(conn graph.ConnID) error {

@@ -60,7 +60,36 @@ var (
 	// replayed. The result accompanying the error is valid; callers that
 	// do not care may ignore it (errors.Is(err, ErrReattached)).
 	ErrReattached = errors.New("buffer: remote endpoint re-attached")
+	// ErrPeerFailed reports that an operation can never complete because
+	// every peer on the other side of the buffer failed permanently: a
+	// get blocked on a buffer whose producers all died, or a put blocked
+	// on capacity in a buffer whose consumers all died. It is delivered
+	// by the thread supervisor's failure propagation (FailProducer /
+	// FailConsumer) so peers of a dead stage observe a typed condition
+	// instead of hanging forever.
+	ErrPeerFailed = errors.New("buffer: peer thread failed permanently")
 )
+
+// PeerFailer is implemented by backends that support failure-aware
+// detach: the thread supervisor calls these when a thread fails
+// permanently so the dead stage's peers unblock with ErrPeerFailed
+// instead of waiting forever. Backends that cannot observe peer death
+// (wire-backed endpoints, whose peers live in other processes) simply
+// don't implement it; the runtime falls back to DetachConsumer.
+type PeerFailer interface {
+	// FailProducer removes a producer attachment that failed
+	// permanently. Once every producer has failed, blocked and future
+	// gets that would otherwise wait forever report ErrPeerFailed
+	// (items already buffered remain consumable first where the
+	// discipline allows it).
+	FailProducer(conn graph.ConnID)
+	// FailConsumer removes a consumer attachment that failed
+	// permanently (like DetachConsumer, its collection guarantee
+	// becomes infinite). Once every consumer has failed, puts blocked
+	// on capacity report ErrPeerFailed and WouldBeDead turns true —
+	// production for a dead audience is wasted by definition.
+	FailConsumer(conn graph.ConnID)
+}
 
 // Item is one timestamped data element stored in (or passing through) a
 // buffer. All backends share this one type, so the runtime's put/get

@@ -146,6 +146,40 @@ func (c *Channel) DetachConsumer(conn graph.ConnID) {
 	c.collectLocked()
 }
 
+// FailProducer removes a producer attachment that failed permanently.
+// Once every producer has failed, blocked and future gets report
+// ErrPeerFailed instead of waiting forever — items already live remain
+// consumable first via TryGet-style paths, but a blocking get for data
+// that can never arrive is unblocked with the typed condition.
+func (c *Channel) FailProducer(conn graph.ConnID) {
+	c.Mu.Lock()
+	defer c.Mu.Unlock()
+	if c.FailProducerLocked(conn) {
+		c.BroadcastConsumersLocked()
+	}
+}
+
+// FailConsumer removes a consumer attachment that failed permanently.
+// Like DetachConsumer its guarantee becomes infinite for collection; in
+// addition the failure is recorded so that, once every consumer has
+// failed, producers blocked on capacity report ErrPeerFailed and
+// WouldBeDead turns true (production for a dead audience is wasted by
+// definition).
+func (c *Channel) FailConsumer(conn graph.ConnID) {
+	c.Mu.Lock()
+	defer c.Mu.Unlock()
+	if _, ok := c.Consumers[conn]; !ok {
+		return
+	}
+	delete(c.Consumers, conn)
+	c.Coll.Forget(c.Node(), conn)
+	c.MarkConsumerFailedLocked()
+	c.collectLocked()
+	if c.ConsumersExhaustedLocked() {
+		c.BroadcastFullLocked()
+	}
+}
+
 // Put inserts an item. It blocks while a bounded channel is full and
 // returns ErrClosed/ErrDuplicate on those conditions. The returned
 // duration is the time spent blocked on capacity.
@@ -155,7 +189,10 @@ func (c *Channel) Put(conn graph.ConnID, it *Item) (time.Duration, error) {
 	if err := c.CheckProducerLocked(conn); err != nil {
 		return 0, err
 	}
-	blocked := c.AwaitCapacityLocked()
+	blocked, err := c.AwaitCapacityLocked()
+	if err != nil {
+		return blocked, err
+	}
 	if c.ClosedLocked() {
 		return blocked, ErrClosed
 	}
@@ -202,6 +239,9 @@ func (c *Channel) GetLatest(conn graph.ConnID) (GetResult, error) {
 		}
 		if c.ClosedLocked() {
 			return GetResult{Blocked: c.Clock().Now() - start}, ErrClosed
+		}
+		if c.ProducersExhaustedLocked() {
+			return GetResult{Blocked: c.Clock().Now() - start}, fmt.Errorf("%w: all producers of %q failed", buffer.ErrPeerFailed, c.Name())
 		}
 		c.WaitConsumer()
 	}
@@ -259,6 +299,9 @@ func (c *Channel) TryGetLatest(conn graph.ConnID) (res GetResult, ok bool, err e
 	}
 	newest := c.live.Max()
 	if newest <= cs.LastSeen {
+		if c.ProducersExhaustedLocked() {
+			return GetResult{}, false, fmt.Errorf("%w: all producers of %q failed", buffer.ErrPeerFailed, c.Name())
+		}
 		return GetResult{}, false, nil
 	}
 	return c.deliverLocked(cs, newest), true, nil
@@ -301,6 +344,9 @@ func (c *Channel) GetAt(conn graph.ConnID, ts vt.Timestamp) (GetResult, error) {
 		}
 		if c.ClosedLocked() {
 			return GetResult{Blocked: c.Clock().Now() - start}, ErrClosed
+		}
+		if c.ProducersExhaustedLocked() {
+			return GetResult{Blocked: c.Clock().Now() - start}, fmt.Errorf("%w: all producers of %q failed", buffer.ErrPeerFailed, c.Name())
 		}
 		c.WaitConsumer()
 	}
@@ -405,7 +451,10 @@ func (c *Channel) WouldBeDead(ts vt.Timestamp) bool {
 		return true
 	}
 	if len(c.Consumers) == 0 {
-		return false
+		// No consumers left: dead only when they *failed* (production
+		// for a dead audience is wasted); before any consumer attaches,
+		// items are presumed reachable.
+		return c.ConsumersExhaustedLocked()
 	}
 	for _, cs := range c.Consumers {
 		if cs.Guarantee < ts {

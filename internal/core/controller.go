@@ -329,6 +329,14 @@ func (n *NodeState) ReceiveSummary(conn graph.ConnID, s STP) {
 	n.applySummary(n.vec.UpdateAndCompress(conn, s, n.comp))
 }
 
+// RefreshSummary re-derives the node's summary-STP from its vector's
+// current compressed value. Used after out-of-band vector surgery
+// (RemoveSlot on a failed consumer) where no piggyback is in flight to
+// trigger the re-fold.
+func (n *NodeState) RefreshSummary() {
+	n.applySummary(n.vec.Compressed(n.comp))
+}
+
 // SetCurrentSTP records a thread's newly measured current-STP and
 // refreshes the summary.
 func (n *NodeState) SetCurrentSTP(s STP) {
@@ -521,6 +529,40 @@ func (c *Controller) SetRemoteSummary(id graph.NodeID, s STP) {
 		return
 	}
 	c.states[id].SetSummary(s)
+}
+
+// DropConsumer removes a dead consumer's feedback slot from the vector
+// of the buffer it consumed from (conn is a buffer→thread edge) and
+// re-derives the buffer's summary. This is the local analogue of the
+// remote staleness decay: feedback must always reflect *live* consumers,
+// so a permanently failed thread's last summary-STP must stop throttling
+// upstream producers. With the slot gone, the buffer's fold is taken over
+// the surviving consumers only (Unknown when none remain), and producers
+// return to their own measured period on their next NotePut.
+func (c *Controller) DropConsumer(conn graph.ConnID) {
+	if !c.policy.Enabled {
+		return
+	}
+	edge := c.g.Conn(conn)
+	st := c.states[edge.From]
+	st.vec.RemoveSlot(conn)
+	st.RefreshSummary()
+}
+
+// FadeNode clears a permanently failed thread's own ARU state: its
+// current-STP and summary-STP become Unknown, so any reader of the dead
+// node's feedback (ConsumerSummary for a wire-forwarded get, status
+// dumps) observes "no demand" rather than the ghost of its last measured
+// period.
+func (c *Controller) FadeNode(id graph.NodeID) {
+	if !c.policy.Enabled {
+		return
+	}
+	st := c.states[id]
+	st.mu.Lock()
+	st.current = Unknown
+	st.summary = Unknown
+	st.mu.Unlock()
 }
 
 // ConsumerSummary returns the summary-STP of the thread consuming over

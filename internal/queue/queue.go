@@ -99,6 +99,33 @@ func (q *Queue) DetachConsumer(conn graph.ConnID) {
 	delete(q.Consumers, conn)
 }
 
+// FailProducer removes a producer attachment that failed permanently.
+// Once every producer has failed, consumers drain the remaining items
+// and then report ErrPeerFailed instead of blocking forever.
+func (q *Queue) FailProducer(conn graph.ConnID) {
+	q.Mu.Lock()
+	defer q.Mu.Unlock()
+	if q.FailProducerLocked(conn) {
+		q.BroadcastConsumersLocked()
+	}
+}
+
+// FailConsumer removes a consumer attachment that failed permanently.
+// Once every consumer has failed, producers blocked on capacity report
+// ErrPeerFailed (nothing will ever be dequeued again).
+func (q *Queue) FailConsumer(conn graph.ConnID) {
+	q.Mu.Lock()
+	defer q.Mu.Unlock()
+	if _, ok := q.Consumers[conn]; !ok {
+		return
+	}
+	delete(q.Consumers, conn)
+	q.MarkConsumerFailedLocked()
+	if q.ConsumersExhaustedLocked() {
+		q.BroadcastFullLocked()
+	}
+}
+
 // Put enqueues an item, blocking while a bounded queue is full. The
 // returned duration is time spent blocked.
 func (q *Queue) Put(conn graph.ConnID, it *Item) (time.Duration, error) {
@@ -107,7 +134,10 @@ func (q *Queue) Put(conn graph.ConnID, it *Item) (time.Duration, error) {
 	if err := q.CheckProducerLocked(conn); err != nil {
 		return 0, err
 	}
-	blocked := q.AwaitCapacityLocked()
+	blocked, err := q.AwaitCapacityLocked()
+	if err != nil {
+		return blocked, err
+	}
 	if q.ClosedLocked() {
 		return blocked, ErrClosed
 	}
@@ -135,6 +165,9 @@ func (q *Queue) Get(conn graph.ConnID) (GetResult, error) {
 		if q.ClosedLocked() {
 			return GetResult{Blocked: q.Clock().Now() - start}, ErrClosed
 		}
+		if q.ProducersExhaustedLocked() {
+			return GetResult{Blocked: q.Clock().Now() - start}, fmt.Errorf("%w: all producers of %q failed", buffer.ErrPeerFailed, q.Name())
+		}
 		q.WaitConsumer()
 	}
 }
@@ -149,6 +182,9 @@ func (q *Queue) TryGet(conn graph.ConnID) (res GetResult, ok bool, err error) {
 	if q.queued() == 0 {
 		if q.ClosedLocked() {
 			return GetResult{}, false, ErrClosed
+		}
+		if q.ProducersExhaustedLocked() {
+			return GetResult{}, false, fmt.Errorf("%w: all producers of %q failed", buffer.ErrPeerFailed, q.Name())
 		}
 		return GetResult{}, false, nil
 	}
@@ -179,9 +215,15 @@ func (q *Queue) dequeueLocked() Item {
 	return buffer.Snapshot(it)
 }
 
-// WouldBeDead reports false always: queue items are handed to exactly one
-// consumer and never skipped, so no put is ever dead on arrival.
-func (q *Queue) WouldBeDead(ts vt.Timestamp) bool { return false }
+// WouldBeDead reports false in normal operation: queue items are handed
+// to exactly one consumer and never skipped, so no put is ever dead on
+// arrival. The one exception is a dead audience — every consumer failed
+// permanently — when any enqueue is wasted by definition.
+func (q *Queue) WouldBeDead(ts vt.Timestamp) bool {
+	q.Mu.Lock()
+	defer q.Mu.Unlock()
+	return q.ConsumersExhaustedLocked()
+}
 
 // Close marks the queue closed; consumers drain remaining items, then see
 // ErrClosed.

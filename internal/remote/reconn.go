@@ -8,82 +8,26 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/clock"
 )
 
 // Fault-tolerance defaults. Chosen so a transient blip (a dropped
 // connection, one lost response) heals in well under a second while a
-// true outage degrades within a few seconds instead of wedging.
+// true outage degrades within a few seconds instead of wedging. The
+// redial schedule defaults live in package backoff (DefaultBase and
+// friends), shared with the thread supervisor's restart schedule.
 const (
 	defaultCallTimeout = 5 * time.Second
-	defaultRetryBase   = 50 * time.Millisecond
-	defaultRetryCap    = 2 * time.Second
-	defaultRetryFactor = 2.0
-	defaultRetryJitter = 0.2
 	defaultMaxRetries  = 3
 )
 
 // Backoff parameterizes capped exponential redial backoff with
 // symmetric jitter: the n-th delay is Base·Factorⁿ capped at Cap, then
-// scaled by 1 + Jitter·(2u−1) for a unit sample u.
-type Backoff struct {
-	// Base is the first delay (default 50ms).
-	Base time.Duration
-	// Cap bounds every delay (default 2s).
-	Cap time.Duration
-	// Factor is the exponential growth rate (default 2).
-	Factor float64
-	// Jitter is the symmetric jitter fraction in [0,1) (default 0.2);
-	// negative disables jitter entirely.
-	Jitter float64
-}
-
-// withDefaults fills zero fields. It is idempotent: the negative
-// "jitter disabled" sentinel survives repeated application (mapping it
-// to 0 here would let a second pass resurrect the default).
-func (b Backoff) withDefaults() Backoff {
-	if b.Base <= 0 {
-		b.Base = defaultRetryBase
-	}
-	if b.Cap <= 0 {
-		b.Cap = defaultRetryCap
-	}
-	if b.Factor <= 0 {
-		b.Factor = defaultRetryFactor
-	}
-	if b.Jitter == 0 {
-		b.Jitter = defaultRetryJitter
-	}
-	return b
-}
-
-// Delay returns the n-th (0-based) redial delay for a unit jitter
-// sample u in [0,1). It is a pure function, so fake-clock tests can pin
-// the exact schedule a seed produces.
-func (b Backoff) Delay(n int, u float64) time.Duration {
-	b = b.withDefaults()
-	j := b.Jitter
-	if j < 0 {
-		j = 0 // negative disables jitter
-	}
-	d := float64(b.Base)
-	for i := 0; i < n && d < float64(b.Cap); i++ {
-		d *= b.Factor
-	}
-	if d > float64(b.Cap) {
-		d = float64(b.Cap)
-	}
-	if j > 0 {
-		d *= 1 + j*(2*u-1)
-	}
-	if d < 0 {
-		d = 0
-	}
-	if d > float64(b.Cap)*(1+j) {
-		d = float64(b.Cap) * (1 + j)
-	}
-	return time.Duration(d)
-}
+// scaled by 1 + Jitter·(2u−1) for a unit sample u. It is the shared
+// backoff.Backoff schedule; Delay is a pure function, so fake-clock
+// tests pin the exact schedule a seed produces.
+type Backoff = backoff.Backoff
 
 // DialConfig configures a fault-tolerant client connection.
 type DialConfig struct {
@@ -118,7 +62,7 @@ func (cfg DialConfig) withDefaults() DialConfig {
 	if cfg.CallTimeout <= 0 {
 		cfg.CallTimeout = defaultCallTimeout
 	}
-	cfg.Backoff = cfg.Backoff.withDefaults()
+	cfg.Backoff = cfg.Backoff.WithDefaults()
 	if cfg.MaxRetries == 0 {
 		cfg.MaxRetries = defaultMaxRetries
 	} else if cfg.MaxRetries < 0 {

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/buffer"
 	"repro/internal/clock"
 	"repro/internal/faultnet"
@@ -54,10 +55,10 @@ func TestBackoffSchedule(t *testing.T) {
 
 	// Zero-value Backoff picks up every default, including 0.2 jitter.
 	var def Backoff
-	if d := def.Delay(0, 0.5); d != defaultRetryBase {
-		t.Errorf("default Delay(0, 0.5) = %v, want %v", d, defaultRetryBase)
+	if d := def.Delay(0, 0.5); d != backoff.DefaultBase {
+		t.Errorf("default Delay(0, 0.5) = %v, want %v", d, backoff.DefaultBase)
 	}
-	if d := def.Delay(0, 1); d <= defaultRetryBase {
+	if d := def.Delay(0, 1); d <= backoff.DefaultBase {
 		t.Errorf("default jitter not applied: Delay(0, 1) = %v", d)
 	}
 }

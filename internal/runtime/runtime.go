@@ -55,6 +55,18 @@ type Options struct {
 	// 1 + liveBytes(host)/PressureBytes, so hosts drowning in buffered
 	// items pay more per byte moved. Zero disables the model.
 	PressureBytes int64
+	// StallTTL, when positive, enables the stall watchdog: a running
+	// thread whose heartbeat (stamped by each Ctx.Sync) is older than
+	// the TTL is flagged stalled in Health and WriteStatus. Per-thread
+	// WithStallTTL overrides the runtime-wide value.
+	StallTTL time.Duration
+	// StallCheckEvery is the watchdog sweep interval; zero derives a
+	// quarter of the smallest TTL in use.
+	StallCheckEvery time.Duration
+	// OnStall, if non-nil, is called once per stall episode with the
+	// thread's name and heartbeat age. It runs on the watchdog
+	// goroutine; keep it fast.
+	OnStall func(thread string, age time.Duration)
 }
 
 // Runtime is one Stampede application instance.
@@ -84,8 +96,16 @@ type Runtime struct {
 	// memory-pressure model.
 	hostLive []atomic.Int64
 
-	wg   sync.WaitGroup
-	errs chan error
+	wg sync.WaitGroup
+
+	// failures collects every permanent thread failure (no cap, no
+	// drops); Wait joins and reports them. stopCh is closed by Stop so
+	// long-lived supervision goroutines (the stall watchdog) terminate.
+	failMu   sync.Mutex
+	failures []error
+	waitOnce sync.Once
+	waitErr  error
+	stopCh   chan struct{}
 }
 
 // New creates an empty runtime.
@@ -102,7 +122,7 @@ func New(opts Options) *Runtime {
 		g:       graph.New(),
 		buffers: make(map[graph.NodeID]buffer.Buffer),
 		refs:    make(map[graph.NodeID]*BufferRef),
-		errs:    make(chan error, 64),
+		stopCh:  make(chan struct{}),
 	}
 	hosts := 1
 	if opts.Cluster != nil {
@@ -267,8 +287,13 @@ func (rt *Runtime) MustAddRemoteChannel(name string, host int, addr string, copt
 // reports shutdown (errors.Is(err, ErrShutdown)).
 type Body func(ctx *Ctx) error
 
-// AddThread declares a computation thread on the given host.
-func (rt *Runtime) AddThread(name string, host int, body Body) (*Thread, error) {
+// AddThread declares a computation thread on the given host. Options
+// configure its supervision: WithRestartOnFailure enables restarts on a
+// backoff schedule, WithStallTTL a per-thread watchdog TTL. Without
+// options the thread is supervised with RestartNever semantics — a
+// panic or non-shutdown error return is a permanent failure (contained,
+// propagated to peers, and reported by Wait; never a process crash).
+func (rt *Runtime) AddThread(name string, host int, body Body, topts ...ThreadOption) (*Thread, error) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	if err := rt.checkBuilding("add thread"); err != nil {
@@ -285,13 +310,16 @@ func (rt *Runtime) AddThread(name string, host int, body Body) (*Thread, error) 
 		return nil, err
 	}
 	th := &Thread{rt: rt, id: id, name: name, host: host, body: body}
+	for _, o := range topts {
+		o(th)
+	}
 	rt.threads = append(rt.threads, th)
 	return th, nil
 }
 
 // MustAddThread is AddThread that panics on error.
-func (rt *Runtime) MustAddThread(name string, host int, body Body) *Thread {
-	th, err := rt.AddThread(name, host, body)
+func (rt *Runtime) MustAddThread(name string, host int, body Body, topts ...ThreadOption) *Thread {
+	th, err := rt.AddThread(name, host, body, topts...)
 	if err != nil {
 		panic(err)
 	}
@@ -437,13 +465,15 @@ func (rt *Runtime) Start() error {
 			if hasReg {
 				defer reg.Add(-1)
 			}
-			if err := th.run(); err != nil && !errors.Is(err, ErrShutdown) {
-				select {
-				case rt.errs <- fmt.Errorf("thread %q: %w", th.name, err):
-				default:
-				}
-			}
+			th.supervise()
 		}(th)
+	}
+	if every, enabled := rt.watchdogPlan(); enabled {
+		rt.wg.Add(1)
+		if hasReg {
+			reg.Add(1)
+		}
+		go rt.watchdog(every)
 	}
 	return nil
 }
@@ -458,6 +488,7 @@ func (rt *Runtime) Stop() {
 		return
 	}
 	rt.stopped = true
+	close(rt.stopCh)
 	buffers := make([]buffer.Buffer, 0, len(rt.buffers))
 	for _, b := range rt.buffers {
 		buffers = append(buffers, b)
@@ -483,16 +514,17 @@ func (rt *Runtime) Stopped() bool {
 	return rt.stopped
 }
 
-// Wait blocks until every thread goroutine has returned and reports the
-// first few non-shutdown errors.
+// Wait blocks until every supervision goroutine has returned and
+// reports every permanent thread failure, joined. It is idempotent:
+// repeated calls block the same way and return the same error.
 func (rt *Runtime) Wait() error {
 	rt.wg.Wait()
-	close(rt.errs)
-	var errs []error
-	for err := range rt.errs {
-		errs = append(errs, err)
-	}
-	return errors.Join(errs...)
+	rt.waitOnce.Do(func() {
+		rt.failMu.Lock()
+		rt.waitErr = errors.Join(rt.failures...)
+		rt.failMu.Unlock()
+	})
+	return rt.waitErr
 }
 
 // RunFor starts the runtime (if not yet started), lets it execute for d of
@@ -577,6 +609,18 @@ func (rt *Runtime) WriteStatus(w io.Writer) {
 	fmt.Fprintf(w, "%-18s %8s %12s %8s %8s\n", "buffer", "items", "bytes", "puts", "frees")
 	for _, r := range rows {
 		fmt.Fprintf(w, "%-18s %8d %12d %8d %8d\n", r.name, r.items, r.bytes, r.puts, r.frees)
+	}
+
+	health := rt.Health()
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-18s %-11s %8s %10s %7s  %s\n", "thread", "state", "restarts", "beat-age", "stalled", "last-failure")
+	for _, th := range health.Threads {
+		failure := "-"
+		if th.LastFailure != nil {
+			failure = th.LastFailure.Error()
+		}
+		fmt.Fprintf(w, "%-18s %-11s %8d %10s %7v  %s\n",
+			th.Name, th.State, th.Restarts, th.HeartbeatAge.Round(time.Millisecond), th.Stalled, failure)
 	}
 }
 

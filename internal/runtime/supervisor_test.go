@@ -1,0 +1,478 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/backoff"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/vt"
+)
+
+// waitManualSleepers polls until n goroutines are blocked in clk.Sleep.
+func waitManualSleepers(t *testing.T, clk *clock.Manual, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for clk.Sleepers() != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d manual-clock sleepers (have %d)", n, clk.Sleepers())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// waitState polls until the thread reaches the given lifecycle state.
+func waitState(t *testing.T, th *Thread, want ThreadState) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for th.State() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for thread %q to reach %v (at %v)", th.Name(), want, th.State())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestRestartSchedulePinned pins the exact restart schedule a
+// deterministic (jitter-disabled) policy produces on a fake clock: a
+// body that panics immediately is restarted at 100ms, 300ms, and 700ms
+// (delays 100·2ⁿ), then the budget of 3 restarts is exhausted, the
+// thread fails permanently, and its blocked consumer unblocks with
+// ErrPeerFailed. Wait reports both failures and is idempotent.
+func TestRestartSchedulePinned(t *testing.T) {
+	clk := clock.NewManual()
+	rt := New(Options{Clock: clk})
+	c1 := rt.MustAddChannel("C1", 0)
+
+	var mu sync.Mutex
+	var starts []time.Duration
+	crashy := rt.MustAddThread("crashy", 0, func(ctx *Ctx) error {
+		mu.Lock()
+		starts = append(starts, clk.Now())
+		mu.Unlock()
+		panic("injected")
+	}, WithRestartOnFailure(RestartPolicy{
+		Backoff:     backoff.Backoff{Base: 100 * time.Millisecond, Cap: time.Second, Factor: 2, Jitter: -1},
+		MaxRestarts: 3,
+		Seed:        1,
+	}))
+	var sinkErr error
+	sinkDone := make(chan struct{})
+	sink := rt.MustAddThread("sink", 0, func(ctx *Ctx) error {
+		defer close(sinkDone)
+		_, sinkErr = ctx.GetLatest(ctx.Ins()[0])
+		return sinkErr
+	})
+	crashy.MustOutput(c1)
+	sink.MustInput(c1)
+
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Each crash parks the supervisor in a backoff sleep; release the
+	// exact scheduled delay each time.
+	for _, d := range []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond} {
+		waitManualSleepers(t, clk, 1)
+		clk.Advance(d)
+	}
+	waitState(t, crashy, StateFailed)
+	<-sinkDone
+
+	mu.Lock()
+	got := append([]time.Duration(nil), starts...)
+	mu.Unlock()
+	want := []time.Duration{0, 100 * time.Millisecond, 300 * time.Millisecond, 700 * time.Millisecond}
+	if len(got) != len(want) {
+		t.Fatalf("body ran %d times (%v), want %d (%v)", len(got), got, len(want), want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("incarnation %d started at %v, want %v", i, got[i], want[i])
+		}
+	}
+	if crashy.Restarts() != 3 {
+		t.Errorf("restarts = %d, want 3", crashy.Restarts())
+	}
+	f := crashy.LastFailure()
+	if f == nil || f.Value != "injected" || len(f.Stack) == 0 {
+		t.Fatalf("last failure = %+v, want recovered panic with stack", f)
+	}
+
+	// The dead producer's consumer unblocked with the typed condition.
+	if !errors.Is(sinkErr, ErrPeerFailed) {
+		t.Fatalf("sink error = %v, want ErrPeerFailed", sinkErr)
+	}
+
+	// Wait reports both permanent failures, and repeated calls return
+	// the identical joined error (no double-close panic).
+	err1 := rt.Wait()
+	if err1 == nil {
+		t.Fatal("Wait reported no error")
+	}
+	var tf *ThreadFailure
+	if !errors.As(err1, &tf) {
+		t.Fatalf("Wait error %v does not unwrap to *ThreadFailure", err1)
+	}
+	if !errors.Is(err1, ErrPeerFailed) {
+		t.Errorf("Wait error %v does not include the sink's ErrPeerFailed", err1)
+	}
+	if err2 := rt.Wait(); !errors.Is(err2, err1) && err2.Error() != err1.Error() {
+		t.Errorf("second Wait returned a different error: %v vs %v", err2, err1)
+	}
+}
+
+// TestRestartWindowRefreshesBudget verifies the sliding restart window:
+// with MaxRestarts 2 per 150ms window, a thread that keeps crashing is
+// still restarted past 2 total failures because old restarts age out of
+// the window (and the backoff attempt index resets with them).
+func TestRestartWindowRefreshesBudget(t *testing.T) {
+	clk := clock.NewManual()
+	rt := New(Options{Clock: clk})
+	c1 := rt.MustAddChannel("C1", 0)
+
+	crashy := rt.MustAddThread("crashy", 0, func(ctx *Ctx) error {
+		panic("again")
+	}, WithRestartOnFailure(RestartPolicy{
+		Backoff:     backoff.Backoff{Base: 100 * time.Millisecond, Cap: time.Second, Factor: 2, Jitter: -1},
+		MaxRestarts: 2,
+		Window:      150 * time.Millisecond,
+		Seed:        1,
+	}))
+	sink := rt.MustAddThread("sink", 0, func(ctx *Ctx) error {
+		_, err := ctx.GetLatest(ctx.Ins()[0])
+		return err
+	})
+	crashy.MustOutput(c1)
+	sink.MustInput(c1)
+
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Schedule: restart 1 after 100ms (t=100), restart 2 after 200ms
+	// (t=300). At t=300 the t=100 restart is 200ms old and has aged out
+	// of the 150ms window, so the budget is 1/2 again and the attempt
+	// index is back to 1: restart 3 comes after another 200ms — a
+	// lifetime budget of 2 would have failed permanently at t=300.
+	for _, d := range []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 200 * time.Millisecond} {
+		waitManualSleepers(t, clk, 1)
+		clk.Advance(d)
+	}
+	waitManualSleepers(t, clk, 1) // a 4th backoff sleep: still restarting
+	if got := crashy.Restarts(); got < 3 {
+		t.Fatalf("restarts = %d, want ≥ 3 (window should refresh the budget)", got)
+	}
+	if st := crashy.State(); st == StateFailed {
+		t.Fatalf("thread failed permanently despite window-refreshed budget")
+	}
+	rt.Stop()
+	clk.Advance(time.Second) // release the pending backoff sleep
+	_ = rt.Wait()
+}
+
+// TestFailurePropagationReleasesSTP injects a permanent mid-run sink
+// failure under ARU-min and asserts the paper's liveness property for
+// feedback: the dead consumer's summary-STP is released from the
+// backward fold, so the upstream producer returns from the sink's 40ms
+// period to its own 5ms period — instead of pacing to a ghost forever.
+func TestFailurePropagationReleasesSTP(t *testing.T) {
+	rt := New(Options{Clock: fastClock(), ARU: core.PolicyMin()})
+	c1 := rt.MustAddChannel("C1", 0)
+
+	var mu sync.Mutex
+	var srcIters []time.Duration
+	var failedAt time.Duration
+	src := rt.MustAddThread("src", 0, func(ctx *Ctx) error {
+		for ts := vt.Timestamp(1); !ctx.Stopped(); ts++ {
+			ctx.Compute(5 * time.Millisecond)
+			if err := ctx.Put(ctx.Outs()[0], ts, nil, 100); err != nil {
+				return err
+			}
+			ctx.Sync()
+			mu.Lock()
+			srcIters = append(srcIters, rt.Clock().Now())
+			mu.Unlock()
+		}
+		return nil
+	})
+	sink := rt.MustAddThread("sink", 0, func(ctx *Ctx) error {
+		for n := 0; ; n++ {
+			if _, err := ctx.GetLatest(ctx.Ins()[0]); err != nil {
+				return err
+			}
+			ctx.Compute(40 * time.Millisecond)
+			ctx.Sync()
+			if n == 7 {
+				mu.Lock()
+				failedAt = rt.Clock().Now()
+				mu.Unlock()
+				return errors.New("injected sink failure")
+			}
+		}
+	})
+	src.MustOutput(c1)
+	sink.MustInput(c1)
+
+	if err := rt.RunFor(2 * time.Second); err == nil {
+		t.Fatal("expected the injected sink failure in Wait")
+	} else if want := "injected sink failure"; !errors.As(err, new(*ThreadFailure)) {
+		t.Fatalf("error %v does not unwrap to *ThreadFailure (want %q inside)", err, want)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if failedAt == 0 {
+		t.Fatal("sink never failed")
+	}
+	// Iteration rates before and after the failure. While the sink was
+	// alive, ARU-min throttled the source toward the sink's ~40ms
+	// period; after the failure is propagated the source returns to its
+	// own ~5ms period.
+	var before, after int
+	cut := failedAt + 100*time.Millisecond // settle margin
+	for _, at := range srcIters {
+		if at <= failedAt {
+			before++
+		} else if at > cut {
+			after++
+		}
+	}
+	beforeRate := float64(before) / float64(failedAt)
+	afterWindow := 2*time.Second - cut
+	afterRate := float64(after) / float64(afterWindow)
+	if afterRate < 3*beforeRate {
+		t.Errorf("source did not speed back up after consumer death: before %.2f iters/s, after %.2f iters/s (failedAt=%v, before=%d, after=%d)",
+			beforeRate*float64(time.Second), afterRate*float64(time.Second), failedAt, before, after)
+	}
+	// The controller's view agrees: the source's target period is back
+	// at (or below) its own measured period, not the sink's 40ms.
+	target := rt.Controller().TargetPeriod(src.ID())
+	if target.Known() && target.Duration() > 10*time.Millisecond {
+		t.Errorf("target period still throttled to %v after consumer death", target.Duration())
+	}
+}
+
+// TestSupervisionChaos runs the full failure menagerie on one graph —
+// a panicking source under a restart policy, a mid-pipeline stage that
+// errors permanently, a sink that cascades via ErrPeerFailed, and a
+// consumer that silently stalls — and asserts the process never
+// crashes, every failure is contained, typed, and reported, and the
+// watchdog flags the staller.
+func TestSupervisionChaos(t *testing.T) {
+	var stallMu sync.Mutex
+	stalls := map[string]int{}
+	rt := New(Options{
+		Clock:    fastClock(),
+		ARU:      core.PolicyMin(),
+		StallTTL: 80 * time.Millisecond,
+		OnStall: func(name string, age time.Duration) {
+			stallMu.Lock()
+			stalls[name]++
+			stallMu.Unlock()
+		},
+	})
+	c1 := rt.MustAddChannel("C1", 0)
+	c2 := rt.MustAddChannel("C2", 0)
+
+	// Crashy source: panics every 4th put, restart budget 3 → three
+	// contained restarts, then permanent failure.
+	var produced vt.Timestamp
+	var pmu sync.Mutex
+	crashy := rt.MustAddThread("crashy-src", 0, func(ctx *Ctx) error {
+		for !ctx.Stopped() {
+			pmu.Lock()
+			produced++
+			ts := produced
+			pmu.Unlock()
+			if ts%4 == 0 {
+				panic("chaos: injected source panic")
+			}
+			ctx.Compute(2 * time.Millisecond)
+			if err := ctx.Put(ctx.Outs()[0], ts, nil, 100); err != nil {
+				return err
+			}
+			ctx.Sync()
+		}
+		return nil
+	}, WithRestartOnFailure(RestartPolicy{
+		Backoff:     backoff.Backoff{Base: 10 * time.Millisecond, Cap: 100 * time.Millisecond, Factor: 2, Jitter: -1},
+		MaxRestarts: 3,
+		Seed:        1719,
+	}))
+
+	// Mid stage: errors permanently after 3 iterations.
+	mid := rt.MustAddThread("mid", 0, func(ctx *Ctx) error {
+		for n := 0; ; n++ {
+			m, err := ctx.GetLatest(ctx.Ins()[0])
+			if err != nil {
+				return err
+			}
+			ctx.Compute(3 * time.Millisecond)
+			if n == 2 {
+				return errors.New("chaos: injected mid failure")
+			}
+			if err := ctx.Put(ctx.Outs()[0], m.TS, nil, 50); err != nil {
+				return err
+			}
+			ctx.Sync()
+		}
+	})
+
+	// Sink: cascades — once mid (its only producer) dies, its blocking
+	// get must report ErrPeerFailed rather than hang.
+	var sinkErr error
+	sink := rt.MustAddThread("sink", 0, func(ctx *Ctx) error {
+		for {
+			if _, err := ctx.GetLatest(ctx.Ins()[0]); err != nil {
+				sinkErr = err
+				return err
+			}
+			ctx.Compute(2 * time.Millisecond)
+			ctx.Emit()
+			ctx.Sync()
+		}
+	})
+
+	// Staller: consumes twice, then silently hangs forever — the
+	// watchdog must flag it.
+	staller := rt.MustAddThread("staller", 0, func(ctx *Ctx) error {
+		for n := 0; n < 2; n++ {
+			if _, err := ctx.GetLatest(ctx.Ins()[0]); err != nil {
+				return err
+			}
+			ctx.Sync()
+		}
+		ctx.Park()
+		return nil
+	})
+
+	crashy.MustOutput(c1)
+	mid.MustInput(c1)
+	mid.MustOutput(c2)
+	sink.MustInput(c2)
+	staller.MustInput(c1)
+
+	if err := rt.RunFor(time.Second); err == nil {
+		t.Fatal("expected joined failures from Wait")
+	} else {
+		if !errors.Is(err, ErrPeerFailed) {
+			t.Errorf("Wait error lacks the sink's ErrPeerFailed cascade: %v", err)
+		}
+		var tf *ThreadFailure
+		if !errors.As(err, &tf) {
+			t.Errorf("Wait error lacks a *ThreadFailure: %v", err)
+		}
+	}
+
+	if !errors.Is(sinkErr, ErrPeerFailed) {
+		t.Errorf("sink error = %v, want ErrPeerFailed", sinkErr)
+	}
+
+	h := rt.Health()
+	states := map[string]ThreadHealth{}
+	for _, th := range h.Threads {
+		states[th.Name] = th
+	}
+	if st := states["crashy-src"].State; st != StateFailed {
+		t.Errorf("crashy-src state = %v, want failed", st)
+	}
+	if got := states["crashy-src"].Restarts; got != 3 {
+		t.Errorf("crashy-src restarts = %d, want 3", got)
+	}
+	if f := states["crashy-src"].LastFailure; f == nil || f.Value == nil {
+		t.Errorf("crashy-src last failure = %+v, want recovered panic", f)
+	}
+	if st := states["mid"].State; st != StateFailed {
+		t.Errorf("mid state = %v, want failed", st)
+	}
+	if st := states["sink"].State; st != StateFailed {
+		t.Errorf("sink state = %v, want failed (ErrPeerFailed cascade)", st)
+	}
+	if st := states["staller"].State; st != StateStopped {
+		t.Errorf("staller state = %v, want stopped", st)
+	}
+	if h.Healthy() {
+		t.Error("Health().Healthy() = true for a graph full of corpses")
+	}
+
+	stallMu.Lock()
+	defer stallMu.Unlock()
+	if stalls["staller"] == 0 {
+		t.Errorf("watchdog never flagged the staller (stalls: %v)", stalls)
+	}
+}
+
+// TestAllFailuresReported declares more failing threads than the old
+// 64-slot error channel could hold and checks that Wait reports every
+// single one — the silent-drop regression test.
+func TestAllFailuresReported(t *testing.T) {
+	rt := New(Options{Clock: fastClock()})
+	c1 := rt.MustAddChannel("C1", 0)
+	const n = 70
+	prod := rt.MustAddThread("prod", 0, func(ctx *Ctx) error {
+		return errors.New("prod failure")
+	})
+	prod.MustOutput(c1)
+	for i := 0; i < n; i++ {
+		th := rt.MustAddThread(fmt.Sprintf("cons-%d", i), 0, func(ctx *Ctx) error {
+			return errors.New("consumer failure")
+		})
+		_ = th.MustInput(c1)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	err := rt.Wait()
+	if err == nil {
+		t.Fatal("Wait reported no error")
+	}
+	joined, ok := err.(interface{ Unwrap() []error })
+	if !ok {
+		t.Fatalf("Wait error is not a joined error: %T", err)
+	}
+	if got := len(joined.Unwrap()); got != n+1 {
+		t.Fatalf("Wait reported %d failures, want %d", got, n+1)
+	}
+}
+
+// TestStatusIncludesSupervision checks WriteStatus renders the thread
+// supervision table.
+func TestStatusIncludesSupervision(t *testing.T) {
+	rt := New(Options{Clock: fastClock()})
+	c1 := rt.MustAddChannel("C1", 0)
+	src := rt.MustAddThread("src", 0, func(ctx *Ctx) error {
+		for ts := vt.Timestamp(1); !ctx.Stopped(); ts++ {
+			ctx.Compute(time.Millisecond)
+			if err := ctx.Put(ctx.Outs()[0], ts, nil, 10); err != nil {
+				return err
+			}
+			ctx.Sync()
+		}
+		return nil
+	})
+	sink := rt.MustAddThread("sink", 0, func(ctx *Ctx) error {
+		for {
+			if _, err := ctx.GetLatest(ctx.Ins()[0]); err != nil {
+				return err
+			}
+			ctx.Sync()
+		}
+	})
+	src.MustOutput(c1)
+	sink.MustInput(c1)
+	if err := rt.RunFor(50 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	rt.WriteStatus(&buf)
+	out := buf.String()
+	for _, want := range []string{"thread", "state", "restarts", "stalled", "stopped"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteStatus output lacks %q:\n%s", want, out)
+		}
+	}
+}

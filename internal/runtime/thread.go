@@ -3,7 +3,9 @@ package runtime
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/buffer"
@@ -41,6 +43,15 @@ var ErrDegraded = buffer.ErrDegraded
 // with errors.Is(err, ErrReattached) before bailing on non-nil errors.
 var ErrReattached = buffer.ErrReattached
 
+// ErrPeerFailed reports that a get or put can never complete because
+// every peer on the other side of the buffer failed permanently — a get
+// whose producers all died, a put blocked on capacity whose consumers
+// all died. It is delivered by the supervision subsystem's failure
+// propagation; a body returning it fails permanently itself (the
+// cascade is deliberate: restarting against a dead peer is futile), so
+// whole dead subgraphs resolve instead of hanging.
+var ErrPeerFailed = buffer.ErrPeerFailed
+
 // snapshotItems copies an id list for attachment to a trace event, or
 // returns nil when tracing is disabled: the nil recorder would drop the
 // copy anyway, and untraced runs must not pay a per-iteration allocation
@@ -66,6 +77,22 @@ type Thread struct {
 	isSource bool
 	stop     chan struct{}
 	stopOnce sync.Once
+
+	// Supervision (see supervisor.go). restart/hasRestart/stallTTL are
+	// set at AddThread time and read-only afterwards; the rest is
+	// guarded by supMu except lastBeat, which the hot path (Ctx.Sync)
+	// stamps atomically.
+	restart      RestartPolicy
+	hasRestart   bool
+	stallTTL     time.Duration
+	supMu        sync.Mutex
+	state        ThreadState
+	restarts     int
+	restartTimes []time.Duration
+	lastFailure  *ThreadFailure
+	stalled      bool
+	rng          *rand.Rand
+	lastBeat     atomic.Int64
 }
 
 // ID returns the thread's task-graph id.
@@ -165,6 +192,8 @@ func (t *Thread) MustOutput(dst *BufferRef) *OutPort {
 func (t *Thread) prepare() {
 	t.stop = make(chan struct{})
 	t.isSource = len(t.ins) == 0
+	t.rng = newSupervisionRNG(t.restart.Seed)
+	t.lastBeat.Store(int64(t.rt.clk.Now()))
 	for _, p := range t.ins {
 		p.buf = t.rt.buffers[p.ref.id]
 	}
@@ -521,6 +550,10 @@ func (c *Ctx) Emit() {
 func (c *Ctx) Sync() {
 	fullElapsed := c.meter.Elapsed()
 	current, busy, blocked := c.meter.EndIteration()
+
+	// Heartbeat for the stall watchdog: one atomic store per iteration,
+	// timing-neutral (the clock was already read above).
+	c.thread.lastBeat.Store(int64(c.rt.clk.Now()))
 
 	// Re-fold wire-backed output summaries every iteration. A remote
 	// buffer's summary-STP decays with age (graceful degradation), but

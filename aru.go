@@ -50,6 +50,7 @@ import (
 	"repro/internal/gc"
 	"repro/internal/graph"
 	"repro/internal/kiosk"
+	"repro/internal/metrics"
 	"repro/internal/remote"
 	"repro/internal/runtime"
 	"repro/internal/trace"
@@ -417,6 +418,44 @@ func DialRemoteProducerConfig(cfg RemoteDialConfig) (*RemoteProducer, error) {
 // fault-tolerance configuration.
 func DialRemoteConsumerConfig(cfg RemoteDialConfig) (*RemoteConsumer, error) {
 	return remote.DialConsumerConfig(cfg)
+}
+
+// Live metrics and observability (see Options.Metrics, Options.
+// MetricsAddr, Options.SampleEvery, and DESIGN.md §4f).
+type (
+	// MetricsRegistry is the zero-dependency live metrics registry:
+	// atomic counters, gauges, and fixed-bucket histograms, rendered as
+	// Prometheus text or JSON. Nil disables metrics at zero hot-path
+	// cost.
+	MetricsRegistry = metrics.Registry
+	// MetricLabels attaches label key/values to a registered series.
+	MetricLabels = metrics.Labels
+	// Snapshot is Runtime.Snapshot()'s consistent point-in-time view:
+	// controller state, buffer occupancy, and thread health, all
+	// collected by one call.
+	Snapshot = runtime.Snapshot
+	// NodeStatus is one node's ARU state in a Snapshot.
+	NodeStatus = runtime.NodeStatus
+	// BufferStatus is one buffer endpoint's state in a Snapshot.
+	BufferStatus = runtime.BufferStatus
+)
+
+// NewMetricsRegistry returns an empty live metrics registry to pass as
+// Options.Metrics (and, for distributed runs, RemoteServerConfig.
+// Metrics).
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// WithMetricsAddr returns opts with the observability HTTP endpoint
+// enabled on addr (":0" binds an ephemeral port reported by
+// Runtime.MetricsAddr), allocating a metrics registry if opts carries
+// none. The endpoint serves /metrics (Prometheus text), /metrics.json,
+// /status, and /health.
+func WithMetricsAddr(opts Options, addr string) Options {
+	opts.MetricsAddr = addr
+	if opts.Metrics == nil {
+		opts.Metrics = metrics.NewRegistry()
+	}
+	return opts
 }
 
 // STPUnknown is the "no feedback yet" summary-STP value.

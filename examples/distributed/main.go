@@ -38,6 +38,10 @@ import (
 // toward local pacing.
 var tuning aru.RemoteTuning
 
+// metricsAddr optionally serves the pipeline role's observability
+// endpoint (/metrics, /metrics.json, /status, /health).
+var metricsAddr string
+
 func main() {
 	var (
 		listen  = flag.String("listen", "", "run only a channel server on this address")
@@ -51,6 +55,7 @@ func main() {
 	flag.DurationVar(&tuning.RetryCap, "retry-cap", 0, "redial backoff cap (0: default 2s)")
 	flag.IntVar(&tuning.MaxRetries, "max-retries", 0, "redial/retry budget before ErrDegraded (0: default 3)")
 	flag.DurationVar(&tuning.StaleTTL, "stale-ttl", 0, "remote summary-STP trust window (0: default 10s; <0: never decay)")
+	flag.StringVar(&metricsAddr, "metrics", "", "pipeline role: serve /metrics, /metrics.json, /status, /health on this address (e.g. :8080)")
 	flag.Parse()
 
 	switch {
@@ -122,7 +127,14 @@ func main() {
 // unified calls every local backend serves, and Ctx.Sync throttles the
 // camera to the summary-STP each put's reply carried back over TCP.
 func pipeline(addr string, frames int, displayPeriod time.Duration) error {
-	rt := aru.New(aru.Options{Clock: aru.NewRealClock(), ARU: aru.PolicyMin()})
+	opts := aru.Options{Clock: aru.NewRealClock(), ARU: aru.PolicyMin()}
+	if metricsAddr != "" {
+		// Wire-level instruments (RTT, redials, timeouts, reattaches)
+		// register against the same registry the runtime publishes to, so
+		// one scrape covers the whole pipeline including its remote edge.
+		opts = aru.WithMetricsAddr(opts, metricsAddr)
+	}
+	rt := aru.New(opts)
 	ch, err := rt.AddRemoteChannel("frames", 0, addr, aru.WithRemoteTuning(tuning))
 	if err != nil {
 		return err
@@ -170,6 +182,9 @@ func pipeline(addr string, frames int, displayPeriod time.Duration) error {
 
 	if err := rt.Start(); err != nil {
 		return err
+	}
+	if a := rt.MetricsAddr(); a != "" {
+		fmt.Printf("pipeline: observability on http://%s/metrics\n", a)
 	}
 
 	// Report the camera's target period as the wire feedback moves it,

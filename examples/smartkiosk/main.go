@@ -22,6 +22,14 @@
 // WriteStatus while the rest of the pipeline keeps flowing:
 //
 //	go run ./examples/smartkiosk -crashy
+//
+// With -metrics ADDR (e.g. -metrics :8080), the crashy run additionally
+// serves live observability on ADDR: /metrics (Prometheus text),
+// /metrics.json, /status, and /health. Scrape it mid-run to watch the
+// restart and stall counters move:
+//
+//	go run ./examples/smartkiosk -crashy -metrics :8080 &
+//	curl -s localhost:8080/metrics | grep aru_thread_restarts_total
 package main
 
 import (
@@ -36,9 +44,10 @@ import (
 
 func main() {
 	crashy := flag.Bool("crashy", false, "inject a periodically panicking digitizer to demo supervised restarts")
+	metricsAddr := flag.String("metrics", "", "serve /metrics, /metrics.json, /status, /health on this address during -crashy (e.g. :8080)")
 	flag.Parse()
 	if *crashy {
-		runCrashy()
+		runCrashy(*metricsAddr)
 		return
 	}
 	fmt.Println("smart kiosk: digitizer → low-fi tracker → decision ⇒(queue)⇒ high-fi tracker → GUI")
@@ -103,18 +112,29 @@ func main() {
 //   - Runtime.Health and WriteStatus show the degraded state live: restart
 //     counts, last failure, and — once the budget is exhausted — the
 //     ErrPeerFailed cascade that winds down the rest of the pipeline.
-func runCrashy() {
+func runCrashy(metricsAddr string) {
 	fmt.Println("smart kiosk (crashy): digitizer panics every 25th frame; supervisor restarts it")
 	fmt.Println()
 
+	// The demo normally runs on the discrete-event virtual clock (15
+	// simulated seconds in a few real milliseconds). With -metrics it
+	// switches to the wall clock so there is a real scrape window: curl
+	// the endpoint mid-run and watch the restart counters move.
 	clk := aru.NewVirtualClock()
-	rt := aru.New(aru.Options{
+	if metricsAddr != "" {
+		clk = aru.NewRealClock()
+	}
+	opts := aru.Options{
 		Clock: clk,
 		ARU:   aru.PolicyMin(),
-		// Flag any thread whose heartbeat goes quiet for >2s of virtual
+		// Flag any thread whose heartbeat goes quiet for >2s of runtime
 		// time (none should, here — the column demos the watchdog).
 		StallTTL: 2 * time.Second,
-	})
+	}
+	if metricsAddr != "" {
+		opts = aru.WithMetricsAddr(opts, metricsAddr)
+	}
+	rt := aru.New(opts)
 
 	frames := rt.MustAddChannel("frames", 0)
 	tracked := rt.MustAddChannel("tracked", 0)
@@ -177,12 +197,19 @@ func runCrashy() {
 	if err := rt.Start(); err != nil {
 		log.Fatal(err)
 	}
+	if addr := rt.MetricsAddr(); addr != "" {
+		fmt.Printf("observability: curl -s http://%s/metrics | grep aru_\n\n", addr)
+	}
 
 	// Sample health mid-run, while the supervisor is actively containing
-	// panics and restarting the digitizer.
+	// panics and restarting the digitizer. (The registrar dance keeps the
+	// discrete-event clock advancing while this goroutine sleeps; the wall
+	// clock has no registrar and needs none.)
 	type registrar interface{ Add(int) }
-	reg := rt.Clock().(registrar)
-	reg.Add(1)
+	reg, hasReg := rt.Clock().(registrar)
+	if hasReg {
+		reg.Add(1)
+	}
 	rt.Clock().Sleep(3 * time.Second)
 	fmt.Println("--- t=3s: panics contained, digitizer restarting on backoff ---")
 	printHealth(rt.Health())
@@ -191,7 +218,9 @@ func runCrashy() {
 	// fails permanently, its death fades the STP feedback, and the
 	// tracker/GUI observe ErrPeerFailed once the pipeline drains.
 	rt.Clock().Sleep(12 * time.Second)
-	reg.Add(-1)
+	if hasReg {
+		reg.Add(-1)
+	}
 	rt.Stop()
 	err := rt.Wait()
 

@@ -8,7 +8,18 @@ import (
 	"repro/internal/clock"
 	"repro/internal/gc"
 	"repro/internal/graph"
+	"repro/internal/metrics"
 	"repro/internal/vt"
+)
+
+// Prometheus family names for the per-buffer instruments registered by
+// Base.Init. They carry a {buffer="<name>"} label.
+const (
+	MetricPuts       = "aru_buffer_puts_total"
+	MetricFrees      = "aru_buffer_frees_total"
+	MetricItemsHW    = "aru_buffer_items_highwater"
+	MetricBytesHW    = "aru_buffer_bytes_highwater"
+	MetricPutBlocked = "aru_buffer_put_blocked_seconds"
 )
 
 // Consumer tracks one attached consumer connection. Backends read and
@@ -77,6 +88,15 @@ type Base struct {
 	// blocking. It is stored once at Init — not passed per call — so the
 	// hot path never allocates a closure crossing the package boundary.
 	occupied func() int
+
+	// Live instruments (nil when Cfg.Metrics is nil — every use no-ops
+	// after one branch). Handles are resolved once at Init, the cold
+	// path; an enabled event is a fixed number of atomic ops.
+	mPuts       *metrics.Counter
+	mFrees      *metrics.Counter
+	mItemsHW    *metrics.Gauge
+	mBytesHW    *metrics.Gauge
+	mPutBlocked *metrics.Histogram
 }
 
 // Init prepares the Base: applies Config defaults (real clock, no-op
@@ -96,6 +116,14 @@ func (b *Base) Init(cfg Config, occupied func() int) {
 	b.notEmpty = sync.NewCond(&b.Mu)
 	b.notFull = sync.NewCond(&b.Mu)
 	b.occupied = occupied
+	if reg := cfg.Metrics; reg != nil {
+		ls := metrics.Labels{"buffer": cfg.Name}
+		b.mPuts = reg.Counter(MetricPuts, "Items inserted into the buffer.", ls)
+		b.mFrees = reg.Counter(MetricFrees, "Items reclaimed by the collector (or drained).", ls)
+		b.mItemsHW = reg.Gauge(MetricItemsHW, "High-water mark of live items.", ls)
+		b.mBytesHW = reg.Gauge(MetricBytesHW, "High-water mark of live bytes.", ls)
+		b.mPutBlocked = reg.Histogram(MetricPutBlocked, "Time producers spent blocked on capacity (blocking puts only).", nil, ls)
+	}
 }
 
 // Name returns the buffer's system-wide unique name.
@@ -161,11 +189,17 @@ func (b *Base) AwaitCapacityLocked() (time.Duration, error) {
 	start := b.Cfg.Clock.Now()
 	for !b.closed && b.occupied() >= b.Cfg.Capacity {
 		if b.ConsumersExhaustedLocked() {
-			return b.Cfg.Clock.Now() - start, fmt.Errorf("%w: all consumers of %q failed while producer blocked on capacity", ErrPeerFailed, b.Cfg.Name)
+			d := b.Cfg.Clock.Now() - start
+			b.mPutBlocked.Observe(d)
+			return d, fmt.Errorf("%w: all consumers of %q failed while producer blocked on capacity", ErrPeerFailed, b.Cfg.Name)
 		}
 		b.wait(b.notFull)
 	}
-	return b.Cfg.Clock.Now() - start, nil
+	d := b.Cfg.Clock.Now() - start
+	if d > 0 {
+		b.mPutBlocked.Observe(d)
+	}
+	return d, nil
 }
 
 // FailProducerLocked removes a producer attachment that failed
@@ -242,6 +276,11 @@ func (b *Base) AttachConsumerLocked(conn graph.ConnID, window int) {
 func (b *Base) AccountPutLocked(it *Item) {
 	b.liveBytes += it.Size
 	b.puts++
+	if b.mPuts != nil {
+		b.mPuts.Inc()
+		b.mItemsHW.Max(int64(b.occupied()))
+		b.mBytesHW.Max(b.liveBytes)
+	}
 }
 
 // AccountFreeLocked records one reclaimed item: it adjusts liveBytes and
@@ -250,6 +289,7 @@ func (b *Base) AccountPutLocked(it *Item) {
 func (b *Base) AccountFreeLocked(it *Item) {
 	b.liveBytes -= it.Size
 	b.frees++
+	b.mFrees.Inc()
 	if b.Cfg.OnFree != nil {
 		b.Cfg.OnFree(it, b.Cfg.Clock.Now())
 	}
@@ -303,6 +343,17 @@ func (b *Base) Stats() (puts, frees int64) {
 	b.Mu.Lock()
 	defer b.Mu.Unlock()
 	return b.puts, b.frees
+}
+
+// HighWater returns the high-water marks of live items and bytes since
+// creation. Zeros when metrics are disabled (the marks are only
+// maintained by the instrument handles, keeping the metrics-off hot
+// path free of extra work). Implements HighWaterer.
+func (b *Base) HighWater() (items, bytes int64) {
+	if b.mItemsHW == nil {
+		return 0, 0
+	}
+	return b.mItemsHW.Value(), b.mBytesHW.Value()
 }
 
 // LiveBytesLocked returns the current live byte count; callers hold Mu.

@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gc"
 	"repro/internal/graph"
+	"repro/internal/metrics"
 	"repro/internal/trace"
 	"repro/internal/vt"
 )
@@ -241,6 +242,21 @@ type Config struct {
 	// Remote tunes a wire-backed backend's fault tolerance (deadlines,
 	// redial backoff, staleness TTL); in-process backends ignore it.
 	Remote RemoteTuning
+	// Metrics, when non-nil, receives the backend's live instruments
+	// (puts/frees counters, occupancy high-water marks, blocked-put wait
+	// histogram; wire-backed backends add round-trip latency and fault
+	// counters), labeled by buffer name. Nil keeps the hot path
+	// instrument-free: handles are nil and no-op after one branch.
+	Metrics *metrics.Registry
+}
+
+// HighWaterer is implemented by backends that track occupancy
+// high-water marks inline (in-process backends do, when metrics are
+// enabled). The runtime snapshot layer type-asserts it.
+type HighWaterer interface {
+	// HighWater returns the maximum live item count and byte footprint
+	// observed since creation (zeros when metrics are disabled).
+	HighWater() (items, bytes int64)
 }
 
 // Buffer is a timestamped buffer endpoint as seen by the runtime. All

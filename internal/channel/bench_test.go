@@ -7,6 +7,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/gc"
 	"repro/internal/graph"
+	"repro/internal/metrics"
 	"repro/internal/vt"
 )
 
@@ -130,6 +131,31 @@ func BenchmarkWindowGet(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		ts++
 		if _, err := c.Put(prodConn, &Item{TS: ts, Size: 1024}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.GetLatest(consConn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPutGetLatestMetricsOn is BenchmarkPutGetLatest with a live
+// metrics registry attached: the delta between the two is the entire
+// per-operation cost of the instrumentation (a handful of atomic adds;
+// still 1 alloc/op — the Item). EXPERIMENTS.md tracks the pair.
+func BenchmarkPutGetLatestMetricsOn(b *testing.B) {
+	c := New(Config{
+		Name:      "b",
+		Clock:     clock.NewReal(),
+		Collector: gc.NewDeadTimestamp(),
+		Metrics:   metrics.NewRegistry(),
+	})
+	c.AttachProducer(prodConn)
+	c.AttachConsumer(consConn, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Put(prodConn, &Item{TS: vt.Timestamp(i + 1), Size: 1024}); err != nil {
 			b.Fatal(err)
 		}
 		if _, err := c.GetLatest(consConn); err != nil {

@@ -1,0 +1,240 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilRegistryAndHandles(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c", "", nil)
+	g := r.Gauge("g", "", nil)
+	h := r.Histogram("h", "", nil, nil)
+	if c != nil || g != nil || h != nil {
+		t.Fatalf("nil registry must hand out nil handles: %v %v %v", c, g, h)
+	}
+	// Every nil-handle method must no-op, not panic.
+	c.Inc()
+	c.Add(3)
+	c.AddDuration(time.Second)
+	if c.Value() != 0 {
+		t.Fatalf("nil counter value = %d", c.Value())
+	}
+	g.Set(7)
+	g.SetDuration(time.Second)
+	g.SetUnknown()
+	g.SetBool(true)
+	g.Max(9)
+	if g.Value() != 0 || g.Known() {
+		t.Fatalf("nil gauge: value=%d known=%v", g.Value(), g.Known())
+	}
+	h.Observe(time.Millisecond)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("nil histogram: count=%d sum=%v", h.Count(), h.Sum())
+	}
+	if got := r.Gather(); got != nil {
+		t.Fatalf("nil registry Gather = %v", got)
+	}
+}
+
+func TestCounterSemantics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "Requests.", Labels{"node": "a"})
+	c.Inc()
+	c.Add(4)
+	c.Add(-2) // monotone: negative deltas ignored
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	// Same name+labels returns the same series.
+	if again := r.Counter("requests_total", "Requests.", Labels{"node": "a"}); again != c {
+		t.Fatal("re-registration must return the same handle")
+	}
+	// Different labels is a different series.
+	other := r.Counter("requests_total", "Requests.", Labels{"node": "b"})
+	if other == c {
+		t.Fatal("different labels must be a different series")
+	}
+}
+
+func TestDurationCounterScale(t *testing.T) {
+	r := NewRegistry()
+	c := r.DurationCounter("sleep_seconds_total", "Sleep.", nil)
+	c.AddDuration(1500 * time.Millisecond)
+	fams := r.Gather()
+	if len(fams) != 1 || len(fams[0].Series) != 1 {
+		t.Fatalf("gather shape: %+v", fams)
+	}
+	if got := float64(fams[0].Series[0].Value); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("duration counter renders %v, want 1.5", got)
+	}
+}
+
+func TestGaugeSemantics(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth", "Depth.", nil)
+	g.Set(3)
+	g.Max(10)
+	g.Max(5) // below current max: no effect
+	if g.Value() != 10 {
+		t.Fatalf("gauge max = %d, want 10", g.Value())
+	}
+	g.SetUnknown()
+	if g.Known() {
+		t.Fatal("unknown gauge must report !Known")
+	}
+	// Max out of unknown must take the new value.
+	g.Max(2)
+	if !g.Known() || g.Value() != 2 {
+		t.Fatalf("max-from-unknown = %d known=%v", g.Value(), g.Known())
+	}
+	g.SetBool(true)
+	if g.Value() != 1 {
+		t.Fatalf("SetBool(true) = %d", g.Value())
+	}
+}
+
+func TestUnknownGaugeRendersNaN(t *testing.T) {
+	r := NewRegistry()
+	g := r.DurationGauge("stp_seconds", "STP.", Labels{"node": "x"})
+	g.SetUnknown()
+	fams := r.Gather()
+	if !math.IsNaN(float64(fams[0].Series[0].Value)) {
+		t.Fatalf("unknown gauge gathers %v, want NaN", fams[0].Series[0].Value)
+	}
+	var text bytes.Buffer
+	if err := r.WriteProm(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), `stp_seconds{node="x"} NaN`) {
+		t.Fatalf("prom text missing NaN sample:\n%s", text.String())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("wait_seconds", "Wait.", []time.Duration{time.Millisecond, time.Second}, nil)
+	h.Observe(500 * time.Microsecond) // bucket 0
+	h.Observe(time.Millisecond)       // bucket 0 (inclusive upper bound)
+	h.Observe(20 * time.Millisecond)  // bucket 1
+	h.Observe(time.Minute)            // overflow
+	h.Observe(-time.Second)           // clamped to 0, bucket 0
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	fams := r.Gather()
+	bk := fams[0].Series[0].Buckets
+	if len(bk) != 3 {
+		t.Fatalf("bucket count = %d, want 3", len(bk))
+	}
+	// Buckets are cumulative.
+	if bk[0].Count != 3 || bk[1].Count != 4 || bk[2].Count != 5 {
+		t.Fatalf("cumulative counts = %d,%d,%d want 3,4,5", bk[0].Count, bk[1].Count, bk[2].Count)
+	}
+	if !math.IsInf(float64(bk[2].LE), 1) {
+		t.Fatalf("last bucket LE = %v, want +Inf", bk[2].LE)
+	}
+	wantSum := (500*time.Microsecond + time.Millisecond + 20*time.Millisecond + time.Minute).Seconds()
+	if got := float64(fams[0].Series[0].Sum); math.Abs(got-wantSum) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", got, wantSum)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("x", "", nil)
+}
+
+func TestGatherOrdering(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zzz", "", nil)
+	r.Counter("aaa", "", Labels{"node": "b"})
+	r.Counter("aaa", "", Labels{"node": "a"})
+	fams := r.Gather()
+	if fams[0].Name != "aaa" || fams[1].Name != "zzz" {
+		t.Fatalf("families not name-sorted: %s, %s", fams[0].Name, fams[1].Name)
+	}
+	if fams[0].Series[0].Labels["node"] != "a" || fams[0].Series[1].Labels["node"] != "b" {
+		t.Fatalf("series not label-sorted: %+v", fams[0].Series)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "with \\ and\nnewline", Labels{"v": "a\"b\\c\nd"}).Inc()
+	var b bytes.Buffer
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `# HELP esc_total with \\ and\nnewline`) {
+		t.Fatalf("HELP not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `esc_total{v="a\"b\\c\nd"} 1`) {
+		t.Fatalf("label value not escaped:\n%s", out)
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "C.", Labels{"node": "n"}).Add(2)
+	r.Histogram("h_seconds", "H.", nil, nil).Observe(3 * time.Millisecond)
+	var b bytes.Buffer
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var fams []FamilySnapshot
+	if err := json.Unmarshal(b.Bytes(), &fams); err != nil {
+		t.Fatalf("WriteJSON output is not valid JSON: %v\n%s", err, b.String())
+	}
+	if len(fams) != 2 {
+		t.Fatalf("families = %d, want 2", len(fams))
+	}
+	// Empty registry must still encode a JSON array, not null.
+	var empty bytes.Buffer
+	if err := NewRegistry().WriteJSON(&empty); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(empty.String()) != "[]" {
+		t.Fatalf("empty registry JSON = %q, want []", empty.String())
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "", nil)
+	h := r.Histogram("conc_seconds", "", nil, nil)
+	done := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(time.Duration(j) * time.Microsecond)
+				r.Gauge("conc_gauge", "", nil).Max(int64(j))
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+	if c.Value() != 4000 {
+		t.Fatalf("concurrent counter = %d, want 4000", c.Value())
+	}
+	if h.Count() != 4000 {
+		t.Fatalf("concurrent histogram count = %d, want 4000", h.Count())
+	}
+	if g := r.Gauge("conc_gauge", "", nil); g.Value() != 999 {
+		t.Fatalf("concurrent gauge max = %d, want 999", g.Value())
+	}
+}

@@ -1,0 +1,318 @@
+package metrics
+
+// A promtool-free validator of the Prometheus text exposition format
+// (version 0.0.4), used both here and by the runtime's endpoint test:
+// parsePromText is a strict line-oriented parser that rejects malformed
+// names, labels, and values, and checks the structural invariants a
+// real scraper relies on (TYPE before samples, cumulative buckets,
+// _count == +Inf bucket).
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+var (
+	nameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+type promFamily struct {
+	name    string
+	kind    string
+	help    bool
+	samples []promSample
+}
+
+// parsePromText parses exposition text, failing on any syntax or
+// structural violation.
+func parsePromText(text string) (map[string]*promFamily, error) {
+	fams := make(map[string]*promFamily)
+	var current *promFamily
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || !nameRe.MatchString(name) {
+				return nil, fmt.Errorf("line %d: bad HELP: %q", lineNo, line)
+			}
+			if _, dup := fams[name]; dup {
+				return nil, fmt.Errorf("line %d: duplicate HELP for %s", lineNo, name)
+			}
+			fams[name] = &promFamily{name: name, help: true}
+			current = fams[name]
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: bad TYPE: %q", lineNo, line)
+			}
+			name, kind := fields[0], fields[1]
+			switch kind {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: unknown TYPE %q", lineNo, kind)
+			}
+			f, ok := fams[name]
+			if !ok {
+				f = &promFamily{name: name}
+				fams[name] = f
+			}
+			if f.kind != "" {
+				return nil, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+			}
+			f.kind = kind
+			current = f
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // free-form comment
+		}
+		s, err := parsePromSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		// A sample belongs to the family whose name it carries (modulo
+		// the histogram suffixes), and that family's TYPE must already
+		// have been announced.
+		base := s.name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(s.name, suf) {
+				if f, ok := fams[strings.TrimSuffix(s.name, suf)]; ok && f.kind == "histogram" {
+					base = strings.TrimSuffix(s.name, suf)
+				}
+			}
+		}
+		f, ok := fams[base]
+		if !ok {
+			return nil, fmt.Errorf("line %d: sample %q precedes its TYPE", lineNo, s.name)
+		}
+		if current == nil || f != current {
+			return nil, fmt.Errorf("line %d: sample %q outside its family block", lineNo, s.name)
+		}
+		f.samples = append(f.samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return fams, nil
+}
+
+// parsePromSample parses one `name{labels} value` line.
+func parsePromSample(line string) (promSample, error) {
+	s := promSample{labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return s, fmt.Errorf("no value separator in %q", line)
+	} else {
+		s.name = rest[:i]
+		rest = rest[i:]
+	}
+	if !nameRe.MatchString(s.name) {
+		return s, fmt.Errorf("bad metric name %q", s.name)
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		body, after := rest[1:end], rest[end+1:]
+		for len(body) > 0 {
+			eq := strings.Index(body, "=")
+			if eq < 0 {
+				return s, fmt.Errorf("bad label pair in %q", line)
+			}
+			key := body[:eq]
+			if !labelRe.MatchString(key) {
+				return s, fmt.Errorf("bad label name %q", key)
+			}
+			body = body[eq+1:]
+			if !strings.HasPrefix(body, `"`) {
+				return s, fmt.Errorf("unquoted label value in %q", line)
+			}
+			body = body[1:]
+			var val strings.Builder
+			closed := false
+			for i := 0; i < len(body); i++ {
+				c := body[i]
+				if c == '\\' && i+1 < len(body) {
+					i++
+					switch body[i] {
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						val.WriteByte(body[i])
+					}
+					continue
+				}
+				if c == '"' {
+					body = body[i+1:]
+					closed = true
+					break
+				}
+				val.WriteByte(c)
+			}
+			if !closed {
+				return s, fmt.Errorf("unterminated label value in %q", line)
+			}
+			s.labels[key] = val.String()
+			body = strings.TrimPrefix(body, ",")
+		}
+		rest = after
+	}
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return s, fmt.Errorf("missing value in %q", line)
+	}
+	v, err := strconv.ParseFloat(strings.Fields(rest)[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value in %q: %v", line, err)
+	}
+	s.value = v
+	return s, nil
+}
+
+// validatePromFamilies checks the structural invariants scrapers rely
+// on: every family has HELP and TYPE; histogram buckets are cumulative
+// and end at +Inf; _count equals the +Inf bucket; counters are finite
+// and non-negative.
+func validatePromFamilies(t *testing.T, fams map[string]*promFamily) {
+	t.Helper()
+	for name, f := range fams {
+		if !f.help {
+			t.Errorf("family %s: missing HELP", name)
+		}
+		if f.kind == "" {
+			t.Errorf("family %s: missing TYPE", name)
+		}
+		switch f.kind {
+		case "counter":
+			for _, s := range f.samples {
+				if math.IsNaN(s.value) || s.value < 0 {
+					t.Errorf("counter %s: non-monotone value %v", name, s.value)
+				}
+			}
+		case "histogram":
+			// Group buckets per label set (minus le).
+			type agg struct {
+				last     float64
+				sawInf   bool
+				infCount float64
+				count    float64
+				hasCount bool
+			}
+			byKey := map[string]*agg{}
+			key := func(ls map[string]string) string {
+				var parts []string
+				for k, v := range ls {
+					if k == "le" {
+						continue
+					}
+					parts = append(parts, k+"="+v)
+				}
+				sortStrings(parts)
+				return strings.Join(parts, ",")
+			}
+			for _, s := range f.samples {
+				a := byKey[key(s.labels)]
+				if a == nil {
+					a = &agg{}
+					byKey[key(s.labels)] = a
+				}
+				switch s.name {
+				case name + "_bucket":
+					if s.value < a.last {
+						t.Errorf("histogram %s: non-cumulative buckets", name)
+					}
+					a.last = s.value
+					if s.labels["le"] == "+Inf" {
+						a.sawInf = true
+						a.infCount = s.value
+					}
+				case name + "_count":
+					a.count = s.value
+					a.hasCount = true
+				}
+			}
+			for k, a := range byKey {
+				if !a.sawInf {
+					t.Errorf("histogram %s{%s}: no +Inf bucket", name, k)
+				}
+				if !a.hasCount {
+					t.Errorf("histogram %s{%s}: no _count sample", name, k)
+				}
+				if a.sawInf && a.hasCount && a.infCount != a.count {
+					t.Errorf("histogram %s{%s}: _count %v != +Inf bucket %v", name, k, a.count, a.infCount)
+				}
+			}
+		}
+	}
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func TestWritePromParses(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("aru_test_total", "A counter.", Labels{"node": "digitizer"}).Add(5)
+	r.DurationCounter("aru_test_sleep_seconds_total", "Sleep.", Labels{"thread": "t"}).AddDuration(time.Second)
+	g := r.DurationGauge("aru_test_stp_seconds", "STP.", Labels{"node": "a b\"c\\d"})
+	g.SetUnknown()
+	h := r.Histogram("aru_test_wait_seconds", "Wait.", nil, Labels{"buffer": "frames"})
+	h.Observe(3 * time.Millisecond)
+	h.Observe(40 * time.Second)
+
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := parsePromText(b.String())
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, b.String())
+	}
+	validatePromFamilies(t, fams)
+
+	if f := fams["aru_test_total"]; f == nil || f.kind != "counter" || len(f.samples) != 1 || f.samples[0].value != 5 {
+		t.Fatalf("counter family wrong: %+v", f)
+	}
+	if f := fams["aru_test_stp_seconds"]; f == nil || !math.IsNaN(f.samples[0].value) {
+		t.Fatalf("unknown gauge must scrape as NaN: %+v", f)
+	}
+	if got := fams["aru_test_stp_seconds"].samples[0].labels["node"]; got != "a b\"c\\d" {
+		t.Fatalf("escaped label round-trip = %q", got)
+	}
+	hist := fams["aru_test_wait_seconds"]
+	if hist == nil || hist.kind != "histogram" {
+		t.Fatalf("histogram family wrong: %+v", hist)
+	}
+	// 9 buckets (8 bounds + inf) + sum + count.
+	if len(hist.samples) != len(DurationBuckets)+1+2 {
+		t.Fatalf("histogram samples = %d, want %d", len(hist.samples), len(DurationBuckets)+3)
+	}
+}

@@ -9,7 +9,21 @@ import (
 	"repro/internal/buffer"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/metrics"
 	"repro/internal/vt"
+)
+
+// Prometheus family names for the wire-layer instruments. Client-side
+// families carry a {buffer="<endpoint name>"} label; the server-side
+// dedup family carries {channel="<hosted name>"}.
+const (
+	MetricRTT        = "aru_remote_rtt_seconds"
+	MetricRedials    = "aru_remote_redials_total"
+	MetricTimeouts   = "aru_remote_timeouts_total"
+	MetricDegraded   = "aru_remote_degraded_total"
+	MetricReattached = "aru_remote_reattached_total"
+	MetricPutRetries = "aru_remote_put_retries_total"
+	MetricDedupHits  = "aru_remote_dedup_hits_total"
 )
 
 // endpointCaps describes the wire-backed backend: get-latest discipline
@@ -46,6 +60,12 @@ type Endpoint struct {
 	cfg  buffer.Config
 	name string // hosted channel name on the server
 
+	// Live instruments (nil / zero when cfg.Metrics is nil). Wire
+	// counters are shared across this endpoint's sessions; the registry
+	// aggregates, so per-session granularity is deliberately not kept.
+	mRTT *metrics.Histogram
+	wire WireInstruments
+
 	mu        sync.Mutex
 	producers map[graph.ConnID]*Producer
 	consumers map[graph.ConnID]*Consumer
@@ -65,12 +85,24 @@ func NewEndpoint(cfg buffer.Config) (*Endpoint, error) {
 	if name == "" {
 		name = cfg.Name
 	}
-	return &Endpoint{
+	e := &Endpoint{
 		cfg:       cfg,
 		name:      name,
 		producers: make(map[graph.ConnID]*Producer),
 		consumers: make(map[graph.ConnID]*Consumer),
-	}, nil
+	}
+	if reg := cfg.Metrics; reg != nil {
+		ls := metrics.Labels{"buffer": cfg.Name}
+		e.mRTT = reg.Histogram(MetricRTT, "Round-trip latency of remote puts.", nil, ls)
+		e.wire = WireInstruments{
+			Redials:    reg.Counter(MetricRedials, "Backoff redial cycles after wire faults.", ls),
+			Timeouts:   reg.Counter(MetricTimeouts, "Remote calls lost to a deadline expiry.", ls),
+			Degraded:   reg.Counter(MetricDegraded, "Operations that exhausted the retry budget (ErrDegraded).", ls),
+			Reattached: reg.Counter(MetricReattached, "Successful redial+replay cycles (ErrReattached).", ls),
+			PutRetries: reg.Counter(MetricPutRetries, "Puts re-sent with the idempotent-retry flag.", ls),
+		}
+	}
+	return e, nil
 }
 
 // Name returns the endpoint's local (graph) name.
@@ -97,10 +129,11 @@ func (e *Endpoint) dialConfig(window int) DialConfig {
 			Factor: t.RetryFactor,
 			Jitter: t.RetryJitter,
 		},
-		MaxRetries: t.MaxRetries,
-		Clock:      e.cfg.Clock,
-		Seed:       t.Seed,
-		Window:     window,
+		MaxRetries:  t.MaxRetries,
+		Clock:       e.cfg.Clock,
+		Seed:        t.Seed,
+		Window:      window,
+		Instruments: e.wire,
 	}
 }
 
@@ -223,7 +256,14 @@ func (e *Endpoint) Put(conn graph.ConnID, it *buffer.Item) (time.Duration, error
 	if !ok && it.Payload != nil {
 		return 0, fmt.Errorf("%w: remote put payload must be []byte, got %T", buffer.ErrUnsupported, it.Payload)
 	}
+	var start time.Duration
+	if e.mRTT != nil {
+		start = e.cfg.Clock.Now()
+	}
 	summary, err := p.Put(it.TS, payload, it.Size)
+	if e.mRTT != nil {
+		e.mRTT.Observe(e.cfg.Clock.Now() - start)
+	}
 	if err != nil && !errors.Is(err, ErrReattached) {
 		return 0, e.wireErr(err)
 	}

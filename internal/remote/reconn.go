@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/backoff"
 	"repro/internal/clock"
+	"repro/internal/metrics"
 )
 
 // Fault-tolerance defaults. Chosen so a transient blip (a dropped
@@ -28,6 +29,26 @@ const (
 // backoff.Backoff schedule; Delay is a pure function, so fake-clock
 // tests pin the exact schedule a seed produces.
 type Backoff = backoff.Backoff
+
+// WireInstruments carries the optional live instruments a Reconnector
+// maintains. All handles are nil-safe: the zero value disables
+// instrumentation entirely, and each enabled event costs one atomic op.
+type WireInstruments struct {
+	// Redials counts backoff-then-redial cycles entered after a wire
+	// fault (or failed dial attempt).
+	Redials *metrics.Counter
+	// Timeouts counts calls lost to a read/write deadline expiry.
+	Timeouts *metrics.Counter
+	// Degraded counts operations that exhausted the retry budget and
+	// reported ErrDegraded.
+	Degraded *metrics.Counter
+	// Reattached counts successful redial+replay cycles (the
+	// ErrReattached events surfaced to callers).
+	Reattached *metrics.Counter
+	// PutRetries counts puts re-sent with the Retry dedup flag after a
+	// transport fault left the original in doubt.
+	PutRetries *metrics.Counter
+}
 
 // DialConfig configures a fault-tolerant client connection.
 type DialConfig struct {
@@ -55,6 +76,9 @@ type DialConfig struct {
 	// Window is the consumer sliding-window width replayed on every
 	// (re-)attach; zero means 1.
 	Window int
+	// Instruments are the optional live metrics this connection
+	// maintains; the zero value disables them.
+	Instruments WireInstruments
 }
 
 // withDefaults normalizes the config.
@@ -186,6 +210,7 @@ func (r *Reconnector) ensure() (*conn, error) {
 	if r.ever {
 		r.pending = true
 		r.reattaches++
+		r.cfg.Instruments.Reattached.Inc()
 	}
 	r.ever = true
 	r.mu.Unlock()
@@ -206,6 +231,7 @@ func (r *Reconnector) invalidate(c *conn) {
 // a real clock the sleep aborts as soon as Close fires; fake clocks are
 // test-driven and release their sleepers explicitly.
 func (r *Reconnector) sleepBackoff(n int) {
+	r.cfg.Instruments.Redials.Inc()
 	r.mu.Lock()
 	u := r.rng.Float64()
 	r.mu.Unlock()
@@ -222,20 +248,31 @@ func (r *Reconnector) sleepBackoff(n int) {
 	r.cfg.Clock.Sleep(d)
 }
 
+// noteWireErr records the instrument-visible class of a wire failure.
+func (r *Reconnector) noteWireErr(err error) {
+	if errors.Is(err, ErrTimeout) {
+		r.cfg.Instruments.Timeouts.Inc()
+	}
+}
+
 // connect performs the initial dial+attach with the standard retry
 // budget, so a cold start rides through a briefly unreachable server.
 func (r *Reconnector) connect() error {
 	attempts := 0
 	for {
-		if _, err := r.ensure(); err == nil {
+		_, err := r.ensure()
+		if err == nil {
 			return nil
-		} else if errors.Is(err, ErrClosed) || !isWire(err) {
-			return err
-		} else if attempts++; attempts > r.cfg.MaxRetries {
-			return fmt.Errorf("%w (last: %v)", ErrDegraded, err)
-		} else {
-			r.sleepBackoff(attempts - 1)
 		}
+		if errors.Is(err, ErrClosed) || !isWire(err) {
+			return err
+		}
+		r.noteWireErr(err)
+		if attempts++; attempts > r.cfg.MaxRetries {
+			r.cfg.Instruments.Degraded.Inc()
+			return fmt.Errorf("%w (last: %v)", ErrDegraded, err)
+		}
+		r.sleepBackoff(attempts - 1)
 	}
 }
 
@@ -252,7 +289,9 @@ func (r *Reconnector) call(req *Request, readTimeout time.Duration) (resp Respon
 			if errors.Is(err, ErrClosed) || !isWire(err) {
 				return Response{}, false, err
 			}
+			r.noteWireErr(err)
 			if attempts++; attempts > r.cfg.MaxRetries {
+				r.cfg.Instruments.Degraded.Inc()
 				return Response{}, false, fmt.Errorf("%w (last: %v)", ErrDegraded, err)
 			}
 			if r.isClosed() {
@@ -279,11 +318,16 @@ func (r *Reconnector) call(req *Request, readTimeout time.Duration) (resp Respon
 		// Transport failure mid-call: the connection is poisoned. A put
 		// may or may not have been applied — mark the retry so the
 		// server's (token, timestamp) dedup makes it idempotent.
+		r.noteWireErr(err)
 		r.invalidate(c)
 		if req.Op == OpPut {
+			if !req.Retry {
+				r.cfg.Instruments.PutRetries.Inc()
+			}
 			req.Retry = true
 		}
 		if attempts++; attempts > r.cfg.MaxRetries {
+			r.cfg.Instruments.Degraded.Inc()
 			return Response{}, false, fmt.Errorf("%w (last: %v)", ErrDegraded, err)
 		}
 		if r.isClosed() {

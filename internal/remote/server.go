@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gc"
 	"repro/internal/graph"
+	"repro/internal/metrics"
 	"repro/internal/vt"
 )
 
@@ -30,6 +31,9 @@ type ServerConfig struct {
 	Collector gc.Collector
 	// Compressor folds each channel's backwardSTP vector; nil means Min.
 	Compressor core.Compressor
+	// Metrics, when non-nil, receives the server's live instruments
+	// (dedup hits per hosted channel). Nil disables instrumentation.
+	Metrics *metrics.Registry
 }
 
 // Server hosts named channels for remote producers and consumers.
@@ -50,13 +54,59 @@ type hosted struct {
 	ch  *channel.Channel
 	vec *core.BackwardVec
 
+	// mDedup counts retried puts answered from the dedup state instead
+	// of re-inserting (nil when metrics are disabled).
+	mDedup *metrics.Counter
+
 	// lastPut remembers, per producer token, the timestamp of the last
 	// applied put. The wire protocol is a strict request/response
 	// alternation, so at most one put per producer can ever be in doubt
 	// after a lost response — remembering just the latest (token, ts)
 	// pair makes retried puts idempotent with O(producers) state.
+	//
+	// tokens refcounts the sessions attached under each producer token,
+	// so lastPut is pruned when the last session for a token detaches —
+	// without a reconnecting producer's fresh session racing the old
+	// session's deferred detach into deleting live dedup state. Even if
+	// an entry is pruned early the protocol stays correct: a retried put
+	// that misses the dedup map falls back to the channel's own
+	// ErrDuplicate detection.
 	mu      sync.Mutex
 	lastPut map[uint64]vt.Timestamp
+	tokens  map[uint64]int
+}
+
+// retainToken registers one session attached under token.
+func (h *hosted) retainToken(token uint64) {
+	if token == 0 {
+		return
+	}
+	h.mu.Lock()
+	h.tokens[token]++
+	h.mu.Unlock()
+}
+
+// releaseToken drops one session's claim on token, pruning the dedup
+// state once no session remains: without it lastPut grows by one entry
+// per producer ever attached, forever.
+func (h *hosted) releaseToken(token uint64) {
+	if token == 0 {
+		return
+	}
+	h.mu.Lock()
+	if h.tokens[token]--; h.tokens[token] <= 0 {
+		delete(h.tokens, token)
+		delete(h.lastPut, token)
+	}
+	h.mu.Unlock()
+}
+
+// dedupEntries reports the size of the lastPut map (tests pin that
+// attach→put→detach cycles leave it empty).
+func (h *hosted) dedupEntries() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.lastPut)
 }
 
 // alreadyApplied reports whether a put of ts from token was the last one
@@ -116,14 +166,21 @@ func NewServer(cfg ServerConfig, channelNames ...string) (*Server, error) {
 			ln.Close()
 			return nil, fmt.Errorf("remote: duplicate channel %q", name)
 		}
-		s.channels[name] = &hosted{
+		h := &hosted{
 			ch: channel.New(channel.Config{
 				Name: name, Node: graph.NodeID(i),
 				Clock: cfg.Clock, Collector: cfg.Collector,
 			}),
 			vec:     core.NewBackwardVec(nil, nil),
 			lastPut: make(map[uint64]vt.Timestamp),
+			tokens:  make(map[uint64]int),
 		}
+		if cfg.Metrics != nil {
+			h.mDedup = cfg.Metrics.Counter(MetricDedupHits,
+				"Retried puts answered from the server's dedup state.",
+				metrics.Labels{"channel": name})
+		}
+		s.channels[name] = h
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -209,6 +266,7 @@ type session struct {
 	connID   graph.ConnID
 	producer bool
 	consumer bool
+	token    uint64 // producer dedup token (0: none)
 }
 
 func (s *Server) serve(nc net.Conn) {
@@ -234,7 +292,8 @@ func (s *Server) serve(nc net.Conn) {
 	}
 }
 
-// detach releases a session's attachment.
+// detach releases a session's attachment, pruning the per-token dedup
+// state once the last session holding the token is gone.
 func (s *Server) detach(sess *session) {
 	if sess.hosted == nil {
 		return
@@ -242,6 +301,10 @@ func (s *Server) detach(sess *session) {
 	if sess.consumer {
 		sess.hosted.ch.DetachConsumer(sess.connID)
 		sess.hosted.vec.RemoveSlot(sess.connID)
+	}
+	if sess.producer {
+		sess.hosted.releaseToken(sess.token)
+		sess.token = 0
 	}
 	sess.hosted = nil
 }
@@ -274,6 +337,8 @@ func (s *Server) handle(sess *session, req *Request) Response {
 		sess.connID = s.allocConn()
 		if req.Op == OpAttachProducer {
 			sess.producer = true
+			sess.token = req.Token
+			h.retainToken(req.Token)
 			h.ch.AttachProducer(sess.connID)
 		} else {
 			sess.consumer = true
@@ -298,6 +363,7 @@ func (s *Server) handle(sess *session, req *Request) Response {
 		// producer applied, its original response was lost on the wire —
 		// acknowledge again without inserting a duplicate.
 		if req.Retry && sess.hosted.alreadyApplied(req.Token, req.TS) {
+			sess.hosted.mDedup.Inc()
 			return Response{OK: true, SummarySTP: sess.hosted.summary(s.cfg.Compressor)}
 		}
 		size := req.Size
@@ -311,6 +377,7 @@ func (s *Server) handle(sess *session, req *Request) Response {
 			// A retried put colliding with its own earlier insert is a
 			// success for token-less producers too: the item is there.
 			if req.Retry && errors.Is(err, channel.ErrDuplicate) {
+				sess.hosted.mDedup.Inc()
 				return Response{OK: true, SummarySTP: sess.hosted.summary(s.cfg.Compressor)}
 			}
 			return Response{Err: errText(err)}

@@ -1,0 +1,230 @@
+// Live metrics instrumentation of the runtime layer: per-thread
+// supervision and iteration counters, per-buffer consumption counters,
+// and the sampler-refreshed gauge families (STP, occupancy, heartbeat
+// age).
+//
+// The registration/increment split mirrors package metrics' contract:
+// every handle below is resolved once at Start (the cold path, where
+// map lookups and label allocations are acceptable), and the hot paths
+// (Ctx.Sync, Ctx.Get, Ctx.Put, the supervisor loop) touch only nil-safe
+// handles — one branch when metrics are off, a fixed number of atomic
+// ops when they are on. The existing allocation pins (put = 1 item
+// allocation, get = 0) hold in both modes.
+package runtime
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/buffer"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+)
+
+// Prometheus family names for the runtime-level instruments. Node
+// families carry {node="<name>"}, buffer families {buffer="<name>"},
+// thread families {thread="<name>"}.
+const (
+	// Sampler-refreshed gauges.
+	MetricBufferItems   = "aru_buffer_items"
+	MetricBufferBytes   = "aru_buffer_bytes"
+	MetricNodeCurrent   = "aru_node_current_stp_seconds"
+	MetricNodeSummary   = "aru_node_summary_stp_seconds"
+	MetricNodeComp      = "aru_node_compressed_stp_seconds"
+	MetricNodeDegraded  = "aru_node_degraded"
+	MetricHeartbeatAge  = "aru_thread_heartbeat_age_seconds"
+	MetricThreadStalled = "aru_thread_stalled"
+
+	// Event-incremented counters and histograms.
+	MetricGets          = "aru_buffer_gets_total"
+	MetricGetBlocked    = "aru_buffer_get_blocked_seconds"
+	MetricPeerFailed    = "aru_buffer_peer_failed_total"
+	MetricNodeDegradedT = "aru_node_degraded_transitions_total"
+	MetricNodeFaded     = "aru_node_faded_total"
+	MetricIterations    = "aru_thread_iterations_total"
+	MetricThrottleSleep = "aru_throttle_sleep_seconds_total"
+	MetricRestarts      = "aru_thread_restarts_total"
+	MetricPanics        = "aru_thread_panics_total"
+	MetricFailures      = "aru_thread_failures_total"
+	MetricStallEpisodes = "aru_thread_stall_episodes_total"
+)
+
+// threadInstruments holds one thread's live handles. The zero value
+// (all nil) is the metrics-off configuration; every use no-ops after a
+// branch.
+type threadInstruments struct {
+	iterations    *metrics.Counter
+	throttleSleep *metrics.Counter // nanoseconds, rendered as seconds
+	restarts      *metrics.Counter
+	panics        *metrics.Counter
+	failures      *metrics.Counter
+	stallEpisodes *metrics.Counter
+	faded         *metrics.Counter
+	heartbeatAge  *metrics.Gauge // sampler-refreshed
+	stalled       *metrics.Gauge // sampler-refreshed
+}
+
+// nodeInstruments holds one task-graph node's sampler-refreshed ARU
+// gauges plus the degraded-transition counter.
+type nodeInstruments struct {
+	current    *metrics.Gauge
+	compressed *metrics.Gauge
+	summary    *metrics.Gauge
+	degraded   *metrics.Gauge
+	degradedT  *metrics.Counter
+	// wasDegraded is the transition edge detector; atomic because
+	// concurrent Snapshot calls may publish at once.
+	wasDegraded atomic.Bool
+}
+
+// bufferInstruments holds one buffer's sampler-refreshed occupancy
+// gauges.
+type bufferInstruments struct {
+	items *metrics.Gauge
+	bytes *metrics.Gauge
+}
+
+// registerInstrumentsLocked resolves every runtime-level handle against
+// Options.Metrics. Called once from Start with rt.mu held, after the
+// buffers are materialized; a nil registry leaves every handle nil.
+func (rt *Runtime) registerInstrumentsLocked() {
+	reg := rt.opts.Metrics
+	if reg == nil {
+		return
+	}
+	rt.nodeInst = make(map[graph.NodeID]*nodeInstruments)
+	rt.bufInst = make(map[graph.NodeID]*bufferInstruments)
+	rt.threadByName = make(map[string]*Thread, len(rt.threads))
+	rt.g.Nodes(func(n *graph.Node) {
+		nls := metrics.Labels{"node": n.Name}
+		ni := &nodeInstruments{
+			current:    reg.DurationGauge(MetricNodeCurrent, "Last measured current-STP of the node (NaN: unknown).", nls),
+			compressed: reg.DurationGauge(MetricNodeComp, "Compressed backwardSTP of the node (NaN: unknown).", nls),
+			summary:    reg.DurationGauge(MetricNodeSummary, "Propagated summary-STP of the node (NaN: unknown).", nls),
+		}
+		rt.nodeInst[n.ID] = ni
+		if _, isBuf := rt.buffers[n.ID]; isBuf {
+			bls := metrics.Labels{"buffer": n.Name}
+			ni.degraded = reg.Gauge(MetricNodeDegraded, "1 while the node's remote feedback is stale (degraded).", nls)
+			ni.degradedT = reg.Counter(MetricNodeDegradedT, "Fresh→stale transitions of the node's remote feedback.", nls)
+			rt.bufInst[n.ID] = &bufferInstruments{
+				items: reg.Gauge(MetricBufferItems, "Live items in the buffer (sampled).", bls),
+				bytes: reg.Gauge(MetricBufferBytes, "Live bytes in the buffer (sampled).", bls),
+			}
+		}
+	})
+	for _, t := range rt.threads {
+		tls := metrics.Labels{"thread": t.name}
+		t.tm = threadInstruments{
+			iterations:    reg.Counter(MetricIterations, "Completed Sync iterations.", tls),
+			throttleSleep: reg.DurationCounter(MetricThrottleSleep, "Time the source throttle slept to match the summary-STP.", tls),
+			restarts:      reg.Counter(MetricRestarts, "Supervised restarts completed.", tls),
+			panics:        reg.Counter(MetricPanics, "Panics recovered from the thread body.", tls),
+			failures:      reg.Counter(MetricFailures, "Permanent failures (restart budget exhausted or RestartNever).", tls),
+			stallEpisodes: reg.Counter(MetricStallEpisodes, "Stall episodes flagged by the watchdog.", tls),
+			faded:         reg.Counter(MetricNodeFaded, "Times the controller faded this node's feedback on permanent failure.", metrics.Labels{"node": t.name}),
+			heartbeatAge:  reg.DurationGauge(MetricHeartbeatAge, "Age of the thread's last heartbeat (sampled).", tls),
+			stalled:       reg.Gauge(MetricThreadStalled, "1 while the stall watchdog flags the thread.", tls),
+		}
+		rt.threadByName[t.name] = t
+		for _, p := range t.ins {
+			ls := metrics.Labels{"buffer": p.ref.name}
+			p.mGets = reg.Counter(MetricGets, "Items consumed from the buffer.", ls)
+			p.mGetBlocked = reg.Histogram(MetricGetBlocked, "Time consumers spent blocked in gets.", nil, ls)
+			p.mPeerFailed = reg.Counter(MetricPeerFailed, "Operations woken by total peer failure (ErrPeerFailed).", ls)
+		}
+		for _, p := range t.outs {
+			p.mPeerFailed = reg.Counter(MetricPeerFailed, "Operations woken by total peer failure (ErrPeerFailed).", metrics.Labels{"buffer": p.ref.name})
+		}
+	}
+}
+
+// noteGet records one get outcome on the port's instruments: blocked
+// wait time, the consumption count, and ErrPeerFailed wakeups. One
+// branch when metrics are off.
+func (p *InPort) noteGet(blocked time.Duration, err error) {
+	if p.mGets == nil {
+		return
+	}
+	if blocked > 0 {
+		p.mGetBlocked.Observe(blocked)
+	}
+	switch {
+	case err == nil || errors.Is(err, buffer.ErrReattached):
+		p.mGets.Inc()
+	case errors.Is(err, buffer.ErrPeerFailed):
+		p.mPeerFailed.Inc()
+	}
+}
+
+// notePut records a put outcome's failure class (ErrPeerFailed wakeups;
+// successes are counted inside the buffer layer itself).
+func (p *OutPort) notePut(err error) {
+	if err != nil && errors.Is(err, buffer.ErrPeerFailed) {
+		p.mPeerFailed.Inc()
+	}
+}
+
+// setSTPGauge publishes an STP value to a duration gauge, mapping
+// Unknown to the NaN sentinel.
+func setSTPGauge(g *metrics.Gauge, s core.STP) {
+	if g == nil {
+		return
+	}
+	if s.Known() {
+		g.SetDuration(s.Duration())
+	} else {
+		g.SetUnknown()
+	}
+}
+
+// publish refreshes the sampler-owned gauge families from a snapshot.
+// No-op when metrics are disabled. Counters are event-incremented
+// elsewhere; only gauges (point-in-time values) are written here, so
+// concurrent publishes are harmless last-writer-wins races on values
+// that are themselves instantaneous.
+func (rt *Runtime) publish(snap Snapshot) {
+	if rt.opts.Metrics == nil {
+		return
+	}
+	for i := range snap.Nodes {
+		ns := &snap.Nodes[i]
+		ni := rt.nodeInst[ns.Node]
+		if ni == nil {
+			continue
+		}
+		setSTPGauge(ni.current, ns.Current)
+		setSTPGauge(ni.compressed, ns.Compressed)
+		setSTPGauge(ni.summary, ns.Summary)
+		if ni.degraded != nil {
+			ni.degraded.SetBool(ns.Degraded)
+			if ns.Degraded {
+				if ni.wasDegraded.CompareAndSwap(false, true) {
+					ni.degradedT.Inc()
+				}
+			} else {
+				ni.wasDegraded.Store(false)
+			}
+		}
+	}
+	for i := range snap.Buffers {
+		bs := &snap.Buffers[i]
+		bi := rt.bufInst[bs.Node]
+		if bi == nil {
+			continue
+		}
+		bi.items.Set(int64(bs.Items))
+		bi.bytes.Set(bs.Bytes)
+	}
+	for i := range snap.Threads {
+		th := &snap.Threads[i]
+		t := rt.threadByName[th.Name]
+		if t == nil {
+			continue
+		}
+		t.tm.heartbeatAge.SetDuration(th.HeartbeatAge)
+		t.tm.stalled.SetBool(th.Stalled)
+	}
+}

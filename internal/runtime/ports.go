@@ -3,6 +3,7 @@ package runtime
 import (
 	"repro/internal/buffer"
 	"repro/internal/graph"
+	"repro/internal/metrics"
 )
 
 // BufferRef is an endpoint descriptor: it names a declared buffer node
@@ -94,6 +95,10 @@ type OutPort struct {
 	// hot path is a direct interface dispatch with no map lookups or
 	// type assertions.
 	buf buffer.Buffer
+
+	// mPeerFailed is the port's live metric handle, resolved once at
+	// Start like buf; nil (one branch, no work) when metrics are off.
+	mPeerFailed *metrics.Counter
 }
 
 // Conn returns the port's connection id.
@@ -111,6 +116,12 @@ type InPort struct {
 	window int
 	// buf is the materialized endpoint (see OutPort.buf).
 	buf buffer.Buffer
+
+	// Live metric handles, resolved once at Start like buf; all nil
+	// (one branch, no work) when metrics are off.
+	mGets       *metrics.Counter
+	mGetBlocked *metrics.Histogram
+	mPeerFailed *metrics.Counter
 }
 
 // Window returns the port's sliding-window width (1 for ordinary

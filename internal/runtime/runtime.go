@@ -21,6 +21,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,6 +33,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gc"
 	"repro/internal/graph"
+	"repro/internal/metrics"
 	"repro/internal/queue"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -67,6 +70,24 @@ type Options struct {
 	// thread's name and heartbeat age. It runs on the watchdog
 	// goroutine; keep it fast.
 	OnStall func(thread string, age time.Duration)
+	// Metrics, when non-nil, enables the live metrics registry: the
+	// controller, buffer, remote, and supervision layers register their
+	// instruments against it at Start and each enabled event costs O(1)
+	// atomic operations. Nil (the default) disables metrics entirely —
+	// the hot paths pay one predictable branch per event and keep their
+	// allocation pins (put = 1, get = 0).
+	Metrics *metrics.Registry
+	// MetricsAddr, when non-empty, serves the observability HTTP
+	// endpoint on that address (":0" for an ephemeral port, reported by
+	// Runtime.MetricsAddr): GET /metrics (Prometheus text),
+	// /metrics.json, /status (WriteStatus), /health (JSON). Setting it
+	// implies metrics: New creates a registry when Metrics is nil.
+	MetricsAddr string
+	// SampleEvery is the periodic sampler interval refreshing the
+	// gauge-class families (occupancy, STP, heartbeat age). Zero means
+	// DefaultSampleEvery when metrics are enabled; negative disables the
+	// sampler goroutine (Snapshot and scrapes still refresh on demand).
+	SampleEvery time.Duration
 }
 
 // Runtime is one Stampede application instance.
@@ -106,6 +127,15 @@ type Runtime struct {
 	waitOnce sync.Once
 	waitErr  error
 	stopCh   chan struct{}
+
+	// Live-metrics state: instrument maps resolved at Start (immutable
+	// afterwards; read lock-free by the sampler) and the opt-in
+	// observability HTTP server.
+	nodeInst     map[graph.NodeID]*nodeInstruments
+	bufInst      map[graph.NodeID]*bufferInstruments
+	threadByName map[string]*Thread
+	httpLn       net.Listener
+	httpSrv      *http.Server
 }
 
 // New creates an empty runtime.
@@ -115,6 +145,9 @@ func New(opts Options) *Runtime {
 	}
 	if opts.Collector == nil {
 		opts.Collector = gc.NewDeadTimestamp()
+	}
+	if opts.MetricsAddr != "" && opts.Metrics == nil {
+		opts.Metrics = metrics.NewRegistry()
 	}
 	rt := &Runtime{
 		opts:    opts,
@@ -158,6 +191,10 @@ func (rt *Runtime) Controller() *core.Controller { return rt.ctrl }
 
 // Recorder returns the trace recorder (possibly nil).
 func (rt *Runtime) Recorder() *trace.Recorder { return rt.opts.Recorder }
+
+// Metrics returns the live metrics registry (nil when metrics are
+// disabled).
+func (rt *Runtime) Metrics() *metrics.Registry { return rt.opts.Metrics }
 
 // hostCount returns the number of hosts available for placement.
 func (rt *Runtime) hostCount() int {
@@ -382,6 +419,7 @@ func (rt *Runtime) materializeLocked(n *graph.Node, windows map[graph.ConnID]int
 		Addr:       ref.addr,
 		RemoteName: ref.remoteName,
 		Remote:     ref.remote,
+		Metrics:    rt.opts.Metrics,
 		Feedback:   &runtimeFeedback{rt: rt, node: node},
 		OnFree: func(it *buffer.Item, at time.Duration) {
 			rt.addLive(host, -it.Size)
@@ -442,6 +480,9 @@ func (rt *Runtime) Start() error {
 		}
 		mErr = rt.materializeLocked(n, windows)
 	})
+	if mErr == nil && rt.opts.MetricsAddr != "" {
+		mErr = rt.startMetricsServerLocked()
+	}
 	if mErr != nil {
 		// Unwind endpoints already materialized (remote attaches hold
 		// TCP connections).
@@ -451,6 +492,7 @@ func (rt *Runtime) Start() error {
 		}
 		return mErr
 	}
+	rt.registerInstrumentsLocked()
 
 	rt.started = true
 	reg, hasReg := rt.clk.(clock.Registrar)
@@ -474,6 +516,13 @@ func (rt *Runtime) Start() error {
 			reg.Add(1)
 		}
 		go rt.watchdog(every)
+	}
+	if every, enabled := rt.samplePlan(); enabled {
+		rt.wg.Add(1)
+		if hasReg {
+			reg.Add(1)
+		}
+		go rt.sampler(every)
 	}
 	return nil
 }
@@ -505,6 +554,7 @@ func (rt *Runtime) Stop() {
 	for _, b := range buffers {
 		b.Drain()
 	}
+	rt.closeMetricsServer()
 }
 
 // Stopped reports whether Stop has been called.
@@ -578,49 +628,109 @@ func (rt *Runtime) Queue(ref *QueueRef) *queue.Queue {
 
 // WriteStatus renders a point-in-time view of the running application:
 // the ARU controller's per-node state (current-STP, compressed
-// backwardSTP, summary) followed by per-buffer occupancy. It answers the
-// operational question "why is this stage running at this period?".
+// backwardSTP, summary), per-buffer occupancy, and the thread
+// supervision table. It answers the operational question "why is this
+// stage running at this period?".
+//
+// Everything is rendered from one Runtime.Snapshot, so the text view
+// can never disagree with the JSON and Prometheus outputs, the buffers
+// are queried without rt.mu held (no lock nesting against the buffers'
+// own locks), and column widths are computed from the snapshot so long
+// node and thread names never truncate or misalign.
 func (rt *Runtime) WriteStatus(w io.Writer) {
-	rt.mu.Lock()
-	ctrl := rt.ctrl
-	type row struct {
-		name        string
-		items       int
-		bytes       int64
-		puts, frees int64
-	}
-	var rows []row
-	rt.g.Nodes(func(n *graph.Node) {
-		b, ok := rt.buffers[n.ID]
-		if !ok {
-			return
-		}
-		items, bytes := b.Occupancy()
-		puts, frees := b.Stats()
-		rows = append(rows, row{n.Name, items, bytes, puts, frees})
-	})
-	rt.mu.Unlock()
+	rt.writeStatus(w, rt.Snapshot())
+}
 
-	if ctrl != nil && ctrl.Enabled() {
+// fmtSTP renders an STP cell ("-" for Unknown).
+func fmtSTP(s core.STP) string {
+	if !s.Known() {
+		return "-"
+	}
+	return s.Duration().Round(time.Millisecond).String()
+}
+
+// fmtVec renders a backwardSTP vector cell.
+func fmtVec(vec []core.STP) string {
+	out := "["
+	for i, s := range vec {
+		if i > 0 {
+			out += " "
+		}
+		out += fmtSTP(s)
+	}
+	return out + "]"
+}
+
+// nameColumn returns the width of a left-aligned name column: the
+// longest of the header and every name, so no name is ever truncated.
+func nameColumn(header string, names []string) int {
+	w := len(header)
+	for _, n := range names {
+		if len(n) > w {
+			w = len(n)
+		}
+	}
+	return w
+}
+
+// writeStatus renders a snapshot as the status text.
+func (rt *Runtime) writeStatus(w io.Writer, snap Snapshot) {
+	if snap.ARUEnabled {
+		names := make([]string, len(snap.Nodes))
+		for i, ns := range snap.Nodes {
+			names[i] = ns.Name
+		}
+		nw := nameColumn("node", names)
 		fmt.Fprintln(w, "ARU controller state:")
-		ctrl.WriteSnapshot(w)
+		fmt.Fprintf(w, "%-*s %-8s %-5s %12s %12s %12s  %s\n",
+			nw, "node", "kind", "op", "current", "compressed", "summary", "backwardSTP")
+		for _, ns := range snap.Nodes {
+			extra := ""
+			if ns.Degraded {
+				extra = "  (degraded)"
+			}
+			fmt.Fprintf(w, "%-*s %-8s %-5s %12s %12s %12s  %s%s\n",
+				nw, ns.Name, ns.Kind.String(), ns.Compressor,
+				fmtSTP(ns.Current), fmtSTP(ns.Compressed), fmtSTP(ns.Summary),
+				fmtVec(ns.Vector), extra)
+		}
 		fmt.Fprintln(w)
 	}
-	fmt.Fprintf(w, "%-18s %8s %12s %8s %8s\n", "buffer", "items", "bytes", "puts", "frees")
-	for _, r := range rows {
-		fmt.Fprintf(w, "%-18s %8d %12d %8d %8d\n", r.name, r.items, r.bytes, r.puts, r.frees)
+
+	bnames := make([]string, len(snap.Buffers))
+	for i, b := range snap.Buffers {
+		bnames[i] = b.Name
+	}
+	bw := nameColumn("buffer", bnames)
+	withHW := rt.opts.Metrics != nil
+	if withHW {
+		fmt.Fprintf(w, "%-*s %8s %12s %8s %8s %9s %12s\n", bw, "buffer", "items", "bytes", "puts", "frees", "hw-items", "hw-bytes")
+	} else {
+		fmt.Fprintf(w, "%-*s %8s %12s %8s %8s\n", bw, "buffer", "items", "bytes", "puts", "frees")
+	}
+	for _, b := range snap.Buffers {
+		if withHW {
+			fmt.Fprintf(w, "%-*s %8d %12d %8d %8d %9d %12d\n",
+				bw, b.Name, b.Items, b.Bytes, b.Puts, b.Frees, b.HighWaterItems, b.HighWaterBytes)
+		} else {
+			fmt.Fprintf(w, "%-*s %8d %12d %8d %8d\n", bw, b.Name, b.Items, b.Bytes, b.Puts, b.Frees)
+		}
 	}
 
-	health := rt.Health()
+	tnames := make([]string, len(snap.Threads))
+	for i, th := range snap.Threads {
+		tnames[i] = th.Name
+	}
+	tw := nameColumn("thread", tnames)
 	fmt.Fprintln(w)
-	fmt.Fprintf(w, "%-18s %-11s %8s %10s %7s  %s\n", "thread", "state", "restarts", "beat-age", "stalled", "last-failure")
-	for _, th := range health.Threads {
+	fmt.Fprintf(w, "%-*s %-11s %8s %10s %7s  %s\n", tw, "thread", "state", "restarts", "beat-age", "stalled", "last-failure")
+	for _, th := range snap.Threads {
 		failure := "-"
 		if th.LastFailure != nil {
 			failure = th.LastFailure.Error()
 		}
-		fmt.Fprintf(w, "%-18s %-11s %8d %10s %7v  %s\n",
-			th.Name, th.State, th.Restarts, th.HeartbeatAge.Round(time.Millisecond), th.Stalled, failure)
+		fmt.Fprintf(w, "%-*s %-11s %8d %10s %7v  %s\n",
+			tw, th.Name, th.State, th.Restarts, th.HeartbeatAge.Round(time.Millisecond), th.Stalled, failure)
 	}
 }
 

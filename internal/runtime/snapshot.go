@@ -1,0 +1,173 @@
+// Runtime.Snapshot: the single consistent point-in-time view every
+// presentation layer derives from. WriteStatus (text), the HTTP JSON
+// and Prometheus endpoints, and the periodic sampler all call Snapshot,
+// so the three outputs can never disagree about what the runtime looked
+// like — they are renderings of one struct.
+//
+// Snapshot also fixes the WriteStatus lock-order hazard: the node/
+// buffer pairs are collected under rt.mu, the lock is released, and
+// only then is each buffer queried (Occupancy/Stats take the buffer's
+// own lock). rt.mu and buffer locks are never nested.
+package runtime
+
+import (
+	"time"
+
+	"repro/internal/buffer"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// DefaultSampleEvery is the periodic sampler interval applied when
+// Options.SampleEvery is zero and metrics are enabled.
+const DefaultSampleEvery = time.Second
+
+// NodeStatus is one node's ARU state in a snapshot, extending the
+// controller's view with the staleness flag.
+type NodeStatus struct {
+	core.NodeSnapshot
+	// Degraded reports that the node's remote feedback has gone stale
+	// (always false for local nodes).
+	Degraded bool
+}
+
+// BufferStatus is one materialized buffer endpoint's state in a
+// snapshot.
+type BufferStatus struct {
+	// Node is the buffer's task-graph id; Name its system-wide name;
+	// Backend the registered backend that materialized it.
+	Node    graph.NodeID
+	Name    string
+	Backend string
+	// Items and Bytes are the live occupancy at snapshot time.
+	Items int
+	Bytes int64
+	// Puts and Frees are the cumulative insert/reclaim counts.
+	Puts, Frees int64
+	// HighWaterItems and HighWaterBytes are the occupancy high-water
+	// marks since Start. They are maintained by the metrics instruments
+	// and read zero when metrics are disabled (the off hot path does no
+	// extra work).
+	HighWaterItems, HighWaterBytes int64
+}
+
+// Snapshot is the consistent point-in-time view of a running
+// application: controller state, buffer occupancy, and thread health,
+// all collected by one call. WriteStatus, the HTTP endpoints, and the
+// periodic sampler are renderings of this struct.
+type Snapshot struct {
+	// At is the runtime-clock reading when the snapshot was taken.
+	At time.Duration
+	// ARUEnabled reports whether feedback propagation is active.
+	ARUEnabled bool
+	// Nodes is the per-node ARU state, node-id ordered (empty before
+	// Start).
+	Nodes []NodeStatus
+	// Buffers lists every materialized endpoint in graph declaration
+	// order.
+	Buffers []BufferStatus
+	// Threads is the supervision health view, name-ordered.
+	Threads []ThreadHealth
+}
+
+// Snapshot collects the consistent status view and publishes it to the
+// metrics registry's gauge families (when metrics are enabled). It is
+// safe to call concurrently with running threads and with itself, and —
+// unlike the pre-snapshot WriteStatus — never holds rt.mu across a
+// buffer's own lock.
+func (rt *Runtime) Snapshot() Snapshot {
+	type bref struct {
+		node    graph.NodeID
+		name    string
+		backend string
+		b       buffer.Buffer
+	}
+	rt.mu.Lock()
+	ctrl := rt.ctrl
+	brefs := make([]bref, 0, len(rt.buffers))
+	rt.g.Nodes(func(n *graph.Node) {
+		b, ok := rt.buffers[n.ID]
+		if !ok {
+			return
+		}
+		backend := ""
+		if ref := rt.refs[n.ID]; ref != nil {
+			backend = ref.backend
+		}
+		brefs = append(brefs, bref{n.ID, n.Name, backend, b})
+	})
+	rt.mu.Unlock()
+
+	snap := Snapshot{At: rt.clk.Now()}
+	if ctrl != nil {
+		snap.ARUEnabled = ctrl.Enabled()
+		for _, ns := range ctrl.Snapshot() {
+			snap.Nodes = append(snap.Nodes, NodeStatus{NodeSnapshot: ns, Degraded: ctrl.Degraded(ns.Node)})
+		}
+	}
+	for _, br := range brefs {
+		items, bytes := br.b.Occupancy() // rt.mu NOT held: no lock nesting
+		puts, frees := br.b.Stats()
+		bs := BufferStatus{
+			Node: br.node, Name: br.name, Backend: br.backend,
+			Items: items, Bytes: bytes, Puts: puts, Frees: frees,
+		}
+		if hw, ok := br.b.(buffer.HighWaterer); ok {
+			bs.HighWaterItems, bs.HighWaterBytes = hw.HighWater()
+		}
+		snap.Buffers = append(snap.Buffers, bs)
+	}
+	snap.Threads = rt.Health().Threads
+	rt.publish(snap)
+	return snap
+}
+
+// samplePlan decides whether the periodic sampler should run and at
+// what interval: enabled when metrics are on and SampleEvery is not
+// negative; zero defaults to DefaultSampleEvery.
+func (rt *Runtime) samplePlan() (time.Duration, bool) {
+	if rt.opts.Metrics == nil || rt.opts.SampleEvery < 0 {
+		return 0, false
+	}
+	every := rt.opts.SampleEvery
+	if every == 0 {
+		every = DefaultSampleEvery
+	}
+	return every, true
+}
+
+// sampler periodically refreshes the gauge-class metric families
+// (occupancy, STP, heartbeat age) by taking a Snapshot. It is
+// clock-aware exactly like the stall watchdog: on a real clock the
+// sleep aborts promptly when Stop fires; on fake and virtual clocks the
+// interval is test-driven through the clock itself, so fake-clock tests
+// pin the exact sampling schedule.
+func (rt *Runtime) sampler(every time.Duration) {
+	defer rt.wg.Done()
+	reg, hasReg := rt.clk.(clock.Registrar)
+	if hasReg {
+		defer reg.Add(-1)
+	}
+	_, isReal := rt.clk.(*clock.Real)
+	for {
+		if isReal {
+			tm := time.NewTimer(every)
+			select {
+			case <-tm.C:
+			case <-rt.stopCh:
+				tm.Stop()
+				return
+			}
+			tm.Stop()
+		} else {
+			rt.clk.Sleep(every)
+			select {
+			case <-rt.stopCh:
+				return
+			default:
+			}
+		}
+		rt.Snapshot()
+	}
+}

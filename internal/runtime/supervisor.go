@@ -85,6 +85,10 @@ func (s ThreadState) String() string {
 	return fmt.Sprintf("state(%d)", uint8(s))
 }
 
+// MarshalText renders the state name, so ThreadState fields serialize
+// readably in JSON health views.
+func (s ThreadState) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
 // ThreadFailure is one failure of a thread body: either a recovered
 // panic (Value and Stack set) or a non-shutdown error return (Err set).
 // It is the error type Wait reports for permanently failed threads;
@@ -266,6 +270,9 @@ func (t *Thread) runOnce() (f *ThreadFailure) {
 	defer func() {
 		if v := recover(); v != nil {
 			f = &ThreadFailure{Thread: t.name, Value: v, Stack: captureStack()}
+			if t.tm.panics != nil {
+				t.tm.panics.Inc()
+			}
 		}
 	}()
 	if err := t.run(); err != nil && !errors.Is(err, ErrShutdown) {
@@ -305,6 +312,9 @@ func (t *Thread) supervise() {
 		t.restarts++
 		t.restartTimes = append(t.restartTimes, t.rt.clk.Now())
 		t.supMu.Unlock()
+		if t.tm.restarts != nil {
+			t.tm.restarts.Inc()
+		}
 		t.lastBeat.Store(int64(t.rt.clk.Now()))
 		t.setState(StateRunning)
 	}
@@ -375,6 +385,10 @@ func (t *Thread) sleepRestart(d time.Duration) {
 // decay.
 func (rt *Runtime) failPermanently(t *Thread, f *ThreadFailure) {
 	rt.recordFailure(f)
+	if t.tm.failures != nil {
+		t.tm.failures.Inc()
+		t.tm.faded.Inc()
+	}
 	// Inputs: the dead thread was these buffers' consumer. Failure-aware
 	// detach flips their producers' capacity waits to ErrPeerFailed once
 	// no consumer remains; backends without failure awareness (remote
@@ -486,8 +500,13 @@ func (rt *Runtime) checkStalls() {
 		nowStalled := running && age > ttl
 		t.stalled = nowStalled
 		t.supMu.Unlock()
-		if nowStalled && !wasStalled && rt.opts.OnStall != nil {
-			rt.opts.OnStall(t.name, age)
+		if nowStalled && !wasStalled {
+			if t.tm.stallEpisodes != nil {
+				t.tm.stallEpisodes.Inc()
+			}
+			if rt.opts.OnStall != nil {
+				rt.opts.OnStall(t.name, age)
+			}
 		}
 	}
 }

@@ -93,6 +93,11 @@ type Thread struct {
 	stalled      bool
 	rng          *rand.Rand
 	lastBeat     atomic.Int64
+
+	// tm holds the thread's live metric handles (see runtime/metrics.go).
+	// The zero value is the metrics-off configuration: every handle is
+	// nil and every use no-ops after one branch.
+	tm threadInstruments
 }
 
 // ID returns the thread's task-graph id.
@@ -342,6 +347,7 @@ func portKindErr(op string, ref *BufferRef) error {
 func (c *Ctx) Get(p *InPort) (Msg, error) {
 	res, err := p.buf.Get(p.conn)
 	c.meter.AddBlocked(res.Blocked)
+	p.noteGet(res.Blocked, err)
 	if err != nil && !errors.Is(err, buffer.ErrReattached) {
 		return Msg{}, translateErr(err)
 	}
@@ -386,6 +392,7 @@ func (c *Ctx) GetWindow(p *InPort) (head Msg, window []Msg, err error) {
 	}
 	res, err := p.buf.Get(p.conn)
 	c.meter.AddBlocked(res.Blocked)
+	p.noteGet(res.Blocked, err)
 	if err != nil {
 		return Msg{}, nil, translateErr(err)
 	}
@@ -413,11 +420,13 @@ func (c *Ctx) TryGetLatest(p *InPort) (Msg, bool, error) {
 	}
 	res, ok, err := p.buf.TryGet(p.conn)
 	if err != nil && !errors.Is(err, buffer.ErrReattached) {
+		p.noteGet(0, err)
 		return Msg{}, false, translateErr(err)
 	}
 	if !ok {
 		return Msg{}, false, err // nil or informational ErrReattached
 	}
+	p.noteGet(0, err)
 	msg, ferr := c.finishGet(p, res)
 	if ferr != nil {
 		return msg, false, ferr
@@ -445,6 +454,7 @@ func (c *Ctx) GetAt(p *InPort, ts vt.Timestamp) (Msg, error) {
 	}
 	res, err := p.buf.GetAt(p.conn, ts)
 	c.meter.AddBlocked(res.Blocked)
+	p.noteGet(res.Blocked, err)
 	if err != nil {
 		return Msg{}, translateErr(err)
 	}
@@ -496,6 +506,7 @@ func (c *Ctx) Put(p *OutPort, ts vt.Timestamp, payload any, size int64) error {
 
 	blocked, err := p.buf.Put(p.conn, &buffer.Item{TS: ts, Payload: payload, Size: size, ID: id})
 	c.meter.AddBlocked(blocked)
+	p.notePut(err)
 	if err != nil && !errors.Is(err, buffer.ErrReattached) {
 		// The item never entered the buffer (this includes ErrDegraded:
 		// a retry budget exhausted against an unreachable peer drops the
@@ -577,10 +588,16 @@ func (c *Ctx) Sync() {
 	c.consumed = c.consumed[:0]
 	c.produced = c.produced[:0]
 	c.iters++
+	if c.thread.tm.iterations != nil {
+		c.thread.tm.iterations.Inc()
+	}
 
 	if c.thread.isSource && !c.Stopped() {
 		target := c.rt.ctrl.TargetPeriod(c.thread.id)
-		c.throttle.Pace(target, fullElapsed)
+		slept := c.throttle.Pace(target, fullElapsed)
+		if slept > 0 && c.thread.tm.throttleSleep != nil {
+			c.thread.tm.throttleSleep.AddDuration(slept)
+		}
 	}
 	c.meter.BeginIteration()
 }

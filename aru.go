@@ -92,6 +92,11 @@ type (
 	InPort = runtime.InPort
 	// OutPort is a thread output connection.
 	OutPort = runtime.OutPort
+	// PutSpec describes one item of a batched Ctx.PutBatch call.
+	PutSpec = runtime.PutSpec
+	// ItemPool recycles buffer item allocations; each Runtime owns one,
+	// shared by every in-process backend it materializes.
+	ItemPool = buffer.ItemPool
 )
 
 // Virtual time.
@@ -386,6 +391,14 @@ type (
 	// consumer connection (DialRemoteProducerConfig and friends).
 	RemoteDialConfig = remote.DialConfig
 )
+
+// WithCapacity bounds a declared buffer to n items (0 = unbounded).
+// A bounded power-of-two queue with a single consumer is eligible for
+// the transparent lock-free ring upgrade, and an explicit AddRing
+// requires a bound (DESIGN.md §4g).
+func WithCapacity(n int) BufferOption {
+	return runtime.WithCapacity(n)
+}
 
 // WithRemoteTuning sets a wire-backed endpoint's fault tolerance when
 // declaring it with Runtime.AddRemoteChannel.

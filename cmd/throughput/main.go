@@ -1,0 +1,257 @@
+// Command throughput measures sustained items/second through the full
+// runtime put/get path — pool, batch entry points, STP piggyback — for
+// every in-process backend, and pins the result matrix to a JSON file.
+//
+// Usage:
+//
+//	go run ./cmd/throughput                          # print the matrix
+//	go run ./cmd/throughput -json BENCH_throughput.json
+//	go run ./cmd/throughput -items 200000 -check BENCH_throughput.json
+//
+// -check re-measures and fails (exit 1) if any configuration regresses
+// more than -tolerance (default 20%) below the pinned items/s, so CI can
+// catch a throughput regression without trusting absolute numbers across
+// machines: the pin is regenerated on the same machine first.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync/atomic"
+	"time"
+
+	aru "repro"
+	"repro/internal/clock"
+	"repro/internal/core"
+	rt "repro/internal/runtime"
+	"repro/internal/vt"
+)
+
+// Result is one cell of the measurement matrix.
+type Result struct {
+	Backend     string  `json:"backend"`
+	Producers   int     `json:"producers"`
+	Batch       int     `json:"batch"`
+	Items       int     `json:"items"`
+	Seconds     float64 `json:"seconds"`
+	ItemsPerSec float64 `json:"items_per_sec"`
+}
+
+// Report is the pinned file format.
+type Report struct {
+	GoVersion string   `json:"go_version"`
+	NumCPU    int      `json:"num_cpu"`
+	Results   []Result `json:"results"`
+}
+
+func main() {
+	var (
+		items     = flag.Int("items", 1_000_000, "items per measurement")
+		jsonOut   = flag.String("json", "", "write the report to this file")
+		check     = flag.String("check", "", "compare against a pinned report and fail on regression")
+		tolerance = flag.Float64("tolerance", 0.20, "allowed fractional regression under -check")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the measurements")
+		only      = flag.String("only", "", "measure a single backend (channel, queue, or ring)")
+	)
+	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal("cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	var _ aru.PutSpec // keep the facade types linked so the binary exercises the public wiring
+
+	backends := []string{"channel", "queue", "ring"}
+	if *only != "" {
+		backends = []string{*only}
+	}
+	batches := []int{1, 16, 256}
+	producerCounts := []int{1, 4}
+
+	var rep Report
+	rep.GoVersion = runtime.Version()
+	rep.NumCPU = runtime.NumCPU()
+
+	fmt.Printf("%-8s %10s %6s %12s %10s %14s\n", "backend", "producers", "batch", "items", "seconds", "items/s")
+	for _, backend := range backends {
+		for _, producers := range producerCounts {
+			for _, batch := range batches {
+				res := measure(backend, producers, batch, *items)
+				rep.Results = append(rep.Results, res)
+				fmt.Printf("%-8s %10d %6d %12d %10.3f %14.0f\n",
+					res.Backend, res.Producers, res.Batch, res.Items, res.Seconds, res.ItemsPerSec)
+			}
+		}
+	}
+
+	if *jsonOut != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal("marshal: %v", err)
+		}
+		if err := os.WriteFile(*jsonOut, append(buf, '\n'), 0o644); err != nil {
+			fatal("write %s: %v", *jsonOut, err)
+		}
+		fmt.Printf("\nwrote %s\n", *jsonOut)
+	}
+
+	if *check != "" {
+		buf, err := os.ReadFile(*check)
+		if err != nil {
+			fatal("read %s: %v", *check, err)
+		}
+		var pinned Report
+		if err := json.Unmarshal(buf, &pinned); err != nil {
+			fatal("parse %s: %v", *check, err)
+		}
+		baseline := make(map[string]float64, len(pinned.Results))
+		for _, r := range pinned.Results {
+			baseline[key(r)] = r.ItemsPerSec
+		}
+		failed := false
+		for _, r := range rep.Results {
+			want, ok := baseline[key(r)]
+			if !ok {
+				continue // new configuration, nothing pinned yet
+			}
+			// Scheduler noise on shared machines is one-sided — it slows
+			// a cell, it never makes one faster than the code allows — so
+			// a cell below the bar gets re-measured and judged on its
+			// best attempt before it is called a regression.
+			best := r.ItemsPerSec
+			for retry := 0; retry < 2 && best < want*(1-*tolerance); retry++ {
+				again := measure(r.Backend, r.Producers, r.Batch, *items)
+				if again.ItemsPerSec > best {
+					best = again.ItemsPerSec
+				}
+			}
+			if best < want*(1-*tolerance) {
+				failed = true
+				fmt.Fprintf(os.Stderr, "REGRESSION %s: %.0f items/s, pinned %.0f (-%.0f%%)\n",
+					key(r), best, want, 100*(1-best/want))
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
+		fmt.Printf("check against %s passed (tolerance %.0f%%)\n", *check, *tolerance*100)
+	}
+}
+
+func key(r Result) string {
+	return fmt.Sprintf("%s/p%d/b%d", r.Backend, r.Producers, r.Batch)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "throughput: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// measure runs one pipeline shape to completion and reports its rate.
+// The timed region is first-item-sent to last-item-received, observed by
+// the consumer, so runtime construction and teardown stay outside it.
+func measure(backend string, producers, batch, items int) Result {
+	run := rt.New(rt.Options{Clock: clock.NewReal(), ARU: core.PolicyOff()})
+
+	var ref *rt.BufferRef
+	switch backend {
+	case "channel":
+		// Bounded so a fast producer cannot balloon the live set; the
+		// non-power-of-two bound changes nothing for channels.
+		ref = run.MustAddChannel("B", 0, rt.WithCapacity(1000))
+	case "queue":
+		// 1000 is deliberately not a power of two: it keeps the queue a
+		// queue (a power-of-two bound would auto-upgrade it to a ring
+		// and measure the wrong backend).
+		ref = run.MustAddQueue("B", 0, rt.WithCapacity(1000))
+	case "ring":
+		ref = run.MustAddRing("B", 0, rt.WithCapacity(1024))
+	default:
+		fatal("unknown backend %q", backend)
+	}
+
+	quota := items / producers
+	total := quota * producers
+	var started atomic.Int64 // first-put wall time, nanos, set once
+
+	// The timed region is first-put to last-put-applied: with the tight
+	// capacity bound the producers advance only as fast as the consumer
+	// frees slots, so put-side completion is end-to-end throughput minus
+	// at most one buffer's worth of residue. Counting on the consumer
+	// side would hang on multi-producer channels, where the Latest
+	// discipline silently passes items that land below the consumer's
+	// frontier — that loss is channel semantics, not a harness bug.
+	prodDone := make(chan int64, producers)
+	for p := 0; p < producers; p++ {
+		base := vt.Timestamp(p*quota + 1)
+		run.MustAddThread(fmt.Sprintf("prod%d", p), 0, func(ctx *rt.Ctx) error {
+			out := ctx.Outs()[0]
+			started.CompareAndSwap(0, time.Now().UnixNano())
+			if batch == 1 {
+				for k := 0; k < quota; k++ {
+					if err := ctx.Put(out, base+vt.Timestamp(k), nil, 64); err != nil {
+						return err
+					}
+				}
+			} else {
+				specs := make([]rt.PutSpec, 0, batch)
+				for k := 0; k < quota; {
+					specs = specs[:0]
+					for len(specs) < batch && k < quota {
+						specs = append(specs, rt.PutSpec{TS: base + vt.Timestamp(k), Size: 64})
+						k++
+					}
+					if _, err := ctx.PutBatch(out, specs); err != nil {
+						return err
+					}
+				}
+			}
+			prodDone <- time.Now().UnixNano()
+			return nil
+		}).MustOutput(ref)
+	}
+
+	run.MustAddThread("cons", 0, func(ctx *rt.Ctx) error {
+		in := ctx.Ins()[0]
+		dst := make([]rt.Msg, batch)
+		for {
+			// Drain until shutdown; the error is the stop signal.
+			if _, err := ctx.GetBatch(in, dst); err != nil {
+				return nil
+			}
+		}
+	}).MustInput(ref)
+
+	if err := run.Start(); err != nil {
+		fatal("start %s: %v", backend, err)
+	}
+	var finished int64
+	for p := 0; p < producers; p++ {
+		if at := <-prodDone; at > finished {
+			finished = at
+		}
+	}
+	d := time.Duration(finished - started.Load())
+	run.Stop()
+	run.Wait()
+
+	return Result{
+		Backend:     backend,
+		Producers:   producers,
+		Batch:       batch,
+		Items:       total,
+		Seconds:     d.Seconds(),
+		ItemsPerSec: float64(total) / d.Seconds(),
+	}
+}

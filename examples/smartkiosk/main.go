@@ -78,7 +78,7 @@ func main() {
 			app.Runtime.Clock().Sleep(v.dur)
 			reg.Add(-1)
 		}
-		depth, _ := app.Runtime.Queue(app.DecisionQueue).Occupancy()
+		depth, _ := app.Runtime.Buffer(app.DecisionQueue).Occupancy()
 		app.Runtime.Stop()
 		if err := app.Runtime.Wait(); err != nil {
 			log.Fatal(err)

@@ -37,6 +37,13 @@ type Consumer struct {
 	// (including the head) the consumer may still re-read. 1 is the
 	// ordinary consumer.
 	Window vt.Timestamp
+	// SkippedScratch and WindowScratch back the GetResult.Skipped and
+	// GetResult.Window slices delivered to this connection. Reusing them
+	// across gets keeps windowed and skipping gets allocation-free (the
+	// gc.Dead scratch idiom); the returned slices are therefore only
+	// valid until the connection's next get.
+	SkippedScratch []Item
+	WindowScratch  []Item
 }
 
 // Base owns the machinery every in-process buffer backend needs: the
@@ -175,6 +182,31 @@ func (b *Base) WakeConsumersLocked() {
 // should wake per enqueued item.
 func (b *Base) SignalConsumerLocked() { b.notEmpty.Signal() }
 
+// SignalConsumersLocked wakes up to n parked consumers — one per newly
+// enqueued item, capped at the number actually waiting. FIFO backends
+// use it on batch puts so a k-item batch costs min(k, waiters) signals
+// instead of k.
+func (b *Base) SignalConsumersLocked(n int) {
+	switch {
+	case b.consWait == 0:
+	case n >= b.consWait:
+		b.notEmpty.Broadcast()
+	default:
+		for i := 0; i < n; i++ {
+			b.notEmpty.Signal()
+		}
+	}
+}
+
+// AtCapacityLocked reports whether a put would block right now. Batch
+// puts consult it before each insert so they can publish (and wake
+// consumers for) the prefix already applied before parking — otherwise
+// a batch larger than the remaining capacity would deadlock against the
+// very consumers that must drain it.
+func (b *Base) AtCapacityLocked() bool {
+	return b.Cfg.Capacity > 0 && b.occupied() >= b.Cfg.Capacity
+}
+
 // AwaitCapacityLocked blocks the calling producer while the buffer is at
 // capacity, returning the time spent blocked. Unbounded buffers return
 // immediately without reading the clock (the hot path stays clock-free).
@@ -281,6 +313,40 @@ func (b *Base) AccountPutLocked(it *Item) {
 		b.mItemsHW.Max(int64(b.occupied()))
 		b.mBytesHW.Max(b.liveBytes)
 	}
+}
+
+// AccountPutBatchLocked records a batch of inserted items with a single
+// metrics branch — the per-item nil-handle checks of AccountPutLocked
+// are hoisted out of the loop, and the counter advances once by the
+// batch size.
+func (b *Base) AccountPutBatchLocked(items []*Item) {
+	var bytes int64
+	for _, it := range items {
+		bytes += it.Size
+	}
+	b.liveBytes += bytes
+	b.puts += int64(len(items))
+	if b.mPuts != nil {
+		b.mPuts.Add(int64(len(items)))
+		b.mItemsHW.Max(int64(b.occupied()))
+		b.mBytesHW.Max(b.liveBytes)
+	}
+}
+
+// RecycleLocked returns an item to the configured pool. Backends call it
+// at the exact point they relinquish the pointer — after reclamation
+// accounting and the OnFree observer, never while the item is still
+// reachable from their storage. Without a pool the item is left to the
+// garbage collector, but its payload reference is still dropped so a
+// freed item never extends a payload's lifetime.
+func (b *Base) RecycleLocked(it *Item) {
+	if b.Cfg.Pool == nil {
+		if it != nil {
+			it.Payload = nil
+		}
+		return
+	}
+	b.Cfg.Pool.Recycle(it)
 }
 
 // AccountFreeLocked records one reclaimed item: it adjusts liveBytes and

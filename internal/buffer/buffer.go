@@ -248,6 +248,11 @@ type Config struct {
 	// counters), labeled by buffer name. Nil keeps the hot path
 	// instrument-free: handles are nil and no-op after one branch.
 	Metrics *metrics.Registry
+	// Pool, when non-nil, receives items back once the buffer is done
+	// with them (after reclamation and the OnFree observer). The runtime
+	// shares one pool across all its buffers so the steady-state
+	// put→free cycle reuses Item allocations. Nil disables recycling.
+	Pool *ItemPool
 }
 
 // HighWaterer is implemented by backends that track occupancy
@@ -282,11 +287,29 @@ type Buffer interface {
 
 	// Put inserts an item, blocking while a bounded buffer is full.
 	// The returned duration is the time spent blocked on capacity.
+	// Ownership of it transfers to the buffer exactly when the put took
+	// effect (err == nil, or ErrReattached); on any other error the
+	// caller keeps the item and may recycle it.
 	Put(conn graph.ConnID, it *Item) (time.Duration, error)
+	// PutBatch inserts items in order under one synchronization round,
+	// returning how many were applied and the total time blocked on
+	// capacity. It stops at the first failing item: applied < len(items)
+	// implies err != nil, and ownership of items[applied:] stays with
+	// the caller. Backends without a native batch path may apply items
+	// one by one (PutBatchSerial).
+	PutBatch(conn graph.ConnID, items []*Item) (applied int, blocked time.Duration, err error)
 	// Get consumes the next item per the backend's discipline —
 	// freshest-unseen for Latest, oldest for FIFO — blocking until one
 	// is available.
 	Get(conn graph.ConnID) (GetResult, error)
+	// GetBatch consumes up to len(dst) immediately consumable items into
+	// dst, blocking only until the first is available: n >= 1 when err
+	// is nil, and dst[0].Blocked carries the wait. Latest backends
+	// deliver every unseen live item oldest-first (a lossless drain — no
+	// Skipped marking — and reject window > 1 consumers with
+	// ErrUnsupported); FIFO backends dequeue in order. len(dst) == 0
+	// returns (0, nil) without blocking.
+	GetBatch(conn graph.ConnID, dst []GetResult) (n int, err error)
 	// TryGet is the non-blocking Get; ok is false when nothing is
 	// consumable right now.
 	TryGet(conn graph.ConnID) (res GetResult, ok bool, err error)

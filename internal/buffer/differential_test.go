@@ -20,6 +20,7 @@ import (
 	_ "repro/internal/channel" // register "channel"
 	"repro/internal/graph"
 	_ "repro/internal/queue" // register "queue"
+	_ "repro/internal/ring"  // register "ring"
 	"repro/internal/vt"
 )
 
@@ -333,6 +334,199 @@ func TestDifferentialQueue(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestDifferentialRing drives a registry-materialized ring against the
+// same FIFO oracle as the queue — the ring is a drop-in FIFO, so any
+// divergence from the queue's observable behaviour (delivery order,
+// accounting, error classes) is a bug in the lock-free path. Puts and
+// gets mix the single-item and batch entry points so the batch fast
+// paths are checked against the oracle too.
+func TestDifferentialRing(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			// Capacity exceeds the total put count so single-threaded
+			// puts can never park.
+			b, err := buffer.New("ring", buffer.Config{Name: "diff-ring", Node: 1, Capacity: 8192})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := b.AttachProducer(prodConn); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.AttachConsumer(consConnA, 1); err != nil {
+				t.Fatal(err)
+			}
+			o := &queueOracle{}
+			var nextTS vt.Timestamp
+			items := make([]*buffer.Item, 0, 4)
+			dst := make([]buffer.GetResult, 4)
+
+			for op := 0; op < 3000; op++ {
+				switch k := rng.Intn(10); {
+				case k < 4: // put a run of 1..4 items, batched or serial
+					items = items[:0]
+					for m := 1 + rng.Intn(4); m > 0; m-- {
+						nextTS++
+						o.put(nextTS)
+						items = append(items, &buffer.Item{TS: nextTS, Size: itemSize(nextTS)})
+					}
+					if rng.Intn(2) == 0 {
+						applied, _, err := b.PutBatch(prodConn, items)
+						if err != nil || applied != len(items) {
+							t.Fatalf("op %d: putbatch = (%d, %v), want (%d, nil)", op, applied, err, len(items))
+						}
+					} else {
+						for _, it := range items {
+							if _, err := b.Put(prodConn, it); err != nil {
+								t.Fatalf("op %d: put %v: %v", op, it.TS, err)
+							}
+						}
+					}
+
+				case k < 8: // pop: batch get when non-empty, try-get otherwise
+					if len(o.fifo) > 0 && rng.Intn(2) == 0 {
+						want := len(o.fifo)
+						if want > len(dst) {
+							want = len(dst)
+						}
+						n, err := b.GetBatch(consConnA, dst[:1+rng.Intn(len(dst))])
+						if err != nil {
+							t.Fatalf("op %d: getbatch: %v", op, err)
+						}
+						if n == 0 || n > want {
+							t.Fatalf("op %d: getbatch n=%d with %d queued", op, n, want)
+						}
+						for i := 0; i < n; i++ {
+							wantTS, _ := o.tryGet()
+							if dst[i].Item.TS != wantTS {
+								t.Fatalf("op %d: getbatch[%d] ts=%v, oracle %v", op, i, dst[i].Item.TS, wantTS)
+							}
+						}
+					} else {
+						wantTS, wantOK := o.tryGet()
+						res, ok, err := b.TryGet(consConnA)
+						if err != nil {
+							t.Fatalf("op %d: tryget: %v", op, err)
+						}
+						if ok != wantOK {
+							t.Fatalf("op %d: tryget ok=%v, oracle %v", op, ok, wantOK)
+						}
+						if ok && res.Item.TS != wantTS {
+							t.Fatalf("op %d: tryget ts=%v, oracle %v", op, res.Item.TS, wantTS)
+						}
+					}
+
+				case k < 9: // unsupported op reports the typed error
+					if _, err := b.GetAt(consConnA, 1); !errors.Is(err, buffer.ErrUnsupported) {
+						t.Fatalf("op %d: getat on ring: %v, want ErrUnsupported", op, err)
+					}
+
+				default: // accounting parity, including frees
+					items, bytes := b.Occupancy()
+					if items != len(o.fifo) || bytes != o.bytes {
+						t.Fatalf("op %d: occupancy (%d, %d), oracle (%d, %d)", op, items, bytes, len(o.fifo), o.bytes)
+					}
+					puts, frees := b.Stats()
+					if puts != o.puts || frees != o.frees {
+						t.Fatalf("op %d: stats (%d, %d), oracle (%d, %d)", op, puts, frees, o.puts, o.frees)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRingMPSCHammer floods the ring's CAS-claimed tail from concurrent
+// pooled producers through the Buffer interface and demands exact
+// accounting at the end: every item delivered exactly once, byte totals
+// matching, puts == frees, and an empty ring. Run under -race this is
+// the memory-ordering check for the MPSC path.
+func TestRingMPSCHammer(t *testing.T) {
+	const producers, perProducer, batch = 4, 2500, 8
+	pool := buffer.NewItemPool()
+	b, err := buffer.New("ring", buffer.Config{Name: "hammer-ring", Node: 1, Capacity: 512, Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < producers; i++ {
+		if err := b.AttachProducer(graph.ConnID(100 + i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.AttachConsumer(consConnA, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	var wantBytes int64
+	for i := 0; i < producers*perProducer; i++ {
+		wantBytes += itemSize(vt.Timestamp(i + 1))
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < producers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn := graph.ConnID(100 + i)
+			items := make([]*buffer.Item, 0, batch)
+			for k := 0; k < perProducer; {
+				items = items[:0]
+				for len(items) < batch && k < perProducer {
+					it := pool.Get()
+					it.TS = vt.Timestamp(i*perProducer + k + 1)
+					it.Size = itemSize(it.TS)
+					items = append(items, it)
+					k++
+				}
+				if len(items) == 1 {
+					if _, err := b.Put(conn, items[0]); err != nil {
+						t.Errorf("put: %v", err)
+						return
+					}
+				} else if applied, _, err := b.PutBatch(conn, items); err != nil || applied != len(items) {
+					t.Errorf("putbatch = (%d, %v), want (%d, nil)", applied, err, len(items))
+					return
+				}
+			}
+		}(i)
+	}
+
+	seen := make(map[vt.Timestamp]int, producers*perProducer)
+	var gotBytes int64
+	dst := make([]buffer.GetResult, 32)
+	for got := 0; got < producers*perProducer; {
+		n, err := b.GetBatch(consConnA, dst)
+		if err != nil {
+			t.Fatalf("getbatch after %d items: %v", got, err)
+		}
+		for _, res := range dst[:n] {
+			seen[res.Item.TS]++
+			gotBytes += res.Item.Size
+		}
+		got += n
+	}
+	wg.Wait()
+
+	if len(seen) != producers*perProducer {
+		t.Fatalf("distinct timestamps = %d, want %d", len(seen), producers*perProducer)
+	}
+	for ts, n := range seen {
+		if n != 1 {
+			t.Fatalf("ts %v delivered %d times, want exactly once", ts, n)
+		}
+	}
+	if gotBytes != wantBytes {
+		t.Fatalf("delivered bytes = %d, want %d", gotBytes, wantBytes)
+	}
+	puts, frees := b.Stats()
+	if want := int64(producers * perProducer); puts != want || frees != want {
+		t.Fatalf("stats = %d/%d, want %d/%d", puts, frees, want, want)
+	}
+	if items, bytes := b.Occupancy(); items != 0 || bytes != 0 {
+		t.Fatalf("occupancy = %d/%d, want 0/0", items, bytes)
 	}
 }
 

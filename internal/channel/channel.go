@@ -213,6 +213,58 @@ func (c *Channel) Put(conn graph.ConnID, it *Item) (time.Duration, error) {
 	return blocked, nil
 }
 
+// PutBatch inserts items in order under one lock acquisition, stopping
+// at the first failing item (applied counts the prefix that took
+// effect). Collection and consumer wakeups are amortized to once per
+// batch; when a bounded channel fills mid-batch the applied prefix is
+// published (and consumers woken) before the producer parks, so the
+// consumers that must free capacity can see the items already inserted.
+func (c *Channel) PutBatch(conn graph.ConnID, items []*Item) (int, time.Duration, error) {
+	c.Mu.Lock()
+	defer c.Mu.Unlock()
+	if err := c.CheckProducerLocked(conn); err != nil {
+		return 0, 0, err
+	}
+	var blocked time.Duration
+	applied, flushed := 0, 0
+	flush := func() {
+		if applied > flushed {
+			c.AccountPutBatchLocked(items[flushed:applied])
+			flushed = applied
+			c.collectLocked()
+			c.WakeConsumersLocked()
+		}
+	}
+	var err error
+	for _, it := range items {
+		if c.AtCapacityLocked() {
+			flush()
+			var d time.Duration
+			d, err = c.AwaitCapacityLocked()
+			blocked += d
+			if err != nil {
+				break
+			}
+		}
+		if c.ClosedLocked() {
+			err = ErrClosed
+			break
+		}
+		if _, dup := c.items[it.TS]; dup {
+			err = fmt.Errorf("%w: %v on %q", ErrDuplicate, it.TS, c.Name())
+			break
+		}
+		c.items[it.TS] = it
+		c.live.Add(it.TS)
+		if it.TS > c.maxPut {
+			c.maxPut = it.TS
+		}
+		applied++
+	}
+	flush()
+	return applied, blocked, err
+}
+
 // Get blocks until an item newer than the connection's guarantee is
 // available and consumes the newest such item, advancing the guarantee and
 // recording everything in between as skipped. This is the "threads always
@@ -252,22 +304,32 @@ func (c *Channel) GetLatest(conn graph.ConnID) (GetResult, error) {
 // unseen items are marked skipped, and the consumer's guarantee advances
 // to newest-(window-1). Both passes walk the sorted live set in place
 // (vt.Set.AscendRange): the skip-free, window-1 fast path touches no
-// intermediate storage at all.
+// intermediate storage at all. The Skipped/Window slices are backed by
+// the connection's scratch buffers — valid until its next get — so
+// windowed and skipping gets are allocation-free in steady state.
 func (c *Channel) deliverLocked(cs *buffer.Consumer, newest vt.Timestamp) GetResult {
 	var res GetResult
 	windowStart := newest - cs.Window + 1
 	// Skipped: unseen live items older than the window, i.e.
 	// (lastSeen, windowStart) — windowStart ≤ newest always holds.
+	cs.SkippedScratch = cs.SkippedScratch[:0]
 	c.live.AscendRange(cs.LastSeen+1, windowStart, func(ts vt.Timestamp) bool {
-		res.Skipped = append(res.Skipped, buffer.Snapshot(c.items[ts]))
+		cs.SkippedScratch = append(cs.SkippedScratch, buffer.Snapshot(c.items[ts]))
 		return true
 	})
+	if len(cs.SkippedScratch) > 0 {
+		res.Skipped = cs.SkippedScratch
+	}
 	// Window members: [windowStart, newest), including previously seen
 	// items the window may re-read.
+	cs.WindowScratch = cs.WindowScratch[:0]
 	c.live.AscendRange(windowStart, newest, func(ts vt.Timestamp) bool {
-		res.Window = append(res.Window, buffer.Snapshot(c.items[ts]))
+		cs.WindowScratch = append(cs.WindowScratch, buffer.Snapshot(c.items[ts]))
 		return true
 	})
+	if len(cs.WindowScratch) > 0 {
+		res.Window = cs.WindowScratch
+	}
 	res.Item = buffer.Snapshot(c.items[newest])
 	cs.LastSeen = newest
 	// The consumer will never request ≤ windowStart again: the next
@@ -275,6 +337,55 @@ func (c *Channel) deliverLocked(cs *buffer.Consumer, newest vt.Timestamp) GetRes
 	// windowStart+1.
 	c.advanceLocked(cs, windowStart)
 	return res
+}
+
+// GetBatch consumes up to len(dst) unseen live items oldest-first under
+// one lock acquisition, blocking only until the first is available. It
+// is the channel's lossless drain: unlike Get, nothing is marked
+// skipped — every delivered item counts as consumed — and the guarantee
+// advances only past the delivered prefix, so items beyond the batch
+// stay live for the next call. Windowed consumers (re-reading trailing
+// items would conflict with the drain's guarantee advance) are rejected
+// with ErrUnsupported.
+func (c *Channel) GetBatch(conn graph.ConnID, dst []GetResult) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	c.Mu.Lock()
+	defer c.Mu.Unlock()
+	cs, err := c.ConsumerLocked(conn)
+	if err != nil {
+		return 0, err
+	}
+	if cs.Window > 1 {
+		return 0, fmt.Errorf("%w: batch get on windowed consumer of %q", buffer.ErrUnsupported, c.Name())
+	}
+	start := c.Clock().Now()
+	for {
+		if c.live.Max() > cs.LastSeen {
+			n := 0
+			c.live.AscendRange(cs.LastSeen+1, vt.Infinity, func(ts vt.Timestamp) bool {
+				if n == len(dst) {
+					return false
+				}
+				dst[n] = GetResult{Item: buffer.Snapshot(c.items[ts])}
+				n++
+				return true
+			})
+			newest := dst[n-1].Item.TS
+			cs.LastSeen = newest
+			c.advanceLocked(cs, newest)
+			dst[0].Blocked = c.Clock().Now() - start
+			return n, nil
+		}
+		if c.ClosedLocked() {
+			return 0, ErrClosed
+		}
+		if c.ProducersExhaustedLocked() {
+			return 0, fmt.Errorf("%w: all producers of %q failed", buffer.ErrPeerFailed, c.Name())
+		}
+		c.WaitConsumer()
+	}
 }
 
 // TryGet is the non-blocking variant of Get: if an item newer than the
@@ -381,8 +492,15 @@ func (c *Channel) collectLocked() {
 	}
 }
 
-// freeLocked reclaims one item and wakes one capacity waiter for the
-// freed slot.
+// tombstone is the shared sentinel retained in the items map for freed
+// timestamps. Liveness decisions always consult the live set first, so
+// the sentinel's fields are never read as data — retaining one shared
+// instance (instead of the freed item itself) lets freeLocked hand the
+// real item back to the pool.
+var tombstone = &Item{}
+
+// freeLocked reclaims one item, wakes one capacity waiter for the freed
+// slot, and recycles the item through the configured pool.
 func (c *Channel) freeLocked(ts vt.Timestamp) {
 	it, ok := c.items[ts]
 	if !ok || !c.live.Contains(ts) {
@@ -391,8 +509,9 @@ func (c *Channel) freeLocked(ts vt.Timestamp) {
 	c.live.Remove(ts)
 	c.AccountFreeLocked(it)
 	// Retain a tombstone so GetAt(ts) can distinguish ErrGone from "not
-	// yet produced"; drop the payload to release real memory.
-	it.Payload = nil
+	// yet produced"; the freed item itself goes back to the pool.
+	c.items[ts] = tombstone
+	c.RecycleLocked(it)
 }
 
 // Close marks the channel closed, frees every remaining live item, and

@@ -75,7 +75,7 @@ func run(t *testing.T, cfg Config, d time.Duration) (*trace.Analysis, int) {
 	} else {
 		app.Runtime.Clock().Sleep(d)
 	}
-	qItems, _ := app.Runtime.Queue(app.DecisionQueue).Occupancy()
+	qItems, _ := app.Runtime.Buffer(app.DecisionQueue).Occupancy()
 	app.Runtime.Stop()
 	if err := app.Runtime.Wait(); err != nil {
 		t.Fatal(err)

@@ -148,6 +148,48 @@ func (q *Queue) Put(conn graph.ConnID, it *Item) (time.Duration, error) {
 	return blocked, nil
 }
 
+// PutBatch enqueues items in order under one lock acquisition, stopping
+// at the first failure. Consumer wakeups are batched — min(k, waiters)
+// signals for a k-item batch — and when a bounded queue fills mid-batch
+// the applied prefix is published (and consumers signaled) before the
+// producer parks, so consumers can drain the capacity the batch needs.
+func (q *Queue) PutBatch(conn graph.ConnID, items []*Item) (int, time.Duration, error) {
+	q.Mu.Lock()
+	defer q.Mu.Unlock()
+	if err := q.CheckProducerLocked(conn); err != nil {
+		return 0, 0, err
+	}
+	var blocked time.Duration
+	applied, flushed := 0, 0
+	flush := func() {
+		if applied > flushed {
+			q.AccountPutBatchLocked(q.items[len(q.items)-(applied-flushed):])
+			q.SignalConsumersLocked(applied - flushed)
+			flushed = applied
+		}
+	}
+	var err error
+	for _, it := range items {
+		if q.AtCapacityLocked() {
+			flush()
+			var d time.Duration
+			d, err = q.AwaitCapacityLocked()
+			blocked += d
+			if err != nil {
+				break
+			}
+		}
+		if q.ClosedLocked() {
+			err = ErrClosed
+			break
+		}
+		q.items = append(q.items, it)
+		applied++
+	}
+	flush()
+	return applied, blocked, err
+}
+
 // Get dequeues the oldest item, blocking until one is available. A closed
 // queue drains remaining items before reporting ErrClosed.
 func (q *Queue) Get(conn graph.ConnID) (GetResult, error) {
@@ -167,6 +209,37 @@ func (q *Queue) Get(conn graph.ConnID) (GetResult, error) {
 		}
 		if q.ProducersExhaustedLocked() {
 			return GetResult{Blocked: q.Clock().Now() - start}, fmt.Errorf("%w: all producers of %q failed", buffer.ErrPeerFailed, q.Name())
+		}
+		q.WaitConsumer()
+	}
+}
+
+// GetBatch dequeues up to len(dst) items in FIFO order under one lock
+// acquisition, blocking only until the first is available.
+func (q *Queue) GetBatch(conn graph.ConnID, dst []GetResult) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	q.Mu.Lock()
+	defer q.Mu.Unlock()
+	if _, err := q.ConsumerLocked(conn); err != nil {
+		return 0, err
+	}
+	start := q.Clock().Now()
+	for {
+		if avail := q.queued(); avail > 0 {
+			n := min(avail, len(dst))
+			for i := 0; i < n; i++ {
+				dst[i] = GetResult{Item: q.dequeueLocked()}
+			}
+			dst[0].Blocked = q.Clock().Now() - start
+			return n, nil
+		}
+		if q.ClosedLocked() {
+			return 0, ErrClosed
+		}
+		if q.ProducersExhaustedLocked() {
+			return 0, fmt.Errorf("%w: all producers of %q failed", buffer.ErrPeerFailed, q.Name())
 		}
 		q.WaitConsumer()
 	}
@@ -197,8 +270,10 @@ func (q *Queue) GetAt(conn graph.ConnID, ts vt.Timestamp) (GetResult, error) {
 }
 
 // dequeueLocked removes and accounts the head item, returning a snapshot.
-// The item's storage leaves the queue here: OnFree observes it and one
-// capacity waiter is woken, matching a channel free.
+// The item's storage leaves the queue here: OnFree observes it, one
+// capacity waiter is woken (matching a channel free), and the item goes
+// back to the pool — so the snapshot is taken before the recycle zeroes
+// it.
 func (q *Queue) dequeueLocked() Item {
 	it := q.items[q.head]
 	q.items[q.head] = nil // release the reference for GC
@@ -211,8 +286,10 @@ func (q *Queue) dequeueLocked() Item {
 	if it.TS > q.lastDeq {
 		q.lastDeq = it.TS
 	}
+	res := buffer.Snapshot(it)
 	q.AccountFreeLocked(it)
-	return buffer.Snapshot(it)
+	q.RecycleLocked(it)
+	return res
 }
 
 // WouldBeDead reports false in normal operation: queue items are handed
@@ -244,6 +321,7 @@ func (q *Queue) Drain() int {
 	n := q.queued()
 	for _, it := range q.items[q.head:] {
 		q.AccountFreeLocked(it)
+		q.RecycleLocked(it)
 	}
 	q.items = nil
 	q.head = 0

@@ -274,8 +274,24 @@ func (e *Endpoint) Put(conn graph.ConnID, it *buffer.Item) (time.Duration, error
 		e.cfg.Feedback.ObserveBufferSummary(summary)
 	}
 	// err is nil or the informational ErrReattached (which wraps
-	// buffer.ErrReattached): the put was applied either way.
+	// buffer.ErrReattached): the put was applied either way. The item's
+	// bytes are on the server now, so the local carrier goes back to the
+	// pool — the wire backend never holds item pointers past the call.
+	e.cfg.Pool.Recycle(it)
 	return 0, err
+}
+
+// PutBatch sends items one request at a time: the wire protocol's unit
+// of synchronization is the round trip, so there is no lock to amortize
+// and the serial fallback is the native path.
+func (e *Endpoint) PutBatch(conn graph.ConnID, items []*buffer.Item) (int, time.Duration, error) {
+	return buffer.PutBatchSerial(e, conn, items)
+}
+
+// GetBatch serves one blocking get then drains non-blocking gets while
+// the batch has room (the serial fallback).
+func (e *Endpoint) GetBatch(conn graph.ConnID, dst []buffer.GetResult) (int, error) {
+	return buffer.GetBatchSerial(e, conn, dst)
 }
 
 // Get blocks until the hosted channel serves a fresh item, forwarding the

@@ -1,0 +1,759 @@
+// Package ring implements a bounded lock-free FIFO buffer backend for
+// the throughput regime the ROADMAP's "millions of users" north star
+// asks for: hot-path puts and gets are a handful of atomic operations —
+// no mutex, no condition variable, no allocation — with a mutex+condvar
+// slow path entered only when the ring is actually empty (consumer) or
+// full (producers).
+//
+// The design is the classic bounded MPMC ring specialized to this
+// repo's shapes: a power-of-two slot array where each slot carries a
+// sequence number that encodes its state. Slot i is free for position
+// pos (seq == pos), published (seq == pos+1), or still draining from a
+// previous lap (seq < pos). Producers claim positions on a padded tail
+// cursor — a plain store in SPSC mode, a CAS loop in MPSC mode — write
+// the item value, and release the slot by storing seq = pos+1; the
+// single consumer reads head, waits for seq == pos+1, copies the item
+// out, and recycles the slot with seq = pos+ringSize. Sequence numbers
+// are the only cross-thread handshake, so producers never read head and
+// the consumer never reads tail: each cursor stays in its owner's cache
+// line (both are padded against false sharing).
+//
+// Items are stored by value. The *Item a producer hands to Put is
+// copied into the slot and recycled into the configured pool
+// immediately, so a pooled put allocates nothing even while the ring
+// holds a backlog — the property behind the put=0 allocation pin.
+//
+// Blocking is spin-then-park: a bounded Gosched spin absorbs the
+// microsecond-scale waits of a busy pipeline, then the waiter registers
+// itself in an atomic sleeper count and parks on a condvar. Publishers
+// check the sleeper count (one atomic load when nobody sleeps) after
+// releasing a slot; the sequentially consistent store/load ordering of
+// Go atomics makes the classic sleeper handshake race-free. Because the
+// spin phase burns real CPU, the ring requires a real (or scaled)
+// clock: under a discrete-event virtual clock a spinning goroutine
+// would freeze virtual time, so New rejects clock.Registrar clocks and
+// the runtime's auto-selection never picks the ring for them.
+//
+// Ring is registered as "ring": FIFO discipline, TryGet, single
+// consumer, one or many producers (the mode is frozen by the number of
+// producer attachments, which per the Buffer contract all happen before
+// the first Put).
+package ring
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/buffer"
+	"repro/internal/clock"
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/vt"
+)
+
+func init() {
+	buffer.Register("ring", buffer.Backend{
+		New:  func(cfg buffer.Config) (buffer.Buffer, error) { return New(cfg) },
+		Caps: caps,
+	})
+}
+
+var caps = buffer.Caps{
+	Discipline: buffer.FIFO,
+	TryGet:     true,
+}
+
+// spins bounds the Gosched spin phase before a waiter parks on the
+// condvar slow path.
+const spins = 64
+
+// noConn is the "no consumer attached" sentinel (graph connection ids
+// are non-negative).
+const noConn = int64(-1)
+
+// slot is one ring cell: the sequence number is the slot's state (see
+// the package comment) and the item is stored by value.
+type slot struct {
+	seq atomic.Uint64
+	it  buffer.Item
+}
+
+// pad keeps the hot cursors on their own cache lines.
+type pad [64]byte
+
+// Ring is a bounded lock-free FIFO buffer (single consumer, SPSC or
+// MPSC producers). All methods are safe for concurrent use within that
+// attachment shape.
+type Ring struct {
+	cfg   buffer.Config
+	slots []slot
+	mask  uint64
+
+	_    pad
+	head atomic.Uint64 // consumer cursor: next position to pop
+	_    pad
+	tail atomic.Uint64 // producer cursor: next position to claim
+	_    pad
+
+	mpsc      atomic.Bool // ≥2 producers attached: claim via CAS
+	closed    atomic.Bool
+	prodsDead atomic.Bool // every producer failed permanently
+	consDead  atomic.Bool // every consumer failed permanently
+
+	puts      atomic.Int64
+	frees     atomic.Int64
+	liveBytes atomic.Int64
+
+	// sleepCons/sleepProd count waiters parked on the slow path; a
+	// publisher that loads zero skips the mutex entirely.
+	sleepCons atomic.Int32
+	sleepProd atomic.Int32
+
+	// mu guards attachment mutations and backs the park/wake slow path.
+	// The hot paths read the attachment state lock-free: producers is a
+	// copy-on-write set behind an atomic pointer, consumer an atomic
+	// conn id (negative: none attached) — so checkProducer/checkConsumer
+	// never race with FailProducer/FailConsumer rewriting the tables.
+	mu         sync.Mutex
+	notEmpty   *sync.Cond
+	notFull    *sync.Cond
+	producers  atomic.Pointer[map[graph.ConnID]bool]
+	consumer   atomic.Int64 // graph.ConnID, or noConn
+	prodFailed int
+	consFailed int
+
+	// Live instruments (nil when Cfg.Metrics is nil).
+	mPuts       *metrics.Counter
+	mFrees      *metrics.Counter
+	mItemsHW    *metrics.Gauge
+	mBytesHW    *metrics.Gauge
+	mPutBlocked *metrics.Histogram
+}
+
+// New creates a ring. Capacity must be positive and is rounded up to
+// the next power of two (the mask trick needs it; the documented
+// capacity of a ring buffer is its slot count). A discrete-event
+// virtual clock is rejected: the spin phase would freeze virtual time.
+func New(cfg buffer.Config) (*Ring, error) {
+	if cfg.Capacity <= 0 {
+		return nil, fmt.Errorf("ring: %q requires a positive capacity (got %d): a lock-free ring is bounded by construction", cfg.Name, cfg.Capacity)
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.NewReal()
+	}
+	if _, isReg := cfg.Clock.(clock.Registrar); isReg {
+		return nil, fmt.Errorf("ring: %q requires a real clock: the spin phase would freeze a discrete-event clock", cfg.Name)
+	}
+	size := 1
+	for size < cfg.Capacity {
+		size <<= 1
+	}
+	r := &Ring{
+		cfg:   cfg,
+		slots: make([]slot, size),
+		mask:  uint64(size - 1),
+	}
+	empty := map[graph.ConnID]bool{}
+	r.producers.Store(&empty)
+	r.consumer.Store(noConn)
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	r.notEmpty = sync.NewCond(&r.mu)
+	r.notFull = sync.NewCond(&r.mu)
+	if reg := cfg.Metrics; reg != nil {
+		ls := metrics.Labels{"buffer": cfg.Name}
+		r.mPuts = reg.Counter(buffer.MetricPuts, "Items inserted into the buffer.", ls)
+		r.mFrees = reg.Counter(buffer.MetricFrees, "Items reclaimed by the collector (or drained).", ls)
+		r.mItemsHW = reg.Gauge(buffer.MetricItemsHW, "High-water mark of live items.", ls)
+		r.mBytesHW = reg.Gauge(buffer.MetricBytesHW, "High-water mark of live bytes.", ls)
+		r.mPutBlocked = reg.Histogram(buffer.MetricPutBlocked, "Time producers spent blocked on capacity (blocking puts only).", nil, ls)
+	}
+	return r, nil
+}
+
+// Name returns the buffer's system-wide unique name.
+func (r *Ring) Name() string { return r.cfg.Name }
+
+// Node returns the buffer's task-graph id.
+func (r *Ring) Node() graph.NodeID { return r.cfg.Node }
+
+// Caps reports the ring backend's capabilities.
+func (r *Ring) Caps() buffer.Caps { return caps }
+
+// Capacity returns the ring's slot count (the declared capacity rounded
+// up to a power of two).
+func (r *Ring) Capacity() int { return len(r.slots) }
+
+// AttachProducer registers a producer connection. The second distinct
+// producer flips the ring into MPSC mode (CAS-claimed tail); per the
+// Buffer contract every attach happens before the first Put, so the
+// mode is frozen by the time the hot path reads it.
+func (r *Ring) AttachProducer(conn graph.ConnID) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := *r.producers.Load()
+	next := make(map[graph.ConnID]bool, len(old)+1)
+	for c := range old {
+		next[c] = true
+	}
+	next[conn] = true
+	r.producers.Store(&next)
+	if len(next) > 1 {
+		r.mpsc.Store(true)
+	}
+	return nil
+}
+
+// AttachConsumer registers the single consumer connection. The ring's
+// lock-free pop owns the head cursor exclusively, so a second distinct
+// consumer — and any sliding window — is rejected with ErrUnsupported.
+func (r *Ring) AttachConsumer(conn graph.ConnID, window int) error {
+	if window != 1 {
+		return fmt.Errorf("%w: window width %d on ring %q", buffer.ErrUnsupported, window, r.cfg.Name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if cur := r.consumer.Load(); cur != noConn && cur != int64(conn) {
+		return fmt.Errorf("%w: second consumer on ring %q (the ring's pop path is single-consumer)", buffer.ErrUnsupported, r.cfg.Name)
+	}
+	r.consumer.Store(int64(conn))
+	return nil
+}
+
+// DetachConsumer removes the consumer connection.
+func (r *Ring) DetachConsumer(conn graph.ConnID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.consumer.CompareAndSwap(int64(conn), noConn)
+}
+
+// FailProducer removes a producer attachment that failed permanently.
+// Once every producer has failed the consumer drains the remaining
+// items and then observes ErrPeerFailed instead of blocking forever.
+func (r *Ring) FailProducer(conn graph.ConnID) {
+	r.mu.Lock()
+	old := *r.producers.Load()
+	if old[conn] {
+		next := make(map[graph.ConnID]bool, len(old))
+		for c := range old {
+			if c != conn {
+				next[c] = true
+			}
+		}
+		r.producers.Store(&next)
+		r.prodFailed++
+		if len(next) == 0 {
+			r.prodsDead.Store(true)
+			r.notEmpty.Broadcast()
+		}
+	}
+	r.mu.Unlock()
+}
+
+// FailConsumer removes the consumer attachment on permanent failure.
+// Producers blocked on capacity then observe ErrPeerFailed: nothing
+// will ever be popped again.
+func (r *Ring) FailConsumer(conn graph.ConnID) {
+	r.mu.Lock()
+	if r.consumer.CompareAndSwap(int64(conn), noConn) {
+		r.consFailed++
+		r.consDead.Store(true)
+		r.notFull.Broadcast()
+	}
+	r.mu.Unlock()
+}
+
+// checkProducer validates the connection against the copy-on-write
+// attachment set — a lock-free read that never races with the
+// mutations, which swap in a fresh map under mu.
+func (r *Ring) checkProducer(conn graph.ConnID) error {
+	if !(*r.producers.Load())[conn] {
+		return fmt.Errorf("%w: producer %d on %q", buffer.ErrNotAttached, conn, r.cfg.Name)
+	}
+	return nil
+}
+
+func (r *Ring) checkConsumer(conn graph.ConnID) error {
+	if r.consumer.Load() != int64(conn) {
+		return fmt.Errorf("%w: consumer %d on %q", buffer.ErrNotAttached, conn, r.cfg.Name)
+	}
+	return nil
+}
+
+// accountPut records n inserted items totalling bytes.
+func (r *Ring) accountPut(n int, bytes int64) {
+	r.puts.Add(int64(n))
+	live := r.liveBytes.Add(bytes)
+	if r.mPuts != nil {
+		r.mPuts.Add(int64(n))
+		r.mItemsHW.Max(int64(r.tail.Load() - r.head.Load()))
+		r.mBytesHW.Max(live)
+	}
+}
+
+// wakeConsumer wakes a parked consumer, if any: one atomic load on the
+// common (nobody-sleeping) path.
+func (r *Ring) wakeConsumer() {
+	if r.sleepCons.Load() > 0 {
+		r.mu.Lock()
+		r.notEmpty.Broadcast()
+		r.mu.Unlock()
+	}
+}
+
+// wakeProducers wakes parked producers, if any.
+func (r *Ring) wakeProducers() {
+	if r.sleepProd.Load() > 0 {
+		r.mu.Lock()
+		r.notFull.Broadcast()
+		r.mu.Unlock()
+	}
+}
+
+// parkProducer waits until the slot generation for position pos is free
+// (seq reaches pos), spinning first and then sleeping. It returns the
+// time spent in the parked phase and ErrPeerFailed when every consumer
+// has failed — with a dead audience no slot will ever free again.
+//
+// The wake condition is seq >= pos, not equality: in MPSC mode pos can
+// go stale while this producer parks (another producer claims the freed
+// slot and republishes it, moving seq past pos). Equality would then
+// never hold again and the waiter would sleep forever; >= hands control
+// back to the caller, which reloads the tail and retries.
+func (r *Ring) parkProducer(pos uint64) (time.Duration, error) {
+	s := &r.slots[pos&r.mask]
+	freed := func() bool {
+		return int64(s.seq.Load())-int64(pos) >= 0 || r.closed.Load() || r.consDead.Load()
+	}
+	for i := 0; i < spins; i++ {
+		if freed() {
+			if r.consDead.Load() {
+				return 0, fmt.Errorf("%w: all consumers of %q failed while producer blocked on capacity", buffer.ErrPeerFailed, r.cfg.Name)
+			}
+			return 0, nil
+		}
+		runtime.Gosched()
+	}
+	start := r.cfg.Clock.Now()
+	r.mu.Lock()
+	r.sleepProd.Add(1)
+	for !freed() {
+		r.notFull.Wait()
+	}
+	r.sleepProd.Add(-1)
+	r.mu.Unlock()
+	d := r.cfg.Clock.Now() - start
+	if r.mPutBlocked != nil && d > 0 {
+		r.mPutBlocked.Observe(d)
+	}
+	if r.consDead.Load() {
+		return d, fmt.Errorf("%w: all consumers of %q failed while producer blocked on capacity", buffer.ErrPeerFailed, r.cfg.Name)
+	}
+	return d, nil
+}
+
+// parkConsumer waits until the slot at the head position is published,
+// the ring closes, or every producer fails; it returns time spent in
+// the parked phase.
+// Like parkProducer, the wake condition is seq >= pos+1 rather than
+// equality: a concurrent Drain can pop the slot this consumer parked
+// on (recycling it a full lap ahead), after which equality would never
+// hold; >= returns to the caller, which reloads the head and retries.
+func (r *Ring) parkConsumer() time.Duration {
+	pos := r.head.Load()
+	s := &r.slots[pos&r.mask]
+	ready := func() bool {
+		return int64(s.seq.Load())-int64(pos+1) >= 0 || r.closed.Load() || r.prodsDead.Load()
+	}
+	for i := 0; i < spins; i++ {
+		if ready() {
+			return 0
+		}
+		runtime.Gosched()
+	}
+	start := r.cfg.Clock.Now()
+	r.mu.Lock()
+	r.sleepCons.Add(1)
+	for !ready() {
+		r.notEmpty.Wait()
+	}
+	r.sleepCons.Add(-1)
+	r.mu.Unlock()
+	return r.cfg.Clock.Now() - start
+}
+
+// insert writes an item into the slot claimed at pos and publishes it.
+// The item value is copied, so the pointer goes straight back to the
+// pool — the ring never retains caller memory.
+func (r *Ring) insert(pos uint64, it *buffer.Item) {
+	s := &r.slots[pos&r.mask]
+	s.it = *it
+	s.seq.Store(pos + 1)
+	size := it.Size
+	r.cfg.Pool.Recycle(it)
+	r.accountPut(1, size)
+	r.wakeConsumer()
+}
+
+// Put inserts an item, blocking while the ring is full. SPSC mode
+// claims the tail with a plain store (the single producer owns it);
+// MPSC mode claims it with CAS.
+func (r *Ring) Put(conn graph.ConnID, it *buffer.Item) (time.Duration, error) {
+	if err := r.checkProducer(conn); err != nil {
+		return 0, err
+	}
+	var blocked time.Duration
+	if r.mpsc.Load() {
+		return r.putMPSC(it)
+	}
+	for {
+		if r.closed.Load() {
+			return blocked, buffer.ErrClosed
+		}
+		pos := r.tail.Load()
+		if r.slots[pos&r.mask].seq.Load() == pos {
+			r.tail.Store(pos + 1)
+			r.insert(pos, it)
+			return blocked, nil
+		}
+		d, err := r.parkProducer(pos)
+		blocked += d
+		if err != nil {
+			return blocked, err
+		}
+	}
+}
+
+// putMPSC is Put with a CAS-claimed tail for concurrent producers.
+func (r *Ring) putMPSC(it *buffer.Item) (time.Duration, error) {
+	var blocked time.Duration
+	for {
+		if r.closed.Load() {
+			return blocked, buffer.ErrClosed
+		}
+		pos := r.tail.Load()
+		seq := r.slots[pos&r.mask].seq.Load()
+		switch diff := int64(seq) - int64(pos); {
+		case diff == 0:
+			if r.tail.CompareAndSwap(pos, pos+1) {
+				r.insert(pos, it)
+				return blocked, nil
+			}
+		case diff < 0:
+			// The slot is still draining a previous lap: the ring is
+			// full at pos.
+			d, err := r.parkProducer(pos)
+			blocked += d
+			if err != nil {
+				return blocked, err
+			}
+		default:
+			// Another producer claimed pos between our loads; retry.
+			runtime.Gosched()
+		}
+	}
+}
+
+// PutBatch inserts items in order. In SPSC mode runs of free slots are
+// written with one tail store and one accounting round per run; MPSC
+// mode degrades to per-item CAS claims (contended producers cannot
+// reserve runs without risking a capacity deadlock).
+func (r *Ring) PutBatch(conn graph.ConnID, items []*buffer.Item) (int, time.Duration, error) {
+	if err := r.checkProducer(conn); err != nil {
+		return 0, 0, err
+	}
+	var blocked time.Duration
+	if r.mpsc.Load() {
+		for i, it := range items {
+			d, err := r.putMPSC(it)
+			blocked += d
+			if err != nil {
+				return i, blocked, err
+			}
+		}
+		return len(items), blocked, nil
+	}
+	applied := 0
+	for applied < len(items) {
+		if r.closed.Load() {
+			return applied, blocked, buffer.ErrClosed
+		}
+		pos := r.tail.Load()
+		// Count the run of free slots from pos, bounded by the batch.
+		k := 0
+		for applied+k < len(items) && k < len(r.slots) {
+			if r.slots[(pos+uint64(k))&r.mask].seq.Load() != pos+uint64(k) {
+				break
+			}
+			k++
+		}
+		if k == 0 {
+			d, err := r.parkProducer(pos)
+			blocked += d
+			if err != nil {
+				return applied, blocked, err
+			}
+			continue
+		}
+		var bytes int64
+		for j := 0; j < k; j++ {
+			it := items[applied+j]
+			s := &r.slots[(pos+uint64(j))&r.mask]
+			s.it = *it
+			bytes += it.Size
+			s.seq.Store(pos + uint64(j) + 1)
+		}
+		// The pointers stay ours even after the seq stores publish the
+		// slots (consumers see only the copied values), so the whole run
+		// recycles in one pool round.
+		r.cfg.Pool.RecycleN(items[applied : applied+k])
+		r.tail.Store(pos + uint64(k))
+		r.accountPut(k, bytes)
+		r.wakeConsumer()
+		applied += k
+	}
+	return applied, blocked, nil
+}
+
+// tryPop pops one item into dst if one is published, without blocking.
+// The head cursor is claimed with CAS rather than a plain store: the
+// pop path is nominally single-consumer, but shutdown's Drain runs it
+// concurrently with a consumer thread that has not yet observed the
+// stop signal, and the CAS makes that overlap safe (an uncontended CAS
+// costs the same cache-line ownership the store would).
+func (r *Ring) tryPop(dst *buffer.GetResult) bool {
+	for {
+		pos := r.head.Load()
+		s := &r.slots[pos&r.mask]
+		if s.seq.Load() != pos+1 {
+			return false
+		}
+		if !r.head.CompareAndSwap(pos, pos+1) {
+			continue // a concurrent drainer claimed pos; retry at the new head
+		}
+		// The CAS made [pos] exclusively ours: the publishing producer
+		// released it with the seq store we already observed, and no
+		// other popper can claim it now. Copy straight into dst (a local
+		// copy passed to OnFree by address would escape and cost an
+		// allocation per pop even with OnFree unset); OnFree observes
+		// the slot's item in place before the slot is wiped and released.
+		dst.Item = s.it
+		dst.Skipped = nil
+		dst.Window = nil
+		dst.Blocked = 0
+		if r.cfg.OnFree != nil {
+			r.cfg.OnFree(&s.it, r.cfg.Clock.Now())
+		}
+		s.it = buffer.Item{}
+		s.seq.Store(pos + uint64(len(r.slots)))
+		r.frees.Add(1)
+		r.liveBytes.Add(-dst.Item.Size)
+		if r.mFrees != nil {
+			r.mFrees.Inc()
+		}
+		r.wakeProducers()
+		return true
+	}
+}
+
+// popN pops up to len(dst) published items, amortizing the head claim,
+// the accounting, the OnFree clock read, and the producer wakeup over
+// the batch. Like tryPop it claims with CAS so Drain can overlap a
+// late-running consumer.
+func (r *Ring) popN(dst []buffer.GetResult) int {
+	for {
+		pos := r.head.Load()
+		n := 0
+		for n < len(dst) {
+			if r.slots[(pos+uint64(n))&r.mask].seq.Load() != pos+uint64(n)+1 {
+				break
+			}
+			n++
+		}
+		if n == 0 {
+			return 0
+		}
+		if !r.head.CompareAndSwap(pos, pos+uint64(n)) {
+			continue // lost the claim to a concurrent drainer; retry
+		}
+		var bytes int64
+		for i := 0; i < n; i++ {
+			s := &r.slots[(pos+uint64(i))&r.mask]
+			it := s.it
+			s.it = buffer.Item{}
+			s.seq.Store(pos + uint64(i) + uint64(len(r.slots)))
+			dst[i] = buffer.GetResult{Item: it}
+			bytes += it.Size
+		}
+		r.frees.Add(int64(n))
+		r.liveBytes.Add(-bytes)
+		if r.cfg.OnFree != nil {
+			at := r.cfg.Clock.Now()
+			for i := 0; i < n; i++ {
+				r.cfg.OnFree(&dst[i].Item, at)
+			}
+		}
+		if r.mFrees != nil {
+			r.mFrees.Add(int64(n))
+		}
+		r.wakeProducers()
+		return n
+	}
+}
+
+// Get pops the oldest item, blocking until one is available. A closed
+// ring drains remaining items before reporting ErrClosed (queue
+// parity); once every producer has failed the same drain-then-error
+// shape applies with ErrPeerFailed.
+func (r *Ring) Get(conn graph.ConnID) (buffer.GetResult, error) {
+	var res buffer.GetResult
+	if err := r.checkConsumer(conn); err != nil {
+		return res, err
+	}
+	var blocked time.Duration
+	for {
+		if r.tryPop(&res) {
+			res.Blocked = blocked
+			return res, nil
+		}
+		if r.closed.Load() {
+			// Re-check after observing closed: a pop and the close may
+			// race, and remaining items must drain first.
+			if r.tryPop(&res) {
+				res.Blocked = blocked
+				return res, nil
+			}
+			return buffer.GetResult{Blocked: blocked}, buffer.ErrClosed
+		}
+		if r.prodsDead.Load() {
+			if r.tryPop(&res) {
+				res.Blocked = blocked
+				return res, nil
+			}
+			return buffer.GetResult{Blocked: blocked}, fmt.Errorf("%w: all producers of %q failed", buffer.ErrPeerFailed, r.cfg.Name)
+		}
+		blocked += r.parkConsumer()
+	}
+}
+
+// GetBatch pops up to len(dst) items in FIFO order, blocking only until
+// the first is available.
+func (r *Ring) GetBatch(conn graph.ConnID, dst []buffer.GetResult) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	if err := r.checkConsumer(conn); err != nil {
+		return 0, err
+	}
+	var blocked time.Duration
+	for {
+		if n := r.popN(dst); n > 0 {
+			dst[0].Blocked = blocked
+			return n, nil
+		}
+		if r.closed.Load() {
+			if n := r.popN(dst); n > 0 {
+				dst[0].Blocked = blocked
+				return n, nil
+			}
+			return 0, buffer.ErrClosed
+		}
+		if r.prodsDead.Load() {
+			if n := r.popN(dst); n > 0 {
+				dst[0].Blocked = blocked
+				return n, nil
+			}
+			return 0, fmt.Errorf("%w: all producers of %q failed", buffer.ErrPeerFailed, r.cfg.Name)
+		}
+		blocked += r.parkConsumer()
+	}
+}
+
+// TryGet is the non-blocking Get: ok is false when the ring is empty.
+func (r *Ring) TryGet(conn graph.ConnID) (res buffer.GetResult, ok bool, err error) {
+	if err := r.checkConsumer(conn); err != nil {
+		return res, false, err
+	}
+	if r.tryPop(&res) {
+		return res, true, nil
+	}
+	if r.closed.Load() {
+		if r.tryPop(&res) {
+			return res, true, nil
+		}
+		return buffer.GetResult{}, false, buffer.ErrClosed
+	}
+	if r.prodsDead.Load() {
+		if r.tryPop(&res) {
+			return res, true, nil
+		}
+		return buffer.GetResult{}, false, fmt.Errorf("%w: all producers of %q failed", buffer.ErrPeerFailed, r.cfg.Name)
+	}
+	return buffer.GetResult{}, false, nil
+}
+
+// GetAt is unsupported: a FIFO ring cannot consume by timestamp.
+func (r *Ring) GetAt(conn graph.ConnID, ts vt.Timestamp) (buffer.GetResult, error) {
+	return buffer.GetResult{}, fmt.Errorf("%w: GetAt on ring %q", buffer.ErrUnsupported, r.cfg.Name)
+}
+
+// WouldBeDead reports false in normal operation — ring items are handed
+// to the consumer and never skipped — and true once every consumer has
+// failed permanently.
+func (r *Ring) WouldBeDead(ts vt.Timestamp) bool { return r.consDead.Load() }
+
+// Close marks the ring closed and wakes every blocked operation; the
+// consumer drains remaining items, then sees ErrClosed.
+func (r *Ring) Close() {
+	if r.closed.Swap(true) {
+		return
+	}
+	r.mu.Lock()
+	r.notEmpty.Broadcast()
+	r.notFull.Broadcast()
+	r.mu.Unlock()
+}
+
+// Closed reports whether Close has been called.
+func (r *Ring) Closed() bool { return r.closed.Load() }
+
+// Drain discards items still buffered after Close, reporting each to
+// OnFree, and returns how many it discarded. It reuses the consumer pop
+// path, whose CAS-claimed head makes it safe to run concurrently with a
+// consumer thread that has not yet observed the stop signal (the
+// runtime calls Drain from Stop while threads may still be unwinding).
+func (r *Ring) Drain() int {
+	total := 0
+	var scratch [64]buffer.GetResult
+	for {
+		n := r.popN(scratch[:])
+		total += n
+		if n < len(scratch) {
+			return total
+		}
+	}
+}
+
+// Occupancy returns the current live item count and bytes.
+func (r *Ring) Occupancy() (items int, bytes int64) {
+	return int(r.tail.Load() - r.head.Load()), r.liveBytes.Load()
+}
+
+// Stats returns cumulative puts and frees.
+func (r *Ring) Stats() (puts, frees int64) {
+	return r.puts.Load(), r.frees.Load()
+}
+
+// HighWater returns the high-water marks of live items and bytes since
+// creation (zeros when metrics are disabled), implementing
+// buffer.HighWaterer like the Base-backed backends.
+func (r *Ring) HighWater() (items, bytes int64) {
+	if r.mItemsHW == nil {
+		return 0, 0
+	}
+	return r.mItemsHW.Value(), r.mBytesHW.Value()
+}

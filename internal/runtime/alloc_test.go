@@ -10,14 +10,14 @@ import (
 
 // The hot-path allocation pins. PR 1 drove the buffer hot path to its
 // floor — a skip-free consume is 0 allocs/op and a put+consume round
-// trip costs exactly the one Item the producer materializes (see
-// EXPERIMENTS.md). The buffer-endpoint refactor replaced the runtime's
-// concrete channel/queue calls with buffer.Buffer interface dispatch;
-// these pins prove the indirection added no allocations: the unified
-// Ctx.Get is still 0 allocs/op and Ctx.Put still allocates exactly the
-// Item. testing.AllocsPerRun divides total mallocs by runs (integer
-// division), so amortized slice/map growth inside the backends does not
-// disturb the pin.
+// trip cost exactly the one Item the producer materialized. The item
+// pool retired that last allocation: in steady state the Item freed by
+// the consumer's get is the Item the producer's next put reuses, so a
+// put+get round trip is now 0 allocs/op. A pure put backlog (nothing
+// freed, so nothing recycled) still pays the 1 Item alloc per put —
+// that residual pin is kept below. testing.AllocsPerRun divides total
+// mallocs by runs (integer division), so amortized slice/map growth
+// inside the backends does not disturb the pins.
 
 const allocRuns = 500
 
@@ -28,8 +28,9 @@ func allocRuntime() *Runtime {
 	return New(Options{Clock: clock.NewReal(), ARU: core.PolicyOff()})
 }
 
-// TestCtxPutChannelAllocs pins the producer half in isolation: one
-// unified Ctx.Put into a channel is exactly 1 alloc/op — the Item.
+// TestCtxPutChannelAllocs pins the producer half in isolation: a pure
+// put backlog recycles nothing, so each Ctx.Put pays exactly 1 alloc —
+// the Item the pool must mint when its free list is empty.
 func TestCtxPutChannelAllocs(t *testing.T) {
 	rt := allocRuntime()
 	ch := rt.MustAddChannel("C", 0)
@@ -68,10 +69,10 @@ func TestCtxPutChannelAllocs(t *testing.T) {
 }
 
 // TestCtxPutGetChannelAllocs pins a full produce/consume round trip over
-// a channel through the unified dispatch: the consumer measures
-// (request, producer's Ctx.Put, Ctx.Get) and the only allocation per
-// round is the producer's Item — the consume side stays at 0, matching
-// PR 1's GetLatestNoSkip floor.
+// a channel through the unified dispatch at the pooled floor: the
+// consumer measures (request, producer's Ctx.Put, Ctx.Get) and the
+// round is 0 allocs/op — the Item freed by the previous round's get is
+// the Item this round's put reuses.
 func TestCtxPutGetChannelAllocs(t *testing.T) {
 	rt := allocRuntime()
 	ch := rt.MustAddChannel("C", 0)
@@ -122,8 +123,8 @@ func TestCtxPutGetChannelAllocs(t *testing.T) {
 	if err := rt.Wait(); err != nil {
 		t.Fatal(err)
 	}
-	if allocs != 1 {
-		t.Fatalf("channel put+get round trip: %.0f allocs/op, want exactly 1 (the Item)", allocs)
+	if allocs != 0 {
+		t.Fatalf("channel put+get round trip: %.0f allocs/op, want 0 (pooled Item)", allocs)
 	}
 }
 

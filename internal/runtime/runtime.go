@@ -35,6 +35,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/queue"
+	_ "repro/internal/ring" // registers the "ring" backend for auto-upgrade and AddRing
 	"repro/internal/trace"
 	"repro/internal/transport"
 )
@@ -111,6 +112,11 @@ type Runtime struct {
 	// every thread's ports per node.
 	refs map[graph.NodeID]*BufferRef
 
+	// pool recycles buffer.Item allocations across every endpoint in the
+	// runtime: an Item freed by one buffer's reclamation is the Item the
+	// next Ctx.Put reuses, so the steady-state put path allocates nothing.
+	pool *buffer.ItemPool
+
 	ctrl *core.Controller
 
 	// hostLive tracks live buffered bytes per host for the
@@ -155,6 +161,7 @@ func New(opts Options) *Runtime {
 		g:       graph.New(),
 		buffers: make(map[graph.NodeID]buffer.Buffer),
 		refs:    make(map[graph.NodeID]*BufferRef),
+		pool:    buffer.NewItemPool(),
 		stopCh:  make(chan struct{}),
 	}
 	hosts := 1
@@ -293,6 +300,25 @@ func (rt *Runtime) MustAddQueue(name string, host int, qopts ...QueueOption) *Qu
 	return ref
 }
 
+// AddRing declares a lock-free ring buffer placed on the given host: the
+// high-throughput FIFO backend. A positive capacity is required
+// (WithQueueCapacity; rounded up to a power of two) and the runtime must
+// use a real clock — the ring's spin-then-park waits cannot participate
+// in a discrete-event clock. Most applications never call this: Start
+// upgrades eligible bounded queues to rings automatically.
+func (rt *Runtime) AddRing(name string, host int, qopts ...QueueOption) (*QueueRef, error) {
+	return rt.addBuffer(graph.KindQueue, "ring", name, host, qopts)
+}
+
+// MustAddRing is AddRing that panics on error.
+func (rt *Runtime) MustAddRing(name string, host int, qopts ...QueueOption) *QueueRef {
+	ref, err := rt.AddRing(name, host, qopts...)
+	if err != nil {
+		panic(err)
+	}
+	return ref
+}
+
 // AddRemoteChannel declares a channel endpoint whose storage is a
 // channel hosted by a remote server (package remote) at addr, mounted
 // into the task graph through the "remote" backend: puts and gets cross
@@ -385,6 +411,30 @@ func (f *runtimeFeedback) ObserveBufferSummary(s core.STP) {
 	f.rt.ctrl.SetRemoteSummary(f.node, s)
 }
 
+// ringEligibleLocked reports whether a declared queue can be materialized
+// as the lock-free ring without changing observable semantics: bounded
+// with a power-of-two capacity (the ring rounds sizes up, which would
+// loosen a non-power-of-two bound's blocking behaviour), exactly one
+// consumer connection with the default window (the ring is SPSC/MPSC),
+// a real clock (the ring's spin waits cannot participate in a
+// discrete-event clock), and the ring backend registered.
+func (rt *Runtime) ringEligibleLocked(n *graph.Node, ref *BufferRef, windows map[graph.ConnID]int) bool {
+	if ref.backend != "queue" {
+		return false
+	}
+	if ref.capacity <= 0 || ref.capacity&(ref.capacity-1) != 0 {
+		return false
+	}
+	if len(n.Out) != 1 || windows[n.Out[0]] > 1 {
+		return false
+	}
+	if _, isReg := rt.clk.(clock.Registrar); isReg {
+		return false
+	}
+	_, ok := buffer.Lookup("ring")
+	return ok
+}
+
 // materializeLocked builds the endpoint for one buffer node through the
 // backend registry and attaches its producer and consumer connections.
 func (rt *Runtime) materializeLocked(n *graph.Node, windows map[graph.ConnID]int) error {
@@ -409,6 +459,13 @@ func (rt *Runtime) materializeLocked(n *graph.Node, windows map[graph.ConnID]int
 		}
 		rt.ctrl.MarkRemote(n.ID, rt.clk, ttl)
 	}
+	if rt.ringEligibleLocked(n, ref, windows) {
+		// Upgrade the bounded queue to the lock-free ring: same FIFO
+		// discipline and capability surface, an order of magnitude more
+		// throughput. The ref records the materialized backend so status
+		// output and tests can observe the upgrade.
+		ref.backend = "ring"
+	}
 	host, node := n.Host, n.ID
 	b, err := buffer.New(ref.backend, buffer.Config{
 		Name:       n.Name,
@@ -420,6 +477,7 @@ func (rt *Runtime) materializeLocked(n *graph.Node, windows map[graph.ConnID]int
 		RemoteName: ref.remoteName,
 		Remote:     ref.remote,
 		Metrics:    rt.opts.Metrics,
+		Pool:       rt.pool,
 		Feedback:   &runtimeFeedback{rt: rt, node: node},
 		OnFree: func(it *buffer.Item, at time.Duration) {
 			rt.addLive(host, -it.Size)
@@ -618,7 +676,9 @@ func (rt *Runtime) Channel(ref *ChannelRef) *channel.Channel {
 }
 
 // Queue returns the materialized queue for a ref (post-Start), or nil if
-// the ref's backend is not the in-process queue.
+// the ref's backend is not the in-process queue — including a declared
+// queue that Start upgraded to the ring backend. Code that must work
+// across FIFO backends should use Buffer and the interface surface.
 func (rt *Runtime) Queue(ref *QueueRef) *queue.Queue {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()

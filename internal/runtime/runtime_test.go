@@ -264,7 +264,7 @@ func TestQueueFlow(t *testing.T) {
 	}
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		if n := rt.Queue(q).Puts(); n >= 20 {
+		if n, _ := rt.Buffer(q).Stats(); n >= 20 {
 			break
 		}
 		if time.Now().After(deadline) {

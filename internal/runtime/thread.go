@@ -244,6 +244,14 @@ type Ctx struct {
 	produced []trace.ItemID
 	emitted  int
 	iters    int64
+
+	// Reused scratch for the batch and window paths: a steady-state body
+	// that batches its puts and gets allocates nothing per iteration. All
+	// are safe to reuse because Ctx is single-goroutine by contract.
+	putScratch    []*buffer.Item
+	putIDScratch  []trace.ItemID
+	getScratch    []buffer.GetResult
+	windowScratch []Msg
 }
 
 // Name returns the owning thread's name.
@@ -385,7 +393,9 @@ func (c *Ctx) GetQueue(p *InPort) (Msg, error) {
 // (declared via Thread.InputWindow) and returns it together with the
 // retained trailing items, oldest first. All returned items count as
 // consumed for provenance; the head drives skip/feedback semantics
-// exactly like Get.
+// exactly like Get. The window slice is scratch owned by the Ctx — valid
+// until this thread's next GetWindow call — so a steady-state windowed
+// consumer allocates nothing per iteration.
 func (c *Ctx) GetWindow(p *InPort) (head Msg, window []Msg, err error) {
 	if !p.ref.caps.Windows {
 		return Msg{}, nil, portKindErr("GetWindow", p.ref)
@@ -398,12 +408,16 @@ func (c *Ctx) GetWindow(p *InPort) (head Msg, window []Msg, err error) {
 	}
 	rec := c.rt.opts.Recorder
 	now := c.rt.clk.Now()
+	c.windowScratch = c.windowScratch[:0]
 	for _, w := range res.Window {
 		rec.Append(trace.Event{Kind: trace.EvGet, At: now, Item: w.ID, Node: p.ref.id, Thread: c.thread.id})
 		c.consumed = append(c.consumed, w.ID)
 		// Window members already live locally; only the head pays the
 		// transfer below.
-		window = append(window, Msg{TS: w.TS, Payload: w.Payload, Size: w.Size, ID: w.ID})
+		c.windowScratch = append(c.windowScratch, Msg{TS: w.TS, Payload: w.Payload, Size: w.Size, ID: w.ID})
+	}
+	if len(c.windowScratch) > 0 {
+		window = c.windowScratch
 	}
 	head, err = c.finishGet(p, res)
 	return head, window, err
@@ -504,15 +518,22 @@ func (c *Ctx) Put(p *OutPort, ts vt.Timestamp, payload any, size int64) error {
 		Items: snapshotItems(rec, c.consumed),
 	})
 
-	blocked, err := p.buf.Put(p.conn, &buffer.Item{TS: ts, Payload: payload, Size: size, ID: id})
+	// The item comes from the runtime's pool: in steady state this is the
+	// Item some buffer's reclamation recycled a moment ago, so the put
+	// path performs zero allocations.
+	it := c.rt.pool.Get()
+	it.TS, it.Payload, it.Size, it.ID = ts, payload, size, id
+	blocked, err := p.buf.Put(p.conn, it)
 	c.meter.AddBlocked(blocked)
 	p.notePut(err)
 	if err != nil && !errors.Is(err, buffer.ErrReattached) {
 		// The item never entered the buffer (this includes ErrDegraded:
 		// a retry budget exhausted against an unreachable peer drops the
 		// item); account its storage as immediately reclaimed so
-		// footprint accounting stays balanced.
+		// footprint accounting stays balanced, and recycle the carrier —
+		// ownership only transfers when the put takes effect.
 		rec.Append(trace.Event{Kind: trace.EvFree, At: c.rt.clk.Now(), Item: id, Node: p.ref.id})
+		c.rt.pool.Recycle(it)
 		return translateErr(err)
 	}
 
@@ -528,6 +549,162 @@ func (c *Ctx) Put(p *OutPort, ts vt.Timestamp, payload any, size int64) error {
 	// err is nil or the informational ErrReattached: the item was
 	// applied and fully accounted either way.
 	return err
+}
+
+// PutSpec describes one item of a batched put: the arguments of one
+// Ctx.Put call as data.
+type PutSpec struct {
+	// TS is the item's virtual timestamp.
+	TS vt.Timestamp
+	// Payload is the application data.
+	Payload any
+	// Size is the item's logical size in bytes.
+	Size int64
+}
+
+// PutBatch produces the specs into an output port as one batched
+// operation: one lock acquisition (on lock-based backends), one bus
+// charge, one network transfer, and one summary-STP piggyback fold for
+// the whole batch, amortizing the per-put overhead that dominates
+// high-rate producers. Items are applied in order and the batch stops at
+// the first failure; applied reports how many entered the buffer (all
+// of them when err is nil or the informational ErrReattached). The
+// provenance of every item in the batch is the items consumed so far in
+// this iteration, like repeated Ctx.Put calls.
+func (c *Ctx) PutBatch(p *OutPort, specs []PutSpec) (applied int, err error) {
+	if len(specs) == 0 {
+		return 0, nil
+	}
+	rec := c.rt.opts.Recorder
+
+	// Materializing the batch touches every payload once locally, then
+	// the whole batch travels to the buffer's host in one transfer.
+	var total int64
+	for i := range specs {
+		total += specs[i].Size
+	}
+	c.ChargeBus(total)
+	c.rt.transfer(c.thread.host, p.ref.host, total)
+
+	if cap(c.putScratch) < len(specs) {
+		c.putScratch = make([]*buffer.Item, len(specs))
+		c.putIDScratch = make([]trace.ItemID, len(specs))
+	}
+	items := c.putScratch[:len(specs)]
+	ids := c.putIDScratch[:len(specs)]
+	c.rt.pool.GetN(items) // one pool round for the whole batch
+	var now time.Duration
+	if rec != nil {
+		now = c.rt.clk.Now() // the clock feeds only trace events
+	}
+	for i := range specs {
+		it := items[i]
+		it.TS, it.Payload, it.Size = specs[i].TS, specs[i].Payload, specs[i].Size
+		it.ID = rec.NewItemID()
+		ids[i] = it.ID
+		if rec != nil {
+			rec.Append(trace.Event{
+				Kind: trace.EvAlloc, At: now, Item: it.ID,
+				Node: p.ref.id, Thread: c.thread.id, TS: it.TS, Size: it.Size,
+				Items: snapshotItems(rec, c.consumed),
+			})
+		}
+	}
+
+	applied, blocked, err := p.buf.PutBatch(p.conn, items)
+	c.meter.AddBlocked(blocked)
+	p.notePut(err)
+
+	// items[:applied] belong to the buffer now — they may already be
+	// freed and recycled, so provenance and footprint are read from the
+	// specs and the id scratch, never back from the items. One feedback
+	// fold covers the whole batch: the summary-STP piggyback is
+	// per-operation, not per-item (§3.3.2).
+	if applied > 0 {
+		c.rt.ctrl.NotePut(p.conn)
+		if !p.ref.caps.Remote {
+			var appliedBytes int64
+			for i := 0; i < applied; i++ {
+				appliedBytes += specs[i].Size
+			}
+			c.rt.addLive(p.ref.host, appliedBytes)
+		}
+		if rec != nil {
+			c.produced = append(c.produced, ids[:applied]...)
+		}
+	}
+	// items[applied:] never entered the buffer: their storage is
+	// accounted as immediately reclaimed and the carriers recycled.
+	if applied < len(items) {
+		if rec != nil {
+			now := c.rt.clk.Now()
+			for i := applied; i < len(items); i++ {
+				rec.Append(trace.Event{Kind: trace.EvFree, At: now, Item: ids[i], Node: p.ref.id})
+			}
+		}
+		c.rt.pool.RecycleN(items[applied:])
+	}
+	for i := range items {
+		items[i] = nil // drop the references; the scratch persists
+	}
+	if err != nil && !errors.Is(err, buffer.ErrReattached) {
+		return applied, translateErr(err)
+	}
+	return applied, err
+}
+
+// GetBatch consumes up to len(dst) items from an input port as one
+// batched operation, blocking only until the first is available. It
+// returns the number filled (≥ 1 when err is nil) with per-item
+// semantics identical to Get — each item is traced and counted as
+// consumed — but the lock acquisition, the bus and network charges, the
+// summary-STP piggyback, and the metrics updates are amortized over the
+// batch. len(dst) == 0 returns (0, nil) without blocking.
+func (c *Ctx) GetBatch(p *InPort, dst []Msg) (int, error) {
+	if len(dst) == 0 {
+		return 0, nil
+	}
+	if cap(c.getScratch) < len(dst) {
+		c.getScratch = make([]buffer.GetResult, len(dst))
+	}
+	res := c.getScratch[:len(dst)]
+	n, err := p.buf.GetBatch(p.conn, res)
+	var blocked time.Duration
+	if n > 0 {
+		blocked = res[0].Blocked
+	}
+	c.meter.AddBlocked(blocked)
+	p.noteGetBatch(n, blocked, err)
+	if err != nil && !errors.Is(err, buffer.ErrReattached) {
+		return 0, translateErr(err)
+	}
+
+	rec := c.rt.opts.Recorder
+	var now time.Duration
+	if rec != nil {
+		now = c.rt.clk.Now() // the clock feeds only trace events
+	}
+	var total int64
+	for i := 0; i < n; i++ {
+		r := &res[i]
+		if rec != nil {
+			for _, sk := range r.Skipped {
+				rec.Append(trace.Event{Kind: trace.EvSkip, At: now, Item: sk.ID, Node: p.ref.id, Thread: c.thread.id})
+			}
+			rec.Append(trace.Event{Kind: trace.EvGet, At: now, Item: r.Item.ID, Node: p.ref.id, Thread: c.thread.id})
+			c.consumed = append(c.consumed, r.Item.ID)
+		}
+		total += r.Item.Size
+		dst[i] = Msg{TS: r.Item.TS, Payload: r.Item.Payload, Size: r.Item.Size, ID: r.Item.ID}
+		*r = buffer.GetResult{} // drop payload references from the scratch
+	}
+
+	// One transfer and one bus charge move the whole batch to the
+	// consumer; one fold piggybacks the consumer's summary-STP back.
+	c.rt.transfer(p.ref.host, c.thread.host, total)
+	c.ChargeBus(total)
+	c.rt.ctrl.NoteGet(p.conn)
+	return n, err
 }
 
 // ShouldProduce reports whether work toward putting timestamp ts into

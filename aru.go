@@ -125,6 +125,37 @@ type (
 	CompressorFunc = core.Func
 	// Filter smooths incoming summary-STP streams (extension).
 	Filter = core.Filter
+	// Estimator is the pluggable feedback-estimation stage between
+	// compressed summary-STPs and the pacing throttle (extension,
+	// DESIGN.md §4h). Nil factory = the paper's raw propagation.
+	Estimator = core.Estimator
+	// EstimatorFactory builds a fresh estimator per thread node; plug it
+	// in via Policy.WithEstimator (or Policy.EstimatorFactory).
+	EstimatorFactory = core.EstimatorFactory
+	// EstimatorState is an estimator's observable state (status output,
+	// metrics, Snapshot).
+	EstimatorState = core.EstimatorState
+	// AIMDConfig tunes the AIMD estimator: window, back-off factor,
+	// additive step, hysteresis margin, sustain threshold, trend gain,
+	// target bounds, expiry. The zero value of every field selects a
+	// sensible default.
+	AIMDConfig = core.AIMDConfig
+	// TrendState classifies the feedback trend (underuse/hold/overuse).
+	TrendState = core.TrendState
+	// AIMDPhase is the rate controller's actuation phase
+	// (backoff/hold/speedup).
+	AIMDPhase = core.AIMDPhase
+)
+
+// Trend and phase constants, re-exported for switch statements over
+// EstimatorState.
+const (
+	TrendUnderuse = core.TrendUnderuse
+	TrendHold     = core.TrendHold
+	TrendOveruse  = core.TrendOveruse
+	PhaseBackoff  = core.PhaseBackoff
+	PhaseHold     = core.PhaseHold
+	PhaseSpeedup  = core.PhaseSpeedup
 )
 
 // Clock abstraction.
@@ -244,6 +275,18 @@ func WithStallTTL(ttl time.Duration) ThreadOption {
 	return runtime.WithStallTTL(ttl)
 }
 
+// WithTenant tags a declared buffer with a tenant/pipeline name; the tag
+// rides on all its metric instruments as a `tenant` label so
+// multi-tenant runs sharing one registry stay distinguishable.
+func WithTenant(name string) BufferOption {
+	return runtime.WithTenant(name)
+}
+
+// WithThreadTenant is WithTenant for threads.
+func WithThreadTenant(name string) ThreadOption {
+	return runtime.WithThreadTenant(name)
+}
+
 // RegisterBufferBackend adds a buffer backend to the registry, making it
 // available to endpoint descriptors by name. The built-ins are
 // "channel", "queue", and "remote".
@@ -281,6 +324,20 @@ func NewEWMAFilter(alpha float64) Filter { return core.NewEWMAFilter(alpha) }
 
 // NewMedianFilter returns a sliding-window median summary-STP filter.
 func NewMedianFilter(window int) Filter { return core.NewMedianFilter(window) }
+
+// NewAIMDEstimator returns an EstimatorFactory building the filtered,
+// AIMD-damped estimator: a sliding-window rate estimate, a trendline
+// slope filter, and multiplicative-backoff/additive-speedup pacing
+// (DESIGN.md §4h). Plug it in with PolicyMin().WithEstimator(...).
+func NewAIMDEstimator(cfg AIMDConfig) EstimatorFactory { return core.AIMDFactory(cfg) }
+
+// NewRawEstimator returns the pass-through estimator backend: the pacing
+// target is the raw summary-STP, exactly the paper's behaviour. Leaving
+// the factory nil is equivalent and cheaper.
+func NewRawEstimator() Estimator { return core.NewRawEstimator() }
+
+// DefaultAIMDConfig returns the default AIMD estimator tuning.
+func DefaultAIMDConfig() AIMDConfig { return core.DefaultAIMDConfig() }
 
 // NewVirtualClock returns the discrete-event clock: simulated time jumps
 // to the next deadline whenever all threads are blocked, so experiments

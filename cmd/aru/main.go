@@ -1,0 +1,376 @@
+// Command aru benchmarks the estimator pipeline end to end: a fast
+// producer paced purely by STP feedback against a bottleneck consumer,
+// run once with raw summary propagation (the paper's behaviour) and once
+// with the AIMD estimator, across steady, jittery, and stepped consumer
+// load shapes. Everything runs on the discrete-event virtual clock with
+// a seeded jitter source, so a cell is deterministic up to goroutine
+// interleaving and costs milliseconds of wall time per virtual minute.
+//
+// Per cell it reports the steady-state pacing interval (mean and
+// standard deviation — the source-rate jitter), the drop ratio (items a
+// Latest-semantics consumer skipped over), and the convergence time (when
+// the paced interval first enters and stays inside the steady band).
+//
+// Usage:
+//
+//	go run ./cmd/aru                      # print the matrix
+//	go run ./cmd/aru -json BENCH_aru.json
+//	go run ./cmd/aru -check BENCH_aru.json
+//
+// -check re-measures and fails (exit 1) if any cell regresses beyond
+// -tolerance against the pinned report, or if the headline claim breaks:
+// under the jittery consumer the AIMD estimator must hold at least 2x
+// lower source-rate jitter than raw at a no-worse drop ratio. Below-bar
+// cells are re-measured best-of-3 before failing, mirroring the
+// throughput smoke: scheduler noise is one-sided.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	rt "repro/internal/runtime"
+	"repro/internal/vt"
+)
+
+// Result is one cell of the scenario × estimator matrix.
+type Result struct {
+	Scenario       string  `json:"scenario"`  // steady | jitter | step
+	Estimator      string  `json:"estimator"` // raw | aimd
+	Produced       int64   `json:"produced"`
+	Consumed       int64   `json:"consumed"`
+	DropRatio      float64 `json:"drop_ratio"`
+	MeanIntervalMs float64 `json:"mean_interval_ms"`
+	JitterMs       float64 `json:"jitter_ms"`
+	ConvergenceS   float64 `json:"convergence_s"`
+}
+
+// Report is the pinned file format.
+type Report struct {
+	GoVersion string   `json:"go_version"`
+	NumCPU    int      `json:"num_cpu"`
+	Seconds   float64  `json:"virtual_seconds"`
+	Seed      uint64   `json:"seed"`
+	Results   []Result `json:"results"`
+}
+
+const (
+	bottleneck = 50 * time.Millisecond // the consumer's mean period
+	jitterAmp  = 30 * time.Millisecond // uniform ± amplitude in the jitter shape
+)
+
+func main() {
+	var (
+		seconds   = flag.Float64("seconds", 60, "virtual seconds per cell")
+		seed      = flag.Uint64("seed", 1719, "jitter PRNG seed")
+		jsonOut   = flag.String("json", "", "write the report to this file")
+		check     = flag.String("check", "", "compare against a pinned report and fail on regression")
+		tolerance = flag.Float64("tolerance", 0.30, "allowed fractional regression under -check")
+	)
+	flag.Parse()
+
+	scenarios := []string{"steady", "jitter", "step"}
+	estimators := []string{"raw", "aimd"}
+
+	rep := Report{
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Seconds:   *seconds,
+		Seed:      *seed,
+	}
+	fmt.Printf("%-8s %-6s %9s %9s %7s %10s %10s %11s\n",
+		"scenario", "est", "produced", "consumed", "drop%", "mean(ms)", "jitter(ms)", "converge(s)")
+	for _, sc := range scenarios {
+		for _, est := range estimators {
+			res := measure(sc, est, *seconds, *seed)
+			rep.Results = append(rep.Results, res)
+			fmt.Printf("%-8s %-6s %9d %9d %6.1f%% %10.2f %10.2f %11.2f\n",
+				res.Scenario, res.Estimator, res.Produced, res.Consumed,
+				100*res.DropRatio, res.MeanIntervalMs, res.JitterMs, res.ConvergenceS)
+		}
+	}
+
+	if *jsonOut != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal("marshal: %v", err)
+		}
+		if err := os.WriteFile(*jsonOut, append(buf, '\n'), 0o644); err != nil {
+			fatal("write %s: %v", *jsonOut, err)
+		}
+		fmt.Printf("\nwrote %s\n", *jsonOut)
+	}
+
+	if *check != "" {
+		if !runCheck(rep, *check, *tolerance, *seconds, *seed) {
+			os.Exit(1)
+		}
+	}
+}
+
+// runCheck validates the fresh matrix against the pinned report plus the
+// headline AIMD-vs-raw invariant. Cells below the bar are re-measured up
+// to twice and judged on their best attempt.
+func runCheck(rep Report, path string, tol, seconds float64, seed uint64) bool {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		fatal("read %s: %v", path, err)
+	}
+	var pinned Report
+	if err := json.Unmarshal(buf, &pinned); err != nil {
+		fatal("parse %s: %v", path, err)
+	}
+	baseline := make(map[string]Result, len(pinned.Results))
+	for _, r := range pinned.Results {
+		baseline[r.Scenario+"/"+r.Estimator] = r
+	}
+
+	ok := true
+	fresh := make(map[string]Result, len(rep.Results))
+	for _, r := range rep.Results {
+		k := r.Scenario + "/" + r.Estimator
+		want, have := baseline[k]
+		if have {
+			// Absolute floors keep near-zero pins (steady-state jitter is
+			// fractions of a millisecond) from demanding exact reproduction.
+			bars := [3]float64{
+				want.JitterMs*(1+tol) + 0.5,
+				want.DropRatio + 0.02,
+				want.ConvergenceS*(1+tol) + 0.5,
+			}
+			below := func(r Result) bool {
+				return r.JitterMs > bars[0] || r.DropRatio > bars[1] || r.ConvergenceS > bars[2]
+			}
+			for retry := 0; retry < 2 && below(r); retry++ {
+				again := measure(r.Scenario, r.Estimator, seconds, seed)
+				if again.JitterMs < r.JitterMs {
+					r.JitterMs = again.JitterMs
+				}
+				if again.DropRatio < r.DropRatio {
+					r.DropRatio = again.DropRatio
+				}
+				if again.ConvergenceS < r.ConvergenceS {
+					r.ConvergenceS = again.ConvergenceS
+				}
+			}
+			if below(r) {
+				ok = false
+				fmt.Fprintf(os.Stderr,
+					"REGRESSION %s: jitter %.2fms (bar %.2f), drop %.3f (bar %.3f), converge %.2fs (bar %.2f)\n",
+					k, r.JitterMs, bars[0], r.DropRatio, bars[1], r.ConvergenceS, bars[2])
+			}
+		}
+		fresh[k] = r
+	}
+
+	// The headline claim the estimator exists for: under the jittery
+	// consumer, AIMD damping buys at least 2x lower source-rate jitter
+	// without costing drops.
+	raw, aimd := fresh["jitter/raw"], fresh["jitter/aimd"]
+	if raw.Produced > 0 && aimd.Produced > 0 {
+		if aimd.JitterMs*2 > raw.JitterMs {
+			ok = false
+			fmt.Fprintf(os.Stderr, "INVARIANT jitter/aimd jitter %.2fms not 2x below jitter/raw %.2fms\n",
+				aimd.JitterMs, raw.JitterMs)
+		}
+		if aimd.DropRatio > raw.DropRatio+0.02 {
+			ok = false
+			fmt.Fprintf(os.Stderr, "INVARIANT jitter/aimd drop ratio %.3f worse than jitter/raw %.3f\n",
+				aimd.DropRatio, raw.DropRatio)
+		}
+	}
+	if ok {
+		fmt.Printf("check against %s passed (tolerance %.0f%%)\n", path, tol*100)
+	}
+	return ok
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "aru: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// xorshift64 is the seeded jitter source: deterministic, dependency-free,
+// and plenty uniform for a load shape.
+func xorshift64(s *uint64) uint64 {
+	x := *s
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*s = x
+	return x
+}
+
+// consumerPeriod yields the consumer's compute period for one iteration
+// of the given load shape.
+func consumerPeriod(scenario string, rng *uint64, now, total time.Duration) time.Duration {
+	switch scenario {
+	case "steady":
+		return bottleneck
+	case "jitter":
+		// Uniform on [bottleneck-amp, bottleneck+amp].
+		span := 2 * int64(jitterAmp)
+		return bottleneck - jitterAmp + time.Duration(int64(xorshift64(rng)%uint64(span)))
+	case "step":
+		// Bottleneck for the first half, twice that for the second: the
+		// estimator must track a structural slowdown, not smooth it away.
+		if now < total/2 {
+			return bottleneck
+		}
+		return 2 * bottleneck
+	default:
+		fatal("unknown scenario %q", scenario)
+		return 0
+	}
+}
+
+// measure runs one cell: src -> channel -> consumer on the virtual
+// clock, the source paced purely by feedback, and derives the cell's
+// statistics from the source's put timestamps.
+func measure(scenario, estimator string, seconds float64, seed uint64) Result {
+	total := time.Duration(seconds * float64(time.Second))
+	clk := clock.NewVirtual()
+	policy := core.PolicyMin()
+	switch estimator {
+	case "raw":
+	case "aimd":
+		policy = policy.WithEstimator(core.AIMDFactory(core.DefaultAIMDConfig()))
+	default:
+		fatal("unknown estimator %q", estimator)
+	}
+	run := rt.New(rt.Options{Clock: clk, ARU: policy})
+	ch := run.MustAddChannel("C", 0)
+
+	var putTimes []time.Duration
+	var consumed int64
+	src := run.MustAddThread("src", 0, func(ctx *rt.Ctx) error {
+		out := ctx.Outs()[0]
+		var ts vt.Timestamp
+		for !ctx.Stopped() {
+			ts++
+			ctx.Compute(2 * time.Millisecond)
+			if err := ctx.Put(out, ts, nil, 64); err != nil {
+				return err
+			}
+			putTimes = append(putTimes, clk.Now())
+			ctx.Sync()
+		}
+		return nil
+	})
+	cons := run.MustAddThread("cons", 0, func(ctx *rt.Ctx) error {
+		in := ctx.Ins()[0]
+		rng := seed
+		for {
+			if _, err := ctx.GetLatest(in); err != nil {
+				return err
+			}
+			consumed++
+			ctx.Compute(consumerPeriod(scenario, &rng, clk.Now(), total))
+			ctx.Sync()
+		}
+	})
+	src.MustOutput(ch)
+	cons.MustInput(ch)
+	if err := run.RunFor(total); err != nil {
+		fatal("%s/%s: %v", scenario, estimator, err)
+	}
+
+	res := Result{
+		Scenario:  scenario,
+		Estimator: estimator,
+		Produced:  int64(len(putTimes)),
+		Consumed:  consumed,
+	}
+	if res.Produced > 0 {
+		res.DropRatio = 1 - float64(res.Consumed)/float64(res.Produced)
+	}
+	intervals, starts := intervalsOf(putTimes)
+	if len(intervals) == 0 {
+		return res
+	}
+
+	// Steady-state statistics over the second half of the run: past any
+	// cold-start transient, and for the step shape entirely inside the
+	// post-step regime, so its convergence number measures how fast the
+	// pacing tracked the structural slowdown.
+	warmup := total / 2
+	var steady []float64
+	for i, at := range starts {
+		if at >= warmup {
+			steady = append(steady, intervals[i])
+		}
+	}
+	if len(steady) == 0 {
+		steady = intervals
+	}
+	mean, std := meanStd(steady)
+	res.MeanIntervalMs = mean / float64(time.Millisecond)
+	res.JitterMs = std / float64(time.Millisecond)
+	res.ConvergenceS = convergence(intervals, starts, mean, total).Seconds()
+	return res
+}
+
+// intervalsOf converts put timestamps to (interval, interval-start)
+// pairs, in clock units.
+func intervalsOf(times []time.Duration) (intervals []float64, starts []time.Duration) {
+	for i := 1; i < len(times); i++ {
+		intervals = append(intervals, float64(times[i]-times[i-1]))
+		starts = append(starts, times[i-1])
+	}
+	return intervals, starts
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(std / float64(len(xs)))
+}
+
+// convergence finds when the paced interval settled: the start time of
+// the first 8-interval window whose rolling mean is within 10% of the
+// steady mean and stays within 25% for every later window. If pacing
+// never settles the full run length is reported — raw propagation under
+// heavy jitter legitimately never converges by this definition.
+func convergence(intervals []float64, starts []time.Duration, steadyMean float64, total time.Duration) time.Duration {
+	const w = 8
+	if len(intervals) < w || steadyMean <= 0 {
+		return total
+	}
+	roll := make([]float64, 0, len(intervals)-w+1)
+	sum := 0.0
+	for i, x := range intervals {
+		sum += x
+		if i >= w {
+			sum -= intervals[i-w]
+		}
+		if i >= w-1 {
+			roll = append(roll, sum/w)
+		}
+	}
+	// lastBad[i]: does any window at or after i leave the wide band?
+	bad := len(roll) // index of the last window violating the wide band, +1
+	for i := len(roll) - 1; i >= 0; i-- {
+		if math.Abs(roll[i]-steadyMean) > 0.25*steadyMean {
+			break
+		}
+		bad = i
+	}
+	for i := bad; i < len(roll); i++ {
+		if math.Abs(roll[i]-steadyMean) <= 0.10*steadyMean {
+			return starts[i]
+		}
+	}
+	return total
+}

@@ -4,10 +4,18 @@
 // yields for a given backwardSTP vector and how node A's summary evolves
 // as its own current-STP changes.
 //
+// With -shape it instead runs the estimator pipeline in the time domain:
+// a synthetic feedback signal (stepped or jittery) is fed tick by tick
+// through the chosen estimator on a manual clock, printing how the
+// trendline classifies the signal and how the AIMD controller moves the
+// pacing target.
+//
 // Usage:
 //
 //	go run ./cmd/stpsim                              # the paper's vector
 //	go run ./cmd/stpsim -vec 100,200,300 -current 250
+//	go run ./cmd/stpsim -shape jitter -estimator aimd -ticks 40
+//	go run ./cmd/stpsim -shape step -estimator raw
 package main
 
 import (
@@ -18,16 +26,26 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/graph"
 )
 
 func main() {
 	var (
-		vecFlag = flag.String("vec", "337,139,273,544,420", "summary-STPs (ms) reported by the downstream nodes")
-		current = flag.Int("current", 0, "node A's own current-STP in ms (0 = none)")
+		vecFlag   = flag.String("vec", "337,139,273,544,420", "summary-STPs (ms) reported by the downstream nodes")
+		current   = flag.Int("current", 0, "node A's own current-STP in ms (0 = none)")
+		shape     = flag.String("shape", "", "time-domain feedback shape: step or jitter (empty = vector propagation mode)")
+		estimator = flag.String("estimator", "aimd", "estimator to drive in -shape mode: raw or aimd")
+		ticks     = flag.Int("ticks", 40, "feedback ticks to simulate in -shape mode")
+		seed      = flag.Uint64("seed", 1719, "jitter PRNG seed in -shape mode")
 	)
 	flag.Parse()
+
+	if *shape != "" {
+		simulate(*shape, *estimator, *ticks, *seed)
+		return
+	}
 
 	var stps []core.STP
 	for _, s := range strings.Split(*vecFlag, ",") {
@@ -77,4 +95,57 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// simulate drives one estimator with a synthetic feedback signal on a
+// manual clock, one 100ms tick per feedback sample, and prints the
+// pipeline's internal view at each tick.
+func simulate(shape, estimator string, ticks int, seed uint64) {
+	var est core.Estimator
+	switch estimator {
+	case "raw":
+		est = core.NewRawEstimator()
+	case "aimd":
+		est = core.NewAIMDEstimator(core.DefaultAIMDConfig())
+	default:
+		fmt.Fprintf(os.Stderr, "stpsim: unknown estimator %q\n", estimator)
+		os.Exit(2)
+	}
+	base := 50 * time.Millisecond
+	sample := func(i int) core.STP {
+		switch shape {
+		case "step":
+			// A structural 4x slowdown at the half-way mark.
+			if i < ticks/2 {
+				return core.STP(base)
+			}
+			return core.STP(4 * base)
+		case "jitter":
+			// Uniform ±60% around the base period.
+			seed ^= seed << 13
+			seed ^= seed >> 7
+			seed ^= seed << 17
+			span := uint64(2 * base * 6 / 10)
+			return core.STP(base - base*6/10 + time.Duration(seed%span))
+		default:
+			fmt.Fprintf(os.Stderr, "stpsim: unknown shape %q\n", shape)
+			os.Exit(2)
+			return core.Unknown
+		}
+	}
+
+	clk := clock.NewManual()
+	fmt.Printf("estimator %s on the %s shape, %d ticks of feedback every 100ms:\n\n", est.Name(), shape, ticks)
+	fmt.Printf("%5s %12s %12s %12s %10s %9s\n", "tick", "feedback", "target", "estimate", "trend", "phase")
+	for i := 0; i < ticks; i++ {
+		clk.Advance(100 * time.Millisecond)
+		raw := sample(i)
+		est.Observe(clk.Now(), graph.ConnID(1), raw, raw)
+		st := est.State(clk.Now())
+		fmt.Printf("%5d %12v %12v %12v %10s %9s\n",
+			i, raw, est.Target(clk.Now(), raw), st.Estimate, st.Trend, st.Phase)
+	}
+	backoffs := est.State(clk.Now()).Backoffs
+	speedups := est.State(clk.Now()).Speedups
+	fmt.Printf("\n%d multiplicative back-offs, %d additive speed-ups\n", backoffs, speedups)
 }

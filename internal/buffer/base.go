@@ -124,7 +124,7 @@ func (b *Base) Init(cfg Config, occupied func() int) {
 	b.notFull = sync.NewCond(&b.Mu)
 	b.occupied = occupied
 	if reg := cfg.Metrics; reg != nil {
-		ls := metrics.Labels{"buffer": cfg.Name}
+		ls := cfg.MetricLabels()
 		b.mPuts = reg.Counter(MetricPuts, "Items inserted into the buffer.", ls)
 		b.mFrees = reg.Counter(MetricFrees, "Items reclaimed by the collector (or drained).", ls)
 		b.mItemsHW = reg.Gauge(MetricItemsHW, "High-water mark of live items.", ls)

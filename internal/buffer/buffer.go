@@ -218,6 +218,10 @@ type RemoteTuning struct {
 type Config struct {
 	// Name is the buffer's system-wide unique name.
 	Name string
+	// Tenant optionally names the tenant/pipeline the buffer belongs to;
+	// when set, every metric instrument carries it as a `tenant` label so
+	// multi-tenant runs sharing one registry stay distinguishable.
+	Tenant string
 	// Node is the buffer's task-graph identity.
 	Node graph.NodeID
 	// Clock supplies event times; nil means a real clock.
@@ -253,6 +257,18 @@ type Config struct {
 	// shares one pool across all its buffers so the steady-state
 	// put→free cycle reuses Item allocations. Nil disables recycling.
 	Pool *ItemPool
+}
+
+// MetricLabels returns the label set a backend's instruments must carry:
+// the buffer name, plus the tenant tag when one is configured. Every
+// backend registers through this helper so the tenant dimension is
+// uniform across families.
+func (c Config) MetricLabels() metrics.Labels {
+	ls := metrics.Labels{"buffer": c.Name}
+	if c.Tenant != "" {
+		ls["tenant"] = c.Tenant
+	}
+	return ls
 }
 
 // HighWaterer is implemented by backends that track occupancy

@@ -241,6 +241,18 @@ type Policy struct {
 	// NewFilter optionally smooths incoming summary-STP values
 	// (reproduction extension; nil reproduces the paper).
 	NewFilter FilterFactory
+	// EstimatorFactory optionally plugs an estimator stage between the
+	// compressed feedback and the pacing throttle of every thread node
+	// (reproduction extension, DESIGN.md §4h; nil reproduces the paper:
+	// threads pace to the raw summary-STP).
+	EstimatorFactory EstimatorFactory
+}
+
+// WithEstimator returns a copy of the policy with the estimator stage
+// plugged in.
+func (p Policy) WithEstimator(f EstimatorFactory) Policy {
+	p.EstimatorFactory = f
+	return p
 }
 
 // PolicyOff returns the No-ARU baseline policy.
@@ -291,6 +303,13 @@ type NodeState struct {
 	clk       clock.Clock
 	staleTTL  time.Duration
 	summaryAt time.Duration // clk reading at the last SetSummary
+
+	// Estimator stage (thread nodes under an estimator-bearing policy
+	// only). est is set once at construction and never mutated, so the
+	// nil check on the hot path needs no lock; estClk stamps
+	// observations and target reads.
+	est    Estimator
+	estClk clock.Clock
 }
 
 // Node returns the underlying graph node.
@@ -324,9 +343,14 @@ func (n *NodeState) applySummary(compressed STP) {
 // ReceiveSummary folds a summary-STP received on an output connection and
 // refreshes the node's own summary. This is the piggyback hot path: one
 // lock hop on the vector (update + cached fold) and one on the node
-// state, no allocations.
+// state, no allocations, plus one estimator observation when the stage
+// is plugged in (a single predictable branch when it is not).
 func (n *NodeState) ReceiveSummary(conn graph.ConnID, s STP) {
-	n.applySummary(n.vec.UpdateAndCompress(conn, s, n.comp))
+	compressed := n.vec.UpdateAndCompress(conn, s, n.comp)
+	if n.est != nil {
+		n.est.Observe(n.estClk.Now(), conn, s, compressed)
+	}
+	n.applySummary(compressed)
 }
 
 // RefreshSummary re-derives the node's summary-STP from its vector's
@@ -361,6 +385,23 @@ func (n *NodeState) Summary() STP {
 	defer n.mu.Unlock()
 	return n.decayedLocked()
 }
+
+// Target returns the period the node's thread should pace to: the raw
+// summary-STP under raw propagation (the paper's signal), or the
+// estimator's damped target when the stage is plugged in. Estimators
+// receive the raw summary as fallback so cold or expired estimates
+// degrade to exactly the paper's behaviour.
+func (n *NodeState) Target() STP {
+	s := n.Summary()
+	if n.est == nil {
+		return s
+	}
+	return n.est.Target(n.estClk.Now(), s)
+}
+
+// Estimator returns the node's estimator stage (nil under raw
+// propagation).
+func (n *NodeState) Estimator() Estimator { return n.est }
 
 // decayedLocked applies the staleness decay to the stored summary.
 func (n *NodeState) decayedLocked() STP {
@@ -440,10 +481,23 @@ type Controller struct {
 
 // NewController builds per-node state for the whole graph under the given
 // policy. It is valid (and cheap) to build a controller for a disabled
-// policy; its methods become no-ops that report Unknown.
+// policy; its methods become no-ops that report Unknown. An
+// estimator-bearing policy timestamps observations on the real clock;
+// use NewControllerOn to supply a test or virtual clock.
 func NewController(g *graph.Graph, p Policy) *Controller {
+	return NewControllerOn(g, p, nil)
+}
+
+// NewControllerOn is NewController with an explicit clock for the
+// estimator stage (nil falls back to the real clock). The runtime passes
+// its own clock so estimators see manual/virtual time in tests and
+// simulations.
+func NewControllerOn(g *graph.Graph, p Policy, clk clock.Clock) *Controller {
 	if p.Compressor == nil {
 		p.Compressor = Min
+	}
+	if p.EstimatorFactory != nil && clk == nil {
+		clk = clock.NewReal()
 	}
 	c := &Controller{g: g, policy: p, states: make([]*NodeState, g.NumNodes())}
 	g.Nodes(func(n *graph.Node) {
@@ -451,11 +505,19 @@ func NewController(g *graph.Graph, p Policy) *Controller {
 		if over, ok := p.PerNode[n.Name]; ok && over != nil {
 			comp = over
 		}
-		c.states[n.ID] = &NodeState{
+		st := &NodeState{
 			node: n,
 			comp: comp,
 			vec:  NewBackwardVec(n.Out, p.NewFilter),
 		}
+		// The estimator stage shapes pacing, and only threads pace:
+		// buffer nodes keep raw folds so the propagated vector is
+		// byte-identical to the paper's regardless of backend.
+		if p.EstimatorFactory != nil && n.Kind == graph.KindThread {
+			st.est = p.EstimatorFactory()
+			st.estClk = clk
+		}
+		c.states[n.ID] = st
 	})
 	return c
 }
@@ -563,6 +625,12 @@ func (c *Controller) FadeNode(id graph.NodeID) {
 	st.current = Unknown
 	st.summary = Unknown
 	st.mu.Unlock()
+	if st.est != nil {
+		// A dead node's estimation history must die with it: were the
+		// node restarted, a damped target learned from the old incarnation
+		// would pace the new one to a ghost.
+		st.est.Reset()
+	}
 }
 
 // ConsumerSummary returns the summary-STP of the thread consuming over
@@ -576,12 +644,25 @@ func (c *Controller) ConsumerSummary(conn graph.ConnID) STP {
 }
 
 // TargetPeriod returns the period a thread should pace itself to: its own
-// summary-STP. Unknown (or a disabled policy) means "run free".
+// summary-STP under raw propagation, or the estimator's damped target
+// when the pipeline's estimator stage is plugged in. Unknown (or a
+// disabled policy) means "run free".
 func (c *Controller) TargetPeriod(id graph.NodeID) STP {
 	if !c.policy.Enabled {
 		return Unknown
 	}
-	return c.states[id].Summary()
+	return c.states[id].Target()
+}
+
+// EstimatorState reports the estimator stage's observable state for a
+// node, and whether the node has one (thread nodes under an
+// estimator-bearing policy).
+func (c *Controller) EstimatorState(id graph.NodeID) (EstimatorState, bool) {
+	st := c.states[id]
+	if st == nil || st.est == nil {
+		return EstimatorState{}, false
+	}
+	return st.est.State(st.estClk.Now()), true
 }
 
 // Meter measures a thread's current-STP across loop iterations: the

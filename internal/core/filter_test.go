@@ -3,6 +3,8 @@ package core
 import (
 	"testing"
 	"time"
+
+	"repro/internal/graph"
 )
 
 func TestNopFilter(t *testing.T) {
@@ -122,5 +124,74 @@ func TestMedianFilterSlidesWindow(t *testing.T) {
 	// Window is now {30,40,50} → median 40.
 	if got := f.Apply(Unknown); got != stpMs(40) {
 		t.Fatalf("sliding median = %v, want 40ms", got)
+	}
+}
+
+// TestFilterColdStartAsymmetry pins the Unknown-handling contract across
+// every shipped filter with Unknown→known→Unknown sequences: an Unknown
+// sample before any known one yields Unknown (not a poisoned zero), a
+// known sample then initializes the smoothed value, and later Unknowns
+// return the held value without perturbing subsequent smoothing.
+func TestFilterColdStartAsymmetry(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func() Filter
+	}{
+		{"nop", NewNopFilter},
+		{"ewma", func() Filter { return NewEWMAFilter(0.5) }},
+		{"median", func() Filter { return NewMedianFilter(3) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := tc.mk()
+			// Cold Unknown: no known sample exists, so the smoothed value
+			// must still read Unknown — never a fabricated period.
+			for i := 0; i < 3; i++ {
+				if got := f.Apply(Unknown); got.Known() {
+					t.Fatalf("cold Apply(Unknown) #%d = %v, want Unknown", i, got)
+				}
+			}
+			// First known sample initializes (every shipped filter passes
+			// the first known sample through).
+			if got := f.Apply(stpMs(100)); got != stpMs(100) {
+				t.Fatalf("first known sample = %v, want 100ms", got)
+			}
+			// Unknown after initialization holds the smoothed value.
+			held := f.Apply(Unknown)
+			if tc.name == "nop" {
+				// The identity filter has no state to hold by design.
+				if held.Known() {
+					t.Fatalf("nop Apply(Unknown) = %v, want Unknown", held)
+				}
+			} else if held != stpMs(100) {
+				t.Fatalf("Apply(Unknown) after init = %v, want held 100ms", held)
+			}
+			// And the Unknown must not have shifted the smoothing state:
+			// the next known sample sees exactly the pre-Unknown state.
+			ref := tc.mk()
+			ref.Apply(stpMs(100))
+			if got, want := f.Apply(stpMs(200)), ref.Apply(stpMs(200)); got != want {
+				t.Fatalf("post-Unknown smoothing diverged: %v, want %v", got, want)
+			}
+		})
+	}
+}
+
+// TestFilterUnknownNeverPoisonsInVector drives the same contract through
+// a BackwardVec slot: a consumer whose feedback lapses to Unknown must
+// not drag a filtered slot to zero and poison the compressed fold.
+func TestFilterUnknownNeverPoisonsInVector(t *testing.T) {
+	conns := []graph.ConnID{1, 2}
+	v := NewBackwardVec(conns, func() Filter { return NewEWMAFilter(0.5) })
+	v.Update(1, stpMs(100))
+	v.Update(2, stpMs(200))
+	if got := v.Compressed(Min); got != stpMs(100) {
+		t.Fatalf("compressed = %v, want 100ms", got)
+	}
+	// Slot 1's feedback lapses: the filter holds 100ms, so min is
+	// unchanged rather than collapsing to Unknown/zero.
+	v.Update(1, Unknown)
+	if got := v.Compressed(Min); got != stpMs(100) {
+		t.Fatalf("compressed after Unknown = %v, want 100ms held", got)
 	}
 }

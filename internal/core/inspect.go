@@ -24,6 +24,9 @@ type NodeSnapshot struct {
 	Summary STP
 	// Vector lists the backwardSTP slots in connection order.
 	Vector []STP
+	// Estimator is the node's estimator-stage state, nil under raw
+	// propagation (no estimator plugged in).
+	Estimator *EstimatorState
 }
 
 // Snapshot captures the whole controller's state, ordered by node id. It
@@ -36,7 +39,7 @@ func (c *Controller) Snapshot() []NodeSnapshot {
 		if st == nil {
 			continue
 		}
-		out = append(out, NodeSnapshot{
+		snap := NodeSnapshot{
 			Node:       st.node.ID,
 			Name:       st.node.Name,
 			Kind:       st.node.Kind,
@@ -45,7 +48,12 @@ func (c *Controller) Snapshot() []NodeSnapshot {
 			Compressed: st.vec.Compressed(st.comp),
 			Summary:    st.Summary(),
 			Vector:     st.vec.Snapshot(),
-		})
+		}
+		if st.est != nil {
+			es := st.est.State(st.estClk.Now())
+			snap.Estimator = &es
+		}
+		out = append(out, snap)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
 	return out

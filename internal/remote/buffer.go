@@ -92,7 +92,7 @@ func NewEndpoint(cfg buffer.Config) (*Endpoint, error) {
 		consumers: make(map[graph.ConnID]*Consumer),
 	}
 	if reg := cfg.Metrics; reg != nil {
-		ls := metrics.Labels{"buffer": cfg.Name}
+		ls := cfg.MetricLabels()
 		e.mRTT = reg.Histogram(MetricRTT, "Round-trip latency of remote puts.", nil, ls)
 		e.wire = WireInstruments{
 			Redials:    reg.Counter(MetricRedials, "Backoff redial cycles after wire faults.", ls),

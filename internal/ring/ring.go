@@ -165,7 +165,7 @@ func New(cfg buffer.Config) (*Ring, error) {
 	r.notEmpty = sync.NewCond(&r.mu)
 	r.notFull = sync.NewCond(&r.mu)
 	if reg := cfg.Metrics; reg != nil {
-		ls := metrics.Labels{"buffer": cfg.Name}
+		ls := cfg.MetricLabels()
 		r.mPuts = reg.Counter(buffer.MetricPuts, "Items inserted into the buffer.", ls)
 		r.mFrees = reg.Counter(buffer.MetricFrees, "Items reclaimed by the collector (or drained).", ls)
 		r.mItemsHW = reg.Gauge(buffer.MetricItemsHW, "High-water mark of live items.", ls)

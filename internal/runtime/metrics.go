@@ -37,6 +37,14 @@ const (
 	MetricHeartbeatAge  = "aru_thread_heartbeat_age_seconds"
 	MetricThreadStalled = "aru_thread_stalled"
 
+	// Estimator-stage gauges (thread nodes under an estimator-bearing
+	// policy only; see DESIGN.md §4h).
+	MetricNodeTarget      = "aru_node_target_stp_seconds"
+	MetricNodeEstimate    = "aru_node_estimated_stp_seconds"
+	MetricNodeTrend       = "aru_node_trend_state"
+	MetricNodePhase       = "aru_node_aimd_phase"
+	MetricNodeFeedbackItv = "aru_node_feedback_interval_seconds"
+
 	// Event-incremented counters and histograms.
 	MetricGets          = "aru_buffer_gets_total"
 	MetricGetBlocked    = "aru_buffer_get_blocked_seconds"
@@ -49,6 +57,8 @@ const (
 	MetricPanics        = "aru_thread_panics_total"
 	MetricFailures      = "aru_thread_failures_total"
 	MetricStallEpisodes = "aru_thread_stall_episodes_total"
+	MetricNodeBackoffs  = "aru_node_aimd_backoffs_total"
+	MetricNodeSpeedups  = "aru_node_aimd_speedups_total"
 )
 
 // threadInstruments holds one thread's live handles. The zero value
@@ -77,6 +87,22 @@ type nodeInstruments struct {
 	// wasDegraded is the transition edge detector; atomic because
 	// concurrent Snapshot calls may publish at once.
 	wasDegraded atomic.Bool
+
+	// Estimator-stage instruments (thread nodes under an
+	// estimator-bearing policy only; all nil otherwise). The estimator
+	// reports lifetime back-off/speed-up totals, so the published
+	// counters advance by the diff against the last published total —
+	// the atomic Swap makes concurrent publishes settle on exactly one
+	// increment per actuation (the wasDegraded idiom, for counts).
+	target      *metrics.Gauge
+	estimate    *metrics.Gauge
+	trend       *metrics.Gauge
+	phase       *metrics.Gauge
+	feedbackItv *metrics.Gauge
+	backoffs    *metrics.Counter
+	speedups    *metrics.Counter
+	lastBack    atomic.Uint64
+	lastSpeed   atomic.Uint64
 }
 
 // bufferInstruments holds one buffer's sampler-refreshed occupancy
@@ -84,6 +110,17 @@ type nodeInstruments struct {
 type bufferInstruments struct {
 	items *metrics.Gauge
 	bytes *metrics.Gauge
+}
+
+// tenantLabels builds a label set, appending the tenant dimension when
+// the tag is non-empty so untagged runs keep their exact historical
+// label sets.
+func tenantLabels(key, name, tenant string) metrics.Labels {
+	ls := metrics.Labels{key: name}
+	if tenant != "" {
+		ls["tenant"] = tenant
+	}
+	return ls
 }
 
 // registerInstrumentsLocked resolves every runtime-level handle against
@@ -97,16 +134,35 @@ func (rt *Runtime) registerInstrumentsLocked() {
 	rt.nodeInst = make(map[graph.NodeID]*nodeInstruments)
 	rt.bufInst = make(map[graph.NodeID]*bufferInstruments)
 	rt.threadByName = make(map[string]*Thread, len(rt.threads))
+	// Tenant tags per node: buffers carry theirs on the ref, threads on
+	// the Thread. Node-level families inherit the owning entity's tag.
+	tenants := make(map[graph.NodeID]string)
+	for id, ref := range rt.refs {
+		tenants[id] = ref.tenant
+	}
+	for _, t := range rt.threads {
+		tenants[t.id] = t.tenant
+	}
+	estOn := rt.opts.ARU.EstimatorFactory != nil
 	rt.g.Nodes(func(n *graph.Node) {
-		nls := metrics.Labels{"node": n.Name}
+		nls := tenantLabels("node", n.Name, tenants[n.ID])
 		ni := &nodeInstruments{
 			current:    reg.DurationGauge(MetricNodeCurrent, "Last measured current-STP of the node (NaN: unknown).", nls),
 			compressed: reg.DurationGauge(MetricNodeComp, "Compressed backwardSTP of the node (NaN: unknown).", nls),
 			summary:    reg.DurationGauge(MetricNodeSummary, "Propagated summary-STP of the node (NaN: unknown).", nls),
 		}
 		rt.nodeInst[n.ID] = ni
+		if estOn && n.Kind == graph.KindThread {
+			ni.target = reg.DurationGauge(MetricNodeTarget, "Estimator pacing target the node's thread throttles to (NaN: unknown).", nls)
+			ni.estimate = reg.DurationGauge(MetricNodeEstimate, "Sliding-window estimate of the node's feedback signal (NaN: unknown).", nls)
+			ni.trend = reg.Gauge(MetricNodeTrend, "Backlog trend classification: -1 underuse, 0 hold, 1 overuse.", nls)
+			ni.phase = reg.Gauge(MetricNodePhase, "AIMD actuation phase: -1 backoff, 0 hold, 1 speedup.", nls)
+			ni.feedbackItv = reg.DurationGauge(MetricNodeFeedbackItv, "Mean interval between feedback samples in the estimator window.", nls)
+			ni.backoffs = reg.Counter(MetricNodeBackoffs, "Multiplicative back-offs applied by the node's rate controller.", nls)
+			ni.speedups = reg.Counter(MetricNodeSpeedups, "Additive speed-ups applied by the node's rate controller.", nls)
+		}
 		if _, isBuf := rt.buffers[n.ID]; isBuf {
-			bls := metrics.Labels{"buffer": n.Name}
+			bls := tenantLabels("buffer", n.Name, tenants[n.ID])
 			ni.degraded = reg.Gauge(MetricNodeDegraded, "1 while the node's remote feedback is stale (degraded).", nls)
 			ni.degradedT = reg.Counter(MetricNodeDegradedT, "Fresh→stale transitions of the node's remote feedback.", nls)
 			rt.bufInst[n.ID] = &bufferInstruments{
@@ -116,7 +172,7 @@ func (rt *Runtime) registerInstrumentsLocked() {
 		}
 	})
 	for _, t := range rt.threads {
-		tls := metrics.Labels{"thread": t.name}
+		tls := tenantLabels("thread", t.name, t.tenant)
 		t.tm = threadInstruments{
 			iterations:    reg.Counter(MetricIterations, "Completed Sync iterations.", tls),
 			throttleSleep: reg.DurationCounter(MetricThrottleSleep, "Time the source throttle slept to match the summary-STP.", tls),
@@ -124,19 +180,19 @@ func (rt *Runtime) registerInstrumentsLocked() {
 			panics:        reg.Counter(MetricPanics, "Panics recovered from the thread body.", tls),
 			failures:      reg.Counter(MetricFailures, "Permanent failures (restart budget exhausted or RestartNever).", tls),
 			stallEpisodes: reg.Counter(MetricStallEpisodes, "Stall episodes flagged by the watchdog.", tls),
-			faded:         reg.Counter(MetricNodeFaded, "Times the controller faded this node's feedback on permanent failure.", metrics.Labels{"node": t.name}),
+			faded:         reg.Counter(MetricNodeFaded, "Times the controller faded this node's feedback on permanent failure.", tenantLabels("node", t.name, t.tenant)),
 			heartbeatAge:  reg.DurationGauge(MetricHeartbeatAge, "Age of the thread's last heartbeat (sampled).", tls),
 			stalled:       reg.Gauge(MetricThreadStalled, "1 while the stall watchdog flags the thread.", tls),
 		}
 		rt.threadByName[t.name] = t
 		for _, p := range t.ins {
-			ls := metrics.Labels{"buffer": p.ref.name}
+			ls := tenantLabels("buffer", p.ref.name, p.ref.tenant)
 			p.mGets = reg.Counter(MetricGets, "Items consumed from the buffer.", ls)
 			p.mGetBlocked = reg.Histogram(MetricGetBlocked, "Time consumers spent blocked in gets.", nil, ls)
 			p.mPeerFailed = reg.Counter(MetricPeerFailed, "Operations woken by total peer failure (ErrPeerFailed).", ls)
 		}
 		for _, p := range t.outs {
-			p.mPeerFailed = reg.Counter(MetricPeerFailed, "Operations woken by total peer failure (ErrPeerFailed).", metrics.Labels{"buffer": p.ref.name})
+			p.mPeerFailed = reg.Counter(MetricPeerFailed, "Operations woken by total peer failure (ErrPeerFailed).", tenantLabels("buffer", p.ref.name, p.ref.tenant))
 		}
 	}
 }
@@ -217,6 +273,24 @@ func (rt *Runtime) publish(snap Snapshot) {
 		setSTPGauge(ni.current, ns.Current)
 		setSTPGauge(ni.compressed, ns.Compressed)
 		setSTPGauge(ni.summary, ns.Summary)
+		if ni.target != nil && ns.Estimator != nil {
+			es := ns.Estimator
+			setSTPGauge(ni.target, es.Target)
+			setSTPGauge(ni.estimate, es.Estimate)
+			ni.trend.Set(int64(es.Trend))
+			ni.phase.Set(int64(es.Phase))
+			ni.feedbackItv.SetDuration(es.FeedbackInterval)
+			// Publish the lifetime totals as counter increments; the Swap
+			// hands each delta to exactly one publisher, and a stale
+			// snapshot racing a fresher one yields a wrapped (huge) delta
+			// that is simply skipped.
+			if d := es.Backoffs - ni.lastBack.Swap(es.Backoffs); d > 0 && d < 1<<62 {
+				ni.backoffs.Add(int64(d))
+			}
+			if d := es.Speedups - ni.lastSpeed.Swap(es.Speedups); d > 0 && d < 1<<62 {
+				ni.speedups.Add(int64(d))
+			}
+		}
 		if ni.degraded != nil {
 			ni.degraded.SetBool(ns.Degraded)
 			if ns.Degraded {

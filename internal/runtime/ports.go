@@ -25,6 +25,7 @@ type BufferRef struct {
 	addr       string
 	remoteName string
 	remote     buffer.RemoteTuning
+	tenant     string
 }
 
 // ChannelRef names a declared channel during graph construction.
@@ -50,6 +51,9 @@ func (b *BufferRef) Backend() string { return b.backend }
 // port misuse surfaces while wiring.
 func (b *BufferRef) Caps() buffer.Caps { return b.caps }
 
+// Tenant returns the buffer's tenant/pipeline label ("" when unset).
+func (b *BufferRef) Tenant() string { return b.tenant }
+
 // BufferOption customizes a buffer declaration.
 type BufferOption func(*BufferRef)
 
@@ -69,6 +73,14 @@ func WithCapacity(n int) BufferOption {
 // WithQueueCapacity bounds the queue's occupancy. It is WithCapacity
 // under its historical name.
 func WithQueueCapacity(n int) BufferOption { return WithCapacity(n) }
+
+// WithTenant tags the buffer with a tenant/pipeline name. The tag rides
+// on every one of the buffer's metric instruments as a `tenant` label,
+// so multi-tenant runs sharing one registry stay distinguishable on
+// /metrics. It has no behavioural effect.
+func WithTenant(name string) BufferOption {
+	return func(b *BufferRef) { b.tenant = name }
+}
 
 // WithRemoteName maps the endpoint to a differently named channel hosted
 // on the remote server (remote backends only); the default is the

@@ -469,6 +469,7 @@ func (rt *Runtime) materializeLocked(n *graph.Node, windows map[graph.ConnID]int
 	host, node := n.Host, n.ID
 	b, err := buffer.New(ref.backend, buffer.Config{
 		Name:       n.Name,
+		Tenant:     ref.tenant,
 		Node:       node,
 		Clock:      rt.clk,
 		Collector:  rt.opts.Collector,
@@ -518,7 +519,10 @@ func (rt *Runtime) Start() error {
 		return err
 	}
 
-	rt.ctrl = core.NewController(rt.g, rt.opts.ARU)
+	// The controller shares the runtime clock so the estimator stage (when
+	// plugged in) timestamps observations in manual/virtual time under
+	// tests and simulations.
+	rt.ctrl = core.NewControllerOn(rt.g, rt.opts.ARU, rt.clk)
 
 	// Sliding-window widths per consumer connection.
 	windows := map[graph.ConnID]int{}
@@ -748,6 +752,10 @@ func (rt *Runtime) writeStatus(w io.Writer, snap Snapshot) {
 			extra := ""
 			if ns.Degraded {
 				extra = "  (degraded)"
+			}
+			if es := ns.Estimator; es != nil {
+				extra += fmt.Sprintf("  %s[target=%s est=%s trend=%s phase=%s backoffs=%d speedups=%d]",
+					es.Name, fmtSTP(es.Target), fmtSTP(es.Estimate), es.Trend, es.Phase, es.Backoffs, es.Speedups)
 			}
 			fmt.Fprintf(w, "%-*s %-8s %-5s %12s %12s %12s  %s%s\n",
 				nw, ns.Name, ns.Kind.String(), ns.Compressor,

@@ -150,6 +150,14 @@ func WithRestartOnFailure(p RestartPolicy) ThreadOption {
 	}
 }
 
+// WithThreadTenant tags the thread with a tenant/pipeline name, carried
+// as a `tenant` label on every one of its metric instruments (the
+// thread-side counterpart of the buffer WithTenant option). It has no
+// behavioural effect.
+func WithThreadTenant(name string) ThreadOption {
+	return func(t *Thread) { t.tenant = name }
+}
+
 // WithStallTTL sets a per-thread heartbeat TTL for the stall watchdog,
 // overriding Options.StallTTL. The watchdog must be enabled (some TTL
 // set) for stall detection to run at all.

@@ -65,11 +65,12 @@ func snapshotItems(rec *trace.Recorder, ids []trace.ItemID) []trace.ItemID {
 
 // Thread is one declared computation thread.
 type Thread struct {
-	rt   *Runtime
-	id   graph.NodeID
-	name string
-	host int
-	body Body
+	rt     *Runtime
+	id     graph.NodeID
+	name   string
+	host   int
+	body   Body
+	tenant string
 
 	ins  []*InPort
 	outs []*OutPort
@@ -105,6 +106,9 @@ func (t *Thread) ID() graph.NodeID { return t.id }
 
 // Name returns the thread's name.
 func (t *Thread) Name() string { return t.name }
+
+// Tenant returns the thread's tenant/pipeline label ("" when unset).
+func (t *Thread) Tenant() string { return t.tenant }
 
 // Host returns the thread's placement.
 func (t *Thread) Host() int { return t.host }
@@ -770,6 +774,10 @@ func (c *Ctx) Sync() {
 	}
 
 	if c.thread.isSource && !c.Stopped() {
+		// TargetPeriod is the thread's summary-STP under raw propagation,
+		// or the estimator stage's damped target when one is plugged in
+		// (Policy.WithEstimator) — the single actuation point of the
+		// control loop either way.
 		target := c.rt.ctrl.TargetPeriod(c.thread.id)
 		slept := c.throttle.Pace(target, fullElapsed)
 		if slept > 0 && c.thread.tm.throttleSleep != nil {

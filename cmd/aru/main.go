@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/core"
+	"repro/internal/rand"
 	rt "repro/internal/runtime"
 	"repro/internal/vt"
 )
@@ -197,27 +198,18 @@ func fatal(format string, args ...any) {
 	os.Exit(1)
 }
 
-// xorshift64 is the seeded jitter source: deterministic, dependency-free,
-// and plenty uniform for a load shape.
-func xorshift64(s *uint64) uint64 {
-	x := *s
-	x ^= x << 13
-	x ^= x >> 7
-	x ^= x << 17
-	*s = x
-	return x
-}
-
 // consumerPeriod yields the consumer's compute period for one iteration
-// of the given load shape.
-func consumerPeriod(scenario string, rng *uint64, now, total time.Duration) time.Duration {
+// of the given load shape. The jitter source is the shared seeded
+// xorshift64 (internal/rand), which reproduces this command's original
+// private stream bit for bit — the BENCH_aru.json pin depends on it.
+func consumerPeriod(scenario string, rng *rand.Rand, now, total time.Duration) time.Duration {
 	switch scenario {
 	case "steady":
 		return bottleneck
 	case "jitter":
 		// Uniform on [bottleneck-amp, bottleneck+amp].
 		span := 2 * int64(jitterAmp)
-		return bottleneck - jitterAmp + time.Duration(int64(xorshift64(rng)%uint64(span)))
+		return bottleneck - jitterAmp + time.Duration(int64(rng.Uint64()%uint64(span)))
 	case "step":
 		// Bottleneck for the first half, twice that for the second: the
 		// estimator must track a structural slowdown, not smooth it away.
@@ -266,13 +258,13 @@ func measure(scenario, estimator string, seconds float64, seed uint64) Result {
 	})
 	cons := run.MustAddThread("cons", 0, func(ctx *rt.Ctx) error {
 		in := ctx.Ins()[0]
-		rng := seed
+		rng := rand.New(seed)
 		for {
 			if _, err := ctx.GetLatest(in); err != nil {
 				return err
 			}
 			consumed++
-			ctx.Compute(consumerPeriod(scenario, &rng, clk.Now(), total))
+			ctx.Compute(consumerPeriod(scenario, rng, clk.Now(), total))
 			ctx.Sync()
 		}
 	})

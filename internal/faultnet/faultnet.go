@@ -23,12 +23,12 @@ package faultnet
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"net"
 	"os"
-	"strconv"
 	"sync"
 	"time"
+
+	"repro/internal/rand"
 )
 
 // ErrInjected reports an I/O failure injected by a faultnet script
@@ -38,12 +38,7 @@ var ErrInjected = errors.New("faultnet: injected fault")
 // Seed returns the chaos seed: the FAULTNET_SEED environment variable
 // when set (CI pins it for reproducible runs), def otherwise.
 func Seed(def int64) int64 {
-	if v := os.Getenv("FAULTNET_SEED"); v != "" {
-		if n, err := strconv.ParseInt(v, 10, 64); err == nil {
-			return n
-		}
-	}
-	return def
+	return rand.EnvSeed("FAULTNET_SEED", def)
 }
 
 // Control is one fault script shared by every connection it wraps. All
@@ -80,7 +75,7 @@ type Control struct {
 // from the given seed.
 func New(seed int64) *Control {
 	return &Control{
-		rng:       rand.New(rand.NewSource(seed)),
+		rng:       rand.New(uint64(seed)),
 		dropRead:  -1,
 		dropWrite: -1,
 		conns:     make(map[*Conn]struct{}),

@@ -1,0 +1,155 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/faultnet"
+	"repro/internal/remote"
+	rt "repro/internal/runtime"
+	"repro/internal/trace"
+)
+
+// manualParams fills the Params fields the runner reads when a Spec is
+// hand-built rather than generated.
+func manualParams(topology string, d time.Duration) Params {
+	return Params{
+		Topology:   topology,
+		Shape:      "steady",
+		BasePeriod: 20 * time.Millisecond,
+		CostMin:    2 * time.Millisecond,
+		CostMax:    4 * time.Millisecond,
+		Duration:   d,
+	}
+}
+
+// wireSpec hand-builds source → remote("wire") → sink: the smallest
+// scenario with a wire-backed edge. Generate never draws remote edges
+// (they need a live server and a real clock); this is the composition
+// surface for faultnet chaos.
+func wireSpec(addr string, d time.Duration) *Spec {
+	shape, _ := ShapeByName("steady")
+	return &Spec{
+		Params: manualParams("chain", d),
+		Shape:  shape,
+		Stages: []StageSpec{
+			{Name: "source0", Index: 0, Kind: "source", Cost: 2 * time.Millisecond, ItemBytes: 512, Outputs: []int{0}, Window: 1},
+			{Name: "sink1", Index: 1, Kind: "sink", Cost: 2 * time.Millisecond, Inputs: []int{0}, Window: 1},
+		},
+		Buffers: []BufferSpec{
+			{Name: "wire", Index: 0, Backend: "remote", Addr: addr, Producers: []int{0}, Consumers: []int{1}},
+		},
+	}
+}
+
+// TestRemoteEdgeComposesFaultnetChaos runs a scenario whose middle
+// edge is a real socket wrapped in a faultnet script: scripted wire
+// delays plus a one-shot mid-stream write sever. The pipeline must
+// ride out the fault through the reconnect/replay machinery and keep
+// emitting — proving faultnet chaos composes onto any scenario with a
+// remote-backed edge.
+func TestRemoteEdgeComposesFaultnetChaos(t *testing.T) {
+	ctl := faultnet.New(faultnet.Seed(1719))
+	ln, err := ctl.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := remote.NewServer(remote.ServerConfig{Listener: ln}, "wire")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ctl.SetDelays(200*time.Microsecond, 200*time.Microsecond, 300*time.Microsecond)
+	// Sever the producer's connection partway into the stream: the
+	// budget covers the attach handshake and the first several puts,
+	// so the drop lands mid-run and the endpoint must redial + replay.
+	ctl.DropWriteAfter(4096)
+
+	spec := wireSpec(srv.Addr(), 3*time.Second)
+	cm, err := Run(spec, RunConfig{Clock: clock.NewReal()})
+	if err != nil {
+		t.Fatalf("chaos run failed: %v", err)
+	}
+	if cm.Produced == 0 || cm.Emitted == 0 {
+		t.Fatalf("pipeline did not flow under chaos: produced %d, emitted %d", cm.Produced, cm.Emitted)
+	}
+	if ctl.Injected() == 0 {
+		t.Fatal("the fault script never bit: test proves nothing")
+	}
+	puts, _ := srv.Channel("wire").Stats()
+	if puts <= 0 || int64(puts) > cm.Produced {
+		t.Fatalf("server applied %d puts, source produced %d: lost or duplicated inserts", puts, cm.Produced)
+	}
+}
+
+// TestRingAutoUpgradeFromGeneratedShape proves the generator's
+// "ring-shaped" draws (power-of-two bounded queue, single consumer,
+// window 1) actually auto-upgrade to the lock-free ring backend when
+// built under a real clock — the eligibility path the pinned
+// virtual-clock matrix can't take.
+func TestRingAutoUpgradeFromGeneratedShape(t *testing.T) {
+	shape, _ := ShapeByName("steady")
+	spec := &Spec{
+		Params: manualParams("chain", time.Second),
+		Shape:  shape,
+		Stages: []StageSpec{
+			{Name: "source0", Index: 0, Kind: "source", Cost: 2 * time.Millisecond, ItemBytes: 256, Outputs: []int{0}, Window: 1},
+			{Name: "sink1", Index: 1, Kind: "sink", Cost: 2 * time.Millisecond, Inputs: []int{0}, Window: 1},
+		},
+		Buffers: []BufferSpec{
+			{Name: "buf0", Index: 0, Backend: "queue", Capacity: 8, Producers: []int{0}, Consumers: []int{1}},
+		},
+	}
+	r, err := build(spec, rt.Options{
+		Clock:       clock.NewReal(),
+		Recorder:    trace.NewRecorder(),
+		ARU:         core.PolicyMin(),
+		SampleEvery: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	upgraded := false
+	for _, b := range r.rt.Snapshot().Buffers {
+		if b.Name == "buf0" && b.Backend == "ring" {
+			upgraded = true
+		}
+	}
+	r.rt.Stop()
+	if err := r.rt.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if !upgraded {
+		t.Fatal("pow2 single-consumer queue did not auto-upgrade to the ring backend under a real clock")
+	}
+
+	// The same shape under the virtual clock must NOT upgrade: the
+	// pinned matrix depends on queues staying queues there.
+	r2, err := build(spec, rt.Options{
+		Clock:       clock.NewVirtual(),
+		Recorder:    trace.NewRecorder(),
+		ARU:         core.PolicyMin(),
+		SampleEvery: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range r2.rt.Snapshot().Buffers {
+		if b.Name == "buf0" && b.Backend == "ring" {
+			t.Fatal("queue upgraded to ring under the discrete-event clock")
+		}
+	}
+	r2.rt.Stop()
+	if err := r2.rt.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,74 @@
+package scenario
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fuzzTopologies / fuzzShapes include one invalid name each so the
+// rejection path is part of the fuzzed surface.
+var (
+	fuzzTopologies = append(append([]string{}, TopologyNames...), "bogus")
+	fuzzShapes     = append(append([]string{}, ShapeNames...), "bogus")
+)
+
+// FuzzGenerate is the generated-graph wiring fuzz target: arbitrary
+// generator parameters must either be rejected with a typed
+// *ParamError or yield a DAG that wires into a real Runtime, starts,
+// runs, and stops cleanly — never a panic and never a deadlocked
+// Start. CI replays the seed corpus on every chaos run; `go test
+// -fuzz FuzzGenerate ./internal/scenario` explores further.
+func FuzzGenerate(f *testing.F) {
+	// Seed corpus: every topology/shape combination at the default
+	// draw, the boundary depths/widths, failure injection, and a few
+	// deliberately invalid corners.
+	f.Add(uint64(1719), uint8(0), uint8(0), 2, 3, int64(10), int64(2), int64(14), 2, 8, 3, int64(2000), 0)
+	f.Add(uint64(1), uint8(1), uint8(2), 0, 1, int64(5), int64(1), int64(4), 1, 2, 1, int64(500), 1)
+	f.Add(uint64(7), uint8(2), uint8(4), 8, 8, int64(30), int64(8), int64(60), 4, 64, 16, int64(1500), 3)
+	f.Add(uint64(0), uint8(3), uint8(5), -1, 0, int64(0), int64(0), int64(0), 0, 0, 0, int64(0), -1)
+	f.Add(uint64(42), uint8(1), uint8(3), 4, 2, int64(1000), int64(50), int64(200), 1, 70000, 20, int64(700000), 0)
+
+	f.Fuzz(func(t *testing.T, seed uint64, topoSel, shapeSel uint8,
+		depth, width int, periodMs, costMinMs, costMaxMs int64,
+		qmin, qmax, windowMax int, durMs int64, failures int) {
+
+		p := Params{
+			Seed:        seed,
+			Topology:    fuzzTopologies[int(topoSel)%len(fuzzTopologies)],
+			Depth:       depth,
+			Width:       width,
+			Shape:       fuzzShapes[int(shapeSel)%len(fuzzShapes)],
+			BasePeriod:  time.Duration(periodMs) * time.Millisecond,
+			CostMin:     time.Duration(costMinMs) * time.Millisecond,
+			CostMax:     time.Duration(costMaxMs) * time.Millisecond,
+			QueueCapMin: qmin,
+			QueueCapMax: qmax,
+			WindowMax:   windowMax,
+			Duration:    time.Duration(durMs) * time.Millisecond,
+			Failures:    failures,
+		}
+		spec, err := Generate(p)
+		if err != nil {
+			var pe *ParamError
+			if !errors.As(err, &pe) {
+				t.Fatalf("rejection must be a *ParamError, got %T: %v", err, err)
+			}
+			return
+		}
+		// Valid params must produce a runnable DAG. Clamp the virtual
+		// run length (and the failure iterations with it) so a fuzz
+		// exec stays fast; the clamp is grid-aligned, so this is just
+		// a shorter deterministic run.
+		if spec.Params.Duration > 400*time.Millisecond {
+			spec.Params.Duration = 400 * time.Millisecond
+		}
+		cm, err := Run(spec, RunConfig{})
+		if err != nil {
+			t.Fatalf("generated spec failed to run: %v\nparams: %+v", err, p)
+		}
+		if cm.Produced < 0 || cm.DropRatio < 0 || cm.DropRatio > 1 {
+			t.Fatalf("nonsense metrics from valid run: %+v", cm)
+		}
+	})
+}

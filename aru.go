@@ -200,6 +200,12 @@ type (
 // bodies return it (or the error wrapping it) for a clean exit.
 var ErrShutdown = runtime.ErrShutdown
 
+// ErrDraining reports a put rejected because the runtime (or the target
+// buffer) is draining gracefully: sources are quiesced and no new work
+// is admitted while the backlog flushes. Bodies should return it; the
+// supervisor treats it as a clean exit, exactly like ErrShutdown.
+var ErrDraining = runtime.ErrDraining
+
 // ErrPortKind reports a get/put variant the port's buffer backend does
 // not support (e.g. GetQueue on a channel input, a windowed input on a
 // FIFO queue): a typed wiring/call-time error, never a panic.
@@ -244,6 +250,13 @@ type (
 	ThreadHealth = runtime.ThreadHealth
 	// HealthSnapshot is Runtime.Health()'s application-wide view.
 	HealthSnapshot = runtime.HealthSnapshot
+	// DrainReport is the outcome of a graceful Runtime.Drain: duration,
+	// totals of flushed (drained) and explicitly-shed items, and the
+	// per-buffer accounting behind the conservation invariant
+	// produced == delivered + shed.
+	DrainReport = runtime.DrainReport
+	// BufferDrain is one buffer's drain accounting in a DrainReport.
+	BufferDrain = runtime.BufferDrain
 )
 
 // Thread lifecycle states.

@@ -51,6 +51,7 @@ type Report struct {
 type cellSpec struct {
 	topo, shape, est string
 	failures         int
+	drain            bool
 }
 
 func main() {
@@ -127,16 +128,24 @@ func matrix() []cellSpec {
 	for _, topo := range scenario.TopologyNames {
 		for _, shape := range scenario.ShapeNames {
 			for _, est := range []string{"raw", "aimd"} {
-				cells = append(cells, cellSpec{topo, shape, est, 0})
+				cells = append(cells, cellSpec{topo, shape, est, 0, false})
 			}
 		}
 	}
 	cells = append(cells,
-		cellSpec{"chain", "steady", "raw", 2},
-		cellSpec{"chain", "steady", "aimd", 2},
-		cellSpec{"diamond", "onoff", "raw", 1},
-		cellSpec{"diamond", "onoff", "aimd", 1},
+		cellSpec{"chain", "steady", "raw", 2, false},
+		cellSpec{"chain", "steady", "aimd", 2, false},
+		cellSpec{"diamond", "onoff", "raw", 1, false},
+		cellSpec{"diamond", "onoff", "aimd", 1, false},
 	)
+	// One drain-mode cell per topology: the run ends with a graceful
+	// Runtime.Drain at 3/4 of the duration instead of a hard stop, and
+	// the pin covers the drain accounting (drained/shed/clean/duration).
+	// On the virtual clock a drain is bit-reproducible like everything
+	// else — these cells are the regression oracle for that contract.
+	for _, topo := range scenario.TopologyNames {
+		cells = append(cells, cellSpec{topo, "steady", "aimd", 0, true})
+	}
 	return cells
 }
 
@@ -152,7 +161,7 @@ func measure(c cellSpec, seed uint64, duration time.Duration) *scenario.CellMetr
 	if err != nil {
 		fatal("generate %s: %v", diffKey(c), err)
 	}
-	cm, err := scenario.Run(spec, scenario.RunConfig{Estimator: c.est, Metrics: true})
+	cm, err := scenario.Run(spec, scenario.RunConfig{Estimator: c.est, Metrics: true, Drain: c.drain})
 	if err != nil {
 		fatal("run %s/%s: %v", diffKey(c), c.est, err)
 	}
@@ -160,13 +169,22 @@ func measure(c cellSpec, seed uint64, duration time.Duration) *scenario.CellMetr
 }
 
 // diffKey identifies a cell up to the estimator: the unit the AIMD
-// differential compares across.
+// differential compares across. Drain cells carry a suffix so they
+// never collide with (and are never compared against) the full-length
+// runs of the same coordinate.
 func diffKey(c cellSpec) string {
-	return fmt.Sprintf("%s/%s/f%d", c.topo, c.shape, c.failures)
+	return fmt.Sprintf("%s/%s/f%d%s", c.topo, c.shape, c.failures, drainSuffix(c.drain))
 }
 
 func cellKey(cm *scenario.CellMetrics) string {
-	return fmt.Sprintf("%s/%s/%s/f%d", cm.Topology, cm.Shape, cm.Estimator, cm.Failures)
+	return fmt.Sprintf("%s/%s/%s/f%d%s", cm.Topology, cm.Shape, cm.Estimator, cm.Failures, drainSuffix(cm.DrainMode))
+}
+
+func drainSuffix(drain bool) string {
+	if drain {
+		return "/drain"
+	}
+	return ""
 }
 
 // checkAgainst compares fresh cells to the pinned report. Tolerance 0
@@ -190,7 +208,7 @@ func checkAgainst(path string, rep *Report, cells []cellSpec, seed uint64, durat
 	}
 	specByKey := make(map[string]cellSpec, len(cells))
 	for _, c := range cells {
-		specByKey[fmt.Sprintf("%s/%s/%s/f%d", c.topo, c.shape, c.est, c.failures)] = c
+		specByKey[fmt.Sprintf("%s/%s/%s/f%d%s", c.topo, c.shape, c.est, c.failures, drainSuffix(c.drain))] = c
 	}
 
 	failed := false

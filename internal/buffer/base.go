@@ -20,6 +20,8 @@ const (
 	MetricItemsHW    = "aru_buffer_items_highwater"
 	MetricBytesHW    = "aru_buffer_bytes_highwater"
 	MetricPutBlocked = "aru_buffer_put_blocked_seconds"
+	MetricDrained    = "aru_buffer_drained_items_total"
+	MetricShed       = "aru_buffer_shed_items_total"
 )
 
 // Consumer tracks one attached consumer connection. Backends read and
@@ -79,9 +81,12 @@ type Base struct {
 	Producers map[graph.ConnID]bool
 
 	closed    bool
+	sealed    bool
 	puts      int64
 	frees     int64
 	liveBytes int64
+	drained   int64 // items delivered to a consumer after Seal
+	shed      int64 // items discarded undelivered (Drain, or Close with backlog)
 
 	// prodFailed / consFailed count attachments removed because their
 	// thread failed permanently (FailProducer / FailConsumer). They
@@ -104,6 +109,8 @@ type Base struct {
 	mItemsHW    *metrics.Gauge
 	mBytesHW    *metrics.Gauge
 	mPutBlocked *metrics.Histogram
+	mDrained    *metrics.Counter
+	mShed       *metrics.Counter
 }
 
 // Init prepares the Base: applies Config defaults (real clock, no-op
@@ -130,6 +137,8 @@ func (b *Base) Init(cfg Config, occupied func() int) {
 		b.mItemsHW = reg.Gauge(MetricItemsHW, "High-water mark of live items.", ls)
 		b.mBytesHW = reg.Gauge(MetricBytesHW, "High-water mark of live bytes.", ls)
 		b.mPutBlocked = reg.Histogram(MetricPutBlocked, "Time producers spent blocked on capacity (blocking puts only).", nil, ls)
+		b.mDrained = reg.Counter(MetricDrained, "Items delivered to a consumer after the buffer was sealed for drain.", ls)
+		b.mShed = reg.Counter(MetricShed, "Items discarded undelivered at shutdown (explicitly shed, not silently lost).", ls)
 	}
 }
 
@@ -213,13 +222,18 @@ func (b *Base) AtCapacityLocked() bool {
 // When every consumer has failed permanently while the producer waits,
 // the wait reports ErrPeerFailed: with a dead audience the collector
 // will never free a slot (guarantees stop advancing), so the producer
-// would otherwise block forever.
+// would otherwise block forever. A sealed buffer rejects the put with
+// ErrDraining — immediately, or when Seal lands while the producer is
+// parked — so drains never wait on producers that can no longer help.
 func (b *Base) AwaitCapacityLocked() (time.Duration, error) {
+	if b.sealed {
+		return 0, fmt.Errorf("%w: put into sealed %q", ErrDraining, b.Cfg.Name)
+	}
 	if b.Cfg.Capacity <= 0 {
 		return 0, nil
 	}
 	start := b.Cfg.Clock.Now()
-	for !b.closed && b.occupied() >= b.Cfg.Capacity {
+	for !b.closed && !b.sealed && b.occupied() >= b.Cfg.Capacity {
 		if b.ConsumersExhaustedLocked() {
 			d := b.Cfg.Clock.Now() - start
 			b.mPutBlocked.Observe(d)
@@ -230,6 +244,9 @@ func (b *Base) AwaitCapacityLocked() (time.Duration, error) {
 	d := b.Cfg.Clock.Now() - start
 	if d > 0 {
 		b.mPutBlocked.Observe(d)
+	}
+	if b.sealed && !b.closed {
+		return d, fmt.Errorf("%w: put into sealed %q", ErrDraining, b.Cfg.Name)
 	}
 	return d, nil
 }
@@ -362,6 +379,76 @@ func (b *Base) AccountFreeLocked(it *Item) {
 	if b.Cfg.Capacity > 0 {
 		b.notFull.Signal()
 	}
+}
+
+// Seal flips the buffer into drain mode: subsequent puts (and puts
+// blocked on capacity) report ErrDraining while gets keep serving the
+// backlog. The broadcast wakes every parked operation so producers
+// observe the seal and consumers re-check their termination predicates.
+// Idempotent; implements Buffer.Seal for embedding backends.
+func (b *Base) Seal() {
+	b.Mu.Lock()
+	if !b.sealed {
+		b.sealed = true
+		b.BroadcastLocked()
+	}
+	b.Mu.Unlock()
+}
+
+// SealedLocked reports the sealed flag; callers hold Mu.
+func (b *Base) SealedLocked() bool { return b.sealed }
+
+// Sealed reports whether Seal has been called.
+func (b *Base) Sealed() bool {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
+	return b.sealed
+}
+
+// Drained reports that the buffer is sealed and empty — the generic
+// flush-complete predicate. Backends whose delivered items may remain
+// live after consumption (channels retaining window trails) override it
+// with a discipline-aware check.
+func (b *Base) Drained() bool {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
+	return b.sealed && b.occupied() == 0
+}
+
+// NoteDeliveredLocked records one item delivered to a consumer while the
+// buffer is sealed — the "drained" side of the conservation ledger. A
+// no-op before Seal, so backends call it unconditionally on delivery.
+func (b *Base) NoteDeliveredLocked() { b.NoteDeliveredNLocked(1) }
+
+// NoteDeliveredNLocked is NoteDeliveredLocked for a batch of n items.
+func (b *Base) NoteDeliveredNLocked(n int) {
+	if b.sealed && n > 0 {
+		b.drained += int64(n)
+		if b.mDrained != nil {
+			b.mDrained.Add(int64(n))
+		}
+	}
+}
+
+// AccountShedLocked records n items discarded undelivered — the
+// explicitly-shed side of the conservation ledger (deadline-hit drains
+// and plain Stop with backlog).
+func (b *Base) AccountShedLocked(n int64) {
+	if n <= 0 {
+		return
+	}
+	b.shed += n
+	if b.mShed != nil {
+		b.mShed.Add(n)
+	}
+}
+
+// DrainStats returns the cumulative drain accounting: items delivered
+// after Seal and items discarded undelivered.
+func (b *Base) DrainStats() (drained, shed int64) {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
+	return b.drained, b.shed
 }
 
 // MarkClosedLocked sets the closed flag, reporting whether this call was

@@ -69,6 +69,12 @@ var (
 	// FailConsumer) so peers of a dead stage observe a typed condition
 	// instead of hanging forever.
 	ErrPeerFailed = errors.New("buffer: peer thread failed permanently")
+	// ErrDraining reports a put into a sealed buffer: the runtime is
+	// draining and no new items are accepted, but items already buffered
+	// remain consumable (gets keep serving until the buffer is empty,
+	// then report ErrClosed). Producers should treat it like a shutdown
+	// signal for the put path — stop producing, let downstream flush.
+	ErrDraining = errors.New("buffer: sealed for drain, no new puts")
 )
 
 // PeerFailer is implemented by backends that support failure-aware
@@ -336,6 +342,23 @@ type Buffer interface {
 	// immediately unreachable (§3.2 upstream computation elimination).
 	// Backends whose items are never skipped report false.
 	WouldBeDead(ts vt.Timestamp) bool
+
+	// Seal flips the buffer into drain mode: every subsequent Put /
+	// PutBatch is rejected with ErrDraining (and any put blocked on
+	// capacity unblocks with it), while gets keep serving the items
+	// already buffered. Once nothing consumable remains for a
+	// connection, its gets report ErrClosed — the flush-then-terminate
+	// contract consumers drain on. Sealing is idempotent and weaker
+	// than Close: Close still fully closes a sealed buffer.
+	Seal()
+	// Drained reports that the buffer is sealed and holds nothing any
+	// consumer could still consume: the flush completed.
+	Drained() bool
+	// DrainStats returns the drain accounting: drained counts items
+	// delivered to a consumer after Seal; shed counts items discarded
+	// undelivered (by Drain() or by closing a buffer that still held
+	// backlog). Both are cumulative and survive Close.
+	DrainStats() (drained, shed int64)
 
 	// Close marks the buffer closed and wakes all blocked operations.
 	Close()

@@ -237,6 +237,10 @@ func (c *Channel) PutBatch(conn graph.ConnID, items []*Item) (int, time.Duration
 	}
 	var err error
 	for _, it := range items {
+		if c.SealedLocked() {
+			err = fmt.Errorf("%w: put into sealed %q", buffer.ErrDraining, c.Name())
+			break
+		}
 		if c.AtCapacityLocked() {
 			flush()
 			var d time.Duration
@@ -289,7 +293,9 @@ func (c *Channel) GetLatest(conn graph.ConnID) (GetResult, error) {
 			res.Blocked = c.Clock().Now() - start
 			return res, nil
 		}
-		if c.ClosedLocked() {
+		// Sealed with nothing fresh: no new item can ever arrive, so the
+		// consumer's flush is complete — terminate like a close.
+		if c.ClosedLocked() || c.SealedLocked() {
 			return GetResult{Blocked: c.Clock().Now() - start}, ErrClosed
 		}
 		if c.ProducersExhaustedLocked() {
@@ -332,6 +338,7 @@ func (c *Channel) deliverLocked(cs *buffer.Consumer, newest vt.Timestamp) GetRes
 	}
 	res.Item = buffer.Snapshot(c.items[newest])
 	cs.LastSeen = newest
+	c.NoteDeliveredLocked()
 	// The consumer will never request ≤ windowStart again: the next
 	// head is at least newest+1, so the next window starts at least at
 	// windowStart+1.
@@ -374,11 +381,12 @@ func (c *Channel) GetBatch(conn graph.ConnID, dst []GetResult) (int, error) {
 			})
 			newest := dst[n-1].Item.TS
 			cs.LastSeen = newest
+			c.NoteDeliveredNLocked(n)
 			c.advanceLocked(cs, newest)
 			dst[0].Blocked = c.Clock().Now() - start
 			return n, nil
 		}
-		if c.ClosedLocked() {
+		if c.ClosedLocked() || c.SealedLocked() {
 			return 0, ErrClosed
 		}
 		if c.ProducersExhaustedLocked() {
@@ -410,6 +418,11 @@ func (c *Channel) TryGetLatest(conn graph.ConnID) (res GetResult, ok bool, err e
 	}
 	newest := c.live.Max()
 	if newest <= cs.LastSeen {
+		if c.SealedLocked() {
+			// Nothing fresh can ever arrive in a sealed channel: polling
+			// consumers terminate here instead of spinning on ok=false.
+			return GetResult{}, false, ErrClosed
+		}
 		if c.ProducersExhaustedLocked() {
 			return GetResult{}, false, fmt.Errorf("%w: all producers of %q failed", buffer.ErrPeerFailed, c.Name())
 		}
@@ -445,6 +458,7 @@ func (c *Channel) GetAt(conn graph.ConnID, ts vt.Timestamp) (GetResult, error) {
 			if ts > cs.LastSeen {
 				cs.LastSeen = ts
 			}
+			c.NoteDeliveredLocked()
 			c.advanceLocked(cs, ts-cs.Window+1)
 			return res, nil
 		}
@@ -453,7 +467,7 @@ func (c *Channel) GetAt(conn graph.ConnID, ts vt.Timestamp) (GetResult, error) {
 		if c.maxPut > ts {
 			return GetResult{Blocked: c.Clock().Now() - start}, fmt.Errorf("%w: %v on %q", ErrGone, ts, c.Name())
 		}
-		if c.ClosedLocked() {
+		if c.ClosedLocked() || c.SealedLocked() {
 			return GetResult{Blocked: c.Clock().Now() - start}, ErrClosed
 		}
 		if c.ProducersExhaustedLocked() {
@@ -515,19 +529,34 @@ func (c *Channel) freeLocked(ts vt.Timestamp) {
 }
 
 // Close marks the channel closed, frees every remaining live item, and
-// wakes all blocked operations.
+// wakes all blocked operations. Live items no consumer had seen yet are
+// counted as explicitly shed — a closed channel discards them, and the
+// conservation ledger must say so rather than letting them vanish.
 func (c *Channel) Close() {
 	c.Mu.Lock()
 	defer c.Mu.Unlock()
 	if !c.MarkClosedLocked() {
 		return
 	}
+	// An item was delivered iff some consumer advanced past it; anything
+	// newer than every consumer's head is discarded undelivered.
+	maxSeen := vt.None
+	for _, cs := range c.Consumers {
+		if cs.LastSeen > maxSeen {
+			maxSeen = cs.LastSeen
+		}
+	}
 	// Collect the live timestamps first: freeLocked mutates the set.
 	c.scratchDead = c.scratchDead[:0]
+	var shed int64
 	c.live.Ascend(func(ts vt.Timestamp) bool {
 		c.scratchDead = append(c.scratchDead, ts)
+		if ts > maxSeen {
+			shed++
+		}
 		return true
 	})
+	c.AccountShedLocked(shed)
 	for _, ts := range c.scratchDead {
 		c.freeLocked(ts)
 	}
@@ -537,11 +566,37 @@ func (c *Channel) Close() {
 	c.BroadcastLocked()
 }
 
-// Drain discards items still live after Close, reporting each to OnFree,
-// and returns how many it discarded. Close already frees every live item,
-// so Drain on a closed channel normally reports 0; it exists for
-// interface parity with FIFO backends, which retain items at close for
-// consumers to drain.
+// Drained reports that the channel is sealed and every attached consumer
+// has seen its newest live item: nothing fresh remains to flush. Window
+// trails may keep delivered items live, so "sealed and empty" would be
+// too strict; "sealed with no consumers but live items" is not drained —
+// those items can only be shed.
+func (c *Channel) Drained() bool {
+	c.Mu.Lock()
+	defer c.Mu.Unlock()
+	if !c.SealedLocked() {
+		return false
+	}
+	if c.live.Empty() {
+		return true
+	}
+	if len(c.Consumers) == 0 {
+		return false
+	}
+	newest := c.live.Max()
+	for _, cs := range c.Consumers {
+		if cs.LastSeen < newest {
+			return false
+		}
+	}
+	return true
+}
+
+// Drain discards items still live after Close, reporting each to OnFree
+// and counting it as shed, and returns how many it discarded. Close
+// already frees every live item, so Drain on a closed channel normally
+// reports 0; it exists for interface parity with FIFO backends, which
+// retain items at close for consumers to drain.
 func (c *Channel) Drain() int {
 	c.Mu.Lock()
 	defer c.Mu.Unlock()
@@ -550,6 +605,7 @@ func (c *Channel) Drain() int {
 		c.scratchDead = append(c.scratchDead, ts)
 		return true
 	})
+	c.AccountShedLocked(int64(len(c.scratchDead)))
 	for _, ts := range c.scratchDead {
 		c.freeLocked(ts)
 	}

@@ -170,6 +170,10 @@ func (q *Queue) PutBatch(conn graph.ConnID, items []*Item) (int, time.Duration, 
 	}
 	var err error
 	for _, it := range items {
+		if q.SealedLocked() {
+			err = fmt.Errorf("%w: put into sealed %q", buffer.ErrDraining, q.Name())
+			break
+		}
 		if q.AtCapacityLocked() {
 			flush()
 			var d time.Duration
@@ -204,7 +208,9 @@ func (q *Queue) Get(conn graph.ConnID) (GetResult, error) {
 			res := GetResult{Item: q.dequeueLocked(), Blocked: q.Clock().Now() - start}
 			return res, nil
 		}
-		if q.ClosedLocked() {
+		// Sealed and empty: the backlog is flushed and nothing new can
+		// arrive — terminate like a close.
+		if q.ClosedLocked() || q.SealedLocked() {
 			return GetResult{Blocked: q.Clock().Now() - start}, ErrClosed
 		}
 		if q.ProducersExhaustedLocked() {
@@ -235,7 +241,7 @@ func (q *Queue) GetBatch(conn graph.ConnID, dst []GetResult) (int, error) {
 			dst[0].Blocked = q.Clock().Now() - start
 			return n, nil
 		}
-		if q.ClosedLocked() {
+		if q.ClosedLocked() || q.SealedLocked() {
 			return 0, ErrClosed
 		}
 		if q.ProducersExhaustedLocked() {
@@ -253,7 +259,7 @@ func (q *Queue) TryGet(conn graph.ConnID) (res GetResult, ok bool, err error) {
 		return GetResult{}, false, err
 	}
 	if q.queued() == 0 {
-		if q.ClosedLocked() {
+		if q.ClosedLocked() || q.SealedLocked() {
 			return GetResult{}, false, ErrClosed
 		}
 		if q.ProducersExhaustedLocked() {
@@ -287,6 +293,7 @@ func (q *Queue) dequeueLocked() Item {
 		q.lastDeq = it.TS
 	}
 	res := buffer.Snapshot(it)
+	q.NoteDeliveredLocked()
 	q.AccountFreeLocked(it)
 	q.RecycleLocked(it)
 	return res
@@ -313,12 +320,14 @@ func (q *Queue) Close() {
 	q.BroadcastLocked()
 }
 
-// Drain discards all queued items, reporting each to OnFree. It is used
-// at shutdown to account remaining storage.
+// Drain discards all queued items, reporting each to OnFree and counting
+// it as explicitly shed. It is used at shutdown to account remaining
+// storage.
 func (q *Queue) Drain() int {
 	q.Mu.Lock()
 	defer q.Mu.Unlock()
 	n := q.queued()
+	q.AccountShedLocked(int64(n))
 	for _, it := range q.items[q.head:] {
 		q.AccountFreeLocked(it)
 		q.RecycleLocked(it)

@@ -70,8 +70,14 @@ type Endpoint struct {
 	producers map[graph.ConnID]*Producer
 	consumers map[graph.ConnID]*Consumer
 	closed    bool
+	sealed    bool
+	inflight  int // wire puts currently outstanding
 	puts      int64
 	frees     int64
+	drained   int64 // items served to a consumer after Seal
+
+	mDrained *metrics.Counter
+	mShed    *metrics.Counter
 }
 
 // NewEndpoint creates a wire-backed endpoint for the channel named
@@ -101,6 +107,8 @@ func NewEndpoint(cfg buffer.Config) (*Endpoint, error) {
 			Reattached: reg.Counter(MetricReattached, "Successful redial+replay cycles (ErrReattached).", ls),
 			PutRetries: reg.Counter(MetricPutRetries, "Puts re-sent with the idempotent-retry flag.", ls),
 		}
+		e.mDrained = reg.Counter(buffer.MetricDrained, "Items delivered to a consumer after the buffer was sealed for drain.", ls)
+		e.mShed = reg.Counter(buffer.MetricShed, "Items discarded undelivered at shutdown (explicitly shed, not silently lost).", ls)
 	}
 	return e, nil
 }
@@ -256,6 +264,10 @@ func (e *Endpoint) Put(conn graph.ConnID, it *buffer.Item) (time.Duration, error
 	if !ok && it.Payload != nil {
 		return 0, fmt.Errorf("%w: remote put payload must be []byte, got %T", buffer.ErrUnsupported, it.Payload)
 	}
+	if err := e.beginPut(); err != nil {
+		return 0, err
+	}
+	defer e.endPut()
 	var start time.Duration
 	if e.mRTT != nil {
 		start = e.cfg.Clock.Now()
@@ -303,6 +315,20 @@ func (e *Endpoint) Get(conn graph.ConnID) (buffer.GetResult, error) {
 	if err != nil {
 		return buffer.GetResult{}, err
 	}
+	if e.Sealed() {
+		// Sealed: local producers can no longer put, so a blocking wait
+		// would hang on a flushed channel. Serve whatever is still fresh
+		// without blocking; nothing fresh means the flush completed.
+		it, ok, terr := c.TryGetLatest(e.consumerSummary(conn))
+		if terr != nil && !errors.Is(terr, ErrReattached) {
+			return buffer.GetResult{}, e.wireErr(terr)
+		}
+		if !ok {
+			return buffer.GetResult{}, buffer.ErrClosed
+		}
+		e.noteDelivered(1)
+		return e.result(it, 0), terr
+	}
 	start := e.cfg.Clock.Now()
 	it, err := c.GetLatest(e.consumerSummary(conn))
 	blocked := e.cfg.Clock.Now() - start
@@ -310,6 +336,7 @@ func (e *Endpoint) Get(conn graph.ConnID) (buffer.GetResult, error) {
 		return buffer.GetResult{Blocked: blocked}, e.wireErr(err)
 	}
 	// err is nil or the informational ErrReattached: the item is valid.
+	e.noteDelivered(1)
 	return e.result(it, blocked), err
 }
 
@@ -324,8 +351,13 @@ func (e *Endpoint) TryGet(conn graph.ConnID) (buffer.GetResult, bool, error) {
 		return buffer.GetResult{}, false, e.wireErr(err)
 	}
 	if !ok {
+		if e.Sealed() {
+			// Sealed with nothing fresh: the flush completed.
+			return buffer.GetResult{}, false, buffer.ErrClosed
+		}
 		return buffer.GetResult{}, false, err // nil or informational
 	}
+	e.noteDelivered(1)
 	return e.result(it, 0), true, err // nil or informational
 }
 
@@ -388,6 +420,79 @@ func (e *Endpoint) Closed() bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.closed
+}
+
+// beginPut admits a wire put: sealed endpoints reject it with
+// ErrDraining, open ones count it in-flight so Drained waits for its
+// round trip (including any redial+replay cycle) to complete.
+func (e *Endpoint) beginPut() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return buffer.ErrClosed
+	}
+	if e.sealed {
+		return fmt.Errorf("%w: put into sealed %q", buffer.ErrDraining, e.cfg.Name)
+	}
+	e.inflight++
+	return nil
+}
+
+// endPut retires an in-flight wire put.
+func (e *Endpoint) endPut() {
+	e.mu.Lock()
+	e.inflight--
+	e.mu.Unlock()
+}
+
+// noteDelivered counts post-seal deliveries toward the drained total.
+func (e *Endpoint) noteDelivered(n int) {
+	e.mu.Lock()
+	sealed := e.sealed
+	if sealed {
+		e.drained += int64(n)
+	}
+	e.mu.Unlock()
+	if sealed && e.mDrained != nil {
+		e.mDrained.Add(int64(n))
+	}
+}
+
+// Seal flips the endpoint into drain mode: new puts are rejected with
+// ErrDraining while gets keep serving whatever the hosted channel still
+// holds. In-flight puts — including idempotent batch replays after a
+// reconnect — run to completion; Drained waits for them.
+func (e *Endpoint) Seal() {
+	e.mu.Lock()
+	e.sealed = true
+	e.mu.Unlock()
+}
+
+// Sealed reports whether Seal has been called.
+func (e *Endpoint) Sealed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.sealed
+}
+
+// Drained reports that the endpoint is sealed and every in-flight wire
+// put has completed its round trip: nothing this process produced can
+// still be in transit. Items already accepted by the server live there —
+// the hosted channel outlives the endpoint by design — so server-side
+// occupancy does not gate a local drain.
+func (e *Endpoint) Drained() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.sealed && e.inflight == 0
+}
+
+// DrainStats returns the drain accounting: drained counts items served
+// to a local consumer after Seal; shed is always 0 — the endpoint never
+// discards items, their storage belongs to the server.
+func (e *Endpoint) DrainStats() (drained, shed int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.drained, 0
 }
 
 // Drain reports 0: buffered items live on the server, which reclaims

@@ -100,12 +100,15 @@ type Ring struct {
 
 	mpsc      atomic.Bool // ≥2 producers attached: claim via CAS
 	closed    atomic.Bool
+	sealed    atomic.Bool // drain mode: puts rejected, gets serve the backlog
 	prodsDead atomic.Bool // every producer failed permanently
 	consDead  atomic.Bool // every consumer failed permanently
 
 	puts      atomic.Int64
 	frees     atomic.Int64
 	liveBytes atomic.Int64
+	drainedN  atomic.Int64 // items delivered to the consumer after Seal
+	shedN     atomic.Int64 // items discarded undelivered by Drain
 
 	// sleepCons/sleepProd count waiters parked on the slow path; a
 	// publisher that loads zero skips the mutex entirely.
@@ -131,6 +134,8 @@ type Ring struct {
 	mItemsHW    *metrics.Gauge
 	mBytesHW    *metrics.Gauge
 	mPutBlocked *metrics.Histogram
+	mDrained    *metrics.Counter
+	mShed       *metrics.Counter
 }
 
 // New creates a ring. Capacity must be positive and is rounded up to
@@ -171,6 +176,8 @@ func New(cfg buffer.Config) (*Ring, error) {
 		r.mItemsHW = reg.Gauge(buffer.MetricItemsHW, "High-water mark of live items.", ls)
 		r.mBytesHW = reg.Gauge(buffer.MetricBytesHW, "High-water mark of live bytes.", ls)
 		r.mPutBlocked = reg.Histogram(buffer.MetricPutBlocked, "Time producers spent blocked on capacity (blocking puts only).", nil, ls)
+		r.mDrained = reg.Counter(buffer.MetricDrained, "Items delivered to a consumer after the buffer was sealed for drain.", ls)
+		r.mShed = reg.Counter(buffer.MetricShed, "Items discarded undelivered at shutdown (explicitly shed, not silently lost).", ls)
 	}
 	return r, nil
 }
@@ -327,7 +334,7 @@ func (r *Ring) wakeProducers() {
 func (r *Ring) parkProducer(pos uint64) (time.Duration, error) {
 	s := &r.slots[pos&r.mask]
 	freed := func() bool {
-		return int64(s.seq.Load())-int64(pos) >= 0 || r.closed.Load() || r.consDead.Load()
+		return int64(s.seq.Load())-int64(pos) >= 0 || r.closed.Load() || r.sealed.Load() || r.consDead.Load()
 	}
 	for i := 0; i < spins; i++ {
 		if freed() {
@@ -367,7 +374,7 @@ func (r *Ring) parkConsumer() time.Duration {
 	pos := r.head.Load()
 	s := &r.slots[pos&r.mask]
 	ready := func() bool {
-		return int64(s.seq.Load())-int64(pos+1) >= 0 || r.closed.Load() || r.prodsDead.Load()
+		return int64(s.seq.Load())-int64(pos+1) >= 0 || r.closed.Load() || r.sealed.Load() || r.prodsDead.Load()
 	}
 	for i := 0; i < spins; i++ {
 		if ready() {
@@ -414,6 +421,9 @@ func (r *Ring) Put(conn graph.ConnID, it *buffer.Item) (time.Duration, error) {
 		if r.closed.Load() {
 			return blocked, buffer.ErrClosed
 		}
+		if r.sealed.Load() {
+			return blocked, r.errSealed()
+		}
 		pos := r.tail.Load()
 		if r.slots[pos&r.mask].seq.Load() == pos {
 			r.tail.Store(pos + 1)
@@ -428,12 +438,20 @@ func (r *Ring) Put(conn graph.ConnID, it *buffer.Item) (time.Duration, error) {
 	}
 }
 
+// errSealed builds the typed drain rejection for puts into a sealed ring.
+func (r *Ring) errSealed() error {
+	return fmt.Errorf("%w: put into sealed %q", buffer.ErrDraining, r.cfg.Name)
+}
+
 // putMPSC is Put with a CAS-claimed tail for concurrent producers.
 func (r *Ring) putMPSC(it *buffer.Item) (time.Duration, error) {
 	var blocked time.Duration
 	for {
 		if r.closed.Load() {
 			return blocked, buffer.ErrClosed
+		}
+		if r.sealed.Load() {
+			return blocked, r.errSealed()
 		}
 		pos := r.tail.Load()
 		seq := r.slots[pos&r.mask].seq.Load()
@@ -481,6 +499,9 @@ func (r *Ring) PutBatch(conn graph.ConnID, items []*buffer.Item) (int, time.Dura
 	for applied < len(items) {
 		if r.closed.Load() {
 			return applied, blocked, buffer.ErrClosed
+		}
+		if r.sealed.Load() {
+			return applied, blocked, r.errSealed()
 		}
 		pos := r.tail.Load()
 		// Count the run of free slots from pos, bounded by the batch.
@@ -617,6 +638,7 @@ func (r *Ring) Get(conn graph.ConnID) (buffer.GetResult, error) {
 	var blocked time.Duration
 	for {
 		if r.tryPop(&res) {
+			r.noteDelivered(1)
 			res.Blocked = blocked
 			return res, nil
 		}
@@ -624,6 +646,17 @@ func (r *Ring) Get(conn graph.ConnID) (buffer.GetResult, error) {
 			// Re-check after observing closed: a pop and the close may
 			// race, and remaining items must drain first.
 			if r.tryPop(&res) {
+				r.noteDelivered(1)
+				res.Blocked = blocked
+				return res, nil
+			}
+			return buffer.GetResult{Blocked: blocked}, buffer.ErrClosed
+		}
+		if r.sealed.Load() {
+			// Sealed and empty: the flush is complete — terminate like a
+			// close (a pop may still race the seal, so re-check first).
+			if r.tryPop(&res) {
+				r.noteDelivered(1)
 				res.Blocked = blocked
 				return res, nil
 			}
@@ -640,6 +673,17 @@ func (r *Ring) Get(conn graph.ConnID) (buffer.GetResult, error) {
 	}
 }
 
+// noteDelivered records n items delivered to the consumer while sealed —
+// the "drained" side of the conservation ledger. A no-op before Seal.
+func (r *Ring) noteDelivered(n int) {
+	if r.sealed.Load() && n > 0 {
+		r.drainedN.Add(int64(n))
+		if r.mDrained != nil {
+			r.mDrained.Add(int64(n))
+		}
+	}
+}
+
 // GetBatch pops up to len(dst) items in FIFO order, blocking only until
 // the first is available.
 func (r *Ring) GetBatch(conn graph.ConnID, dst []buffer.GetResult) (int, error) {
@@ -652,11 +696,21 @@ func (r *Ring) GetBatch(conn graph.ConnID, dst []buffer.GetResult) (int, error) 
 	var blocked time.Duration
 	for {
 		if n := r.popN(dst); n > 0 {
+			r.noteDelivered(n)
 			dst[0].Blocked = blocked
 			return n, nil
 		}
 		if r.closed.Load() {
 			if n := r.popN(dst); n > 0 {
+				r.noteDelivered(n)
+				dst[0].Blocked = blocked
+				return n, nil
+			}
+			return 0, buffer.ErrClosed
+		}
+		if r.sealed.Load() {
+			if n := r.popN(dst); n > 0 {
+				r.noteDelivered(n)
 				dst[0].Blocked = blocked
 				return n, nil
 			}
@@ -679,10 +733,19 @@ func (r *Ring) TryGet(conn graph.ConnID) (res buffer.GetResult, ok bool, err err
 		return res, false, err
 	}
 	if r.tryPop(&res) {
+		r.noteDelivered(1)
 		return res, true, nil
 	}
 	if r.closed.Load() {
 		if r.tryPop(&res) {
+			r.noteDelivered(1)
+			return res, true, nil
+		}
+		return buffer.GetResult{}, false, buffer.ErrClosed
+	}
+	if r.sealed.Load() {
+		if r.tryPop(&res) {
+			r.noteDelivered(1)
 			return res, true, nil
 		}
 		return buffer.GetResult{}, false, buffer.ErrClosed
@@ -706,6 +769,31 @@ func (r *Ring) GetAt(conn graph.ConnID, ts vt.Timestamp) (buffer.GetResult, erro
 // failed permanently.
 func (r *Ring) WouldBeDead(ts vt.Timestamp) bool { return r.consDead.Load() }
 
+// Seal flips the ring into drain mode: puts (including puts parked on
+// capacity) reject with ErrDraining, while the consumer keeps popping
+// the backlog and then observes ErrClosed. Idempotent.
+func (r *Ring) Seal() {
+	if r.sealed.Swap(true) {
+		return
+	}
+	r.mu.Lock()
+	r.notEmpty.Broadcast()
+	r.notFull.Broadcast()
+	r.mu.Unlock()
+}
+
+// Drained reports that the ring is sealed and empty: the flush is
+// complete.
+func (r *Ring) Drained() bool {
+	return r.sealed.Load() && r.tail.Load() == r.head.Load()
+}
+
+// DrainStats returns the cumulative drain accounting: items popped by
+// the consumer after Seal, and items discarded undelivered by Drain.
+func (r *Ring) DrainStats() (drained, shed int64) {
+	return r.drainedN.Load(), r.shedN.Load()
+}
+
 // Close marks the ring closed and wakes every blocked operation; the
 // consumer drains remaining items, then sees ErrClosed.
 func (r *Ring) Close() {
@@ -722,10 +810,11 @@ func (r *Ring) Close() {
 func (r *Ring) Closed() bool { return r.closed.Load() }
 
 // Drain discards items still buffered after Close, reporting each to
-// OnFree, and returns how many it discarded. It reuses the consumer pop
-// path, whose CAS-claimed head makes it safe to run concurrently with a
-// consumer thread that has not yet observed the stop signal (the
-// runtime calls Drain from Stop while threads may still be unwinding).
+// OnFree and counting it as explicitly shed, and returns how many it
+// discarded. It reuses the consumer pop path, whose CAS-claimed head
+// makes it safe to run concurrently with a consumer thread that has not
+// yet observed the stop signal (the runtime calls Drain from Stop while
+// threads may still be unwinding).
 func (r *Ring) Drain() int {
 	total := 0
 	var scratch [64]buffer.GetResult
@@ -733,9 +822,16 @@ func (r *Ring) Drain() int {
 		n := r.popN(scratch[:])
 		total += n
 		if n < len(scratch) {
-			return total
+			break
 		}
 	}
+	if total > 0 {
+		r.shedN.Add(int64(total))
+		if r.mShed != nil {
+			r.mShed.Add(int64(total))
+		}
+	}
+	return total
 }
 
 // Occupancy returns the current live item count and bytes.

@@ -11,10 +11,12 @@
 package runtime
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
+	"time"
 )
 
 // startMetricsServerLocked opens the listener on Options.MetricsAddr
@@ -112,16 +114,27 @@ func (rt *Runtime) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	enc.Encode(out)
 }
 
+// metricsShutdownGrace bounds how long closeMetricsServer waits for
+// in-flight scrapes before severing their connections.
+const metricsShutdownGrace = 2 * time.Second
+
 // closeMetricsServer tears the HTTP endpoint down (idempotent; called
-// from Stop). In-flight handlers are given a moment to finish by
-// http.Server.Close severing connections rather than the listener
-// vanishing under them.
+// from Stop and Drain). Graceful first: http.Server.Shutdown stops the
+// listener and lets in-flight /metrics scrapes run to completion — a
+// Prometheus scrape racing a Stop or Drain sees a complete exposition,
+// not a severed connection. Connections that outlive the grace period
+// are closed hard so shutdown never hangs on a stuck client.
 func (rt *Runtime) closeMetricsServer() {
 	rt.mu.Lock()
 	srv := rt.httpSrv
 	rt.httpSrv = nil
 	rt.mu.Unlock()
-	if srv != nil {
+	if srv == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), metricsShutdownGrace)
+	defer cancel()
+	if srv.Shutdown(ctx) != nil {
 		srv.Close()
 	}
 }

@@ -59,6 +59,12 @@ const (
 	MetricStallEpisodes = "aru_thread_stall_episodes_total"
 	MetricNodeBackoffs  = "aru_node_aimd_backoffs_total"
 	MetricNodeSpeedups  = "aru_node_aimd_speedups_total"
+
+	// Graceful-drain instruments (runtime-wide, no labels). The
+	// per-buffer drained/shed counters live in package buffer
+	// (buffer.MetricDrained, buffer.MetricShed).
+	MetricDrainDuration = "aru_drain_duration_seconds"
+	MetricDraining      = "aru_runtime_draining"
 )
 
 // threadInstruments holds one thread's live handles. The zero value
@@ -134,6 +140,8 @@ func (rt *Runtime) registerInstrumentsLocked() {
 	rt.nodeInst = make(map[graph.NodeID]*nodeInstruments)
 	rt.bufInst = make(map[graph.NodeID]*bufferInstruments)
 	rt.threadByName = make(map[string]*Thread, len(rt.threads))
+	rt.mDrainDur = reg.Histogram(MetricDrainDuration, "Duration of graceful drains (Runtime.Drain).", nil, nil)
+	rt.mDraining = reg.Gauge(MetricDraining, "1 while a graceful drain is in progress.", nil)
 	// Tenant tags per node: buffers carry theirs on the ref, threads on
 	// the Thread. Node-level families inherit the owning entity's tag.
 	tenants := make(map[graph.NodeID]string)

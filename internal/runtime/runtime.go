@@ -134,6 +134,17 @@ type Runtime struct {
 	waitErr  error
 	stopCh   chan struct{}
 
+	// Graceful-drain state (see drain.go). draining is read by the
+	// supervisor (no restarts during drain) and the stall watchdog
+	// (threads flushing a drain are not stalls); drainMu serializes
+	// Drain calls and guards the cached report.
+	draining    atomic.Bool
+	drainMu     sync.Mutex
+	drainDone   bool
+	drainReport DrainReport
+	mDrainDur   *metrics.Histogram
+	mDraining   *metrics.Gauge
+
 	// Live-metrics state: instrument maps resolved at Start (immutable
 	// afterwards; read lock-free by the sampler) and the opt-in
 	// observability HTTP server.

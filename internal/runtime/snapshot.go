@@ -50,6 +50,10 @@ type BufferStatus struct {
 	// and read zero when metrics are disabled (the off hot path does no
 	// extra work).
 	HighWaterItems, HighWaterBytes int64
+	// DrainedItems counts items delivered to a consumer after the
+	// buffer was sealed for drain; ShedItems counts items discarded
+	// undelivered at shutdown (explicitly shed, not silently lost).
+	DrainedItems, ShedItems int64
 }
 
 // Snapshot is the consistent point-in-time view of a running
@@ -69,6 +73,9 @@ type Snapshot struct {
 	Buffers []BufferStatus
 	// Threads is the supervision health view, name-ordered.
 	Threads []ThreadHealth
+	// Draining reports that a graceful drain was in progress (or had
+	// completed) when the snapshot was taken.
+	Draining bool
 }
 
 // Snapshot collects the consistent status view and publishes it to the
@@ -116,9 +123,11 @@ func (rt *Runtime) Snapshot() Snapshot {
 		if hw, ok := br.b.(buffer.HighWaterer); ok {
 			bs.HighWaterItems, bs.HighWaterBytes = hw.HighWater()
 		}
+		bs.DrainedItems, bs.ShedItems = br.b.DrainStats()
 		snap.Buffers = append(snap.Buffers, bs)
 	}
 	snap.Threads = rt.Health().Threads
+	snap.Draining = rt.draining.Load()
 	rt.publish(snap)
 	return snap
 }

@@ -283,9 +283,11 @@ func (t *Thread) runOnce() (f *ThreadFailure) {
 			}
 		}
 	}()
-	if err := t.run(); err != nil && !errors.Is(err, ErrShutdown) {
+	if err := t.run(); err != nil && !errors.Is(err, ErrShutdown) && !errors.Is(err, ErrDraining) {
 		return &ThreadFailure{Thread: t.name, Err: err}
 	}
+	// ErrDraining is a clean exit: the body observed its quiesce (or a
+	// sealed downstream buffer) during a graceful drain and returned.
 	return nil
 }
 
@@ -312,7 +314,9 @@ func (t *Thread) supervise() {
 		}
 		t.setState(StateRestarting)
 		t.sleepRestart(delay)
-		if t.stopRequested() {
+		if t.stopRequested() || t.rt.draining.Load() {
+			// Drain is a terminal lifecycle phase: a restart granted
+			// before it began is abandoned, never resumed mid-flush.
 			t.setState(StateStopped)
 			return
 		}
@@ -334,7 +338,9 @@ func (t *Thread) supervise() {
 // an ErrPeerFailed return — restarting cannot resurrect a dead peer, so
 // the failure cascades instead of looping.
 func (t *Thread) nextRestartDelay(f *ThreadFailure) (time.Duration, bool) {
-	if !t.hasRestart || t.stopRequested() {
+	if !t.hasRestart || t.stopRequested() || t.rt.draining.Load() {
+		// No restarts during a graceful drain: a restarted body would
+		// inject work into a graph that is flushing to empty.
 		return 0, false
 	}
 	if f.Err != nil && errors.Is(f.Err, ErrPeerFailed) {
@@ -487,8 +493,14 @@ func (rt *Runtime) watchdog(every time.Duration) {
 	}
 }
 
-// checkStalls performs one watchdog sweep.
+// checkStalls performs one watchdog sweep. Sweeps are suppressed while
+// a graceful drain is in progress: a thread flushing a deep backlog
+// stops calling Sync on its usual cadence, and flagging (or acting on)
+// that as a stall would fight the drain it is part of.
 func (rt *Runtime) checkStalls() {
+	if rt.draining.Load() {
+		return
+	}
 	now := rt.clk.Now()
 	rt.mu.Lock()
 	threads := append([]*Thread(nil), rt.threads...)

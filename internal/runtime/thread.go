@@ -79,6 +79,11 @@ type Thread struct {
 	stop     chan struct{}
 	stopOnce sync.Once
 
+	// quiesced flips during a graceful drain: the thread's Ctx rejects
+	// further puts with ErrDraining, so no new work enters the graph
+	// while the backlog flushes (see drain.go).
+	quiesced atomic.Bool
+
 	// Supervision (see supervisor.go). restart/hasRestart/stallTTL are
 	// set at AddThread time and read-only afterwards; the rest is
 	// guarded by supMu except lastBeat, which the hot path (Ctx.Sync)
@@ -508,6 +513,11 @@ func (c *Ctx) finishGet(p *InPort, res buffer.GetResult) (Msg, error) {
 // the wire for remote endpoints. The new item's provenance is every item
 // consumed so far in this iteration.
 func (c *Ctx) Put(p *OutPort, ts vt.Timestamp, payload any, size int64) error {
+	if c.thread.quiesced.Load() {
+		// Quiesced for a graceful drain: no new work enters the graph.
+		// Rejected before any accounting — the item never existed.
+		return ErrDraining
+	}
 	rec := c.rt.opts.Recorder
 	id := rec.NewItemID()
 
@@ -578,6 +588,9 @@ type PutSpec struct {
 func (c *Ctx) PutBatch(p *OutPort, specs []PutSpec) (applied int, err error) {
 	if len(specs) == 0 {
 		return 0, nil
+	}
+	if c.thread.quiesced.Load() {
+		return 0, ErrDraining
 	}
 	rec := c.rt.opts.Recorder
 

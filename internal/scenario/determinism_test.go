@@ -67,6 +67,53 @@ func TestDeterministicReruns(t *testing.T) {
 	}
 }
 
+// TestDeterministicDrainReruns extends the oracle to drain mode: a
+// graceful Runtime.Drain on the virtual clock must be as
+// bit-reproducible as a hard stop — same seed, byte-identical
+// drained/shed/clean/duration accounting across reruns. A chain cell
+// must additionally drain clean with zero shed: a linear FIFO pipeline
+// whose sources quiesce has nothing left to lose, so any shed item is
+// a flush bug, not load.
+func TestDeterministicDrainReruns(t *testing.T) {
+	for _, topo := range TopologyNames {
+		topo := topo
+		t.Run(topo, func(t *testing.T) {
+			p := DefaultParams(1719, topo, "steady")
+			p.Duration = 4 * time.Second
+			var snaps [2]*CellMetrics
+			var raw [2][]byte
+			for i := range snaps {
+				spec, err := Generate(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cm, err := Run(spec, RunConfig{Estimator: "aimd", Drain: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := json.Marshal(cm)
+				if err != nil {
+					t.Fatal(err)
+				}
+				snaps[i], raw[i] = cm, b
+			}
+			if string(raw[0]) != string(raw[1]) {
+				t.Fatalf("same seed, different drain metrics:\nrun1: %s\nrun2: %s", raw[0], raw[1])
+			}
+			cm := snaps[0]
+			if !cm.DrainMode {
+				t.Fatal("drain cell did not set drain_mode")
+			}
+			if !cm.DrainClean {
+				t.Errorf("drain missed its deadline: %+v", cm)
+			}
+			if topo == "chain" && cm.DrainShed != 0 {
+				t.Errorf("clean chain drain shed %d items, want 0", cm.DrainShed)
+			}
+		})
+	}
+}
+
 // TestDeterministicSeedSensitivity is the converse guard: a different
 // seed must actually change the measured outcome, or the oracle above
 // is vacuously comparing constants.

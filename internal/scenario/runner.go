@@ -36,6 +36,13 @@ type RunConfig struct {
 	// wall-clock-only machinery (ring auto-upgrade, remote edges) and
 	// gives up bit-reproducibility.
 	Clock clock.Clock
+	// Drain ends the run with a graceful Runtime.Drain at 3/4 of the
+	// cell duration instead of running to the stop deadline: sources
+	// quiesce, relays and sinks flush the backlog, and the cell reports
+	// the drain accounting (drained/shed/clean). On the virtual clock a
+	// drain is bit-reproducible like everything else, which is exactly
+	// what the pinned drain cells assert.
+	Drain bool
 }
 
 // CellMetrics is one cell of the scenario matrix: the paper's MU/IGC
@@ -85,6 +92,15 @@ type CellMetrics struct {
 
 	Restarts      int `json:"restarts"`       // supervised restarts consumed
 	MetricsSeries int `json:"metrics_series"` // live registry series (0 when metrics off)
+
+	// Drain-mode accounting (RunConfig.Drain only; omitted — and zero —
+	// for ordinary cells, so the pinned matrix's historical cells keep
+	// byte-identical JSON).
+	DrainMode    bool    `json:"drain_mode,omitempty"`    // cell ran under RunConfig.Drain
+	DrainedItems int64   `json:"drained_items,omitempty"` // items flushed downstream after seal
+	DrainShed    int64   `json:"drain_shed,omitempty"`    // items explicitly shed at settle
+	DrainClean   bool    `json:"drain_clean,omitempty"`   // deadline not hit
+	DrainMs      float64 `json:"drain_ms,omitempty"`      // drain duration (virtual time)
 }
 
 // errDeadline makes a stage body exit cleanly when its per-stage
@@ -493,7 +509,29 @@ func Run(spec *Spec, cfg RunConfig) (*CellMetrics, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := r.rt.RunFor(r.total); err != nil {
+	var drainRep rt.DrainReport
+	if cfg.Drain {
+		// Run 3/4 of the cell, then drain gracefully: sources quiesce
+		// and the live relays/sinks flush the backlog (their own stage
+		// deadlines lie beyond the drain instant). The drain deadline is
+		// the full cell duration — generous, so a correct flush is
+		// always Clean and a non-clean drain is a regression.
+		if err := r.rt.Start(); err != nil {
+			return nil, err
+		}
+		drainAt := QuantizeUp(3 * r.total / 4)
+		if reg, ok := clk.(clock.Registrar); ok {
+			reg.Add(1)
+			clk.Sleep(drainAt)
+			reg.Add(-1)
+		} else {
+			clk.Sleep(drainAt)
+		}
+		drainRep = r.rt.Drain(r.total)
+		if err := r.rt.Wait(); err != nil {
+			return nil, err
+		}
+	} else if err := r.rt.RunFor(r.total); err != nil {
 		return nil, err
 	}
 
@@ -551,6 +589,13 @@ func Run(spec *Spec, cfg RunConfig) (*CellMetrics, error) {
 	}
 	if reg != nil {
 		cm.MetricsSeries = registrySeries(reg)
+	}
+	if cfg.Drain {
+		cm.DrainMode = true
+		cm.DrainedItems = drainRep.Drained
+		cm.DrainShed = drainRep.Shed
+		cm.DrainClean = drainRep.Clean
+		cm.DrainMs = ms(drainRep.Duration)
 	}
 	return cm, nil
 }

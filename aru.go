@@ -53,6 +53,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/remote"
 	"repro/internal/runtime"
+	"repro/internal/sched"
 	"repro/internal/trace"
 	"repro/internal/tracker"
 	"repro/internal/transport"
@@ -538,6 +539,34 @@ func WithMetricsAddr(opts Options, addr string) Options {
 	if opts.Metrics == nil {
 		opts.Metrics = metrics.NewRegistry()
 	}
+	return opts
+}
+
+// Elastic scheduling (see internal/sched and DESIGN.md §4k).
+type (
+	// ElasticConfig parameterizes the elastic, resource-aware scheduler:
+	// the target per-stage service period it defends, the stages it may
+	// scale, replica caps, hysteresis bands, and host placement weights.
+	ElasticConfig = sched.Config
+	// ControlLoop is a background control goroutine under the runtime's
+	// lifecycle (Options.ControlLoops): spawned by Start, stopped and
+	// joined by Stop/Wait.
+	ControlLoop = runtime.ControlLoop
+)
+
+// WithElastic returns opts with the elastic scheduler's control loop
+// installed: a clock-aware feedback loop that detects the bottleneck
+// stage (max summary-STP plus inbound blocked-put pressure), replicates
+// it into a supervised worker pool behind its buffer, and retires
+// replicas drain-safely when the load subsides. Without this call no
+// scheduler runs and the runtime behaves exactly as before — the
+// elastic layer is strictly opt-in.
+//
+//	rt := aru.New(aru.WithElastic(aru.Options{...}, aru.ElasticConfig{
+//		TargetPeriod: 40 * time.Millisecond,
+//	}))
+func WithElastic(opts Options, cfg ElasticConfig) Options {
+	opts.ControlLoops = append(opts.ControlLoops, sched.Loop(cfg))
 	return opts
 }
 

@@ -52,6 +52,7 @@ type cellSpec struct {
 	topo, shape, est string
 	failures         int
 	drain            bool
+	elastic          bool
 }
 
 func main() {
@@ -128,15 +129,15 @@ func matrix() []cellSpec {
 	for _, topo := range scenario.TopologyNames {
 		for _, shape := range scenario.ShapeNames {
 			for _, est := range []string{"raw", "aimd"} {
-				cells = append(cells, cellSpec{topo, shape, est, 0, false})
+				cells = append(cells, cellSpec{topo, shape, est, 0, false, false})
 			}
 		}
 	}
 	cells = append(cells,
-		cellSpec{"chain", "steady", "raw", 2, false},
-		cellSpec{"chain", "steady", "aimd", 2, false},
-		cellSpec{"diamond", "onoff", "raw", 1, false},
-		cellSpec{"diamond", "onoff", "aimd", 1, false},
+		cellSpec{"chain", "steady", "raw", 2, false, false},
+		cellSpec{"chain", "steady", "aimd", 2, false, false},
+		cellSpec{"diamond", "onoff", "raw", 1, false, false},
+		cellSpec{"diamond", "onoff", "aimd", 1, false, false},
 	)
 	// One drain-mode cell per topology: the run ends with a graceful
 	// Runtime.Drain at 3/4 of the duration instead of a hard stop, and
@@ -144,7 +145,16 @@ func matrix() []cellSpec {
 	// On the virtual clock a drain is bit-reproducible like everything
 	// else — these cells are the regression oracle for that contract.
 	for _, topo := range scenario.TopologyNames {
-		cells = append(cells, cellSpec{topo, "steady", "aimd", 0, true})
+		cells = append(cells, cellSpec{topo, "steady", "aimd", 0, true, false})
+	}
+	// One elastic cell per topology: the internal/sched control loop
+	// supervises the relay stages and replicates the elected bottleneck.
+	// The flash shape gives it something to react to (a load spike mid-
+	// run); the pin covers the scale schedule (ups/downs/final replicas)
+	// alongside the usual metrics, so any drift in the scheduler's
+	// sensor, election, or hysteresis shows up as a cell mismatch.
+	for _, topo := range scenario.TopologyNames {
+		cells = append(cells, cellSpec{topo, "flash", "aimd", 0, false, true})
 	}
 	return cells
 }
@@ -161,7 +171,7 @@ func measure(c cellSpec, seed uint64, duration time.Duration) *scenario.CellMetr
 	if err != nil {
 		fatal("generate %s: %v", diffKey(c), err)
 	}
-	cm, err := scenario.Run(spec, scenario.RunConfig{Estimator: c.est, Metrics: true, Drain: c.drain})
+	cm, err := scenario.Run(spec, scenario.RunConfig{Estimator: c.est, Metrics: true, Drain: c.drain, Elastic: c.elastic})
 	if err != nil {
 		fatal("run %s/%s: %v", diffKey(c), c.est, err)
 	}
@@ -169,20 +179,23 @@ func measure(c cellSpec, seed uint64, duration time.Duration) *scenario.CellMetr
 }
 
 // diffKey identifies a cell up to the estimator: the unit the AIMD
-// differential compares across. Drain cells carry a suffix so they
-// never collide with (and are never compared against) the full-length
-// runs of the same coordinate.
+// differential compares across. Drain and elastic cells carry a suffix
+// so they never collide with (and are never compared against) the
+// plain runs of the same coordinate.
 func diffKey(c cellSpec) string {
-	return fmt.Sprintf("%s/%s/f%d%s", c.topo, c.shape, c.failures, drainSuffix(c.drain))
+	return fmt.Sprintf("%s/%s/f%d%s", c.topo, c.shape, c.failures, variantSuffix(c.drain, c.elastic))
 }
 
 func cellKey(cm *scenario.CellMetrics) string {
-	return fmt.Sprintf("%s/%s/%s/f%d%s", cm.Topology, cm.Shape, cm.Estimator, cm.Failures, drainSuffix(cm.DrainMode))
+	return fmt.Sprintf("%s/%s/%s/f%d%s", cm.Topology, cm.Shape, cm.Estimator, cm.Failures, variantSuffix(cm.DrainMode, cm.ElasticMode))
 }
 
-func drainSuffix(drain bool) string {
-	if drain {
+func variantSuffix(drain, elastic bool) string {
+	switch {
+	case drain:
 		return "/drain"
+	case elastic:
+		return "/elastic"
 	}
 	return ""
 }
@@ -208,7 +221,7 @@ func checkAgainst(path string, rep *Report, cells []cellSpec, seed uint64, durat
 	}
 	specByKey := make(map[string]cellSpec, len(cells))
 	for _, c := range cells {
-		specByKey[fmt.Sprintf("%s/%s/%s/f%d%s", c.topo, c.shape, c.est, c.failures, drainSuffix(c.drain))] = c
+		specByKey[fmt.Sprintf("%s/%s/%s/f%d%s", c.topo, c.shape, c.est, c.failures, variantSuffix(c.drain, c.elastic))] = c
 	}
 
 	failed := false

@@ -1,0 +1,254 @@
+// The -hotstage mode: the elastic-recovery experiment. One color model
+// (target-detect-1) has its per-frame compute multiplied by -hotfactor —
+// the "content blew up one kernel" failure the elastic scheduler exists
+// for — and the tracker is measured three ways on the virtual clock:
+//
+//	balanced:     stock timing, no scheduler   (the reference fps)
+//	hot:          hot stage, no scheduler      (the damage)
+//	hot-elastic:  hot stage + elastic scheduler (the recovery)
+//
+// The headline invariant, pinned in BENCH_elastic.json and enforced by
+// -check: the elastic run recovers at least 90% of the balanced
+// throughput, and actually scaled (the recovery is the scheduler's
+// doing, not noise). Below-bar cells re-measure best-of-3 before
+// failing, mirroring cmd/aru: scheduler noise is one-sided.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gc"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/tracker"
+)
+
+// hotCell is one measured configuration.
+type hotCell struct {
+	Name         string  `json:"name"` // balanced | hot | hot-elastic
+	FPS          float64 `json:"fps"`
+	Outputs      int     `json:"outputs"`
+	LatencyP50Ms float64 `json:"latency_p50_ms"`
+	ScaleUps     int64   `json:"scale_ups"`
+	ScaleDowns   int64   `json:"scale_downs"`
+	// ReplicasEnd is the detectors' live replica count at the
+	// scheduler's final tick before the run ended.
+	ReplicasEnd int `json:"replicas_end"`
+}
+
+// hotReport is the BENCH_elastic.json pin format.
+type hotReport struct {
+	GoVersion string    `json:"go_version"`
+	NumCPU    int       `json:"num_cpu"`
+	Seconds   float64   `json:"virtual_seconds"`
+	Warmup    float64   `json:"warmup_seconds"`
+	Seed      int64     `json:"seed"`
+	HotFactor float64   `json:"hot_factor"`
+	Cells     []hotCell `json:"cells"`
+	// RecoveryRatio is fps(hot-elastic) / fps(balanced) — the number the
+	// scheduler is judged by.
+	RecoveryRatio float64 `json:"recovery_ratio"`
+}
+
+// elasticConfig is the scheduler configuration the experiment (and the
+// README quickstart) uses: defend a 250ms detector period — comfortably
+// above both stock detector costs (185/205ms ± log-normal noise), far
+// below the induced hot cost — and scale only the two detection
+// kernels, the tracker's data-parallel stages. The margin matters: a
+// target inside a stage's noise band parks that stage at the hysteresis
+// edge, where even sustain counters eventually admit a flap.
+func elasticConfig() sched.Config {
+	return sched.Config{
+		TargetPeriod: 250 * time.Millisecond,
+		Stages:       []string{"target-detect-1", "target-detect-2"},
+		// The tracker's periods swing hard (complexity walk ±18%,
+		// log-normal noise, shared-bus pressure from every extra
+		// incarnation), so retirement demands 2x headroom: a replica is
+		// only released if the projected period without it stays under
+		// half the target. The default 0.9 band — right for low-variance
+		// pipelines — would breathe at this noise level.
+		DownBand: 0.5,
+	}
+}
+
+// measureHotCell runs one configuration for `seconds` of virtual time.
+func measureHotCell(name string, hosts int, seconds, warmup float64, seed int64, hotFactor float64, elastic bool) hotCell {
+	cfg := tracker.Config{
+		Hosts:     hosts,
+		Seed:      seed,
+		Policy:    core.PolicyMin(),
+		Collector: gc.NewDeadTimestamp(),
+	}
+	var reg *metrics.Registry
+	if hotFactor > 1 {
+		cfg.HotFactor = hotFactor
+	}
+	if elastic {
+		ec := elasticConfig()
+		cfg.Elastic = &ec
+		reg = metrics.NewRegistry()
+		cfg.Metrics = reg
+	}
+	app, err := tracker.New(cfg)
+	if err != nil {
+		fatalHot("build %s: %v", name, err)
+	}
+	total := time.Duration(seconds * float64(time.Second))
+	a, err := app.Run(total, time.Duration(warmup*float64(time.Second)))
+	if err != nil {
+		fatalHot("run %s: %v", name, err)
+	}
+	cell := hotCell{
+		Name:         name,
+		FPS:          a.ThroughputFPS,
+		Outputs:      a.Outputs,
+		LatencyP50Ms: float64(a.LatencyP50) / float64(time.Millisecond),
+	}
+	if reg != nil {
+		for _, stage := range []string{"target-detect-1", "target-detect-2"} {
+			ls := metrics.Labels{"stage": stage}
+			cell.ScaleUps += reg.Counter(sched.MetricScaleUps, "", ls).Value()
+			cell.ScaleDowns += reg.Counter(sched.MetricScaleDowns, "", ls).Value()
+			// The gauge holds the scheduler's last-tick count — the live
+			// registry itself has already drained by the time Run returns.
+			cell.ReplicasEnd += int(reg.Gauge(sched.MetricReplicas, "", ls).Value())
+		}
+	}
+	return cell
+}
+
+// runHotStage executes the three-cell experiment and handles -out/-check.
+func runHotStage(hosts int, seconds, warmup float64, seed int64, hotFactor float64, outPath, checkPath string, tol float64) {
+	rep := hotReport{
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Seconds:   seconds,
+		Warmup:    warmup,
+		Seed:      seed,
+		HotFactor: hotFactor,
+	}
+	fmt.Printf("elastic recovery experiment: hotfactor=%.1f hosts=%d duration=%.0fs seed=%d\n\n",
+		hotFactor, hosts, seconds, seed)
+	fmt.Printf("%-12s %7s %8s %12s %9s %11s %9s\n",
+		"cell", "fps", "outputs", "p50-lat(ms)", "scale-ups", "scale-downs", "replicas")
+	measure := func(name string, factor float64, elastic bool) hotCell {
+		c := measureHotCell(name, hosts, seconds, warmup, seed, factor, elastic)
+		fmt.Printf("%-12s %7.2f %8d %12.0f %9d %11d %9d\n",
+			c.Name, c.FPS, c.Outputs, c.LatencyP50Ms, c.ScaleUps, c.ScaleDowns, c.ReplicasEnd)
+		return c
+	}
+	balanced := measure("balanced", 0, false)
+	hot := measure("hot", hotFactor, false)
+	elastic := measure("hot-elastic", hotFactor, true)
+	rep.Cells = []hotCell{balanced, hot, elastic}
+	if balanced.FPS > 0 {
+		rep.RecoveryRatio = elastic.FPS / balanced.FPS
+	}
+	fmt.Printf("\nrecovery ratio: %.3f (hot-elastic %.2f fps / balanced %.2f fps; unaided hot ran %.2f)\n",
+		rep.RecoveryRatio, elastic.FPS, balanced.FPS, hot.FPS)
+
+	if outPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatalHot("marshal: %v", err)
+		}
+		if err := os.WriteFile(outPath, append(buf, '\n'), 0o644); err != nil {
+			fatalHot("write %s: %v", outPath, err)
+		}
+		fmt.Printf("wrote %s\n", outPath)
+	}
+	if checkPath != "" {
+		if !runHotCheck(rep, checkPath, tol, hosts, seconds, warmup, seed, hotFactor) {
+			os.Exit(1)
+		}
+	}
+}
+
+// runHotCheck validates a fresh report against the pinned one plus the
+// recovery invariants. Below-bar cells are re-measured up to twice and
+// judged on their best attempt.
+func runHotCheck(rep hotReport, path string, tol float64, hosts int, seconds, warmup float64, seed int64, hotFactor float64) bool {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		fatalHot("read %s: %v", path, err)
+	}
+	var pinned hotReport
+	if err := json.Unmarshal(buf, &pinned); err != nil {
+		fatalHot("parse %s: %v", path, err)
+	}
+	baseline := make(map[string]hotCell, len(pinned.Cells))
+	for _, c := range pinned.Cells {
+		baseline[c.Name] = c
+	}
+
+	ok := true
+	fresh := make(map[string]hotCell, len(rep.Cells))
+	for _, c := range rep.Cells {
+		want, have := baseline[c.Name]
+		if have {
+			// One-sided fps bar with a small absolute floor; the hot cell is
+			// additionally barred from above — if the "damaged" run got fast,
+			// the experiment stopped inducing a bottleneck.
+			floor := want.FPS*(1-tol) - 0.1
+			below := func(c hotCell) bool { return c.FPS < floor }
+			for retry := 0; retry < 2 && below(c); retry++ {
+				again := measureHotCell(c.Name, hosts, seconds, warmup, seed, cellFactor(c.Name, hotFactor), c.Name == "hot-elastic")
+				if again.FPS > c.FPS {
+					c = again
+				}
+			}
+			if below(c) {
+				ok = false
+				fmt.Fprintf(os.Stderr, "REGRESSION %s: %.2f fps (floor %.2f)\n", c.Name, c.FPS, floor)
+			}
+			if c.Name == "hot" && c.FPS > want.FPS*(1+tol)+0.1 {
+				ok = false
+				fmt.Fprintf(os.Stderr, "EXPERIMENT %s: %.2f fps above the pinned damage ceiling %.2f — the hot stage is no longer hot\n",
+					c.Name, c.FPS, want.FPS*(1+tol)+0.1)
+			}
+		}
+		fresh[c.Name] = c
+	}
+
+	// The invariants the scheduler exists for.
+	balanced, hot, elastic := fresh["balanced"], fresh["hot"], fresh["hot-elastic"]
+	if balanced.FPS > 0 {
+		recovery := elastic.FPS / balanced.FPS
+		if recovery < 0.90 {
+			ok = false
+			fmt.Fprintf(os.Stderr, "INVARIANT recovery ratio %.3f below 0.90 (elastic %.2f fps vs balanced %.2f)\n",
+				recovery, elastic.FPS, balanced.FPS)
+		}
+	}
+	if hot.FPS > 0 && elastic.FPS < 1.5*hot.FPS {
+		ok = false
+		fmt.Fprintf(os.Stderr, "INVARIANT hot-elastic %.2f fps not 1.5x above unaided hot %.2f — the scheduler did not help\n",
+			elastic.FPS, hot.FPS)
+	}
+	if elastic.ScaleUps == 0 {
+		ok = false
+		fmt.Fprintf(os.Stderr, "INVARIANT hot-elastic never scaled up — the recovery is not the scheduler's doing\n")
+	}
+	if ok {
+		fmt.Printf("check against %s passed (tolerance %.0f%%)\n", path, tol*100)
+	}
+	return ok
+}
+
+// cellFactor maps a cell name back to its hot factor for re-measures.
+func cellFactor(name string, hotFactor float64) float64 {
+	if name == "balanced" {
+		return 0
+	}
+	return hotFactor
+}
+
+func fatalHot(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracker -hotstage: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -88,6 +88,13 @@ type Base struct {
 	drained   int64 // items delivered to a consumer after Seal
 	shed      int64 // items discarded undelivered (Drain, or Close with backlog)
 
+	// putBlockedNs / putBlockedN accumulate producer capacity-blocking
+	// (the elastic scheduler's backlog-pressure sensor). Maintained
+	// metrics on or off: the cost lands only on puts that actually
+	// blocked, a path that already read the clock twice.
+	putBlockedNs int64
+	putBlockedN  int64
+
 	// prodFailed / consFailed count attachments removed because their
 	// thread failed permanently (FailProducer / FailConsumer). They
 	// distinguish "all peers are dead" from "no peers attached yet":
@@ -236,19 +243,36 @@ func (b *Base) AwaitCapacityLocked() (time.Duration, error) {
 	for !b.closed && !b.sealed && b.occupied() >= b.Cfg.Capacity {
 		if b.ConsumersExhaustedLocked() {
 			d := b.Cfg.Clock.Now() - start
-			b.mPutBlocked.Observe(d)
+			b.accountPutBlockedLocked(d)
 			return d, fmt.Errorf("%w: all consumers of %q failed while producer blocked on capacity", ErrPeerFailed, b.Cfg.Name)
 		}
 		b.wait(b.notFull)
 	}
 	d := b.Cfg.Clock.Now() - start
 	if d > 0 {
-		b.mPutBlocked.Observe(d)
+		b.accountPutBlockedLocked(d)
 	}
 	if b.sealed && !b.closed {
 		return d, fmt.Errorf("%w: put into sealed %q", ErrDraining, b.Cfg.Name)
 	}
 	return d, nil
+}
+
+// accountPutBlockedLocked records one capacity-blocked put: the
+// cumulative ledger behind PutBlocked plus the histogram observation
+// when metrics are on.
+func (b *Base) accountPutBlockedLocked(d time.Duration) {
+	b.putBlockedNs += int64(d)
+	b.putBlockedN++
+	b.mPutBlocked.Observe(d)
+}
+
+// PutBlocked returns the cumulative time producers spent blocked on
+// capacity and the number of puts that blocked. Implements PutBlocker.
+func (b *Base) PutBlocked() (time.Duration, int64) {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
+	return time.Duration(b.putBlockedNs), b.putBlockedN
 }
 
 // FailProducerLocked removes a producer attachment that failed

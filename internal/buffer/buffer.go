@@ -286,6 +286,17 @@ type HighWaterer interface {
 	HighWater() (items, bytes int64)
 }
 
+// PutBlocker is implemented by backends that account producer
+// capacity-blocking inline (every Base-embedding in-process backend
+// does, metrics on or off). The elastic scheduler reads it as its
+// backlog-pressure sensor: a buffer whose producers accumulate blocked
+// time faster than its consumer drains is the bottleneck's inbox.
+type PutBlocker interface {
+	// PutBlocked returns the cumulative time producers spent blocked on
+	// capacity and the number of puts that blocked.
+	PutBlocked() (blocked time.Duration, blockedPuts int64)
+}
+
 // Buffer is a timestamped buffer endpoint as seen by the runtime. All
 // methods must be safe for concurrent use.
 type Buffer interface {

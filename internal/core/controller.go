@@ -289,7 +289,13 @@ type NodeState struct {
 	vec  *BackwardVec
 
 	mu      sync.Mutex
-	current STP // threads only: most recent current-STP
+	current STP // threads only: effective current-STP (parallel fold when replicated)
+	primary STP // threads only: the primary incarnation's own measured current-STP
+	// repl holds the live elastic replicas' last measured current-STPs by
+	// replica slot. It stays nil until the scheduler registers a replica,
+	// so unreplicated pipelines keep the exact pre-elastic fold (current
+	// == primary) with no extra work on the Sync path.
+	repl    map[int]STP
 	summary STP
 	remote  bool // summary is externally supplied (wire-backed buffer)
 
@@ -362,10 +368,13 @@ func (n *NodeState) RefreshSummary() {
 }
 
 // SetCurrentSTP records a thread's newly measured current-STP and
-// refreshes the summary.
+// refreshes the summary. For a replicated stage the measurement lands in
+// the primary's slot and the effective current becomes the parallel fold
+// over every live incarnation (see foldLocked).
 func (n *NodeState) SetCurrentSTP(s STP) {
 	n.mu.Lock()
-	n.current = s
+	n.primary = s
+	n.current = n.foldLocked()
 	n.mu.Unlock()
 	n.applySummary(n.vec.Compressed(n.comp))
 }
@@ -623,6 +632,8 @@ func (c *Controller) FadeNode(id graph.NodeID) {
 	st := c.states[id]
 	st.mu.Lock()
 	st.current = Unknown
+	st.primary = Unknown
+	st.repl = nil // replicas die with their primary's permanent failure
 	st.summary = Unknown
 	st.mu.Unlock()
 	if st.est != nil {

@@ -27,6 +27,9 @@ type NodeSnapshot struct {
 	// Estimator is the node's estimator-stage state, nil under raw
 	// propagation (no estimator plugged in).
 	Estimator *EstimatorState
+	// Replicas is the number of live elastic replica slots folded into
+	// Current (0 for unreplicated stages and buffers).
+	Replicas int
 }
 
 // Snapshot captures the whole controller's state, ordered by node id. It
@@ -48,6 +51,7 @@ func (c *Controller) Snapshot() []NodeSnapshot {
 			Compressed: st.vec.Compressed(st.comp),
 			Summary:    st.Summary(),
 			Vector:     st.vec.Snapshot(),
+			Replicas:   st.Replicas(),
 		}
 		if st.est != nil {
 			es := st.est.State(st.estClk.Now())

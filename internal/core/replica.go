@@ -1,0 +1,91 @@
+// Per-replica STP folding for elastic stages (internal/sched).
+//
+// ARU's feedback loop slows producers down to the bottleneck's pace;
+// the elastic scheduler is the dual — it speeds the bottleneck up by
+// replicating the stage behind its inbound buffer. For the feedback to
+// reflect that added capacity, a replicated stage's current-STP must be
+// the *parallel composition* of its incarnations: k workers draining
+// one buffer at periods p₁..pₖ behave like a single stage with period
+// 1/Σ(1/pᵢ), so the summary-STP piggybacked upstream relaxes as
+// replicas come online and upstream throttling eases without any
+// change to the propagation rules.
+package core
+
+import "repro/internal/graph"
+
+// foldLocked derives the effective current-STP from the primary's and
+// every live replica's last measurement. With no replicas it is the
+// primary's value bit-for-bit (the pre-elastic behavior); otherwise the
+// known periods compose in parallel and Unknown incarnations (not yet
+// through their first Sync) contribute nothing.
+func (n *NodeState) foldLocked() STP {
+	if len(n.repl) == 0 {
+		return n.primary
+	}
+	var rate float64
+	if n.primary.Known() {
+		rate = 1 / float64(n.primary)
+	}
+	for _, s := range n.repl {
+		if s.Known() {
+			rate += 1 / float64(s)
+		}
+	}
+	if rate == 0 {
+		return n.primary
+	}
+	return STP(1 / rate)
+}
+
+// SetReplicaSTP records a replica incarnation's newly measured
+// current-STP (slot ≥ 1; the primary is SetCurrentSTP) and re-derives
+// the effective current and summary.
+func (n *NodeState) SetReplicaSTP(slot int, s STP) {
+	n.mu.Lock()
+	if n.repl == nil {
+		n.repl = make(map[int]STP)
+	}
+	n.repl[slot] = s
+	n.current = n.foldLocked()
+	n.mu.Unlock()
+	n.applySummary(n.vec.Compressed(n.comp))
+}
+
+// RetireReplica removes a retired (or permanently failed) replica's
+// contribution from the fold, so the stage's summary-STP tightens back
+// toward the surviving incarnations' pace and upstream throttling
+// resumes — the scale-down analogue of DropConsumer's "feedback must
+// reflect live consumers" rule.
+func (n *NodeState) RetireReplica(slot int) {
+	n.mu.Lock()
+	delete(n.repl, slot)
+	n.current = n.foldLocked()
+	n.mu.Unlock()
+	n.applySummary(n.vec.Compressed(n.comp))
+}
+
+// Replicas returns the number of live replica slots (the primary is not
+// counted).
+func (n *NodeState) Replicas() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.repl)
+}
+
+// SetReplicaSTP records a replica's measured current-STP for a node (the
+// replica-slot counterpart of SetCurrentSTP).
+func (c *Controller) SetReplicaSTP(id graph.NodeID, slot int, s STP) {
+	if !c.policy.Enabled {
+		return
+	}
+	c.states[id].SetReplicaSTP(slot, s)
+}
+
+// RetireReplica drops a replica slot's contribution to a node's
+// effective current-STP.
+func (c *Controller) RetireReplica(id graph.NodeID, slot int) {
+	if !c.policy.Enabled {
+		return
+	}
+	c.states[id].RetireReplica(slot)
+}

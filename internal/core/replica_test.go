@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// replicaGraph builds src → C1 → worker, the minimal shape for observing
+// how a replicated worker's effective current-STP feeds back upstream.
+func replicaGraph(t *testing.T) (c *Controller, worker graph.NodeID, get graph.ConnID, put graph.ConnID) {
+	t.Helper()
+	g := graph.New()
+	src := g.MustAddNode(graph.KindThread, "src", 0)
+	ch := g.MustAddNode(graph.KindChannel, "C1", 0)
+	worker = g.MustAddNode(graph.KindThread, "worker", 0)
+	put = g.MustConnect(src, ch)
+	get = g.MustConnect(ch, worker)
+	return NewController(g, PolicyMin()), worker, get, put
+}
+
+// TestReplicaFoldParallel pins the parallel composition: a primary at
+// 100ms with replicas at 100ms and 50ms folds to 1/(10+10+20) = 25ms,
+// retiring a replica re-tightens the fold, and an Unknown replica (not
+// yet through its first Sync) contributes nothing.
+func TestReplicaFoldParallel(t *testing.T) {
+	c, worker, _, _ := replicaGraph(t)
+	st := c.State(worker)
+
+	c.SetCurrentSTP(worker, STP(100*time.Millisecond))
+	if got := st.CurrentSTP(); got != STP(100*time.Millisecond) {
+		t.Fatalf("unreplicated current = %v, want 100ms", got)
+	}
+	if st.Replicas() != 0 {
+		t.Fatalf("replicas = %d before any registered", st.Replicas())
+	}
+
+	// A registered-but-unmeasured replica must not perturb the fold.
+	c.SetReplicaSTP(worker, 1, Unknown)
+	if got := st.CurrentSTP(); got != STP(100*time.Millisecond) {
+		t.Fatalf("current with Unknown replica = %v, want 100ms", got)
+	}
+
+	c.SetReplicaSTP(worker, 1, STP(100*time.Millisecond))
+	if got := st.CurrentSTP(); got != STP(50*time.Millisecond) {
+		t.Fatalf("current with equal replica = %v, want 50ms", got)
+	}
+
+	c.SetReplicaSTP(worker, 2, STP(50*time.Millisecond))
+	if got := st.CurrentSTP(); got != STP(25*time.Millisecond) {
+		t.Fatalf("current with 100+100+50ms fold = %v, want 25ms", got)
+	}
+
+	c.RetireReplica(worker, 2)
+	if got := st.CurrentSTP(); got != STP(50*time.Millisecond) {
+		t.Fatalf("current after retire = %v, want 50ms", got)
+	}
+	c.RetireReplica(worker, 1)
+	if got := st.CurrentSTP(); got != STP(100*time.Millisecond) {
+		t.Fatalf("current after full scale-down = %v, want primary's 100ms", got)
+	}
+}
+
+// TestReplicaFoldFeedsUpstream proves the point of the fold: the
+// worker's summary-STP (max of compressed and effective current) is what
+// its get piggybacks onto C1, so a replica coming online relaxes the
+// backpressure the source sees on its next put.
+func TestReplicaFoldFeedsUpstream(t *testing.T) {
+	c, worker, get, put := replicaGraph(t)
+
+	c.SetCurrentSTP(worker, STP(200*time.Millisecond))
+	c.NoteGet(get)
+	c.NotePut(put)
+	src := c.g.Conn(put).From
+	if got := c.State(src).Summary(); got != STP(200*time.Millisecond) {
+		t.Fatalf("pre-replica source summary = %v, want the worker's 200ms", got)
+	}
+
+	// One equal replica: effective period halves and the next
+	// piggyback cycle propagates the relaxed demand.
+	c.SetReplicaSTP(worker, 1, STP(200*time.Millisecond))
+	c.NoteGet(get)
+	c.NotePut(put)
+	if got := c.State(src).Summary(); got != STP(100*time.Millisecond) {
+		t.Fatalf("post-replica source summary = %v, want 100ms", got)
+	}
+
+	// Snapshot surfaces the replica count for status rendering.
+	for _, ns := range c.Snapshot() {
+		if ns.Name == "worker" && ns.Replicas != 1 {
+			t.Fatalf("snapshot replicas = %d, want 1", ns.Replicas)
+		}
+	}
+}

@@ -4,13 +4,13 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
-	"math/rand"
 	"sync"
 	"time"
 
 	"repro/internal/backoff"
 	"repro/internal/clock"
 	"repro/internal/metrics"
+	"repro/internal/rand"
 )
 
 // Fault-tolerance defaults. Chosen so a transient blip (a dropped
@@ -71,7 +71,9 @@ type DialConfig struct {
 	// Dialer opens the transport (nil: TCP). Fault-injection tests wrap
 	// it.
 	Dialer Dialer
-	// Seed fixes the jitter randomness; zero derives from wall time.
+	// Seed fixes the jitter randomness; zero falls back to the ARU_SEED
+	// environment override and then to a process-wide seeded sub-stream,
+	// so redial schedules stay reproducible for differential tests.
 	Seed int64
 	// Window is the consumer sliding-window width replayed on every
 	// (re-)attach; zero means 1.
@@ -99,13 +101,58 @@ func (cfg DialConfig) withDefaults() DialConfig {
 		cfg.Dialer = dialTCP
 	}
 	if cfg.Seed == 0 {
-		cfg.Seed = time.Now().UnixNano()
+		cfg.Seed = defaultSeed()
 	}
 	return cfg
 }
 
+// procRand is the package's seeded randomness source: one xorshift64
+// stream per purpose (producer tokens, default redial seeds), split from
+// ARU_SEED when set so differential tests replay byte-identical token
+// and jitter draws, and from wall time (once, at first use) otherwise —
+// producer tokens identify distinct processes to the dedup layer, so the
+// unseeded default must still differ across processes. Replacing the
+// package-global math/rand source also takes token minting off the
+// process-wide rand lock.
+var procRand = struct {
+	sync.Mutex
+	tokens *rand.Rand
+	seeds  *rand.Rand
+}{}
+
+// procStreamsLocked lazily builds the process streams.
+func procStreamsLocked() (*rand.Rand, *rand.Rand) {
+	if procRand.tokens == nil {
+		seed := uint64(rand.EnvSeed("ARU_SEED", 0))
+		if seed == 0 {
+			seed = uint64(time.Now().UnixNano())
+		}
+		procRand.tokens = rand.New(rand.Split(seed, 0x70_6b))
+		procRand.seeds = rand.New(rand.Split(seed, 0x6a_69))
+	}
+	return procRand.tokens, procRand.seeds
+}
+
 // newToken returns a nonzero producer identity for idempotent puts.
-func newToken() uint64 { return rand.Uint64() | 1 }
+func newToken() uint64 {
+	procRand.Lock()
+	defer procRand.Unlock()
+	tokens, _ := procStreamsLocked()
+	return tokens.Uint64() | 1
+}
+
+// defaultSeed draws a nonzero per-connection jitter seed from the
+// process stream: distinct per Reconnector, reproducible under ARU_SEED.
+func defaultSeed() int64 {
+	procRand.Lock()
+	defer procRand.Unlock()
+	_, seeds := procStreamsLocked()
+	for {
+		if s := int64(seeds.Uint64()); s != 0 {
+			return s
+		}
+	}
+}
 
 // Reconnector owns one logical attachment to a hosted channel and keeps
 // it alive across wire faults: it redials with capped exponential
@@ -136,7 +183,7 @@ func newReconnector(cfg DialConfig, attach func(*conn) error) *Reconnector {
 	return &Reconnector{
 		cfg:    cfg,
 		attach: attach,
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		rng:    rand.New(uint64(cfg.Seed)),
 		done:   make(chan struct{}),
 	}
 }

@@ -180,19 +180,7 @@ func (rt *Runtime) registerInstrumentsLocked() {
 		}
 	})
 	for _, t := range rt.threads {
-		tls := tenantLabels("thread", t.name, t.tenant)
-		t.tm = threadInstruments{
-			iterations:    reg.Counter(MetricIterations, "Completed Sync iterations.", tls),
-			throttleSleep: reg.DurationCounter(MetricThrottleSleep, "Time the source throttle slept to match the summary-STP.", tls),
-			restarts:      reg.Counter(MetricRestarts, "Supervised restarts completed.", tls),
-			panics:        reg.Counter(MetricPanics, "Panics recovered from the thread body.", tls),
-			failures:      reg.Counter(MetricFailures, "Permanent failures (restart budget exhausted or RestartNever).", tls),
-			stallEpisodes: reg.Counter(MetricStallEpisodes, "Stall episodes flagged by the watchdog.", tls),
-			faded:         reg.Counter(MetricNodeFaded, "Times the controller faded this node's feedback on permanent failure.", tenantLabels("node", t.name, t.tenant)),
-			heartbeatAge:  reg.DurationGauge(MetricHeartbeatAge, "Age of the thread's last heartbeat (sampled).", tls),
-			stalled:       reg.Gauge(MetricThreadStalled, "1 while the stall watchdog flags the thread.", tls),
-		}
-		rt.threadByName[t.name] = t
+		rt.registerThreadInstruments(t)
 		for _, p := range t.ins {
 			ls := tenantLabels("buffer", p.ref.name, p.ref.tenant)
 			p.mGets = reg.Counter(MetricGets, "Items consumed from the buffer.", ls)
@@ -203,6 +191,36 @@ func (rt *Runtime) registerInstrumentsLocked() {
 			p.mPeerFailed = reg.Counter(MetricPeerFailed, "Operations woken by total peer failure (ErrPeerFailed).", tenantLabels("buffer", p.ref.name, p.ref.tenant))
 		}
 	}
+}
+
+// registerThreadInstruments resolves one thread's supervision and
+// iteration handles and publishes the thread to threadByName. Called at
+// Start for every declared thread and from SpawnReplica for elastic
+// replicas (whose names are unique per slot) — the map insert is
+// instMu-guarded because replicas register while the sampler is live.
+// Port instruments are not touched here: a replica shares its primary's
+// ports, whose handles were resolved at Start. No-op when metrics are
+// disabled.
+func (rt *Runtime) registerThreadInstruments(t *Thread) {
+	reg := rt.opts.Metrics
+	if reg == nil {
+		return
+	}
+	tls := tenantLabels("thread", t.name, t.tenant)
+	t.tm = threadInstruments{
+		iterations:    reg.Counter(MetricIterations, "Completed Sync iterations.", tls),
+		throttleSleep: reg.DurationCounter(MetricThrottleSleep, "Time the source throttle slept to match the summary-STP.", tls),
+		restarts:      reg.Counter(MetricRestarts, "Supervised restarts completed.", tls),
+		panics:        reg.Counter(MetricPanics, "Panics recovered from the thread body.", tls),
+		failures:      reg.Counter(MetricFailures, "Permanent failures (restart budget exhausted or RestartNever).", tls),
+		stallEpisodes: reg.Counter(MetricStallEpisodes, "Stall episodes flagged by the watchdog.", tls),
+		faded:         reg.Counter(MetricNodeFaded, "Times the controller faded this node's feedback on permanent failure.", tenantLabels("node", t.name, t.tenant)),
+		heartbeatAge:  reg.DurationGauge(MetricHeartbeatAge, "Age of the thread's last heartbeat (sampled).", tls),
+		stalled:       reg.Gauge(MetricThreadStalled, "1 while the stall watchdog flags the thread.", tls),
+	}
+	rt.instMu.Lock()
+	rt.threadByName[t.name] = t
+	rt.instMu.Unlock()
 }
 
 // noteGet records one get outcome on the port's instruments: blocked
@@ -319,6 +337,7 @@ func (rt *Runtime) publish(snap Snapshot) {
 		bi.items.Set(int64(bs.Items))
 		bi.bytes.Set(bs.Bytes)
 	}
+	rt.instMu.Lock()
 	for i := range snap.Threads {
 		th := &snap.Threads[i]
 		t := rt.threadByName[th.Name]
@@ -328,4 +347,5 @@ func (rt *Runtime) publish(snap Snapshot) {
 		t.tm.heartbeatAge.SetDuration(th.HeartbeatAge)
 		t.tm.stalled.SetBool(th.Stalled)
 	}
+	rt.instMu.Unlock()
 }

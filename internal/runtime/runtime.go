@@ -23,6 +23,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -89,7 +90,22 @@ type Options struct {
 	// DefaultSampleEvery when metrics are enabled; negative disables the
 	// sampler goroutine (Snapshot and scrapes still refresh on demand).
 	SampleEvery time.Duration
+	// ControlLoops are background control goroutines Start spawns
+	// alongside the stall watchdog and the metrics sampler: each runs
+	// until stop closes and is joined by Wait (wg- and clock-registrar-
+	// accounted exactly like the built-in loops). The elastic scheduler
+	// (internal/sched, installed via the facade's WithElastic) plugs in
+	// through this hook; the runtime core stays policy-free. Empty (the
+	// default) spawns nothing.
+	ControlLoops []ControlLoop
 }
+
+// ControlLoop is one long-lived background goroutine under the
+// runtime's lifecycle (Options.ControlLoops): spawned by Start, told to
+// exit when stop closes, joined by Wait. It may call any concurrency-
+// safe Runtime method — Snapshot for sensing, SpawnReplica and
+// RetireReplica for actuation.
+type ControlLoop func(rt *Runtime, stop <-chan struct{})
 
 // Runtime is one Stampede application instance.
 type Runtime struct {
@@ -145,14 +161,24 @@ type Runtime struct {
 	mDrainDur   *metrics.Histogram
 	mDraining   *metrics.Gauge
 
-	// Live-metrics state: instrument maps resolved at Start (immutable
-	// afterwards; read lock-free by the sampler) and the opt-in
-	// observability HTTP server.
+	// Live-metrics state: the node/buffer instrument maps are resolved at
+	// Start (immutable afterwards; read lock-free by the sampler), while
+	// threadByName also admits elastic replicas after Start and is
+	// guarded by instMu. httpLn/httpSrv are the opt-in observability HTTP
+	// server.
 	nodeInst     map[graph.NodeID]*nodeInstruments
 	bufInst      map[graph.NodeID]*bufferInstruments
+	instMu       sync.Mutex
 	threadByName map[string]*Thread
 	httpLn       net.Listener
 	httpSrv      *http.Server
+
+	// Elastic replication state (see replica.go): live replicas and the
+	// monotone slot sequence, both keyed by the stage's node id. Guarded
+	// by replMu; when both locks are needed the order is rt.mu → replMu.
+	replMu   sync.Mutex
+	replicas map[graph.NodeID][]*Thread
+	replSeq  map[graph.NodeID]int
 }
 
 // New creates an empty runtime.
@@ -597,6 +623,19 @@ func (rt *Runtime) Start() error {
 		}
 		go rt.sampler(every)
 	}
+	for _, cl := range rt.opts.ControlLoops {
+		rt.wg.Add(1)
+		if hasReg {
+			reg.Add(1)
+		}
+		go func(cl ControlLoop) {
+			defer rt.wg.Done()
+			if hasReg {
+				defer reg.Add(-1)
+			}
+			cl(rt, rt.stopCh)
+		}(cl)
+	}
 	return nil
 }
 
@@ -810,6 +849,22 @@ func (rt *Runtime) writeStatus(w io.Writer, snap Snapshot) {
 		}
 		fmt.Fprintf(w, "%-*s %-11s %8d %10s %7v  %s\n",
 			tw, th.Name, th.State, th.Restarts, th.HeartbeatAge.Round(time.Millisecond), th.Stalled, failure)
+	}
+
+	// Elastic replication: rendered only when some stage is replicated,
+	// so the default (non-elastic) status output stays byte-identical.
+	if len(snap.Replicas) > 0 {
+		stages := make([]string, 0, len(snap.Replicas))
+		for s := range snap.Replicas {
+			stages = append(stages, s)
+		}
+		sort.Strings(stages)
+		sw := nameColumn("stage", stages)
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "%-*s %9s\n", sw, "stage", "replicas")
+		for _, s := range stages {
+			fmt.Fprintf(w, "%-*s %9d\n", sw, s, snap.Replicas[s])
+		}
 	}
 }
 

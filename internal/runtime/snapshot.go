@@ -54,6 +54,12 @@ type BufferStatus struct {
 	// buffer was sealed for drain; ShedItems counts items discarded
 	// undelivered at shutdown (explicitly shed, not silently lost).
 	DrainedItems, ShedItems int64
+	// PutBlocked and PutBlockedCount accumulate producer
+	// capacity-blocking on the buffer — the elastic scheduler's
+	// backlog-pressure sensor. Zero for backends without inline
+	// accounting (remote endpoints, the lock-free ring).
+	PutBlocked      time.Duration
+	PutBlockedCount int64
 }
 
 // Snapshot is the consistent point-in-time view of a running
@@ -76,6 +82,11 @@ type Snapshot struct {
 	// Draining reports that a graceful drain was in progress (or had
 	// completed) when the snapshot was taken.
 	Draining bool
+	// Replicas maps stage name → live elastic replica count. Nil when no
+	// stage is replicated (the default, non-elastic configuration), so
+	// status renderings of non-elastic runs are byte-identical to the
+	// pre-elastic output.
+	Replicas map[string]int
 }
 
 // Snapshot collects the consistent status view and publishes it to the
@@ -123,11 +134,15 @@ func (rt *Runtime) Snapshot() Snapshot {
 		if hw, ok := br.b.(buffer.HighWaterer); ok {
 			bs.HighWaterItems, bs.HighWaterBytes = hw.HighWater()
 		}
+		if pb, ok := br.b.(buffer.PutBlocker); ok {
+			bs.PutBlocked, bs.PutBlockedCount = pb.PutBlocked()
+		}
 		bs.DrainedItems, bs.ShedItems = br.b.DrainStats()
 		snap.Buffers = append(snap.Buffers, bs)
 	}
 	snap.Threads = rt.Health().Threads
 	snap.Draining = rt.draining.Load()
+	snap.Replicas = rt.ReplicaCounts()
 	rt.publish(snap)
 	return snap
 }

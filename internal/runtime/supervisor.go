@@ -21,7 +21,7 @@ package runtime
 import (
 	"errors"
 	"fmt"
-	"math/rand"
+	"hash/fnv"
 	"runtime/debug"
 	"sort"
 	"time"
@@ -29,6 +29,7 @@ import (
 	"repro/internal/backoff"
 	"repro/internal/buffer"
 	"repro/internal/clock"
+	"repro/internal/rand"
 )
 
 // captureStack snapshots the failing goroutine's stack for the
@@ -399,6 +400,17 @@ func (t *Thread) sleepRestart(d time.Duration) {
 // decay.
 func (rt *Runtime) failPermanently(t *Thread, f *ThreadFailure) {
 	rt.recordFailure(f)
+	if t.replicaSlot > 0 {
+		// A replica shares its ports with the primary and its sibling
+		// replicas: failing the shared attachments would cascade the
+		// death to incarnations that are alive and well. The failure is
+		// recorded and the slot leaves the controller fold via
+		// finishReplica; the stage itself lives on.
+		if t.tm.failures != nil {
+			t.tm.failures.Inc()
+		}
+		return
+	}
 	if t.tm.failures != nil {
 		t.tm.failures.Inc()
 		t.tm.faded.Inc()
@@ -532,10 +544,17 @@ func (rt *Runtime) checkStalls() {
 }
 
 // newSupervisionRNG builds the jitter source for one thread's restart
-// schedule.
-func newSupervisionRNG(seed int64) *rand.Rand {
+// schedule: a split stream of the shared xorshift64 generator, keyed by
+// the thread's name so sibling threads (and elastic replicas) jitter on
+// decorrelated schedules while staying byte-reproducible. A zero policy
+// seed falls back to the ARU_SEED environment override instead of wall
+// time, so fixed-seed runs pin the exact restart schedule even on the
+// virtual clock.
+func newSupervisionRNG(seed int64, name string) *rand.Rand {
 	if seed == 0 {
-		seed = time.Now().UnixNano()
+		seed = rand.EnvSeed("ARU_SEED", 0)
 	}
-	return rand.New(rand.NewSource(seed))
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return rand.New(rand.Split(uint64(seed), h.Sum64()))
 }

@@ -3,7 +3,6 @@ package runtime
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +11,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/rand"
 	"repro/internal/trace"
 	"repro/internal/vt"
 )
@@ -83,6 +83,17 @@ type Thread struct {
 	// further puts with ErrDraining, so no new work enters the graph
 	// while the backlog flushes (see drain.go).
 	quiesced atomic.Bool
+
+	// Elastic replication (see replica.go). replicaSlot is 0 for ordinary
+	// threads and the primary incarnation of a replicated stage; replicas
+	// carry their slot number (≥ 1) and fold their measured current-STP
+	// into the stage's parallel composition instead of overwriting it.
+	// retiring is the scale-down signal: it gates the *consume* side only
+	// (the mirror of quiesced, which gates produce), so a retiring replica
+	// finishes delivering the outputs of the item it already holds and
+	// exits cleanly before taking another.
+	replicaSlot int
+	retiring    atomic.Bool
 
 	// Supervision (see supervisor.go). restart/hasRestart/stallTTL are
 	// set at AddThread time and read-only afterwards; the rest is
@@ -206,7 +217,7 @@ func (t *Thread) MustOutput(dst *BufferRef) *OutPort {
 func (t *Thread) prepare() {
 	t.stop = make(chan struct{})
 	t.isSource = len(t.ins) == 0
-	t.rng = newSupervisionRNG(t.restart.Seed)
+	t.rng = newSupervisionRNG(t.restart.Seed, t.name)
 	t.lastBeat.Store(int64(t.rt.clk.Now()))
 	for _, p := range t.ins {
 		p.buf = t.rt.buffers[p.ref.id]
@@ -362,6 +373,11 @@ func portKindErr(op string, ref *BufferRef) error {
 // the transfer is charged to the network and the local bus, identically
 // for every backend.
 func (c *Ctx) Get(p *InPort) (Msg, error) {
+	if c.thread.retiring.Load() {
+		// A retiring replica stops consuming before taking another item;
+		// the surviving incarnations drain the buffer (see replica.go).
+		return Msg{}, ErrDraining
+	}
 	res, err := p.buf.Get(p.conn)
 	c.meter.AddBlocked(res.Blocked)
 	p.noteGet(res.Blocked, err)
@@ -409,6 +425,9 @@ func (c *Ctx) GetWindow(p *InPort) (head Msg, window []Msg, err error) {
 	if !p.ref.caps.Windows {
 		return Msg{}, nil, portKindErr("GetWindow", p.ref)
 	}
+	if c.thread.retiring.Load() {
+		return Msg{}, nil, ErrDraining
+	}
 	res, err := p.buf.Get(p.conn)
 	c.meter.AddBlocked(res.Blocked)
 	p.noteGet(res.Blocked, err)
@@ -440,6 +459,9 @@ func (c *Ctx) GetWindow(p *InPort) (head Msg, window []Msg, err error) {
 func (c *Ctx) TryGetLatest(p *InPort) (Msg, bool, error) {
 	if !p.ref.caps.TryGet {
 		return Msg{}, false, portKindErr("TryGetLatest", p.ref)
+	}
+	if c.thread.retiring.Load() {
+		return Msg{}, false, ErrDraining
 	}
 	res, ok, err := p.buf.TryGet(p.conn)
 	if err != nil && !errors.Is(err, buffer.ErrReattached) {
@@ -474,6 +496,9 @@ func (c *Ctx) Reuse(msg Msg) {
 func (c *Ctx) GetAt(p *InPort, ts vt.Timestamp) (Msg, error) {
 	if !p.ref.caps.GetAt {
 		return Msg{}, portKindErr("GetAt", p.ref)
+	}
+	if c.thread.retiring.Load() {
+		return Msg{}, ErrDraining
 	}
 	res, err := p.buf.GetAt(p.conn, ts)
 	c.meter.AddBlocked(res.Blocked)
@@ -681,6 +706,9 @@ func (c *Ctx) GetBatch(p *InPort, dst []Msg) (int, error) {
 	if len(dst) == 0 {
 		return 0, nil
 	}
+	if c.thread.retiring.Load() {
+		return 0, ErrDraining
+	}
 	if cap(c.getScratch) < len(dst) {
 		c.getScratch = make([]buffer.GetResult, len(dst))
 	}
@@ -772,7 +800,13 @@ func (c *Ctx) Sync() {
 		}
 	}
 
-	c.rt.ctrl.SetCurrentSTP(c.thread.id, current)
+	if c.thread.replicaSlot > 0 {
+		// A replica's measurement folds into the stage's parallel
+		// composition instead of overwriting the primary's.
+		c.rt.ctrl.SetReplicaSTP(c.thread.id, c.thread.replicaSlot, current)
+	} else {
+		c.rt.ctrl.SetCurrentSTP(c.thread.id, current)
+	}
 	rec := c.rt.opts.Recorder
 	rec.Append(trace.Event{
 		Kind: trace.EvIter, At: c.rt.clk.Now(), Thread: c.thread.id,

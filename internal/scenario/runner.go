@@ -5,6 +5,8 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/backoff"
@@ -13,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	rt "repro/internal/runtime"
+	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/trace"
 	"repro/internal/vt"
@@ -43,6 +46,13 @@ type RunConfig struct {
 	// drain is bit-reproducible like everything else, which is exactly
 	// what the pinned drain cells assert.
 	Drain bool
+	// Elastic installs the elastic scheduler (internal/sched) over the
+	// cell's relay stages: the control loop elects the bottleneck relay
+	// each tick and replicates it behind its inbound buffer. On the
+	// virtual clock the scale schedule is bit-reproducible like
+	// everything else, so elastic cells pin the scheduler's end-to-end
+	// behavior per topology.
+	Elastic bool
 }
 
 // CellMetrics is one cell of the scenario matrix: the paper's MU/IGC
@@ -101,6 +111,13 @@ type CellMetrics struct {
 	DrainShed    int64   `json:"drain_shed,omitempty"`    // items explicitly shed at settle
 	DrainClean   bool    `json:"drain_clean,omitempty"`   // deadline not hit
 	DrainMs      float64 `json:"drain_ms,omitempty"`      // drain duration (virtual time)
+
+	// Elastic-mode accounting (RunConfig.Elastic only; omitted — and
+	// zero — for ordinary cells for the same pin-stability reason).
+	ElasticMode        bool  `json:"elastic_mode,omitempty"`         // cell ran under RunConfig.Elastic
+	ElasticScaleUps    int64 `json:"elastic_scale_ups,omitempty"`    // replica spawns across all relays
+	ElasticScaleDowns  int64 `json:"elastic_scale_downs,omitempty"`  // drain-safe retirements
+	ElasticReplicasEnd int   `json:"elastic_replicas_end,omitempty"` // live replicas at the final tick
 }
 
 // errDeadline makes a stage body exit cleanly when its per-stage
@@ -123,15 +140,24 @@ type runner struct {
 // injected-failure schedule and the phase discipline stable across a
 // panic: the initial phase offset runs exactly once per run, and the
 // iteration counter keeps counting so a FailAt panic fires once.
+//
+// Under RunConfig.Elastic the same closure also runs in scheduler-
+// spawned replica incarnations concurrently with the primary, so the
+// counters are atomic and the wait samples are mutex-guarded. The
+// atomics cost nothing behaviorally in the single-threaded cells (the
+// historical pins stay byte-identical), and the quantile over
+// putWaitNs sorts its input, so replica-interleaved append order
+// cannot move a pinned number.
 type stageRun struct {
 	r      *runner
 	spec   *StageSpec
 	thread *rt.Thread
 	phase  time.Duration
-	phased bool
-	iter   int64
-	prod   int64
+	phased atomic.Bool
+	iter   atomic.Int64
+	prod   atomic.Int64
 
+	mu        sync.Mutex      // guards outBufs resolution and putWaitNs
 	outBufs   []buffer.Buffer // lazily resolved (post-Start)
 	outCaps   []int
 	putWaitNs []float64
@@ -145,21 +171,21 @@ func (s *stageRun) now() time.Duration { return s.r.clk.Now() }
 func (s *stageRun) stageDeadline() time.Duration { return s.r.deadline + s.phase }
 
 // enter runs once per body invocation: the first invocation sleeps the
-// stage onto its unique sub-grid phase; restarts resume already phased
-// (the restart backoff schedule is a whole number of grid quanta, so
-// the residue survives the panic).
+// stage onto its unique sub-grid phase; restarts (and elastic replica
+// incarnations, which join an already-phased stage) resume already
+// phased (the restart backoff schedule is a whole number of grid
+// quanta, so the residue survives the panic).
 func (s *stageRun) enter(ctx *rt.Ctx) {
-	if !s.phased {
-		s.phased = true
+	if s.phased.CompareAndSwap(false, true) {
 		ctx.Idle(s.phase)
 	}
 }
 
 // checkFail fires the injected failure exactly once, at the drawn
-// local iteration.
-func (s *stageRun) checkFail() {
-	if s.spec.FailAt > 0 && s.iter == s.spec.FailAt {
-		panic(fmt.Sprintf("scenario: injected failure in %s at iteration %d", s.spec.Name, s.iter))
+// local iteration (iter is the caller's freshly incremented count).
+func (s *stageRun) checkFail(iter int64) {
+	if s.spec.FailAt > 0 && iter == s.spec.FailAt {
+		panic(fmt.Sprintf("scenario: injected failure in %s at iteration %d", s.spec.Name, iter))
 	}
 }
 
@@ -170,10 +196,7 @@ func (s *stageRun) checkFail() {
 func (s *stageRun) put(ctx *rt.Ctx, outIdx int, p *rt.OutPort, ts vt.Timestamp, size int64) error {
 	wait := time.Duration(0)
 	if cap := s.outCaps[outIdx]; cap > 0 {
-		if s.outBufs[outIdx] == nil {
-			s.outBufs[outIdx] = s.r.rt.Buffer(s.r.bufRefs[s.spec.Outputs[outIdx]])
-		}
-		b := s.outBufs[outIdx]
+		b := s.outBuf(outIdx)
 		start := s.now()
 		for {
 			items, _ := b.Occupancy()
@@ -187,7 +210,9 @@ func (s *stageRun) put(ctx *rt.Ctx, outIdx int, p *rt.OutPort, ts vt.Timestamp, 
 		}
 		wait = s.now() - start
 	}
+	s.mu.Lock()
 	s.putWaitNs = append(s.putWaitNs, float64(wait))
+	s.mu.Unlock()
 	err := ctx.Put(p, ts, nil, size)
 	if errors.Is(err, rt.ErrReattached) {
 		// Informational: the wire dropped mid-put and the item was
@@ -195,6 +220,18 @@ func (s *stageRun) put(ctx *rt.Ctx, outIdx int, p *rt.OutPort, ts vt.Timestamp, 
 		err = nil
 	}
 	return err
+}
+
+// outBuf resolves the outIdx-th output buffer on first use (the ring
+// handle only exists post-Start); the lock makes the resolution safe
+// when replica incarnations race to the first put.
+func (s *stageRun) outBuf(outIdx int) buffer.Buffer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.outBufs[outIdx] == nil {
+		s.outBufs[outIdx] = s.r.rt.Buffer(s.r.bufRefs[s.spec.Outputs[outIdx]])
+	}
+	return s.outBufs[outIdx]
 }
 
 // tryGet polls an input without blocking, folding the remote layer's
@@ -230,13 +267,13 @@ func (s *stageRun) sourceBody(ctx *rt.Ctx) error {
 		if start >= s.stageDeadline() {
 			return nil
 		}
-		s.iter++
-		s.checkFail()
+		n := s.iter.Add(1)
+		s.checkFail(n)
 		ctx.Compute(s.spec.Cost)
-		if err := s.put(ctx, 0, out, vt.Timestamp(s.iter), s.spec.ItemBytes); err != nil {
+		if err := s.put(ctx, 0, out, vt.Timestamp(n), s.spec.ItemBytes); err != nil {
 			return bodyErr(err)
 		}
-		s.prod++
+		s.prod.Add(1)
 		span := s.r.spec.Shape.Period(base, start, s.r.total)
 		if t := s.r.rt.Controller().TargetPeriod(s.thread.ID()); t.Known() {
 			if q := QuantizeUp(t.Duration()); q > span {
@@ -272,8 +309,8 @@ func (s *stageRun) relayBody(ctx *rt.Ctx) error {
 			ctx.Idle(Grid)
 			continue
 		}
-		s.iter++
-		s.checkFail()
+		n := s.iter.Add(1)
+		s.checkFail(n)
 		ctx.Compute(s.spec.Cost)
 		if err := s.put(ctx, 0, out, msg.TS, s.spec.ItemBytes); err != nil {
 			return bodyErr(err)
@@ -307,10 +344,10 @@ func (s *stageRun) joinBody(ctx *rt.Ctx) error {
 			ctx.Idle(Grid)
 			continue
 		}
-		s.iter++
-		s.checkFail()
+		n := s.iter.Add(1)
+		s.checkFail(n)
 		ctx.Compute(s.spec.Cost)
-		if err := s.put(ctx, 0, out, vt.Timestamp(s.iter), s.spec.ItemBytes); err != nil {
+		if err := s.put(ctx, 0, out, vt.Timestamp(n), s.spec.ItemBytes); err != nil {
 			return bodyErr(err)
 		}
 		ctx.Sync()
@@ -335,8 +372,8 @@ func (s *stageRun) sinkBody(ctx *rt.Ctx) error {
 			ctx.Idle(Grid)
 			continue
 		}
-		s.iter++
-		s.checkFail()
+		n := s.iter.Add(1)
+		s.checkFail(n)
 		ctx.Compute(s.spec.Cost)
 		ctx.Emit()
 		ctx.Sync()
@@ -355,6 +392,19 @@ func failurePolicy() rt.RestartPolicy {
 	}
 }
 
+// baseDeadline is the shared stage-exit deadline for a cell: stages
+// (and the elastic scheduler's tick horizon) stop strictly before the
+// runner's stop instant so the shutdown sequence never races stage
+// wakeups. The margin covers the largest compute draw plus gate polls
+// and restart backoffs.
+func baseDeadline(spec *Spec) time.Duration {
+	d := spec.Params.Duration - (QuantizeUp(spec.Params.CostMax) + 32*Grid)
+	if d < Grid {
+		d = Grid
+	}
+	return d
+}
+
 // build declares the spec's buffers and threads into a fresh runtime.
 func build(spec *Spec, opts rt.Options) (*runner, error) {
 	r := &runner{
@@ -362,14 +412,7 @@ func build(spec *Spec, opts rt.Options) (*runner, error) {
 		clk:   opts.Clock,
 		total: spec.Params.Duration,
 	}
-	// Stages exit strictly before the runner's stop deadline so the
-	// shutdown sequence never races stage wakeups: the margin covers
-	// the largest compute draw plus gate polls and restart backoffs.
-	margin := QuantizeUp(spec.Params.CostMax) + 32*Grid
-	r.deadline = r.total - margin
-	if r.deadline < Grid {
-		r.deadline = Grid
-	}
+	r.deadline = baseDeadline(spec)
 	r.rt = rt.New(opts)
 
 	r.bufRefs = make([]*rt.BufferRef, len(spec.Buffers))
@@ -473,6 +516,35 @@ func scenarioAIMD() core.AIMDConfig {
 	return cfg
 }
 
+// elasticSchedConfig derives the scheduler configuration for an
+// elastic cell from the generated spec: supervise every relay stage
+// (sources and sinks stay fixed — replicating a source would change
+// the offered load, and the sink anchors the output order) and defend
+// a period of half the cost ceiling, so any relay whose drawn cost
+// lands in the upper half of the range genuinely violates the target
+// while it has work. Everything else keeps the scheduler defaults; on
+// the discrete-event clock the resulting scale schedule is exactly as
+// reproducible as the rest of the cell, which is what the pinned
+// elastic cells assert.
+func elasticSchedConfig(spec *Spec) sched.Config {
+	var relays []string
+	for i := range spec.Stages {
+		if spec.Stages[i].Kind == "relay" {
+			relays = append(relays, spec.Stages[i].Name)
+		}
+	}
+	return sched.Config{
+		TargetPeriod: QuantizeUp(spec.Params.CostMax / 2),
+		Stages:       relays,
+		// Ticks stop at the stage-exit deadline: a control tick landing
+		// exactly on the stop instant would tie with the shutdown on the
+		// virtual clock, and the loser of that tie is the one
+		// scheduler-dependent outcome in an otherwise totally ordered
+		// run. Inside the deadline every tick instant is unique.
+		Horizon: baseDeadline(spec),
+	}
+}
+
 // Run executes one cell: wire the spec into a real Runtime on a fresh
 // discrete-event clock, run it to completion, and reduce the trace to
 // CellMetrics. Same spec + same config → byte-identical metrics.
@@ -491,7 +563,9 @@ func Run(spec *Spec, cfg RunConfig) (*CellMetrics, error) {
 	}
 
 	var reg *metrics.Registry
-	if cfg.Metrics {
+	if cfg.Metrics || cfg.Elastic {
+		// Elastic cells need the registry even when Metrics is off: the
+		// scheduler's counters are how the cell reports its scale events.
 		reg = metrics.NewRegistry()
 	}
 	clk := cfg.Clock
@@ -499,13 +573,17 @@ func Run(spec *Spec, cfg RunConfig) (*CellMetrics, error) {
 		clk = clock.NewVirtual()
 	}
 	rec := trace.NewRecorder()
-	r, err := build(spec, rt.Options{
+	opts := rt.Options{
 		Clock:       clk,
 		Recorder:    rec,
 		ARU:         policy,
 		Metrics:     reg,
 		SampleEvery: -1, // no background sampler: nothing off-grid runs
-	})
+	}
+	if cfg.Elastic {
+		opts.ControlLoops = append(opts.ControlLoops, sched.Loop(elasticSchedConfig(spec)))
+	}
+	r, err := build(spec, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -577,7 +655,7 @@ func Run(spec *Spec, cfg RunConfig) (*CellMetrics, error) {
 	}
 	var waits []float64
 	for _, s := range r.stages {
-		cm.Produced += s.prod
+		cm.Produced += s.prod.Load()
 		waits = append(waits, s.putWaitNs...)
 	}
 	cm.PutWaits = len(waits)
@@ -587,8 +665,22 @@ func Run(spec *Spec, cfg RunConfig) (*CellMetrics, error) {
 	for _, th := range r.rt.Health().Threads {
 		cm.Restarts += th.Restarts
 	}
-	if reg != nil {
+	if cfg.Metrics {
 		cm.MetricsSeries = registrySeries(reg)
+	}
+	if cfg.Elastic {
+		cm.ElasticMode = true
+		for _, s := range r.stages {
+			if s.spec.Kind != "relay" {
+				continue
+			}
+			ls := metrics.Labels{"stage": s.spec.Name}
+			cm.ElasticScaleUps += reg.Counter(sched.MetricScaleUps, "", ls).Value()
+			cm.ElasticScaleDowns += reg.Counter(sched.MetricScaleDowns, "", ls).Value()
+			// The gauge holds the scheduler's last-tick count; the live
+			// replica set itself has drained by the time the run returns.
+			cm.ElasticReplicasEnd += int(reg.Gauge(sched.MetricReplicas, "", ls).Value())
+		}
 	}
 	if cfg.Drain {
 		cm.DrainMode = true

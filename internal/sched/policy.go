@@ -1,0 +1,112 @@
+// The per-stage scaling policy: a pure hysteresis state machine. No
+// clocks, no goroutines, no runtime handles — one observation in, one
+// decision out — so the no-flap property is provable by unit test
+// rather than by staring at a soak run.
+package sched
+
+import "time"
+
+// Decision is one tick's scaling verdict for a stage.
+type Decision int
+
+const (
+	// Hold means no actuation this tick.
+	Hold Decision = iota
+	// ScaleUp means spawn one replica behind the stage's inbound buffer.
+	ScaleUp
+	// ScaleDown means retire the stage's most recent replica.
+	ScaleDown
+)
+
+// String returns the lowercase decision name.
+func (d Decision) String() string {
+	switch d {
+	case ScaleUp:
+		return "scale-up"
+	case ScaleDown:
+		return "scale-down"
+	}
+	return "hold"
+}
+
+// Signal is one control tick's observation of a stage, as sensed from
+// Runtime.Snapshot.
+type Signal struct {
+	// Current is the stage's effective current-STP: the parallel fold
+	// over every live incarnation (zero when not yet measured).
+	Current time.Duration
+	// Bottleneck reports that the stage won this tick's bottleneck
+	// election (max summary-STP plus inbound blocked-put pressure).
+	Bottleneck bool
+	// Replicas is the stage's live replica count (primary not counted).
+	Replicas int
+	// Pressure reports that producers accumulated fresh blocked-put time
+	// on the stage's inbound buffers since the previous tick — the
+	// backlog is still growing, so scaling down would be premature.
+	Pressure bool
+}
+
+// policy is one stage's hysteresis state. The asymmetric design is the
+// anti-flap machinery:
+//
+//   - Scale up only when the stage is the elected bottleneck AND its
+//     effective period exceeds TargetPeriod, sustained for UpSustain
+//     consecutive ticks.
+//   - Scale down only when the *projected* period without one replica —
+//     current × (n+1)/n, the inverse of the parallel fold for
+//     homogeneous incarnations — would still sit below DownBand ×
+//     TargetPeriod, with no inbound pressure, sustained for DownSustain
+//     consecutive ticks.
+//
+// Between TargetPeriod and DownBand × TargetPeriod lies a dead band
+// where neither condition can fire: a load oscillating inside it resets
+// both sustain counters every crossing and the stage never scales. A
+// Cooldown of held ticks after every actuation lets the fold's feedback
+// propagate before the next decision, so one burst never triggers a
+// spawn staircase.
+type policy struct {
+	target      time.Duration
+	downBand    float64
+	upSustain   int
+	downSustain int
+	cooldownFor int
+	maxReplicas int
+
+	upTicks   int
+	downTicks int
+	cooldown  int
+}
+
+// observe folds one tick's signal into the hysteresis state and returns
+// the decision.
+func (p *policy) observe(s Signal) Decision {
+	up := s.Bottleneck && s.Current > p.target
+	down := false
+	if !up && s.Replicas > 0 && s.Current > 0 && !s.Pressure {
+		projected := s.Current * time.Duration(s.Replicas+1) / time.Duration(s.Replicas)
+		down = float64(projected) <= p.downBand*float64(p.target)
+	}
+	if up {
+		p.upTicks++
+	} else {
+		p.upTicks = 0
+	}
+	if down {
+		p.downTicks++
+	} else {
+		p.downTicks = 0
+	}
+	if p.cooldown > 0 {
+		p.cooldown--
+		return Hold
+	}
+	if p.upTicks >= p.upSustain && s.Replicas < p.maxReplicas {
+		p.upTicks, p.downTicks, p.cooldown = 0, 0, p.cooldownFor
+		return ScaleUp
+	}
+	if p.downTicks >= p.downSustain {
+		p.upTicks, p.downTicks, p.cooldown = 0, 0, p.cooldownFor
+		return ScaleDown
+	}
+	return Hold
+}

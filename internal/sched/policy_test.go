@@ -1,0 +1,146 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+func testPolicy() policy {
+	return policy{
+		target:      10 * time.Millisecond,
+		downBand:    0.9,
+		upSustain:   3,
+		downSustain: 5,
+		cooldownFor: 2,
+		maxReplicas: 3,
+	}
+}
+
+// TestPolicyFlapResistance is the no-flap contract: a load oscillating
+// anywhere inside the hysteresis dead band — above the scale-down
+// projection threshold, at or below the scale-up target — produces zero
+// scale events, however long it runs. This is the property that lets
+// the scheduler run unattended against noisy STP measurements.
+func TestPolicyFlapResistance(t *testing.T) {
+	p := testPolicy()
+	// One replica live. Scale-down needs projected = current × 2 ≤ 9ms,
+	// i.e. current ≤ 4.5ms; scale-up needs current > 10ms sustained as
+	// bottleneck. Oscillate across [5ms, 10ms] — the whole dead band —
+	// flipping bottleneck status too.
+	wave := []Signal{
+		{Current: 5 * time.Millisecond, Bottleneck: false, Replicas: 1},
+		{Current: 10 * time.Millisecond, Bottleneck: true, Replicas: 1},
+		{Current: 7 * time.Millisecond, Bottleneck: true, Replicas: 1},
+		{Current: 9 * time.Millisecond, Bottleneck: false, Replicas: 1},
+	}
+	for i := 0; i < 1000; i++ {
+		if d := p.observe(wave[i%len(wave)]); d != Hold {
+			t.Fatalf("tick %d: dead-band oscillation produced %v, want hold", i, d)
+		}
+	}
+}
+
+// TestPolicyUpSustain: a bottleneck over target scales up only after
+// UpSustain consecutive ticks, and any break resets the count.
+func TestPolicyUpSustain(t *testing.T) {
+	p := testPolicy()
+	hot := Signal{Current: 20 * time.Millisecond, Bottleneck: true, Replicas: 0}
+	cool := Signal{Current: 8 * time.Millisecond, Bottleneck: true, Replicas: 0}
+
+	if d := p.observe(hot); d != Hold {
+		t.Fatalf("tick 1 hot: %v, want hold", d)
+	}
+	if d := p.observe(hot); d != Hold {
+		t.Fatalf("tick 2 hot: %v, want hold", d)
+	}
+	if d := p.observe(cool); d != Hold {
+		t.Fatalf("cool break: %v, want hold", d)
+	}
+	// The break reset the counter: two more hot ticks still hold.
+	p.observe(hot)
+	if d := p.observe(hot); d != Hold {
+		t.Fatalf("post-break tick 2: %v, want hold (sustain reset)", d)
+	}
+	if d := p.observe(hot); d != ScaleUp {
+		t.Fatalf("post-break tick 3: %v, want scale-up", d)
+	}
+}
+
+// TestPolicyCooldownAndMax: after an action the policy holds for
+// Cooldown ticks even under a sustained bottleneck, and never exceeds
+// MaxReplicas.
+func TestPolicyCooldownAndMax(t *testing.T) {
+	p := testPolicy()
+	hot := func(replicas int) Signal {
+		return Signal{Current: 20 * time.Millisecond, Bottleneck: true, Replicas: replicas}
+	}
+	replicas := 0
+	ups := 0
+	for i := 0; i < 50; i++ {
+		if p.observe(hot(replicas)) == ScaleUp {
+			replicas++
+			ups++
+		}
+	}
+	if replicas != p.maxReplicas {
+		t.Fatalf("converged at %d replicas, want max %d", replicas, p.maxReplicas)
+	}
+	// With sustain 3 + cooldown 2, actions are at least 3 ticks apart
+	// (cooldown runs concurrently with re-sustain); 50 hot ticks at cap 3
+	// must produce exactly 3 ups — cooldown prevented a spawn staircase.
+	if ups != 3 {
+		t.Fatalf("%d scale-ups, want exactly 3", ups)
+	}
+
+	// Immediately after the last action the policy is cooling down: even
+	// a drastic load drop cannot trigger an instant retirement.
+	idle := Signal{Current: time.Millisecond, Bottleneck: false, Replicas: replicas}
+	if d := p.observe(idle); d != Hold {
+		t.Fatalf("first idle tick after action: %v, want hold (cooldown)", d)
+	}
+}
+
+// TestPolicyScaleDown: a drained stage retires replicas only after
+// DownSustain quiet ticks, never while inbound pressure persists, and
+// only when the projected period without the replica keeps headroom.
+func TestPolicyScaleDown(t *testing.T) {
+	p := testPolicy()
+	idle := Signal{Current: 2 * time.Millisecond, Replicas: 2}
+	pressured := idle
+	pressured.Pressure = true
+
+	for i := 0; i < 4; i++ {
+		if d := p.observe(idle); d != Hold {
+			t.Fatalf("quiet tick %d: %v, want hold", i+1, d)
+		}
+	}
+	// Pressure on the 5th tick resets the sustain.
+	if d := p.observe(pressured); d != Hold {
+		t.Fatalf("pressured tick: %v, want hold", d)
+	}
+	for i := 0; i < 4; i++ {
+		p.observe(idle)
+	}
+	if d := p.observe(idle); d != ScaleDown {
+		t.Fatalf("5th quiet tick after reset: %v, want scale-down", d)
+	}
+
+	// Projection guard: with one replica left at 6ms, removing it
+	// projects 12ms > 9ms band — the replica must stay.
+	p2 := testPolicy()
+	busy := Signal{Current: 6 * time.Millisecond, Replicas: 1}
+	for i := 0; i < 20; i++ {
+		if d := p2.observe(busy); d != Hold {
+			t.Fatalf("projection-guarded tick %d: %v, want hold", i+1, d)
+		}
+	}
+
+	// No replicas: scale-down can never fire.
+	p3 := testPolicy()
+	bare := Signal{Current: time.Millisecond, Replicas: 0}
+	for i := 0; i < 20; i++ {
+		if d := p3.observe(bare); d != Hold {
+			t.Fatalf("bare-stage tick %d: %v, want hold", i+1, d)
+		}
+	}
+}

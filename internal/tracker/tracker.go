@@ -37,7 +37,9 @@ import (
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/gc"
+	"repro/internal/metrics"
 	"repro/internal/runtime"
+	"repro/internal/sched"
 	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/vt"
@@ -138,6 +140,20 @@ type Config struct {
 	// technique alone had "limited success" (upstream threads run ahead
 	// of consumer guarantees); ablation ABL4 measures exactly that.
 	EliminateDeadComputations bool
+	// HotFactor, when > 1, multiplies DetectCost1 — an induced hot stage
+	// (a color model whose compute blew up on the deployed content) used
+	// by the elastic-recovery experiment (cmd/tracker -hotstage).
+	HotFactor float64
+	// Elastic, when non-nil, installs the elastic scheduler
+	// (internal/sched) as a runtime control loop: the bottleneck stage
+	// is replicated into a worker pool behind its buffers and drained
+	// back when the load subsides. Nil (the default) runs no scheduler —
+	// the baseline figures are untouched.
+	Elastic *sched.Config
+	// Metrics, when non-nil, enables the runtime's live metrics registry
+	// (the elastic-recovery harness reads the scheduler's scale counters
+	// through it).
+	Metrics *metrics.Registry
 }
 
 // DefaultBusBytesPerSec is the calibrated per-host memory-system copy
@@ -249,10 +265,15 @@ func New(cfg Config) (*App, error) {
 		Hosts: cfg.Hosts, Link: cfg.Link, BusBytesPerSec: cfg.BusBytesPerSec,
 	})
 	rec := trace.NewRecorder()
-	rt := runtime.New(runtime.Options{
+	opts := runtime.Options{
 		Clock: clk, Cluster: cluster, Collector: cfg.Collector,
 		ARU: cfg.Policy, Recorder: rec, PressureBytes: cfg.PressureBytes,
-	})
+		Metrics: cfg.Metrics,
+	}
+	if cfg.Elastic != nil {
+		opts.ControlLoops = append(opts.ControlLoops, sched.Loop(*cfg.Elastic))
+	}
+	rt := runtime.New(opts)
 	app := &App{cfg: cfg, Runtime: rt, Recorder: rec, Cluster: cluster}
 	if err := app.build(); err != nil {
 		return nil, err
@@ -439,7 +460,11 @@ func (a *App) build() error {
 			}
 		}
 	}
-	td1 := rt.MustAddThread("target-detect-1", hp.detect1, makeDetector(1, tm.DetectCost1, 3))
+	detect1Cost := tm.DetectCost1
+	if cfg.HotFactor > 1 {
+		detect1Cost = scaleDur(detect1Cost, cfg.HotFactor)
+	}
+	td1 := rt.MustAddThread("target-detect-1", hp.detect1, makeDetector(1, detect1Cost, 3))
 	td2 := rt.MustAddThread("target-detect-2", hp.detect2, makeDetector(2, tm.DetectCost2, 4))
 
 	// --- GUI ---------------------------------------------------------------
